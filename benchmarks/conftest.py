@@ -1,0 +1,34 @@
+"""Shared helpers for the figure benchmarks.
+
+Each benchmark runs its experiment once (``benchmark.pedantic`` with a
+single round — the experiments are minutes-scale aggregates, not
+microbenchmarks), writes the rendered report to ``results/``, and asserts
+the *shape* properties the paper claims (who wins, roughly by how much,
+where the crossovers are).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_and_record(benchmark, experiment_module, results_dir, scale="small"):
+    """Run an experiment module under pytest-benchmark and save its report."""
+    report = benchmark.pedantic(
+        experiment_module.run, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    name = report.experiment.replace(" ", "").lower()
+    (results_dir / f"{name}.txt").write_text(report.render() + "\n")
+    print()
+    print(report.render())
+    return report

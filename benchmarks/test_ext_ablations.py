@@ -1,0 +1,22 @@
+"""Extension benchmark: design-choice ablations."""
+
+from benchmarks.conftest import run_and_record
+from repro.bench.experiments import ext_ablations
+
+
+def test_ext_ablations(benchmark, results_dir):
+    report = run_and_record(benchmark, ext_ablations, results_dir)
+
+    # Morton vs Hilbert: close to parity, Morton not slower by much
+    # (paper: 0.54% locality difference, Hilbert decode costlier).
+    curves = {r[1]: r[2] for r in report.rows_where("ablation", "sfc_curve")}
+    assert curves["morton"] <= curves["hilbert"] * 1.05
+
+    # Box length factor: the radius-sized box (1.0) is not beaten badly by
+    # coarser boxes (paper §3.1: radius-sized boxes are the design point).
+    boxes = {r[1]: r[2] for r in report.rows_where("ablation", "box_length_factor")}
+    assert boxes[1.0] <= min(boxes.values()) * 1.3
+
+    # Growth rate: larger growth reserves more memory.
+    growth = {r[1]: r[3] for r in report.rows_where("ablation", "mem_mgr_growth_rate")}
+    assert growth[4.0] >= growth[1.1]

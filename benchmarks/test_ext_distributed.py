@@ -1,0 +1,18 @@
+"""Extension benchmark: distributed-engine scaling (§8 future work)."""
+
+from benchmarks.conftest import run_and_record
+from repro.bench.experiments import ext_distributed
+
+
+def test_ext_distributed(benchmark, results_dir):
+    report = run_and_record(benchmark, ext_distributed, results_dir)
+    speedups = report.column("speedup_vs_1node")
+    nodes = report.column("nodes")
+    # Strong scaling: more nodes, more speedup (until comm bites).
+    assert speedups[0] == 1
+    assert speedups[-1] > speedups[0]
+    assert max(speedups) > 1.8  # at least ~2x somewhere in the sweep
+    # Communication appears only with multiple nodes and grows with them.
+    comm = report.column("comm_ms")
+    assert comm[0] == 0
+    assert all(c > 0 for c in comm[1:])

@@ -1,0 +1,16 @@
+"""Extension benchmark: GPU offload crossover."""
+
+from benchmarks.conftest import run_and_record
+from repro.bench.experiments import ext_gpu
+
+
+def test_ext_gpu(benchmark, results_dir):
+    report = run_and_record(benchmark, ext_gpu, results_dir)
+    speedups = report.column("a100_speedup")
+    agents = report.column("agents")
+    # Crossover: the offload loses at the smallest population and wins at
+    # the largest (the reason the hybrid design exists).
+    assert speedups[0] < 1.0
+    assert speedups[-1] > 1.0
+    # The gain grows with the population.
+    assert speedups[-1] > speedups[1]

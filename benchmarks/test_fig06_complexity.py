@@ -1,0 +1,24 @@
+"""Figure 6: runtime and memory scale linearly with agents."""
+
+from collections import defaultdict
+
+from benchmarks.conftest import run_and_record
+from repro.bench.experiments import fig06_complexity
+
+
+def test_fig06(benchmark, results_dir):
+    report = run_and_record(benchmark, fig06_complexity, results_dir)
+    per_sim = defaultdict(list)
+    for row in report.rows:
+        per_sim[row[0]].append(row)
+    for name, rows in per_sim.items():
+        rows.sort(key=lambda r: r[1])
+        times = [r[3] for r in rows]
+        mems = [r[4] for r in rows]
+        # Runtime grows with the workload (paper: linear past ~1e5).
+        assert times[-1] > times[0], name
+        # Memory grows monotonically and strongly with agents.
+        assert all(b >= a * 0.95 for a, b in zip(mems, mems[1:])), name
+        assert mems[-1] > 2 * mems[0], name
+    # Memory linearity R^2 reported near 1 for every simulation.
+    assert all("memory R^2=0.9" in n or "memory R^2=1" in n for n in report.notes)

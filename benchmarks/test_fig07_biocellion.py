@@ -1,0 +1,28 @@
+"""Figure 7 / §6.5: Biocellion comparison shapes."""
+
+from benchmarks.conftest import run_and_record
+from repro.bench.experiments import fig07_biocellion
+
+
+def test_fig07(benchmark, results_dir):
+    report = run_and_record(benchmark, fig07_biocellion, results_dir)
+    headline = report.rows_where("panel", "headline")
+    assert len(headline) == 2
+    ratios = {r[1]: r[5] for r in headline}
+    # Direction: more efficient per core than published Biocellion numbers.
+    assert all(v > 1.0 for v in ratios.values())
+    # The paper's second-order shape: the efficiency gap is LARGER on the
+    # 72-core machine (9.64x) than on 16 cores (4.14x) because the memory
+    # optimizations matter more at high core counts.
+    assert ratios["System B, 72 cores"] > ratios["System C, 16 cores"]
+
+    # Fig. 7b: the uniform grid is the largest single step on both machines.
+    for machine in ("System C/16", "System B/72"):
+        rows = [r for r in report.rows_where("panel", "fig7b") if r[1] == machine]
+        speedups = {r[2]: r[5] for r in rows}
+        assert speedups["+uniform_grid"] > 1.2
+        assert speedups["+static_detection"] >= speedups["standard"]
+
+    # Fig. 7a: the model sorts (homotypic fraction rises).
+    fig7a = report.rows_where("panel", "fig7a")[0]
+    assert fig7a[4] > fig7a[3]

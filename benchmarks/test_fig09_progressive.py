@@ -1,0 +1,28 @@
+"""Figure 9: progressive optimization speedups vs the standard engine."""
+
+from benchmarks.conftest import run_and_record
+from repro.bench.experiments import fig09_progressive
+from repro.simulations import TABLE1_ORDER
+
+
+def test_fig09(benchmark, results_dir):
+    report = run_and_record(benchmark, fig09_progressive, results_dir)
+
+    def speedup(sim, config):
+        return report.cell({"simulation": sim, "config": config},
+                           "speedup_vs_standard")
+
+    for sim in TABLE1_ORDER:
+        # Full optimization stack beats the standard implementation...
+        assert speedup(sim, "+static_detection") > 1.2, sim
+        # ...and the uniform grid alone already helps (paper: all benches).
+        assert speedup(sim, "+uniform_grid") > 1.0, sim
+        # Memory-layout optimizations add on top of the grid (within noise).
+        assert speedup(sim, "+memory_layout") > speedup(sim, "+uniform_grid") * 0.9, sim
+
+    # Memory overhead of the optimizations stays moderate (paper: +1.77%
+    # median, +55.6% with extra sort memory).
+    for sim in TABLE1_ORDER:
+        mem = report.cell({"simulation": sim, "config": "+static_detection"},
+                          "memory_vs_standard")
+        assert mem < 2.0, sim

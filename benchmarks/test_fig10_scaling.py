@@ -1,0 +1,31 @@
+"""Figure 10: scalability and strong scaling."""
+
+from benchmarks.conftest import run_and_record
+from repro.bench.experiments import fig10_scaling
+
+
+def test_fig10(benchmark, results_dir):
+    report = run_and_record(benchmark, fig10_scaling, results_dir)
+
+    def speedup(sim, config, threads):
+        return report.cell(
+            {"simulation": sim, "config": config, "threads": threads},
+            "speedup_vs_1thread",
+        )
+
+    # Strong scaling: the serial kd-tree build caps the standard
+    # implementation; the optimized grid unlocks high thread counts.
+    for sim in ("cell_proliferation", "cell_clustering", "oncology"):
+        std = speedup(sim, "standard", 144)
+        grid = speedup(sim, "+uniform_grid", 144)
+        assert grid > std, sim
+    # The grid-based engine reaches good parallel efficiency at 72 threads
+    # for the dense cell workloads (paper: 60.7-74x at 72 cores + SMT).
+    assert speedup("cell_proliferation", "+uniform_grid", 72) > 30
+    # Hyperthreading does not regress (paper: SMT adds a little).
+    assert speedup("cell_proliferation", "+uniform_grid", 144) >= speedup(
+        "cell_proliferation", "+uniform_grid", 72
+    ) * 0.9
+    # Panel (a): every full simulation speeds up substantially at 144.
+    panel_a = report.rows_where("config", "panel_a")
+    assert all(r[3] > 3 for r in panel_a)

@@ -1,0 +1,33 @@
+"""Figure 11: neighbor-search algorithm comparison."""
+
+from benchmarks.conftest import run_and_record
+from repro.bench.experiments import fig11_neighbor
+from repro.simulations import TABLE1_ORDER
+
+
+def test_fig11(benchmark, results_dir):
+    report = run_and_record(benchmark, fig11_neighbor, results_dir)
+
+    def cell(sim, machine, env, col):
+        return report.cell(
+            {"simulation": sim, "machine": machine, "environment": env}, col
+        )
+
+    for sim in TABLE1_ORDER:
+        for machine in ("4dom/144thr", "1dom/18thr"):
+            grid_total = cell(sim, machine, "uniform_grid", "total_ms")
+            kd_total = cell(sim, machine, "kd_tree", "total_ms")
+            # Whole simulations are faster on the grid (paper: up to 191x).
+            assert grid_total < kd_total, (sim, machine)
+            # The build gap is the dominant reason (paper: 255-983x at four
+            # NUMA domains; serial tree builds vs parallel grid build).
+            assert (
+                cell(sim, machine, "uniform_grid", "build_ms")
+                < cell(sim, machine, "kd_tree", "build_ms")
+            ), (sim, machine)
+            # Grid memory stays comparable (paper: <= 11% more in the worst
+            # case at their scales; allow slack at ours).
+            assert (
+                cell(sim, machine, "uniform_grid", "memory_MB")
+                < cell(sim, machine, "kd_tree", "memory_MB") * 1.6
+            ), (sim, machine)

@@ -1,0 +1,27 @@
+"""Figure 12: agent sorting and balancing frequency study."""
+
+from benchmarks.conftest import run_and_record
+from repro.bench.experiments import fig12_sorting
+
+
+def test_fig12(benchmark, results_dir):
+    report = run_and_record(benchmark, fig12_sorting, results_dir)
+
+    def peak(sim, machine="4dom/144thr"):
+        rows = [
+            r
+            for r in report.rows_where("simulation", sim)
+            if r[1] == machine
+        ]
+        return max(r[3] for r in rows)
+
+    # Randomly initialized, dense models benefit most (paper: oncology
+    # 5.77x, clustering 4.56x at their scales).
+    assert peak("oncology") > 1.25
+    assert peak("cell_clustering") > 1.1
+    # The lattice-initialized proliferation model benefits less than the
+    # randomly initialized oncology model (paper: 1.82x vs 5.77x).
+    assert peak("cell_proliferation") <= peak("oncology") + 0.15
+    # Epidemiology benefits least: its agents shuffle long distances every
+    # iteration (paper: 1.14x peak).
+    assert peak("epidemiology") < peak("oncology")

@@ -1,0 +1,31 @@
+"""Figure 13: memory allocator comparison."""
+
+from statistics import median
+
+from benchmarks.conftest import run_and_record
+from repro.bench.experiments import fig13_allocator
+from repro.simulations import TABLE1_ORDER
+
+
+def test_fig13(benchmark, results_dir):
+    report = run_and_record(benchmark, fig13_allocator, results_dir)
+
+    def cell(sim, config, col):
+        return report.cell({"simulation": sim, "config": config}, col)
+
+    bdm_speedups = [
+        cell(sim, "bdm+ptmalloc2", "speedup_vs_ptmalloc2") for sim in TABLE1_ORDER
+    ]
+    # The pool allocator helps overall (paper: median 1.19x over ptmalloc2).
+    assert median(bdm_speedups) > 1.0
+    # ...without a memory penalty (paper: slightly LESS memory on average).
+    bdm_memory = [
+        cell(sim, "bdm+ptmalloc2", "memory_vs_ptmalloc2") for sim in TABLE1_ORDER
+    ]
+    assert median(bdm_memory) < 1.15
+    # jemalloc sits between ptmalloc2 and the pool allocator (paper:
+    # bdm gains 1.15x over jemalloc vs 1.19x over ptmalloc2).
+    je_speedups = [
+        cell(sim, "jemalloc", "speedup_vs_ptmalloc2") for sim in TABLE1_ORDER
+    ]
+    assert median(je_speedups) >= 0.95

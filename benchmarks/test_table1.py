@@ -1,0 +1,15 @@
+"""Table 1: simulation characteristics (regenerated from the registry)."""
+
+from benchmarks.conftest import run_and_record
+from repro.bench.experiments import table1_characteristics
+
+
+def test_table1(benchmark, results_dir):
+    report = run_and_record(benchmark, table1_characteristics, results_dir)
+    assert len(report.rows) == 5
+    by_sim = {r[0]: r for r in report.rows}
+    # The flags the paper's Table 1 sets.
+    assert by_sim["oncology"][2] == "X"          # deletes agents
+    assert by_sim["neuroscience"][7] == "X"      # static regions
+    assert by_sim["cell_clustering"][6] == "X"   # diffusion
+    assert by_sim["oncology"][8] == 288          # iterations

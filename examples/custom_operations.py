@@ -1,0 +1,92 @@
+"""Extending the engine: custom operations and intracellular dynamics.
+
+Shows the three extension points a model author uses beyond behaviors:
+
+- an ``AgentOperation`` (runs for every agent inside the parallel loop),
+- a ``StandaloneOperation`` (runs once per iteration, here as a live
+  convergence monitor),
+- ``GeneRegulation`` (per-agent ODEs: a toy p53-Mdm2 negative feedback
+  loop coupled to the local oxygen level).
+
+Run:  python examples/custom_operations.py
+"""
+
+import numpy as np
+
+from repro import (
+    AgentOperation,
+    DiffusionGrid,
+    GeneRegulation,
+    OpKind,
+    Param,
+    Simulation,
+    StandaloneOperation,
+)
+
+
+class Aging(AgentOperation):
+    """Counts each agent's age in iterations (a custom per-agent column)."""
+
+    name = "aging"
+    compute_ops_per_agent = 2.0
+
+    def run_on(self, sim, idx):
+        """Increment every agent's age."""
+        sim.rm.data["age"][idx] += 1
+
+
+def main():
+    sim = Simulation("custom-ops", Param.optimized(agent_sort_frequency=0),
+                     seed=3)
+    sim.mechanics_enabled = False
+    rng = np.random.default_rng(3)
+
+    oxygen = sim.add_diffusion_grid(
+        DiffusionGrid("oxygen", 12, 0.0, 60.0, diffusion_coefficient=0.0)
+    )
+    # Oxygen gradient along x: hypoxic on the left, normoxic on the right.
+    oxygen.concentration[:] = np.linspace(0.2, 2.0, 12)[:, None, None]
+
+    idx = sim.add_cells(rng.uniform(0, 60, (300, 3)), diameters=9.0)
+    sim.rm.register_column("age", np.int64, (), 0)
+    sim.add_operation(Aging())
+
+    # p53 rises where Mdm2 is low; Mdm2 is induced by p53 but degraded
+    # under hypoxia -> hypoxic cells accumulate p53.
+    genes = GeneRegulation(method="rk4")
+    genes.add_species("p53", initial=0.5,
+                      dfdt=lambda s, i, y: 1.0 - 0.8 * y["mdm2"] * y["p53"])
+
+    def mdm2_rhs(s, i, y):
+        o2 = s.diffusion_grids["oxygen"].concentration_at(s.rm.positions[i])
+        return 0.9 * y["p53"] - (0.4 + 0.6 / np.maximum(o2, 0.1)) * y["mdm2"]
+
+    genes.add_species("mdm2", initial=0.5, dfdt=mdm2_rhs)
+    sim.attach_behavior(idx, genes)
+
+    # A standalone monitor printing convergence every 25 iterations.
+    def monitor(s):
+        p53 = s.rm.data["gene_p53"]
+        x = s.rm.positions[:, 0]
+        left = p53[x < 20].mean()
+        right = p53[x > 40].mean()
+        print(f"  iter {s.scheduler.iteration:4d}: mean p53 "
+              f"hypoxic-side={left:.3f}  normoxic-side={right:.3f}")
+
+    sim.add_operation(StandaloneOperation(monitor, name="monitor",
+                                          kind=OpKind.POST, frequency=25))
+
+    print("p53 dynamics under an oxygen gradient (hypoxia stabilizes p53):")
+    sim.simulate(150)
+
+    p53 = sim.rm.data["gene_p53"]
+    x = sim.rm.positions[:, 0]
+    assert p53[x < 20].mean() > p53[x > 40].mean()
+    print(f"\nfinal: hypoxic cells hold {p53[x < 20].mean() / p53[x > 40].mean():.2f}x "
+          f"more p53 than normoxic cells")
+    print(f"all agents aged to {sim.rm.data['age'].min()} iterations "
+          f"(custom AgentOperation ran every step)")
+
+
+if __name__ == "__main__":
+    main()

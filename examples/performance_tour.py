@@ -1,0 +1,40 @@
+"""Performance tour: the paper's optimizations on the virtual machine.
+
+Runs the same oncology-style workload on the simulated 144-thread,
+4-NUMA-domain System A under three engine configurations — the standard
+implementation, + optimized uniform grid, and the fully optimized engine —
+and prints the virtual runtime, per-operation breakdown, and
+memory-boundedness of each.  This is the API the benchmark harness in
+``repro.bench`` is built on.
+
+Run:  python examples/performance_tour.py
+"""
+
+from repro.bench import run_benchmark, stack_params
+
+
+def main():
+    configs = dict(stack_params())
+    chosen = ["standard", "+uniform_grid", "+static_detection"]
+    print("workload: oncology, 3000 agents, 10 iterations (after warmup),")
+    print("machine:  virtual System A (4 NUMA domains, 144 threads)\n")
+
+    base = None
+    for label in chosen:
+        res = run_benchmark(
+            "oncology", 3000, 10,
+            param=configs[label], config=label, warmup_iterations=10,
+        )
+        if base is None:
+            base = res.virtual_seconds
+        print(f"{label:20s} {res.virtual_s_per_iteration * 1e3:8.3f} ms/iter "
+              f"(speedup {base / res.virtual_seconds:5.2f}x, "
+              f"memory-bound {res.memory_bound_fraction:.0%})")
+        for op, pct in sorted(res.breakdown_percent().items(), key=lambda kv: -kv[1]):
+            if pct > 0.5:
+                print(f"    {op:20s} {pct:5.1f}%")
+    print("\n(see `python -m repro.bench all` for the full figure suite)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — Python reproduction of *High-Performance and Scalable Agent-Based
+Simulation with BioDynaMo* (PPoPP 2023).
+
+Public API re-exports the pieces a model author needs::
+
+    from repro import Simulation, Param, Behavior
+    from repro.core.behaviors_lib import GrowDivide
+    from repro.parallel import Machine, SYSTEM_A
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproduction index.
+"""
+
+from repro.core import (
+    Agent,
+    AgentOperation,
+    Behavior,
+    ExportOperation,
+    GeneRegulation,
+    Operation,
+    OpKind,
+    Param,
+    ResourceManager,
+    Simulation,
+    StandaloneOperation,
+    TimeSeriesOperation,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.core.diffusion import DiffusionGrid
+from repro.parallel import Machine, SYSTEM_A, SYSTEM_B, SYSTEM_C
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulation",
+    "Param",
+    "Behavior",
+    "Agent",
+    "ResourceManager",
+    "DiffusionGrid",
+    "Operation",
+    "AgentOperation",
+    "StandaloneOperation",
+    "OpKind",
+    "TimeSeriesOperation",
+    "ExportOperation",
+    "GeneRegulation",
+    "save_checkpoint",
+    "restore_checkpoint",
+    "Machine",
+    "SYSTEM_A",
+    "SYSTEM_B",
+    "SYSTEM_C",
+    "__version__",
+]

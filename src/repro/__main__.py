@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list
+    python -m repro run oncology --agents 2000 --iterations 100
+    python -m repro run epidemiology --agents 5000 --iterations 200 \\
+        --series sir.csv --export out --export-every 20
+    python -m repro run cell_sorting --machine A --threads 72 --agents 3000
+    python -m repro bench fig09 --scale small
+
+``run`` executes a registry model, optionally on a virtual machine (for
+the per-operation breakdown), with time-series and VTK/CSV export.
+``bench`` forwards to :mod:`repro.bench.__main__`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _add_run_parser(sub):
+    p = sub.add_parser("run", help="run a benchmark model")
+    p.add_argument("model", help="registry model name (see `list`)")
+    p.add_argument("--agents", type=int, default=1000)
+    p.add_argument("--iterations", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--param", help="TOML/JSON parameter file (bdm.toml)")
+    p.add_argument("--machine", choices=["A", "B", "C"],
+                   help="attach a virtual machine (Table 2 system)")
+    p.add_argument("--threads", type=int, help="virtual thread count")
+    p.add_argument("--series", help="write a time-series CSV to this path")
+    p.add_argument("--series-every", type=int, default=1)
+    p.add_argument("--export", help="write simulation snapshots to this dir")
+    p.add_argument("--export-format", choices=["vtk", "csv"], default="vtk")
+    p.add_argument("--export-every", type=int, default=10)
+    return p
+
+
+def _cmd_list() -> int:
+    from repro.simulations import all_simulations
+
+    print("available models:")
+    for bench in all_simulations(include_cell_sorting=True):
+        c = bench.characteristics
+        flags = []
+        if c.creates_agents:
+            flags.append("creates")
+        if c.deletes_agents:
+            flags.append("deletes")
+        if c.uses_diffusion:
+            flags.append("diffusion")
+        if c.has_static_regions:
+            flags.append("static-regions")
+        print(f"  {bench.name:20s} paper: {c.paper_agents_millions}M agents, "
+              f"{c.paper_iterations} iterations"
+              + (f"  [{', '.join(flags)}]" if flags else ""))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro import (
+        ExportOperation,
+        Machine,
+        Param,
+        SYSTEM_A,
+        SYSTEM_B,
+        SYSTEM_C,
+        TimeSeriesOperation,
+    )
+    from repro.core.timeseries import common_collectors
+    from repro.simulations import get_simulation
+
+    bench = get_simulation(args.model)
+    param = Param.from_file(args.param) if args.param else None
+    machine = None
+    if args.machine:
+        spec = {"A": SYSTEM_A, "B": SYSTEM_B, "C": SYSTEM_C}[args.machine]
+        machine = Machine(spec, num_threads=args.threads)
+    sim = bench.build(args.agents, param=param, machine=machine, seed=args.seed)
+
+    ts = None
+    if args.series:
+        ts = common_collectors(TimeSeriesOperation(frequency=args.series_every))
+        sim.add_operation(ts)
+    if args.export:
+        sim.add_operation(
+            ExportOperation(args.export, fmt=args.export_format,
+                            frequency=args.export_every)
+        )
+
+    print(f"running {args.model}: {sim.num_agents} initial agents, "
+          f"{args.iterations} iterations"
+          + (f", virtual {machine.spec.name} x{machine.num_threads} threads"
+             if machine else ""))
+    t0 = time.perf_counter()
+    sim.simulate(args.iterations)
+    wall = time.perf_counter() - t0
+
+    print(f"finished: {sim.num_agents} agents, wall {wall:.2f}s "
+          f"({wall / args.iterations * 1e3:.2f} ms/iteration), "
+          f"simulated memory {sim.memory_bytes() / 1e6:.1f} MB")
+    if machine is not None:
+        print(f"virtual time {sim.virtual_seconds() * 1e3:.3f} ms "
+              f"({machine.memory_bound_fraction:.0%} memory-bound)")
+        for op, sec in sorted(sim.runtime_breakdown().items(),
+                              key=lambda kv: -kv[1]):
+            print(f"  {op:20s} {sec * 1e3:10.3f} ms")
+    if ts is not None:
+        out = ts.to_csv(args.series)
+        print(f"time series ({len(ts)} samples) -> {out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="BioDynaMo PPoPP'23 reproduction: run models, "
+                    "regenerate paper figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available models")
+    sub.add_parser("validate",
+                   help="check the fast memory cost model against the "
+                        "exact LRU cache simulator")
+    _add_run_parser(sub)
+    bench = sub.add_parser("bench", help="regenerate a paper figure "
+                                         "(see `python -m repro.bench -h`)")
+    bench.add_argument("experiment")
+    bench.add_argument("--scale", default="small", choices=["small", "medium"])
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "validate":
+        from repro.parallel.validation import validate_model
+
+        report = validate_model()
+        print(report.render())
+        return 0 if report.kendall_tau >= 0.8 else 1
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main([args.experiment, "--scale", args.scale])
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Analysis tools for simulation output.
+
+What a downstream modeler reaches for after a run: spatial statistics
+(radial distribution function, density profiles, type mixing), dynamics
+(mean-squared displacement via the trajectory recorder), and population
+structure.  All functions operate on plain arrays or a
+:class:`~repro.core.simulation.Simulation`.
+"""
+
+from repro.analysis.spatial import (
+    density_profile,
+    mixing_index,
+    nearest_neighbor_distances,
+    radial_distribution_function,
+)
+from repro.analysis.dynamics import TrajectoryRecorder, mean_squared_displacement
+
+__all__ = [
+    "radial_distribution_function",
+    "density_profile",
+    "nearest_neighbor_distances",
+    "mixing_index",
+    "TrajectoryRecorder",
+    "mean_squared_displacement",
+]

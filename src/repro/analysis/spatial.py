@@ -1,0 +1,105 @@
+"""Spatial statistics over agent positions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.uniform_grid import UniformGridEnvironment
+
+__all__ = [
+    "radial_distribution_function",
+    "density_profile",
+    "nearest_neighbor_distances",
+    "mixing_index",
+]
+
+
+def _pair_distances(positions: np.ndarray, r_max: float) -> np.ndarray:
+    """All pair distances <= r_max, each unordered pair once (grid-based)."""
+    env = UniformGridEnvironment()
+    env.update(positions, r_max)
+    indptr, indices = env.neighbor_csr()
+    counts = np.diff(indptr)
+    qi = np.repeat(np.arange(len(positions)), counts)
+    mask = qi < indices  # each pair once
+    qi, qj = qi[mask], indices[mask]
+    return np.linalg.norm(positions[qi] - positions[qj], axis=1)
+
+
+def radial_distribution_function(
+    positions: np.ndarray, r_max: float, bins: int = 40
+) -> tuple[np.ndarray, np.ndarray]:
+    """g(r): pair density relative to an ideal gas of the same density.
+
+    Returns ``(bin_centers, g)``.  For liquids/packed tissues g(r) peaks
+    near the contact distance; for an ideal gas g ~= 1.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = len(positions)
+    if n < 2:
+        raise ValueError("need at least two agents")
+    d = _pair_distances(positions, r_max)
+    edges = np.linspace(0.0, r_max, bins + 1)
+    hist, _ = np.histogram(d, bins=edges)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    # Ideal-gas normalization over the bounding-box volume.
+    span = positions.max(axis=0) - positions.min(axis=0)
+    volume = float(np.prod(np.maximum(span, 1e-9)))
+    density = n / volume
+    shell = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    expected = density * shell * n / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = np.where(expected > 0, hist / expected, 0.0)
+    return centers, g
+
+
+def density_profile(
+    positions: np.ndarray, center=None, bins: int = 20, r_max: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Radial number density around ``center`` (default: centroid).
+
+    Returns ``(bin_centers, density)`` in agents per unit volume — the
+    classic tumor-spheroid readout.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    center = positions.mean(axis=0) if center is None else np.asarray(center)
+    r = np.linalg.norm(positions - center, axis=1)
+    r_max = float(r.max()) + 1e-9 if r_max is None else r_max
+    edges = np.linspace(0.0, r_max, bins + 1)
+    hist, _ = np.histogram(r, bins=edges)
+    shell = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    return (edges[:-1] + edges[1:]) / 2.0, hist / shell
+
+
+def nearest_neighbor_distances(positions: np.ndarray, r_max: float) -> np.ndarray:
+    """Distance to the nearest neighbor per agent (inf if none within
+    ``r_max``)."""
+    positions = np.asarray(positions, dtype=np.float64)
+    env = UniformGridEnvironment()
+    env.update(positions, r_max)
+    indptr, indices = env.neighbor_csr()
+    out = np.full(len(positions), np.inf)
+    counts = np.diff(indptr)
+    qi = np.repeat(np.arange(len(positions)), counts)
+    if len(qi):
+        d = np.linalg.norm(positions[qi] - positions[indices], axis=1)
+        np.minimum.at(out, qi, d)
+    return out
+
+
+def mixing_index(positions: np.ndarray, types: np.ndarray, radius: float) -> float:
+    """Fraction of neighbor pairs with *different* types.
+
+    0.5 for a random 50/50 mixture; drops toward 0 as the types segregate
+    (the inverse of the cell-sorting homotypic fraction).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    types = np.asarray(types)
+    env = UniformGridEnvironment()
+    env.update(positions, radius)
+    indptr, indices = env.neighbor_csr()
+    if len(indices) == 0:
+        return 0.0
+    counts = np.diff(indptr)
+    qi = np.repeat(np.arange(len(positions)), counts)
+    return float(np.mean(types[qi] != types[indices]))

@@ -1,0 +1,29 @@
+"""Comparison baselines (paper §6.5, §6.6).
+
+- :mod:`repro.baselines.cortex3d` — a Cortex3D-like engine: one Python
+  object per agent, Delaunay-triangulation neighborhoods, per-agent
+  interpreted loops, single-threaded.  Cortex3D is a Java framework with
+  exactly this architecture (object-per-agent, Delaunay neighbors, no
+  parallelism); the Python analogue reproduces its *architectural*
+  overheads relative to our engine's packed, vectorized hot loops.
+- :mod:`repro.baselines.netlogo` — a NetLogo-like engine: dictionary-based
+  agents, string-keyed attribute access, per-agent command dispatch, patch
+  grid — the interpreted general-purpose-tool overhead profile.
+- :mod:`repro.baselines.biocellion` — Biocellion is proprietary; like the
+  paper, we compare against the performance numbers published by
+  Kang et al. 2014, recorded here as constants.
+"""
+
+from repro.baselines.base import BaselineEngine, BaselineResult
+from repro.baselines.cortex3d import Cortex3DLike
+from repro.baselines.netlogo import NetLogoLike
+from repro.baselines.biocellion import BIOCELLION_PUBLISHED, BioDynaMoPaperReference
+
+__all__ = [
+    "BaselineEngine",
+    "BaselineResult",
+    "Cortex3DLike",
+    "NetLogoLike",
+    "BIOCELLION_PUBLISHED",
+    "BioDynaMoPaperReference",
+]

@@ -1,0 +1,65 @@
+"""Shared interface for the single-thread baseline engines."""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BaselineResult", "BaselineEngine"]
+
+
+@dataclass
+class BaselineResult:
+    """Measured outcome of a baseline engine run."""
+
+    engine: str
+    model: str
+    num_agents: int
+    iterations: int
+    wall_seconds: float
+    memory_bytes: int
+    final_positions: np.ndarray
+
+
+class BaselineEngine(ABC):
+    """A deliberately naive single-threaded ABM engine.
+
+    Subclasses implement the three models used in the paper's §6.6
+    comparison.  ``measure`` wraps a run with wall-clock timing and
+    tracemalloc-based peak memory measurement.
+    """
+
+    name: str = "baseline"
+
+    @abstractmethod
+    def run_proliferation(self, num_agents: int, iterations: int, seed: int = 0) -> BaselineResult:
+        """Grow-and-divide tissue model."""
+
+    @abstractmethod
+    def run_epidemiology(self, num_agents: int, iterations: int, seed: int = 0) -> BaselineResult:
+        """SIR model with random movement."""
+
+    def _measure(self, model: str, num_agents: int, iterations: int, fn) -> BaselineResult:
+        # Timing and memory are measured in separate runs: tracemalloc
+        # inflates runtimes (especially allocation-heavy code) by an
+        # engine-dependent factor, which would corrupt the comparison.
+        t0 = time.perf_counter()
+        positions = fn()
+        wall = time.perf_counter() - t0
+        tracemalloc.start()
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return BaselineResult(
+            engine=self.name,
+            model=model,
+            num_agents=num_agents,
+            iterations=iterations,
+            wall_seconds=wall,
+            memory_bytes=peak,
+            final_positions=np.asarray(positions),
+        )

@@ -1,0 +1,71 @@
+"""Biocellion published reference numbers (paper §6.5).
+
+Biocellion is proprietary; neither the paper's authors nor we have its
+code.  The paper therefore compares BioDynaMo against the performance
+results *published* in Kang et al., Bioinformatics 30(21), 2014 — we record
+those numbers (and the BioDynaMo-side numbers the paper reports, for
+shape validation) as constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BiocellionDatum", "BIOCELLION_PUBLISHED", "BioDynaMoPaperReference"]
+
+
+@dataclass(frozen=True)
+class BiocellionDatum:
+    """One published Biocellion cell-sorting measurement."""
+
+    label: str
+    num_agents: float
+    cpu_cores: int
+    seconds_per_iteration: float
+    hardware: str
+
+    @property
+    def agent_iterations_per_core_second(self) -> float:
+        """Throughput normalized by core count (the paper's efficiency
+        metric behind the 4.14x / 9.64x claims)."""
+        return self.num_agents / (self.seconds_per_iteration * self.cpu_cores)
+
+
+#: Kang et al. 2014, cell sorting benchmark results used in §6.5.
+BIOCELLION_PUBLISHED = {
+    "small": BiocellionDatum(
+        label="26.8M cells, 16 cores",
+        num_agents=26.8e6,
+        cpu_cores=16,
+        seconds_per_iteration=7.48,
+        hardware="2x Intel Xeon E5-2670 @ 2.6 GHz",
+    ),
+    "medium": BiocellionDatum(
+        label="281.4M cells, 672 cores",
+        num_agents=281.4e6,
+        cpu_cores=672,
+        seconds_per_iteration=4.37,
+        hardware="21 nodes, extracted from Fig. 3b of Kang et al.",
+    ),
+    "large": BiocellionDatum(
+        label="1.72B cells, 4096 cores",
+        num_agents=1.72e9,
+        cpu_cores=4096,
+        seconds_per_iteration=26.3 / 5.90,  # paper: BioDynaMo is 5.90x slower
+        hardware="128 nodes, 2x AMD Opteron 6271 @ 2.1 GHz each",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class BioDynaMoPaperReference:
+    """BioDynaMo-side §6.5 results, for validating our reproduction's shape."""
+
+    #: 26.8M cells on System C limited to 16 cores.
+    small_seconds_per_iteration: float = 1.80
+    small_speedup_vs_biocellion: float = 4.14
+    #: 1.72B cells on System B (72 cores).
+    large_seconds_per_iteration: float = 26.3
+    large_core_efficiency_vs_biocellion: float = 9.64
+    #: 281.4M cells on System B.
+    medium_seconds_per_iteration: float = 4.24

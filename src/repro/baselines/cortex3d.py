@@ -1,0 +1,190 @@
+"""Cortex3D-like baseline engine.
+
+Cortex3D (Zubler & Douglas 2009) keeps one Java object per physical sphere,
+computes neighborhoods from a Delaunay triangulation that is maintained
+every step, and iterates agents in a single thread.  This module mirrors
+that architecture in Python: ``PhysicalSphere`` objects with attribute
+dictionaries, a scipy Delaunay triangulation rebuilt every iteration, and
+per-agent/per-neighbor interpreted loops.  No vectorization, no spatial
+grid, no parallelism — the overheads the paper's §6.6 comparison measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from repro.baselines.base import BaselineEngine, BaselineResult
+
+__all__ = ["Cortex3DLike", "PhysicalSphere"]
+
+
+class PhysicalSphere:
+    """One agent: a heap-allocated object, as in Cortex3D."""
+
+    def __init__(self, position, diameter):
+        self.position = [float(position[0]), float(position[1]), float(position[2])]
+        self.diameter = float(diameter)
+        self.force = [0.0, 0.0, 0.0]
+        self.state = 0
+
+    def distance_to(self, other: "PhysicalSphere") -> float:
+        """Euclidean distance between the two sphere centers."""
+        dx = self.position[0] - other.position[0]
+        dy = self.position[1] - other.position[1]
+        dz = self.position[2] - other.position[2]
+        return (dx * dx + dy * dy + dz * dz) ** 0.5
+
+
+class Cortex3DLike(BaselineEngine):
+    name = "cortex3d_like"
+
+    def __init__(self, repulsion: float = 2.0, dt: float = 0.01):
+        self.repulsion = repulsion
+        self.dt = dt
+
+    # ------------------------------------------------------------------ #
+
+    def _delaunay_neighbors(self, spheres) -> list[set]:
+        pts = np.array([s.position for s in spheres])
+        neighbors = [set() for _ in spheres]
+        if len(spheres) < 5:
+            for i in range(len(spheres)):
+                neighbors[i] = set(range(len(spheres))) - {i}
+            return neighbors
+        tri = Delaunay(pts)
+        for simplex in tri.simplices:
+            for a in simplex:
+                for b in simplex:
+                    if a != b:
+                        neighbors[a].add(int(b))
+        return neighbors
+
+    def _mechanics_step(self, spheres, neighbors) -> None:
+        for i, s in enumerate(spheres):
+            fx = fy = fz = 0.0
+            for j in neighbors[i]:
+                o = spheres[j]
+                dist = s.distance_to(o)
+                overlap = (s.diameter + o.diameter) / 2.0 - dist
+                if overlap > 0.0 and dist > 1e-12:
+                    mag = self.repulsion * overlap / dist
+                    fx += (s.position[0] - o.position[0]) * mag
+                    fy += (s.position[1] - o.position[1]) * mag
+                    fz += (s.position[2] - o.position[2]) * mag
+            s.force = [fx, fy, fz]
+        for s in spheres:
+            s.position[0] += s.force[0] * self.dt
+            s.position[1] += s.force[1] * self.dt
+            s.position[2] += s.force[2] * self.dt
+
+    # ------------------------------------------------------------------ #
+
+    def run_proliferation(self, num_agents, iterations, seed=0) -> BaselineResult:
+        def body():
+            rng = np.random.default_rng(seed)
+            initial = max(4, num_agents // 2)
+            side = int(np.ceil(initial ** (1 / 3)))
+            spheres = []
+            for k in range(initial):
+                x, r = divmod(k, side * side)
+                y, z = divmod(r, side)
+                spheres.append(PhysicalSphere((x * 12.0, y * 12.0, z * 12.0), 10.0))
+            for _ in range(iterations):
+                neighbors = self._delaunay_neighbors(spheres)
+                self._mechanics_step(spheres, neighbors)
+                # Growth and division, one agent at a time.
+                for s in list(spheres):
+                    s.diameter += 120.0 * self.dt
+                    if s.diameter >= 14.0 and len(spheres) < num_agents:
+                        s.diameter /= 2 ** (1 / 3)
+                        direction = rng.normal(size=3)
+                        direction /= np.linalg.norm(direction)
+                        child_pos = [
+                            s.position[d] + direction[d] * s.diameter / 2
+                            for d in range(3)
+                        ]
+                        spheres.append(PhysicalSphere(child_pos, s.diameter))
+            return [s.position for s in spheres]
+
+        return self._measure("proliferation", num_agents, iterations, body)
+
+    def run_epidemiology(self, num_agents, iterations, seed=0) -> BaselineResult:
+        def body():
+            rng = np.random.default_rng(seed)
+            span = 6.0 * max(4.0, (num_agents ** (1 / 3)) * 3.0)
+            spheres = [
+                PhysicalSphere(rng.uniform(0, span, 3), 2.0)
+                for _ in range(num_agents)
+            ]
+            for s in spheres[: max(1, num_agents // 500)]:
+                s.state = 1
+            radius = 6.0
+            for _ in range(iterations):
+                neighbors = self._delaunay_neighbors(spheres)
+                for s in spheres:  # random walk, one agent at a time
+                    step = rng.normal(scale=radius * 0.4, size=3)
+                    s.position[0] += step[0]
+                    s.position[1] += step[1]
+                    s.position[2] += step[2]
+                for i, s in enumerate(spheres):  # infection
+                    if s.state == 1:
+                        for j in neighbors[i]:
+                            o = spheres[j]
+                            if o.state == 0 and s.distance_to(o) <= radius:
+                                if rng.random() < 0.25:
+                                    o.state = 1
+                        if rng.random() < 0.03:
+                            s.state = 2
+            return [s.position for s in spheres]
+
+        return self._measure("epidemiology", num_agents, iterations, body)
+
+    def run_neurite_growth(self, num_agents, iterations, seed=0) -> BaselineResult:
+        """Single neuron arbor growth — the Cortex3D specialty."""
+
+        def body():
+            rng = np.random.default_rng(seed)
+            spheres = [PhysicalSphere((50.0, 50.0, 50.0), 12.0)]
+            tips = []
+            for _ in range(3):
+                axis = rng.normal(size=3)
+                axis /= np.linalg.norm(axis)
+                tip = PhysicalSphere(50.0 + axis * 8.0, 2.0)
+                tip.axis = axis
+                tip.length = 2.0
+                spheres.append(tip)
+                tips.append(tip)
+            for _ in range(iterations):
+                neighbors = self._delaunay_neighbors(spheres)
+                self._mechanics_step(spheres, neighbors)
+                for tip in list(tips):
+                    axis = tip.axis + rng.normal(scale=0.15, size=3)
+                    axis /= np.linalg.norm(axis)
+                    tip.axis = axis
+                    step = 80.0 * self.dt
+                    for d in range(3):
+                        tip.position[d] += axis[d] * step
+                    tip.length += step
+                    if tip.length > 6.0 and len(spheres) < num_agents:
+                        tip.length = 0.0
+                        new = PhysicalSphere(list(tip.position), tip.diameter)
+                        new.axis = axis
+                        new.length = 0.5
+                        spheres.append(new)
+                        tips.append(new)
+                        tips.remove(tip)
+                    if rng.random() < 0.03 and len(spheres) + 2 <= num_agents:
+                        for _ in range(2):
+                            branch_axis = tip.axis + rng.normal(scale=0.6, size=3)
+                            branch_axis /= np.linalg.norm(branch_axis)
+                            new = PhysicalSphere(list(tip.position), tip.diameter)
+                            new.axis = branch_axis
+                            new.length = 0.5
+                            spheres.append(new)
+                            tips.append(new)
+                        if tip in tips:
+                            tips.remove(tip)
+            return [s.position for s in spheres]
+
+        return self._measure("neurite_growth", num_agents, iterations, body)

@@ -1,0 +1,152 @@
+"""NetLogo-like baseline engine.
+
+NetLogo is an interpreted, easy-to-use general-purpose ABM tool: turtles
+are dynamic records, model code is dispatched per agent per command, and
+neighborhoods come from a patch grid scanned in interpreted code.  The
+Python analogue uses dictionary-based agents with string-keyed attributes,
+per-agent closure dispatch, and a dict-of-lists patch grid — reproducing
+the interpretation overhead the paper's §6.6 comparison measures (NetLogo
+only benefits from parallel garbage collection; the model loop is serial).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineEngine, BaselineResult
+
+__all__ = ["NetLogoLike"]
+
+
+class NetLogoLike(BaselineEngine):
+    name = "netlogo_like"
+
+    def __init__(self, dt: float = 0.01):
+        self.dt = dt
+
+    # ------------------------------------------------------------------ #
+    # Patch grid helpers (NetLogo's world is a grid of patches)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _patch_of(turtle, patch_size):
+        return (
+            int(turtle["xcor"] // patch_size),
+            int(turtle["ycor"] // patch_size),
+            int(turtle["zcor"] // patch_size),
+        )
+
+    def _rebuild_patches(self, turtles, patch_size):
+        patches: dict[tuple, list] = {}
+        for t in turtles:
+            patches.setdefault(self._patch_of(t, patch_size), []).append(t)
+        return patches
+
+    def _turtles_in_radius(self, turtle, patches, patch_size, radius):
+        px, py, pz = self._patch_of(turtle, patch_size)
+        out = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    for o in patches.get((px + dx, py + dy, pz + dz), ()):
+                        if o is turtle:
+                            continue
+                        d = (
+                            (turtle["xcor"] - o["xcor"]) ** 2
+                            + (turtle["ycor"] - o["ycor"]) ** 2
+                            + (turtle["zcor"] - o["zcor"]) ** 2
+                        ) ** 0.5
+                        if d <= radius:
+                            out.append(o)
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def run_proliferation(self, num_agents, iterations, seed=0) -> BaselineResult:
+        def body():
+            rng = np.random.default_rng(seed)
+            initial = max(4, num_agents // 2)
+            side = int(np.ceil(initial ** (1 / 3)))
+            turtles = []
+            for k in range(initial):
+                x, r = divmod(k, side * side)
+                y, z = divmod(r, side)
+                turtles.append(
+                    {"xcor": x * 12.0, "ycor": y * 12.0, "zcor": z * 12.0,
+                     "size": 10.0, "who": k}
+                )
+            # NetLogo "ask turtles [ ... ]": per-agent command dispatch.
+            def grow(t):
+                t["size"] += 120.0 * self.dt
+
+            def maybe_divide(t):
+                if t["size"] >= 14.0 and len(turtles) < num_agents:
+                    t["size"] /= 2 ** (1 / 3)
+                    heading = rng.normal(size=3)
+                    heading /= np.linalg.norm(heading)
+                    turtles.append(
+                        {"xcor": t["xcor"] + heading[0] * t["size"] / 2,
+                         "ycor": t["ycor"] + heading[1] * t["size"] / 2,
+                         "zcor": t["zcor"] + heading[2] * t["size"] / 2,
+                         "size": t["size"], "who": len(turtles)}
+                    )
+
+            def repel(t, patches):
+                for o in self._turtles_in_radius(t, patches, 14.0, 14.0):
+                    d = (
+                        (t["xcor"] - o["xcor"]) ** 2
+                        + (t["ycor"] - o["ycor"]) ** 2
+                        + (t["zcor"] - o["zcor"]) ** 2
+                    ) ** 0.5
+                    overlap = (t["size"] + o["size"]) / 2 - d
+                    if overlap > 0 and d > 1e-12:
+                        scale = 2.0 * overlap / d * self.dt
+                        t["xcor"] += (t["xcor"] - o["xcor"]) * scale
+                        t["ycor"] += (t["ycor"] - o["ycor"]) * scale
+                        t["zcor"] += (t["zcor"] - o["zcor"]) * scale
+
+            for _ in range(iterations):
+                patches = self._rebuild_patches(turtles, 14.0)
+                for command in (lambda t: repel(t, patches), grow, maybe_divide):
+                    for t in list(turtles):
+                        command(t)
+            return [[t["xcor"], t["ycor"], t["zcor"]] for t in turtles]
+
+        return self._measure("proliferation", num_agents, iterations, body)
+
+    def run_epidemiology(self, num_agents, iterations, seed=0) -> BaselineResult:
+        def body():
+            rng = np.random.default_rng(seed)
+            span = 6.0 * max(4.0, (num_agents ** (1 / 3)) * 3.0)
+            turtles = [
+                {"xcor": rng.uniform(0, span), "ycor": rng.uniform(0, span),
+                 "zcor": rng.uniform(0, span), "state": "susceptible", "who": k}
+                for k in range(num_agents)
+            ]
+            for t in turtles[: max(1, num_agents // 500)]:
+                t["state"] = "infected"
+            radius = 6.0
+
+            def wiggle(t):
+                t["xcor"] += rng.normal() * radius * 0.4
+                t["ycor"] += rng.normal() * radius * 0.4
+                t["zcor"] += rng.normal() * radius * 0.4
+
+            def transmit(t, patches):
+                if t["state"] != "infected":
+                    return
+                for o in self._turtles_in_radius(t, patches, radius, radius):
+                    if o["state"] == "susceptible" and rng.random() < 0.25:
+                        o["state"] = "infected"
+                if rng.random() < 0.03:
+                    t["state"] = "recovered"
+
+            for _ in range(iterations):
+                for t in turtles:
+                    wiggle(t)
+                patches = self._rebuild_patches(turtles, radius)
+                for t in turtles:
+                    transmit(t, patches)
+            return [[t["xcor"], t["ycor"], t["zcor"]] for t in turtles]
+
+        return self._measure("epidemiology", num_agents, iterations, body)

@@ -1,0 +1,30 @@
+"""Benchmark harness reproducing the paper's evaluation (§6).
+
+One module per table/figure lives in :mod:`repro.bench.experiments`; the
+shared pieces are:
+
+- :mod:`repro.bench.runner` — builds a benchmark simulation on a virtual
+  machine configuration, runs it, and collects virtual/wall time, memory,
+  and the per-operation breakdown.
+- :mod:`repro.bench.stack` — the progressive optimization configurations
+  used in Figs. 8–10 ("standard implementation" → "+ uniform grid" → ...).
+- :mod:`repro.bench.tables` — plain-text table/series rendering so every
+  experiment prints the same rows the paper plots.
+
+Run any experiment from the command line::
+
+    python -m repro.bench fig09 --scale small
+"""
+
+from repro.bench.runner import RunResult, run_benchmark
+from repro.bench.stack import OPTIMIZATION_STACK, stack_params
+from repro.bench.tables import ExperimentReport, format_table
+
+__all__ = [
+    "RunResult",
+    "run_benchmark",
+    "OPTIMIZATION_STACK",
+    "stack_params",
+    "ExperimentReport",
+    "format_table",
+]

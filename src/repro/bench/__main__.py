@@ -1,0 +1,40 @@
+"""Command-line entry point: ``python -m repro.bench <experiment> [--scale s]``.
+
+``python -m repro.bench all`` runs every experiment in paper order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the BioDynaMo paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--scale", default="small", choices=["small", "medium"])
+    args = parser.parse_args(argv)
+
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        mod = ALL_EXPERIMENTS[name]
+        t0 = time.perf_counter()
+        report = mod.run(scale=args.scale)
+        elapsed = time.perf_counter() - t0
+        print(report.render())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

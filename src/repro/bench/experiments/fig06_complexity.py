@@ -1,0 +1,86 @@
+"""Figure 6: runtime and memory vs number of agents (10^3 → 10^9).
+
+The paper's claim is *linearity*: per-iteration runtime is nearly flat up
+to ~10^5 agents (fixed costs dominate) and then grows linearly to 10^9;
+memory behaves the same.  We sweep the reachable decades directly on the
+virtual System B, fit the linear regime, and report the fit quality plus
+the linear extrapolation to the paper's 10^9 point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.runner import run_benchmark
+from repro.bench.tables import ExperimentReport
+from repro.parallel import SYSTEM_B
+from repro.simulations import TABLE1_ORDER, get_simulation
+
+__all__ = ["run", "main", "linearity_r2"]
+
+SCALES = {
+    "small": dict(agent_counts=(1_000, 3_000, 10_000, 30_000), iterations=3),
+    "medium": dict(agent_counts=(1_000, 3_000, 10_000, 30_000, 100_000), iterations=3),
+}
+
+
+def linearity_r2(x, y) -> float:
+    """R^2 of a least-squares line through (x, y)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    a, b = np.polyfit(x, y, 1)
+    pred = a * x + b
+    ss_res = np.sum((y - pred) ** 2)
+    ss_tot = np.sum((y - y.mean()) ** 2)
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+def run(scale: str = "small") -> ExperimentReport:
+    """Execute the experiment at the given scale; returns its report."""
+    cfg = SCALES[scale]
+    rows = []
+    notes = []
+    for name in TABLE1_ORDER:
+        param = get_simulation(name).default_param()
+        xs, times, mems = [], [], []
+        for n in cfg["agent_counts"]:
+            res = run_benchmark(
+                name, n, cfg["iterations"], param=param, spec=SYSTEM_B,
+                config=f"n={n}",
+            )
+            xs.append(res.num_agents_final)
+            times.append(res.virtual_s_per_iteration)
+            mems.append(res.peak_memory_bytes)
+            rows.append(
+                [name, n, res.num_agents_final,
+                 res.virtual_s_per_iteration * 1e3,
+                 res.peak_memory_bytes / 1e6]
+            )
+        # Linearity of the large-n regime (last three points).
+        r2_t = linearity_r2(xs[-3:], times[-3:])
+        r2_m = linearity_r2(xs[-3:], mems[-3:])
+        # Linear extrapolation to the paper's 10^9-agent point.
+        slope = (times[-1] - times[-2]) / (xs[-1] - xs[-2])
+        t_1e9 = times[-1] + slope * (1e9 - xs[-1])
+        notes.append(
+            f"{name}: runtime R^2={r2_t:.4f}, memory R^2={r2_m:.4f}, "
+            f"linear extrapolation to 1e9 agents: {t_1e9:.1f} s/iteration "
+            f"(paper measured 6.41-38.1 s)"
+        )
+    return ExperimentReport(
+        experiment="Figure 6",
+        title="Runtime per iteration and memory vs number of agents (System B)",
+        headers=["simulation", "agents_requested", "agents_final",
+                 "ms_per_iteration", "peak_memory_MB"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def main() -> None:
+    """Print the rendered report to stdout."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

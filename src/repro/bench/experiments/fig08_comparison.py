@@ -1,0 +1,147 @@
+"""Figure 8: comparison with Cortex3D and NetLogo.
+
+Real wall-clock measurements (not the virtual machine): the baselines are
+actual slow engines, run at the paper's *small* scales (scaled down
+further so the suite stays fast).  For each benchmark the optimizations
+are progressively switched on, as in the paper's stacked panels:
+
+- proliferation (small), epidemiology (small), neurite growth (small) —
+  single-threaded comparisons against both baselines;
+- epidemiology (medium-scale) — our engine may use all virtual threads,
+  NetLogo-like remains serial.
+
+Speedups are ours-vs-baseline wall-time ratios; memory ratios use
+tracemalloc peaks for the baselines and the simulated footprint for us.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from repro.baselines import Cortex3DLike, NetLogoLike
+from repro.bench.stack import stack_params
+from repro.bench.tables import ExperimentReport
+from repro.simulations import get_simulation
+
+__all__ = ["run", "main"]
+
+SCALES = {
+    # Agent counts must sit in the paper's small-scale band (2k-30k) or the
+    # vectorized engine's fixed per-iteration costs dominate; "small" uses
+    # the low end of that band.
+    "small": dict(
+        benches=[
+            ("proliferation", "cell_proliferation", "run_proliferation", 1200, 5),
+            ("epidemiology", "epidemiology", "run_epidemiology", 1500, 5),
+            ("neurite_growth", None, "run_neurite_growth", 800, 40),
+        ],
+        n_medium=6000,
+        iters_medium=5,
+    ),
+    "medium": dict(
+        benches=[
+            ("proliferation", "cell_proliferation", "run_proliferation", 4000, 8),
+            ("epidemiology", "epidemiology", "run_epidemiology", 5000, 8),
+            ("neurite_growth", None, "run_neurite_growth", 2000, 80),
+        ],
+        n_medium=20_000,
+        iters_medium=8,
+    ),
+}
+
+
+def _build_single_neuron(n, param):
+    """Single-neuron growth matching the Cortex3D baseline model exactly
+    (same stub count, speed, segment length, bifurcation rate, cap)."""
+    from repro import Param, Simulation
+    from repro.neuro import NeuriteExtension, add_neuron
+
+    sim = Simulation("neurite-fig8", param, seed=0)
+    sim.fixed_interaction_radius = 5.0
+    ext = NeuriteExtension(speed=80.0, max_segment_length=6.0,
+                           bifurcation_probability=0.03, max_agents=n)
+    _, tips = add_neuron(sim, [50.0, 50.0, 50.0], num_neurites=3)
+    sim.attach_behavior(tips, ext)
+    return sim
+
+
+def _run_ours(sim_name, n, iterations, param):
+    # Timing run (one warm iteration first to absorb lazy numpy imports),
+    # then a separate tracemalloc run for the memory peak — tracemalloc
+    # distorts runtimes.
+    def build():
+        if sim_name is None:  # the symmetric single-neuron model
+            return _build_single_neuron(n, param)
+        return get_simulation(sim_name).build(n, param=param, seed=0)
+
+    sim = build()
+    sim.simulate(1)
+    t0 = time.perf_counter()
+    sim.simulate(iterations)
+    wall = time.perf_counter() - t0
+    tracemalloc.start()
+    sim2 = build()
+    sim2.simulate(iterations)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return wall, peak
+
+
+def run(scale: str = "small") -> ExperimentReport:
+    """Execute the experiment at the given scale; returns its report."""
+    cfg = SCALES[scale]
+    rows = []
+    notes = []
+    stack = stack_params()
+
+    for label, sim_name, method, n, iters in cfg["benches"]:
+        c3d = getattr(Cortex3DLike(), method)(n, iters, seed=0)
+        nl = (
+            getattr(NetLogoLike(), method)(n, iters, seed=0)
+            if hasattr(NetLogoLike(), method)
+            else None
+        )
+        for cfg_label, param in stack:
+            wall, peak = _run_ours(sim_name, n, iters, param)
+            rows.append(
+                [label, cfg_label,
+                 round(c3d.wall_seconds / wall, 2),
+                 round(nl.wall_seconds / wall, 2) if nl else "",
+                 round(c3d.memory_bytes / max(peak, 1), 2),
+                 round(wall * 1e3, 1)]
+            )
+
+    # Medium-scale epidemiology: ours fully optimized vs NetLogo-like.
+    n, iters = cfg["n_medium"], cfg["iters_medium"]
+    nl = NetLogoLike().run_epidemiology(n, iters, seed=0)
+    full_label, full_param = stack[-1]
+    wall, peak = _run_ours("epidemiology", n, iters, full_param)
+    rows.append(
+        ["epidemiology_medium", full_label, "",
+         round(nl.wall_seconds / wall, 2),
+         round(nl.memory_bytes / max(peak, 1), 2),
+         round(wall * 1e3, 1)]
+    )
+    notes.append(
+        "paper: small-scale speedup up to 78.8x at 2.49x less memory; "
+        "medium-scale: three orders of magnitude faster, two orders less memory; "
+        "absolute ratios here shrink with the reduced agent counts"
+    )
+    return ExperimentReport(
+        experiment="Figure 8",
+        title="Wall-clock comparison with Cortex3D-like and NetLogo-like engines",
+        headers=["benchmark", "config", "speedup_vs_cortex3d",
+                 "speedup_vs_netlogo", "mem_ratio_vs_cortex3d", "ours_ms"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def main() -> None:
+    """Print the rendered report to stdout."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

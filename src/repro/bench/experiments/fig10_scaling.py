@@ -1,0 +1,87 @@
+"""Figure 10: scalability.
+
+(a) Whole-simulation speedup at 72 physical cores + hyperthreading vs
+serial execution, all optimizations on (paper: 60.7x-74.0x, median 64.7x,
+i.e. 91.7% parallel efficiency at 72 cores).
+
+(c-g) Strong scaling over thread counts for each benchmark with three
+optimization stacks (standard / +uniform grid / all optimizations), using
+ten time steps as in the paper.  The standard implementation's serial
+kd-tree build caps its scaling; the grid fixes the build; the memory
+optimizations let the engine scale across NUMA domains.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import run_benchmark
+from repro.bench.stack import stack_params
+from repro.bench.tables import ExperimentReport
+from repro.simulations import TABLE1_ORDER
+
+__all__ = ["run", "main"]
+
+SCALES = {
+    "small": dict(num_agents=5000, iterations=10, warmup=15,
+                  threads=(1, 4, 18, 72, 144)),
+    "medium": dict(num_agents=20_000, iterations=10, warmup=25,
+                   threads=(1, 2, 4, 9, 18, 36, 72, 144)),
+}
+
+#: The three stacks of the strong-scaling panels.
+PANEL_STACKS = ("standard", "+uniform_grid", "+static_detection")
+
+
+def run(scale: str = "small") -> ExperimentReport:
+    """Execute the experiment at the given scale; returns its report."""
+    cfg = SCALES[scale]
+    rows = []
+    notes = []
+    stacks = {label: p for label, p in stack_params()}
+
+    # --- Panel (a): whole-simulation speedup, all optimizations.
+    full = stacks["+static_detection"]
+    for name in TABLE1_ORDER:
+        serial = run_benchmark(name, cfg["num_agents"], cfg["iterations"],
+                               param=full, num_threads=1, config="serial",
+                               warmup_iterations=cfg["warmup"])
+        smt = run_benchmark(name, cfg["num_agents"], cfg["iterations"],
+                            param=full, num_threads=144, config="144threads",
+                            warmup_iterations=cfg["warmup"])
+        rows.append([name, "panel_a", 144,
+                     round(serial.virtual_seconds / smt.virtual_seconds, 2),
+                     smt.virtual_s_per_iteration * 1e3])
+    notes.append("panel a paper reference: speedup 60.7-74.0x (median 64.7x) "
+                 "with 72 cores + SMT")
+
+    # --- Panels (c-g): strong scaling per stack.
+    for name in TABLE1_ORDER:
+        for stack_label in PANEL_STACKS:
+            param = stacks[stack_label]
+            t1 = None
+            for t in cfg["threads"]:
+                res = run_benchmark(name, cfg["num_agents"], cfg["iterations"],
+                                    param=param, num_threads=t,
+                                    config=f"{stack_label}@{t}",
+                                    warmup_iterations=cfg["warmup"])
+                if t1 is None:
+                    t1 = res.virtual_seconds
+                rows.append([name, stack_label, t,
+                             round(t1 / res.virtual_seconds, 2),
+                             res.virtual_s_per_iteration * 1e3])
+    return ExperimentReport(
+        experiment="Figure 10",
+        title="Scalability: full simulations (a) and strong scaling (c-g)",
+        headers=["simulation", "config", "threads", "speedup_vs_1thread",
+                 "ms_per_iteration"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def main() -> None:
+    """Print the rendered report to stdout."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

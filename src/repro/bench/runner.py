@@ -1,0 +1,110 @@
+"""Benchmark runner: build, run, measure one configuration."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.param import Param
+from repro.parallel import Machine, MachineSpec, SYSTEM_A
+from repro.simulations import get_simulation
+
+__all__ = ["RunResult", "run_benchmark", "PAPER_REFERENCE_AGENTS"]
+
+#: Representative agent count of the paper's Table-1 workloads (2-12.6M).
+#: Benchmarks run far below it; the simulated caches shrink by the same
+#: factor so the working-set:cache ratio matches the paper's regime
+#: (``MachineSpec.with_scaled_caches``).
+PAPER_REFERENCE_AGENTS = 4_000_000
+
+
+@dataclass
+class RunResult:
+    """Measurements of one benchmark run."""
+
+    sim_name: str
+    config: str
+    num_agents_initial: int
+    num_agents_final: int
+    iterations: int
+    num_threads: int
+    num_domains: int
+    virtual_seconds: float
+    wall_seconds: float
+    peak_memory_bytes: int
+    breakdown: dict[str, float] = field(default_factory=dict)
+    memory_bound_fraction: float = 0.0
+
+    @property
+    def virtual_s_per_iteration(self) -> float:
+        return self.virtual_seconds / max(self.iterations, 1)
+
+    def breakdown_percent(self) -> dict[str, float]:
+        """Per-operation share of the virtual runtime, in percent."""
+        total = sum(self.breakdown.values())
+        if total <= 0:
+            return {}
+        return {k: 100.0 * v / total for k, v in self.breakdown.items()}
+
+
+def run_benchmark(
+    sim_name: str,
+    num_agents: int,
+    iterations: int,
+    param: Param | None = None,
+    spec: MachineSpec = SYSTEM_A,
+    num_threads: int | None = None,
+    num_domains: int | None = None,
+    seed: int = 0,
+    config: str = "",
+    with_machine: bool = True,
+    warmup_iterations: int = 0,
+    cache_scale: float | None = None,
+) -> RunResult:
+    """Run ``sim_name`` at the given scale on a virtual machine config.
+
+    ``warmup_iterations`` run before measurement starts (used by the
+    strong-scaling study, which measures 10 steps of a developed state).
+    ``cache_scale`` overrides the automatic cache down-scaling (pass 1.0
+    for unscaled caches).
+    """
+    bench = get_simulation(sim_name)
+    if cache_scale is None:
+        # Capped so the L1/L2/L3 hierarchy keeps distinct spans after
+        # scaling (sorted-neighbor strides must still classify better
+        # than unsorted ones).
+        cache_scale = min(
+            max(1.0, PAPER_REFERENCE_AGENTS / max(num_agents, 1)), 256.0
+        )
+    machine = (
+        Machine(
+            spec.with_scaled_caches(cache_scale),
+            num_threads=num_threads,
+            num_domains=num_domains,
+        )
+        if with_machine
+        else None
+    )
+    sim = bench.build(num_agents, param=param, machine=machine, seed=seed)
+    n0 = sim.num_agents
+    if warmup_iterations:
+        sim.simulate(warmup_iterations)
+        if machine is not None:
+            machine.reset()
+    t0 = time.perf_counter()
+    sim.simulate(iterations)
+    wall = time.perf_counter() - t0
+    return RunResult(
+        sim_name=sim_name,
+        config=config or (param.environment if param else "optimized"),
+        num_agents_initial=n0,
+        num_agents_final=sim.num_agents,
+        iterations=iterations,
+        num_threads=machine.num_threads if machine else 1,
+        num_domains=machine.num_domains if machine else 1,
+        virtual_seconds=sim.virtual_seconds(),
+        wall_seconds=wall,
+        peak_memory_bytes=sim.scheduler.peak_memory_bytes,
+        breakdown=sim.runtime_breakdown(),
+        memory_bound_fraction=machine.memory_bound_fraction if machine else 0.0,
+    )

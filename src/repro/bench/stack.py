@@ -1,0 +1,52 @@
+"""Progressive optimization configurations (Figs. 8-10 legends).
+
+The paper enables its optimizations step by step on top of the "BioDynaMo
+standard implementation" (kd-tree environment, everything off):
+
+1. ``standard``            — the baseline.
+2. ``+uniform_grid``       — O1, the optimized uniform grid (§3.1).
+3. ``+parallel_add_remove``— O2, parallel agent modifications (§3.2).
+4. ``+memory_layout``      — O3+O4+O5 grouped, as in the paper ("due to
+   the interdependency between these individual optimizations, we
+   subsumed them into one category"): NUMA-aware iteration, agent sorting
+   and balancing, and the BioDynaMo memory allocator.
+5. ``+sort_extra_memory``  — extra memory during agent sorting (§4.2).
+6. ``+static_detection``   — O6 (§5), enabled last; the modeler would only
+   turn it on for models with static regions.
+"""
+
+from __future__ import annotations
+
+from repro.core.param import Param
+
+__all__ = ["OPTIMIZATION_STACK", "stack_params"]
+
+#: Ordered (label, Param overrides relative to standard) pairs.
+OPTIMIZATION_STACK: list[tuple[str, dict]] = [
+    ("standard", {}),
+    ("+uniform_grid", {"environment": "uniform_grid"}),
+    ("+parallel_add_remove", {"parallel_agent_modifications": True}),
+    (
+        "+memory_layout",
+        {
+            "numa_aware_iteration": True,
+            "agent_sort_frequency": 10,
+            "agent_sort_extra_memory": False,
+            "agent_allocator": "bdm",
+        },
+    ),
+    ("+sort_extra_memory", {"agent_sort_extra_memory": True}),
+    ("+static_detection", {"detect_static_agents": True}),
+]
+
+
+def stack_params(upto: str | None = None) -> list[tuple[str, Param]]:
+    """Cumulative parameter sets, optionally truncated at label ``upto``."""
+    out: list[tuple[str, Param]] = []
+    overrides: dict = {}
+    for label, extra in OPTIMIZATION_STACK:
+        overrides.update(extra)
+        out.append((label, Param.standard(**overrides)))
+        if label == upto:
+            break
+    return out

@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["format_table", "ExperimentReport"]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Align ``rows`` under ``headers`` with simple column padding."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(parts):
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentReport:
+    """Rows + metadata of one reproduced table/figure."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Rendered report: title, aligned table, notes."""
+        parts = [f"== {self.experiment}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        for n in self.notes:
+            parts.append(f"note: {n}")
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        i = self.headers.index(name)
+        return [r[i] for r in self.rows]
+
+    def rows_where(self, name: str, value) -> list[list]:
+        """Rows whose column ``name`` equals ``value``."""
+        i = self.headers.index(name)
+        return [r for r in self.rows if r[i] == value]
+
+    def cell(self, where: dict, column: str):
+        """The single value of ``column`` in the row matching ``where``."""
+        idxs = {self.headers.index(k): v for k, v in where.items()}
+        matches = [
+            r for r in self.rows if all(r[i] == v for i, v in idxs.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} rows match {where}")
+        return matches[0][self.headers.index(column)]

@@ -1,0 +1,36 @@
+"""Model calibration and parameter exploration (paper §1).
+
+The paper motivates engine performance with the model-development loop:
+*"An optimization algorithm generates a parameter set, executes the
+model, and evaluates the error with respect to observed data until the
+error converges to a local or global minimum ... Consequently, the model
+must be simulated many times."*  This subpackage implements that loop:
+
+- :class:`ParameterSpec` — a named, bounded (optionally log-scaled)
+  model parameter;
+- :func:`sweep` — exhaustive grid exploration over parameter values;
+- :class:`RandomSearchCalibrator` — derivative-free calibration against
+  observed data, with iterative range contraction around the incumbent
+  (the simple, robust default for noisy ABM objectives);
+- uncertainty analysis via repeated evaluation with different seeds
+  (:func:`repeat_with_seeds`), as in the paper's reference to
+  global uncertainty/sensitivity analysis.
+"""
+
+from repro.calibration.search import (
+    CalibrationResult,
+    ParameterSpec,
+    RandomSearchCalibrator,
+    SweepRow,
+    repeat_with_seeds,
+    sweep,
+)
+
+__all__ = [
+    "ParameterSpec",
+    "SweepRow",
+    "sweep",
+    "CalibrationResult",
+    "RandomSearchCalibrator",
+    "repeat_with_seeds",
+]

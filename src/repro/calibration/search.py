@@ -1,0 +1,161 @@
+"""Parameter sweeps and random-search calibration."""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ParameterSpec",
+    "SweepRow",
+    "sweep",
+    "CalibrationResult",
+    "RandomSearchCalibrator",
+    "repeat_with_seeds",
+]
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """A bounded model parameter.
+
+    ``log=True`` samples on a log scale (for rates spanning decades).
+    """
+
+    name: str
+    low: float
+    high: float
+    log: bool = False
+
+    def __post_init__(self):
+        if not self.high > self.low:
+            raise ValueError(f"{self.name}: high must exceed low")
+        if self.log and self.low <= 0:
+            raise ValueError(f"{self.name}: log scale needs positive bounds")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value from the parameter range."""
+        if self.log:
+            return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+        return float(rng.uniform(self.low, self.high))
+
+    def grid(self, points: int) -> np.ndarray:
+        """Evenly (or log-evenly) spaced values covering the range."""
+        if self.log:
+            return np.exp(np.linspace(np.log(self.low), np.log(self.high), points))
+        return np.linspace(self.low, self.high, points)
+
+    def clip(self, value: float) -> float:
+        """Clamp ``value`` into the parameter range."""
+        return float(min(max(value, self.low), self.high))
+
+    def contracted(self, center: float, factor: float) -> "ParameterSpec":
+        """A spec shrunk around ``center`` by ``factor`` (range contraction)."""
+        if self.log:
+            half = (math.log(self.high) - math.log(self.low)) * factor / 2
+            c = math.log(self.clip(center))
+            lo = math.exp(max(c - half, math.log(self.low)))
+            hi = math.exp(min(c + half, math.log(self.high)))
+        else:
+            half = (self.high - self.low) * factor / 2
+            lo = max(center - half, self.low)
+            hi = min(center + half, self.high)
+        if hi <= lo:  # degenerate after clipping: keep a sliver
+            hi = lo + (self.high - self.low) * 1e-6
+        return ParameterSpec(self.name, lo, hi, self.log)
+
+
+@dataclass
+class SweepRow:
+    params: dict[str, float]
+    metric: float
+
+
+def sweep(run_fn, specs: list[ParameterSpec], points: int = 5) -> list[SweepRow]:
+    """Exhaustive grid sweep: ``run_fn(params) -> metric`` on every
+    combination of ``points`` values per parameter."""
+    if points < 1:
+        raise ValueError("points must be >= 1")
+    axes = [spec.grid(points) for spec in specs]
+    rows = []
+    for combo in itertools.product(*axes):
+        params = {s.name: float(v) for s, v in zip(specs, combo)}
+        rows.append(SweepRow(params, float(run_fn(params))))
+    return rows
+
+
+@dataclass
+class CalibrationResult:
+    best_params: dict[str, float]
+    best_error: float
+    evaluations: int
+    history: list[tuple[dict[str, float], float]] = field(default_factory=list)
+
+    @property
+    def error_curve(self) -> np.ndarray:
+        """Running best error after each evaluation."""
+        return np.minimum.accumulate([e for _, e in self.history])
+
+
+class RandomSearchCalibrator:
+    """Random search with iterative range contraction.
+
+    Each round draws ``trials_per_round`` parameter sets from the current
+    ranges, evaluates ``error_fn(params)``, and contracts every range
+    around the incumbent by ``contraction`` — a derivative-free scheme
+    that tolerates the noisy objectives ABMs produce.
+    """
+
+    def __init__(
+        self,
+        specs: list[ParameterSpec],
+        trials_per_round: int = 10,
+        rounds: int = 4,
+        contraction: float = 0.5,
+        seed: int = 0,
+    ):
+        if not specs:
+            raise ValueError("need at least one parameter")
+        if not 0 < contraction <= 1:
+            raise ValueError("contraction must be in (0, 1]")
+        self.specs = list(specs)
+        self.trials_per_round = trials_per_round
+        self.rounds = rounds
+        self.contraction = contraction
+        self.seed = seed
+
+    def calibrate(self, error_fn) -> CalibrationResult:
+        """Minimize ``error_fn(params) -> float >= 0``."""
+        rng = np.random.default_rng(self.seed)
+        specs = list(self.specs)
+        best_params: dict[str, float] | None = None
+        best_error = np.inf
+        history: list[tuple[dict[str, float], float]] = []
+
+        for _ in range(self.rounds):
+            for _ in range(self.trials_per_round):
+                params = {s.name: s.sample(rng) for s in specs}
+                err = float(error_fn(params))
+                history.append((params, err))
+                if err < best_error:
+                    best_error = err
+                    best_params = params
+            specs = [
+                s.contracted(best_params[s.name], self.contraction)
+                for s in specs
+            ]
+        return CalibrationResult(
+            best_params=best_params,
+            best_error=best_error,
+            evaluations=len(history),
+            history=history,
+        )
+
+
+def repeat_with_seeds(run_fn, params: dict[str, float], seeds) -> np.ndarray:
+    """Uncertainty analysis: evaluate the same parameter set under
+    different random seeds; returns the per-seed metrics."""
+    return np.asarray([float(run_fn(params, seed=s)) for s in seeds])

@@ -1,0 +1,51 @@
+"""Core simulation engine (paper §2, Algorithm 1).
+
+The engine mirrors BioDynaMo's architecture:
+
+- :class:`~repro.core.simulation.Simulation` — facade binding a parameter
+  set, the ResourceManager, an environment, optional virtual machine, and
+  the scheduler.
+- :class:`~repro.core.resource_manager.ResourceManager` — per-NUMA-domain
+  agent storage (structure-of-arrays in Python for vectorization, with the
+  same add/remove/iterate semantics as BioDynaMo's pointer vectors).
+- :class:`~repro.core.behavior.Behavior` — per-agent actions, attachable
+  and removable at runtime.
+- :mod:`~repro.core.operation` — agent operations and standalone
+  operations executed by the scheduler each iteration.
+- :mod:`~repro.core.removal` — the five-step parallel agent removal
+  algorithm (§3.2, Fig. 1).
+- :mod:`~repro.core.sorting` — agent sorting and NUMA balancing along the
+  Morton curve (§4.2, Fig. 3).
+- :mod:`~repro.core.force` — the Cortex3D-style pairwise interaction force.
+- :mod:`~repro.core.static_detection` — the static-agent mechanism that
+  omits redundant force calculations (§5).
+- :mod:`~repro.core.diffusion` — extracellular substance diffusion grids.
+"""
+
+from repro.core.param import Param
+from repro.core.simulation import Simulation
+from repro.core.behavior import Behavior
+from repro.core.resource_manager import ResourceManager
+from repro.core.agent import Agent
+from repro.core.operation import AgentOperation, Operation, OpKind, StandaloneOperation
+from repro.core.timeseries import TimeSeriesOperation
+from repro.core.checkpoint import restore_checkpoint, save_checkpoint
+from repro.core.exporter import ExportOperation
+from repro.core.gene_regulation import GeneRegulation
+
+__all__ = [
+    "Param",
+    "Simulation",
+    "Behavior",
+    "ResourceManager",
+    "Agent",
+    "Operation",
+    "AgentOperation",
+    "StandaloneOperation",
+    "OpKind",
+    "TimeSeriesOperation",
+    "ExportOperation",
+    "GeneRegulation",
+    "save_checkpoint",
+    "restore_checkpoint",
+]

@@ -1,0 +1,52 @@
+"""Behaviors: per-agent actions (paper §2).
+
+A behavior can be attached to and removed from individual agents and gives
+fine-grained control over an agent's actions.  The engine stores attachment
+as one bit per registered behavior in the ResourceManager's
+``behavior_mask`` column and executes each behavior *vectorized* over all
+agents carrying it — semantically equivalent to BioDynaMo's per-agent
+``RunBehaviors`` loop, but expressed as array operations (the idiomatic
+Python counterpart of the C++ hot loop).
+
+``compute_ops_per_agent`` feeds the virtual machine's cost model: it is the
+approximate arithmetic work one agent's update performs, which determines
+how memory-bound the simulation is (paper Fig. 5 right).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Behavior"]
+
+
+class Behavior:
+    """Base class for agent behaviors.
+
+    Subclasses implement :meth:`run`, which receives the simulation and the
+    indices of all agents that carry this behavior.  Set the class
+    attributes to describe the behavior for the cost model and the
+    static-agent detection mechanism:
+
+    - ``compute_ops_per_agent`` — arithmetic ops per agent per iteration.
+    - ``uses_neighbors`` — whether :meth:`run` reads neighbor data (adds
+      neighbor memory traffic to the cost model).
+    - ``moves_agents`` / ``grows_agents`` / ``creates_agents`` /
+      ``removes_agents`` — effects relevant to static detection (§5) and
+      to iteration setup/teardown.
+    """
+
+    name: str = "behavior"
+    compute_ops_per_agent: float = 25.0
+    uses_neighbors: bool = False
+    moves_agents: bool = False
+    grows_agents: bool = False
+    creates_agents: bool = False
+    removes_agents: bool = False
+
+    def run(self, sim, idx: np.ndarray) -> None:  # pragma: no cover - abstract
+        """Execute the behavior for the agents at storage indices ``idx``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,116 @@
+"""Simulation state export (the paper's "visualization" operation).
+
+BioDynaMo exports agent data for ParaView; we write the two formats that
+cover that use without external dependencies:
+
+- **VTK legacy ASCII** (``.vtk``, POLYDATA): positions as points plus
+  per-agent scalar attributes — loadable by ParaView/VisIt.
+- **CSV**: one row per agent, one column per selected attribute.
+
+:class:`ExportOperation` plugs either writer into the scheduler as a
+*post* standalone operation with a configurable frequency, exactly where
+Algorithm 1 places visualization (L16-18).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.operation import Operation, OpKind
+
+__all__ = ["write_vtk", "write_csv", "ExportOperation"]
+
+
+def _gather_columns(sim, attributes):
+    rm = sim.rm
+    cols = {}
+    for name in attributes:
+        if name not in rm.data:
+            raise KeyError(f"unknown agent attribute {name!r}")
+        arr = rm.data[name]
+        if arr.ndim != 1:
+            raise ValueError(f"attribute {name!r} is not scalar")
+        cols[name] = arr
+    return cols
+
+
+def write_vtk(sim, path, attributes=("diameter",)) -> Path:
+    """Write the simulation state as VTK legacy POLYDATA."""
+    path = Path(path)
+    rm = sim.rm
+    n = rm.n
+    cols = _gather_columns(sim, attributes)
+    lines = [
+        "# vtk DataFile Version 3.0",
+        f"repro simulation {sim.name} iteration {sim.scheduler.iteration}",
+        "ASCII",
+        "DATASET POLYDATA",
+        f"POINTS {n} double",
+    ]
+    for p in rm.positions:
+        lines.append(f"{p[0]:.6g} {p[1]:.6g} {p[2]:.6g}")
+    lines.append(f"VERTICES {n} {2 * n}")
+    lines.extend(f"1 {i}" for i in range(n))
+    if cols:
+        lines.append(f"POINT_DATA {n}")
+        for name, arr in cols.items():
+            dtype = "int" if np.issubdtype(arr.dtype, np.integer) or arr.dtype == np.bool_ else "double"
+            lines.append(f"SCALARS {name} {dtype} 1")
+            lines.append("LOOKUP_TABLE default")
+            if dtype == "int":
+                lines.extend(str(int(v)) for v in arr)
+            else:
+                lines.extend(f"{float(v):.6g}" for v in arr)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_csv(sim, path, attributes=("diameter",)) -> Path:
+    """Write the simulation state as CSV (x, y, z, attributes...)."""
+    path = Path(path)
+    rm = sim.rm
+    cols = _gather_columns(sim, attributes)
+    header = ["x", "y", "z", *cols]
+    rows = [",".join(header)]
+    for i in range(rm.n):
+        p = rm.positions[i]
+        vals = [f"{p[0]:.6g}", f"{p[1]:.6g}", f"{p[2]:.6g}"]
+        for arr in cols.values():
+            v = arr[i]
+            vals.append(str(int(v)) if np.issubdtype(arr.dtype, np.integer)
+                        or arr.dtype == np.bool_ else f"{float(v):.6g}")
+        rows.append(",".join(vals))
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+class ExportOperation(Operation):
+    """Periodic state export as a post-standalone operation.
+
+    Writes ``<directory>/<sim name>_<iteration>.<ext>`` every
+    ``frequency`` iterations.
+    """
+
+    name = "export"
+    kind = OpKind.POST
+    compute_ops = 5_000.0
+
+    def __init__(self, directory, attributes=("diameter",), fmt: str = "vtk",
+                 frequency: int = 1):
+        super().__init__(frequency)
+        if fmt not in ("vtk", "csv"):
+            raise ValueError("fmt must be 'vtk' or 'csv'")
+        self.directory = Path(directory)
+        self.attributes = tuple(attributes)
+        self.fmt = fmt
+        self.written: list[Path] = []
+
+    def run(self, sim) -> None:
+        """Write one snapshot file for the current iteration."""
+        os.makedirs(self.directory, exist_ok=True)
+        fname = f"{sim.name}_{sim.scheduler.iteration:06d}.{self.fmt}"
+        writer = write_vtk if self.fmt == "vtk" else write_csv
+        self.written.append(writer(sim, self.directory / fname, self.attributes))

@@ -1,0 +1,147 @@
+"""Simulation parameters, including every optimization toggle of the paper.
+
+``Param`` plays the role of BioDynaMo's ``Param`` class.  The six paper
+optimizations map to:
+
+====================================  =====================================
+Paper mechanism                        Parameter
+====================================  =====================================
+O1 optimized uniform grid (§3.1)      ``environment = "uniform_grid"``
+O2 parallel add/remove (§3.2)         ``parallel_agent_modifications``
+O3 NUMA-aware iteration (§4.1)        ``numa_aware_iteration``
+O4 agent sorting/balancing (§4.2)     ``agent_sort_frequency > 0``
+   extra memory during sorting        ``agent_sort_extra_memory``
+O5 pool memory allocator (§4.3)       ``agent_allocator = "bdm"``
+O6 static-agent detection (§5)        ``detect_static_agents``
+====================================  =====================================
+
+``Param.standard()`` returns the "BioDynaMo standard implementation" used
+as the baseline in §6.6/§6.7: kd-tree environment and all optimizations
+turned off.  ``Param.optimized()`` turns everything on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+__all__ = ["Param"]
+
+
+@dataclass
+class Param:
+    """All engine knobs; defaults correspond to the fully optimized engine."""
+
+    # --- Environment (O1) -------------------------------------------------
+    environment: str = "uniform_grid"     # "uniform_grid" | "kd_tree" | "octree"
+    environment_kwargs: dict = field(default_factory=dict)
+
+    # --- Parallelism (O2, O3) ---------------------------------------------
+    parallel_agent_modifications: bool = True
+    numa_aware_iteration: bool = True
+    block_size: int = 512                  # agents per scheduling block
+
+    # --- Memory layout (O4, O5) --------------------------------------------
+    agent_sort_frequency: int = 10         # 0 disables sorting; 1 = every iter
+    agent_sort_extra_memory: bool = True   # keep old copies until sort done
+    space_filling_curve: str = "morton"    # "morton" | "hilbert"
+    agent_allocator: str = "bdm"           # "bdm" | "ptmalloc2" | "jemalloc"
+    other_allocator: str = "ptmalloc2"     # for non-agent objects (Fig. 13)
+    mem_mgr_growth_rate: float = 2.0
+    mem_mgr_aligned_pages_shift: int = 5
+
+    # --- Static detection (O6) ---------------------------------------------
+    detect_static_agents: bool = False     # off by default, like BioDynaMo
+
+    # --- Physics -----------------------------------------------------------
+    simulation_time_step: float = 0.01
+    simulation_max_displacement: float = 3.0
+    interaction_radius_factor: float = 1.0  # radius = factor * max diameter
+    #: Optional closed simulation space (BioDynaMo's ``bound_space``):
+    #: agent positions are clamped to [min, max] on every axis after each
+    #: iteration's movements.
+    bound_space: tuple | None = None
+
+    # --- Model sizes (drive allocator traffic and memory accounting) -------
+    agent_size_bytes: int = 136            # sizeof(bdm::Cell) order of magnitude
+    behavior_size_bytes: int = 56
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def optimized(cls, **overrides) -> "Param":
+        """All six optimizations on (the paper's 'BioDynaMo optimized')."""
+        return cls(**overrides)
+
+    @classmethod
+    def from_file(cls, path) -> "Param":
+        """Load parameters from a TOML or JSON file (BioDynaMo's
+        ``bdm.toml``).  Keys must match :class:`Param` field names; a
+        ``[param]`` TOML table / ``"param"`` JSON object is also accepted.
+        """
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix == ".toml":
+            import tomllib
+
+            data = tomllib.loads(text)
+        elif path.suffix == ".json":
+            data = json.loads(text)
+        else:
+            raise ValueError(f"unsupported parameter file type {path.suffix!r}")
+        if isinstance(data.get("param"), dict):
+            data = data["param"]
+        valid = {f.name for f in fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise ValueError(f"unknown parameter(s): {sorted(unknown)}")
+        if isinstance(data.get("bound_space"), list):
+            data["bound_space"] = tuple(data["bound_space"])
+        param = cls(**data)
+        param.validate()
+        return param
+
+    @classmethod
+    def standard(cls, **overrides) -> "Param":
+        """The 'BioDynaMo standard implementation' baseline (§6.6).
+
+        kd-tree environment, serial agent add/remove, no NUMA awareness,
+        no agent sorting, system allocator, no static detection.
+        """
+        base = cls(
+            environment="kd_tree",
+            parallel_agent_modifications=False,
+            numa_aware_iteration=False,
+            agent_sort_frequency=0,
+            agent_sort_extra_memory=False,
+            agent_allocator="ptmalloc2",
+            detect_static_agents=False,
+        )
+        return replace(base, **overrides)
+
+    def with_(self, **overrides) -> "Param":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any invalid or unknown setting."""
+        if self.environment not in ("uniform_grid", "kd_tree", "octree"):
+            raise ValueError(f"unknown environment {self.environment!r}")
+        if self.agent_allocator not in ("bdm", "ptmalloc2", "jemalloc"):
+            raise ValueError(f"unknown allocator {self.agent_allocator!r}")
+        if self.other_allocator not in ("bdm", "ptmalloc2", "jemalloc"):
+            raise ValueError(f"unknown allocator {self.other_allocator!r}")
+        if self.space_filling_curve not in ("morton", "hilbert"):
+            raise ValueError(f"unknown curve {self.space_filling_curve!r}")
+        if self.agent_sort_frequency < 0:
+            raise ValueError("agent_sort_frequency must be >= 0")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if self.simulation_time_step <= 0:
+            raise ValueError("simulation_time_step must be positive")
+        if self.bound_space is not None:
+            lo, hi = self.bound_space
+            if hi <= lo:
+                raise ValueError("bound_space max must exceed min")

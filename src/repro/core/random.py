@@ -1,0 +1,31 @@
+"""Deterministic per-simulation random number generation.
+
+BioDynaMo keeps one RNG per thread for reproducible parallel runs; here a
+single seeded :class:`numpy.random.Generator` serves the vectorized engine,
+with :meth:`thread_rng` providing independent per-thread streams for code
+paths that emulate thread-local behavior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SimulationRandom"]
+
+
+class SimulationRandom:
+    """Seeded RNG hub for a simulation."""
+
+    def __init__(self, seed: int = 4357):
+        self.seed = seed
+        self._root = np.random.SeedSequence(seed)
+        self.rng = np.random.default_rng(self._root)
+        self._thread_rngs: dict[int, np.random.Generator] = {}
+
+    def thread_rng(self, thread: int) -> np.random.Generator:
+        """Independent stream for virtual thread ``thread``."""
+        if thread not in self._thread_rngs:
+            self._thread_rngs[thread] = np.random.default_rng(
+                np.random.SeedSequence(entropy=self.seed, spawn_key=(thread,))
+            )
+        return self._thread_rngs[thread]

@@ -1,0 +1,138 @@
+"""Parallel agent removal (paper §3.2, Fig. 1).
+
+The ResourceManager disallows holes in its agent vectors, so removing an
+agent from the middle requires swapping the last surviving element into
+its place before shrinking.  The paper's five-step algorithm performs all
+swaps using O(removed) time and space, with steps 1–4 parallelizable:
+
+1. Determine ``new_size = n - removed`` and create two auxiliary arrays of
+   length ``removed``.
+2. Every thread scans its removals: an index left of ``new_size`` is a
+   *hole* and goes into ``to_right``; an index at or right of ``new_size``
+   sets a one in ``not_to_left`` at position ``idx - new_size``.
+3. Threads compact their blocks of the auxiliary arrays: ``to_right``
+   entries that are UINT_MAX are skipped; ``not_to_left`` flips meaning to
+   ``to_left`` — zeros (surviving tail elements) become
+   ``position + new_size`` and are moved to the block front.  Per-block
+   swap counts go to ``#swaps`` arrays.
+4. Prefix sums over both ``#swaps`` arrays pair the k-th hole with the
+   k-th surviving tail element; threads execute their share of swaps.
+5. The vector shrinks to ``new_size``.
+
+:func:`plan_removal` runs steps 1–4 and returns the swap pairs (plus the
+intermediate arrays for inspection); :func:`apply_removal` executes them
+on structure-of-arrays storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sfc.prefix_sum import exclusive_prefix_sum
+
+__all__ = ["RemovalPlan", "plan_removal", "apply_removal"]
+
+_UINT_MAX = np.iinfo(np.int64).max
+
+
+@dataclass
+class RemovalPlan:
+    """Output of steps 1–4 of the parallel removal algorithm."""
+
+    new_size: int
+    #: Destination indices (holes left of ``new_size``), step 3 output.
+    to_right: np.ndarray
+    #: Source indices (survivors right of ``new_size``), step 3 output.
+    to_left: np.ndarray
+    #: Per-thread-block swap counts for each auxiliary array (step 3).
+    swaps_right: np.ndarray
+    swaps_left: np.ndarray
+    #: Exclusive prefix sums of the #swaps arrays (step 4).
+    prefix_right: np.ndarray
+    prefix_left: np.ndarray
+
+    @property
+    def moves(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sources, destinations) of all element moves."""
+        return self.to_left, self.to_right
+
+
+def plan_removal(n: int, removed, num_threads: int = 4) -> RemovalPlan:
+    """Steps 1–4 of the paper's algorithm for one agent vector.
+
+    Parameters
+    ----------
+    n:
+        Current vector size.
+    removed:
+        Indices (unique, in ``[0, n)``) of agents to remove.
+    num_threads:
+        Number of (virtual) threads the auxiliary arrays are blocked over;
+        affects only the block decomposition, never the result.
+    """
+    removed = np.asarray(removed, dtype=np.int64)
+    r = len(removed)
+    if r == 0:
+        return RemovalPlan(
+            n,
+            *(np.empty(0, dtype=np.int64),) * 2,
+            *(np.zeros(num_threads, dtype=np.int64),) * 2,
+            *(np.zeros(num_threads, dtype=np.int64),) * 2,
+        )
+    if len(np.unique(removed)) != r:
+        raise ValueError("removal indices must be unique")
+    if removed.min() < 0 or removed.max() >= n:
+        raise ValueError("removal index out of range")
+    new_size = n - r
+
+    # Step 2: fill the auxiliary arrays.  Both have exactly `removed`
+    # entries; no O(n) state is touched.
+    to_right_aux = np.full(r, _UINT_MAX, dtype=np.int64)
+    not_to_left = np.zeros(r, dtype=np.int64)
+    left_mask = removed < new_size
+    holes = removed[left_mask]
+    to_right_aux[: len(holes)] = holes  # per-thread writes, modeled compactly
+    not_to_left[removed[~left_mask] - new_size] = 1
+
+    # Step 3: per-block compaction.  Blocks correspond to threads.
+    bounds = np.linspace(0, r, num_threads + 1, dtype=np.int64)
+    swaps_right = np.zeros(num_threads, dtype=np.int64)
+    swaps_left = np.zeros(num_threads, dtype=np.int64)
+    right_blocks: list[np.ndarray] = []
+    left_blocks: list[np.ndarray] = []
+    for t in range(num_threads):
+        lo, hi = bounds[t], bounds[t + 1]
+        blk = to_right_aux[lo:hi]
+        kept = blk[blk != _UINT_MAX]
+        right_blocks.append(kept)
+        swaps_right[t] = len(kept)
+        # not_to_left flips meaning: zeros mark surviving tail elements.
+        zeros = np.flatnonzero(not_to_left[lo:hi] == 0) + lo
+        survivors = zeros + new_size
+        left_blocks.append(survivors)
+        swaps_left[t] = len(survivors)
+
+    # Step 4: prefix sums pair holes with survivors globally.
+    prefix_right = exclusive_prefix_sum(swaps_right)
+    prefix_left = exclusive_prefix_sum(swaps_left)
+    to_right = np.concatenate(right_blocks) if right_blocks else np.empty(0, np.int64)
+    to_left = np.concatenate(left_blocks) if left_blocks else np.empty(0, np.int64)
+    assert len(to_right) == len(to_left), "holes must equal tail survivors"
+    return RemovalPlan(
+        new_size, to_right, to_left, swaps_right, swaps_left, prefix_right, prefix_left
+    )
+
+
+def apply_removal(arrays: dict[str, np.ndarray], plan: RemovalPlan) -> dict[str, np.ndarray]:
+    """Execute the swaps (step 4) and shrink (step 5) on SoA storage.
+
+    Returns new views of length ``plan.new_size`` for every array.
+    """
+    src, dst = plan.moves
+    out = {}
+    for name, arr in arrays.items():
+        arr[dst] = arr[src]
+        out[name] = arr[: plan.new_size]
+    return out

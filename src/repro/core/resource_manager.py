@@ -1,0 +1,332 @@
+"""ResourceManager: per-NUMA-domain agent storage (paper §3.1, §3.2).
+
+BioDynaMo's ResourceManager stores raw agent pointers in one vector per
+NUMA domain and offers add/remove/get/iterate.  The Python counterpart is
+a structure-of-arrays: every agent attribute is a NumPy column, agents are
+kept *sorted by NUMA domain* (``domain_starts`` marks the per-domain
+segments, the moral equivalent of the per-domain pointer vectors), and a
+simulated allocator assigns each agent payload an address whose locality
+and NUMA placement the cost model prices.
+
+Additions and removals requested during an iteration are buffered in
+thread-local queues and committed at the end of the iteration — additions
+by growing the columns once and writing in parallel, removals with the
+five-step swap algorithm of §3.2 (see :mod:`repro.core.removal`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.removal import apply_removal, plan_removal
+
+__all__ = ["ResourceManager", "CommitStats"]
+
+
+@dataclass
+class CommitStats:
+    """What a commit did, for cost accounting by the scheduler."""
+
+    added: int = 0
+    removed: int = 0
+    #: Sizes of the per-domain segments scanned when the *serial* removal
+    #: path is used (the parallel path only touches O(removed) entries).
+    serial_scan_items: int = 0
+    new_agent_indices: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+
+class ResourceManager:
+    """Structure-of-arrays agent storage with per-domain segments."""
+
+    #: Columns every simulation has.  (name, dtype, row-shape, fill)
+    CORE_COLUMNS = (
+        ("position", np.float64, (3,), 0.0),
+        ("diameter", np.float64, (), 10.0),
+        ("uid", np.int64, (), -1),
+        ("addr", np.int64, (), 0),
+        ("behavior_mask", np.uint64, (), 0),
+        ("static", np.bool_, (), False),
+        ("moved", np.bool_, (), True),
+        ("grew", np.bool_, (), True),
+    )
+
+    def __init__(
+        self,
+        num_domains: int = 1,
+        agent_allocator=None,
+        agent_size_bytes: int = 136,
+    ):
+        self.num_domains = num_domains
+        self.allocator = agent_allocator
+        self.agent_size_bytes = agent_size_bytes
+        self._columns: dict[str, tuple[np.dtype, tuple, object]] = {}
+        self.data: dict[str, np.ndarray] = {}
+        self.n = 0
+        #: Incremented on every structural change (insert/remove/reorder);
+        #: consumers such as the uid index invalidate their caches on it.
+        self.structure_version = 0
+        self.domain_starts = np.zeros(num_domains + 1, dtype=np.int64)
+        self._next_uid = 0
+        self._add_queues: dict[int, list[dict]] = {}
+        self._remove_queues: dict[int, list[np.ndarray]] = {}
+        for name, dtype, shape, fill in self.CORE_COLUMNS:
+            self.register_column(name, dtype, shape, fill)
+        from repro.core.agent import UidIndex
+
+        #: uid -> storage index lookup (lazily rebuilt; see Agent handles).
+        self.uid_index = UidIndex(self)
+
+    # ------------------------------------------------------------------ #
+    # Columns
+    # ------------------------------------------------------------------ #
+
+    def register_column(self, name, dtype, row_shape=(), fill=0) -> None:
+        """Add a named per-agent attribute column (extensibility hook used
+        by the neuroscience specialization)."""
+        if name in self._columns:
+            raise ValueError(f"column {name!r} already registered")
+        self._columns[name] = (np.dtype(dtype), tuple(row_shape), fill)
+        self.data[name] = np.empty((self.n, *row_shape), dtype=dtype)
+        if self.n:
+            self.data[name][:] = fill
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.data[name]
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self.data["position"]
+
+    def domain_slice(self, d: int) -> slice:
+        """Storage slice of NUMA domain ``d``."""
+        return slice(int(self.domain_starts[d]), int(self.domain_starts[d + 1]))
+
+    def domain_of_index(self, idx) -> np.ndarray:
+        """NUMA domain of agent(s) by storage index."""
+        return (
+            np.searchsorted(self.domain_starts, np.asarray(idx), side="right") - 1
+        ).astype(np.int64)
+
+    def domain_sizes(self) -> np.ndarray:
+        """Number of agents per NUMA domain."""
+        return np.diff(self.domain_starts)
+
+    # ------------------------------------------------------------------ #
+    # Immediate (initialization-time) addition
+    # ------------------------------------------------------------------ #
+
+    def add_agents_now(self, attributes: dict[str, np.ndarray], domain=None) -> np.ndarray:
+        """Bulk-add agents immediately (model initialization).
+
+        ``attributes`` maps column names to arrays; missing columns get
+        their fill value.  Agents are balanced round-robin across domains
+        unless ``domain`` pins them.  Returns the new agents' uids.
+        """
+        count = len(next(iter(attributes.values())))
+        if domain is None:
+            dom = np.arange(count, dtype=np.int64) % self.num_domains
+        else:
+            dom = np.full(count, domain, dtype=np.int64)
+        uids = np.arange(self._next_uid, self._next_uid + count, dtype=np.int64)
+        self._next_uid += count
+        attributes = dict(attributes)
+        attributes["uid"] = uids
+        self._insert(attributes, dom)
+        return uids
+
+    def _alloc_addrs(self, dom: np.ndarray) -> np.ndarray:
+        addrs = np.zeros(len(dom), dtype=np.int64)
+        if self.allocator is not None:
+            for d in range(self.num_domains):
+                mask = dom == d
+                c = int(mask.sum())
+                if c:
+                    addrs[mask] = self.allocator.allocate_many(
+                        self.agent_size_bytes, c, domain=d
+                    )
+        return addrs
+
+    def _insert(self, attributes: dict[str, np.ndarray], dom: np.ndarray) -> None:
+        """Insert rows keeping the sorted-by-domain invariant."""
+        count = len(dom)
+        if "addr" not in attributes:
+            attributes["addr"] = self._alloc_addrs(dom)
+        order = np.argsort(dom, kind="stable")
+        insert_per_domain = np.bincount(dom, minlength=self.num_domains)
+
+        new_n = self.n + count
+        new_starts = self.domain_starts + np.concatenate(
+            ([0], np.cumsum(insert_per_domain))
+        )
+        for name, (dtype, shape, fill) in self._columns.items():
+            old = self.data[name]
+            new = np.empty((new_n, *shape), dtype=dtype)
+            src = attributes.get(name)
+            for d in range(self.num_domains):
+                o_lo, o_hi = self.domain_starts[d], self.domain_starts[d + 1]
+                n_lo = new_starts[d]
+                seg = o_hi - o_lo
+                new[n_lo : n_lo + seg] = old[o_lo:o_hi]
+                ins = order[np.flatnonzero(dom[order] == d)]
+                dst = slice(n_lo + seg, n_lo + seg + len(ins))
+                if src is not None:
+                    new[dst] = np.asarray(src)[ins]
+                else:
+                    new[dst] = fill
+            self.data[name] = new
+        self.n = new_n
+        self.structure_version += 1
+        self.domain_starts = new_starts
+
+    # ------------------------------------------------------------------ #
+    # Thread-local queues (during-iteration modifications)
+    # ------------------------------------------------------------------ #
+
+    def queue_new_agents(self, attributes: dict[str, np.ndarray], thread: int = 0,
+                         domain=None) -> None:
+        """Buffer new agents in a thread-local list (committed later)."""
+        count = len(next(iter(attributes.values())))
+        self._add_queues.setdefault(thread, []).append(
+            {"attributes": attributes, "domain": domain, "count": count}
+        )
+
+    def queue_removals(self, indices, thread: int = 0) -> None:
+        """Buffer removals (storage indices) in a thread-local list."""
+        self._remove_queues.setdefault(thread, []).append(
+            np.asarray(indices, dtype=np.int64)
+        )
+
+    @property
+    def pending_additions(self) -> int:
+        return sum(e["count"] for q in self._add_queues.values() for e in q)
+
+    @property
+    def pending_removals(self) -> int:
+        return sum(len(a) for q in self._remove_queues.values() for a in q)
+
+    # ------------------------------------------------------------------ #
+    # Commit
+    # ------------------------------------------------------------------ #
+
+    def commit(self, parallel: bool = True, num_threads: int = 4) -> CommitStats:
+        """Apply all queued additions and removals (end of iteration).
+
+        ``parallel=True`` uses the paper's O(removed) five-step algorithm
+        per domain segment; ``parallel=False`` models the serial baseline
+        (a full compaction scan), which the stats report via
+        ``serial_scan_items``.
+        """
+        stats = CommitStats()
+
+        # --- Removals first (their indices refer to the current layout).
+        removal_lists = [a for q in self._remove_queues.values() for a in q]
+        self._remove_queues.clear()
+        if removal_lists:
+            removed = np.unique(np.concatenate(removal_lists))
+            stats.removed = len(removed)
+            if self.allocator is not None:
+                doms = self.domain_of_index(removed)
+                for d in range(self.num_domains):
+                    sel = removed[doms == d]
+                    if len(sel):
+                        self.allocator.free_many(
+                            self.data["addr"][sel], self.agent_size_bytes, domain=d
+                        )
+            self._remove_indices(removed, parallel, num_threads, stats)
+
+        # --- Additions.
+        entries = [e for q in self._add_queues.values() for e in q]
+        self._add_queues.clear()
+        if entries:
+            total = sum(e["count"] for e in entries)
+            stats.added = total
+            dom = np.empty(total, dtype=np.int64)
+            merged: dict[str, list] = {}
+            pos = 0
+            rr = 0
+            for e in entries:
+                c = e["count"]
+                if e["domain"] is None:
+                    dom[pos : pos + c] = (np.arange(c) + rr) % self.num_domains
+                    rr += c
+                else:
+                    dom[pos : pos + c] = e["domain"]
+                for k, v in e["attributes"].items():
+                    merged.setdefault(k, []).append(np.asarray(v))
+                pos += c
+            attributes = {k: np.concatenate(v) for k, v in merged.items()}
+            uids = np.arange(self._next_uid, self._next_uid + total, dtype=np.int64)
+            self._next_uid += total
+            attributes["uid"] = uids
+            before = self.n
+            self._insert(attributes, dom)
+            # Indices of the inserted agents in the *new* layout.
+            new_idx = np.flatnonzero(np.isin(self.data["uid"], uids))
+            stats.new_agent_indices = new_idx
+            assert self.n == before + total
+        return stats
+
+    def _remove_indices(self, removed, parallel, num_threads, stats) -> None:
+        doms = self.domain_of_index(removed)
+        kept_segments = []
+        plans = []
+        for d in range(self.num_domains):
+            lo, hi = self.domain_starts[d], self.domain_starts[d + 1]
+            local = removed[doms == d] - lo
+            seg_len = int(hi - lo)
+            if parallel:
+                plan = plan_removal(seg_len, local, num_threads=num_threads)
+            else:
+                plan = plan_removal(seg_len, local, num_threads=1)
+                stats.serial_scan_items += seg_len
+            plans.append((lo, plan))
+            kept_segments.append(plan.new_size)
+
+        new_starts = np.zeros(self.num_domains + 1, dtype=np.int64)
+        np.cumsum(kept_segments, out=new_starts[1:])
+        for name in self._columns:
+            arr = self.data[name]
+            pieces = []
+            for lo, plan in plans:
+                # Apply the swaps on the domain segment, then keep the head.
+                src, dst = plan.moves
+                arr[lo:][dst] = arr[lo:][src]
+                pieces.append(arr[lo : lo + plan.new_size].copy())
+            self.data[name] = np.concatenate(pieces) if pieces else arr[:0]
+        self.n = int(new_starts[-1])
+        self.structure_version += 1
+        self.domain_starts = new_starts
+
+    # ------------------------------------------------------------------ #
+    # Reordering (used by agent sorting §4.2)
+    # ------------------------------------------------------------------ #
+
+    def reorder(self, new_order: np.ndarray, new_domain_starts: np.ndarray,
+                new_addrs: np.ndarray | None = None) -> None:
+        """Store agents in a new order with new domain segments.
+
+        ``new_order[k]`` is the old index of the agent that moves to
+        position ``k``.  ``new_addrs`` (aligned with the new order) replaces
+        payload addresses when the sorting operation copied agents into
+        freshly allocated memory.
+        """
+        if len(new_order) != self.n:
+            raise ValueError("new_order must be a permutation of all agents")
+        for name in self._columns:
+            self.data[name] = self.data[name][new_order]
+        if new_addrs is not None:
+            self.data["addr"] = np.asarray(new_addrs, dtype=np.int64)
+        self.structure_version += 1
+        self.domain_starts = np.asarray(new_domain_starts, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        """Engine-side memory: columns plus allocator reservations."""
+        cols = sum(a.nbytes for a in self.data.values())
+        alloc = self.allocator.reserved_bytes if self.allocator is not None else 0
+        return cols + alloc

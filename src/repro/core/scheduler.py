@@ -1,0 +1,554 @@
+"""The simulation scheduler (paper Algorithm 1).
+
+Executes, per iteration:
+
+1. *pre* standalone operations — interaction-radius update and environment
+   rebuild (L3–5);
+2. the parallel loop over agents running every agent operation (L7–11):
+   behaviors, mechanical forces + displacement, static-region detection;
+3. *standalone* operations (L12–14): diffusion, agent sorting & balancing
+   (at its configured frequency);
+4. *post* standalone operations (L16–18): committing queued agent
+   additions/removals, visualization hook.
+
+When the simulation carries a virtual :class:`~repro.parallel.machine.Machine`,
+every region charges its cost: parallel regions submit per-agent cycle
+estimates (compute from the operations' op counts, memory from the cost
+model priced at the agents' *actual simulated addresses*), serial regions
+charge one thread.  Region names match the paper's Fig. 5 breakdown:
+``agent_ops``, ``build_environment``, ``agent_sorting``, ``diffusion``,
+``setup_teardown``, ``visualization``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.force import InteractionForce
+from repro.core.sorting import sort_and_balance
+from repro.core.static_detection import (
+    DETECTION_OPS_PER_AGENT,
+    update_static_flags,
+)
+from repro.core.diffusion import OPS_PER_VOXEL
+from repro.core.operation import AgentOperation, OpKind
+from repro.parallel.machine import SchedulePolicy, make_blocks
+
+__all__ = ["Scheduler"]
+
+#: Arithmetic ops for one agent's displacement integration.
+DISPLACEMENT_OPS = 30.0
+
+#: Movement below this threshold does not count as "moved" (condition i).
+MOVE_EPSILON = 1e-9
+
+#: Transient per-iteration buffers are charged to the "other objects"
+#: allocator in chunks of this many bytes.
+TRANSIENT_CHUNK = 64 * 1024
+
+
+class Scheduler:
+    """Runs Algorithm 1 and performs all virtual-cost accounting."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.iteration = 0
+        self.wall_times: dict[str, float] = defaultdict(float)
+        self.peak_memory_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def simulate(self, iterations: int) -> None:
+        """Run Algorithm 1 for ``iterations`` time steps."""
+        for _ in range(iterations):
+            self._iterate()
+
+    # ------------------------------------------------------------------ #
+    # Cost-charging helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _policy(self) -> SchedulePolicy:
+        """NUMA-aware placement with two-level stealing when O3 is on;
+        plain dynamic scheduling otherwise (OpenMP balances load either
+        way — what it lacks is the domain matching, §4.1)."""
+        if self.sim.param.numa_aware_iteration:
+            return SchedulePolicy.NUMA_AWARE
+        return SchedulePolicy.DYNAMIC
+
+    def _effective_threads(self) -> float:
+        m = self.sim.machine
+        return float(np.sum(m.thread_speeds)) if m is not None else 1.0
+
+    def _charge_agent_region(
+        self, name, cycles, mem_cycles=None, domain_counts=None
+    ) -> None:
+        """Charge a parallel-over-agents region split by domain segments."""
+        m = self.sim.machine
+        if m is None or len(cycles) == 0:
+            return
+        rm = self.sim.rm
+        blocks = []
+        for d in range(rm.num_domains):
+            sl = rm.domain_slice(d)
+            seg_len = sl.stop - sl.start
+            if seg_len == 0:
+                continue
+            # Blocks must outnumber the domain's threads or the machine
+            # cannot be utilized at small scales (BioDynaMo sizes its
+            # blocks relative to the thread count, Fig. 2 step 2).
+            threads_here = max(1, len(m.threads_of_domain(d)))
+            # ~8 blocks per thread: fine enough that a straggler block on a
+            # slow SMT slot cannot dominate the makespan, coarse enough to
+            # keep scheduling overhead negligible.
+            block_size = max(
+                8,
+                min(self.sim.param.block_size, -(-seg_len // (threads_here * 8))),
+            )
+            blocks.extend(
+                make_blocks(
+                    cycles[sl],
+                    None if mem_cycles is None else mem_cycles[sl],
+                    domain=d,
+                    access_domain_counts=None
+                    if domain_counts is None
+                    else domain_counts[sl],
+                    block_size=block_size,
+                )
+            )
+        m.run_parallel(name, blocks, self._policy)
+
+    def _charge_items_region(self, name, total_cycles, total_mem, items) -> None:
+        """Charge a parallel region over non-agent items (voxels, swaps)."""
+        m = self.sim.machine
+        if m is None or items == 0:
+            return
+        per = total_cycles / items
+        per_mem = total_mem / items
+        n_blocks = max(
+            min(items, m.num_threads * 2), items // self.sim.param.block_size
+        )
+        blocks = make_blocks(
+            np.full(n_blocks, per * items / n_blocks),
+            np.full(n_blocks, per_mem * items / n_blocks),
+            domain=0,
+            block_size=1,
+        )
+        for i, b in enumerate(blocks):  # spread across domains
+            b.preferred_domain = i % (m.num_domains)
+        m.run_parallel(name, blocks, self._policy)
+
+    def _charge_transient_buffers(self, nbytes: int) -> None:
+        """Model per-iteration scratch allocations via the 'other' allocator."""
+        al = self.sim.other_allocator
+        if al is None or nbytes <= 0:
+            return
+        addrs = []
+        remaining = int(nbytes)
+        while remaining > 0:
+            chunk = min(remaining, TRANSIENT_CHUNK)
+            addrs.append((al.allocate(chunk), chunk))
+            remaining -= chunk
+        for a, c in addrs:
+            al.free(a, c)
+
+    def _drain_allocator_cycles(self, name: str) -> None:
+        m = self.sim.machine
+        if m is None:
+            return
+        eff = self._effective_threads()
+        total = 0.0
+        for al in {id(self.sim.agent_allocator): self.sim.agent_allocator,
+                   id(self.sim.other_allocator): self.sim.other_allocator}.values():
+            if al is None:
+                continue
+            cycles = al.drain_cycles()
+            if not cycles:
+                continue
+            # Allocations happen inside parallel loops, but only scale as
+            # far as the allocator's synchronization allows (arena locks
+            # vs thread-private free lists).
+            parallelism = 1.0 + (eff - 1.0) * al.parallel_scalability
+            total += cycles / parallelism
+        if total:
+            m.run_serial(name, total, memory_cycles=total * 0.5)
+
+    # ------------------------------------------------------------------ #
+    # One iteration
+    # ------------------------------------------------------------------ #
+
+    def _iterate(self) -> None:
+        sim = self.sim
+        rm = sim.rm
+        p = sim.param
+        m = sim.machine
+        n = rm.n
+
+        # ---- Pre standalone: rebuild the environment (Algorithm 1, L3-5).
+        self._run_standalone_ops(OpKind.PRE)
+        t0 = time.perf_counter()
+        radius = sim.interaction_radius()
+        work = sim.env.update(rm.positions, radius)
+        sim.invalidate_neighbor_cache()
+        if m is not None:
+            if work.parallelizable and work.per_item_cycles is not None:
+                cycles = work.per_item_cycles
+                if work.random_access_spread_bytes:
+                    scatter = float(
+                        m.cost_model.latency_for_deltas(
+                            work.random_access_spread_bytes / 27.0
+                        )
+                    )
+                    cycles = cycles + scatter
+                self._charge_agent_region(
+                    "build_environment",
+                    cycles,
+                    cycles * 0.6,
+                )
+            else:
+                m.run_serial(
+                    "build_environment",
+                    work.serial_cycles,
+                    memory_cycles=work.serial_cycles * 0.6,
+                )
+        self.wall_times["build_environment"] += time.perf_counter() - t0
+
+        # ---- Agent operations (Algorithm 1, L7-11).
+        t0 = time.perf_counter()
+        self._run_agent_ops()
+        self.wall_times["agent_ops"] += time.perf_counter() - t0
+
+        # ---- Standalone operations (L12-14).
+        t0 = time.perf_counter()
+        self._run_diffusion()
+        self.wall_times["diffusion"] += time.perf_counter() - t0
+        self._run_standalone_ops(OpKind.STANDALONE)
+
+        t0 = time.perf_counter()
+        freq = p.agent_sort_frequency
+        if freq > 0 and (self.iteration + 1) % freq == 0:
+            result = sort_and_balance(sim)
+            if result is not None and m is not None:
+                cm = m.cost_model
+                cycles = np.full(
+                    rm.n, cm.compute_cycles(result.rank_ops_per_agent)
+                )
+                copy_mem = cm.stream_cycles(result.copied_bytes) / max(rm.n, 1)
+                self._charge_agent_region(
+                    "agent_sorting", cycles + copy_mem, np.full(rm.n, copy_mem)
+                )
+                # Step F: per-box counting + work-efficient scan (parallel).
+                self._charge_items_region(
+                    "agent_sorting",
+                    result.boxes_touched * 4.0,
+                    result.boxes_touched * 2.0,
+                    result.boxes_touched,
+                )
+                # Step D: serial gap traversal (tiny — O(#runs * depth)).
+                m.run_serial("agent_sorting", result.serial_cycles)
+            if result is not None:
+                sim.invalidate_neighbor_cache()
+        self._drain_allocator_cycles("agent_sorting")
+        self.wall_times["agent_sorting"] += time.perf_counter() - t0
+
+        # ---- Post standalone: commit agent modifications, visualization.
+        t0 = time.perf_counter()
+        self._commit()
+        self.wall_times["setup_teardown"] += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if sim.visualize_callback is not None:
+            sim.visualize_callback(sim)
+            if m is not None:
+                m.run_serial("visualization", rm.n * 1.0)
+        self.wall_times["visualization"] += time.perf_counter() - t0
+        # Simulated time advances before the end-of-iteration operations,
+        # so post-op samplers (e.g. TimeSeries) see the completed step.
+        sim.time += p.simulation_time_step
+        self._run_standalone_ops(OpKind.POST)
+
+        self.iteration += 1
+        self.peak_memory_bytes = max(self.peak_memory_bytes, sim.memory_bytes())
+
+    # ------------------------------------------------------------------ #
+
+    def _neighbor_memory_profile(self, qi, qj, n):
+        """Per-agent memory cycles + per-domain access counts for CSR pairs.
+
+        A neighbor access costs the *minimum* of two locality proxies:
+
+        - **spatial**: the address distance between the reader's and the
+          target's payloads (streaming/prefetch locality — what agent
+          sorting §4.2 shortens), and
+        - **temporal reuse**: the distance, in iteration order, to the
+          previous reader of the same payload (once agent k's line is
+          fetched, its other readers hit cache *if* they run soon after —
+          which is again what sorting arranges, since a payload's readers
+          are its spatial neighbors).
+
+        Only accesses that miss to memory (effective latency at DRAM
+        level) count toward the remote-domain premium.
+        """
+        m = self.sim.machine
+        rm = self.sim.rm
+        cm = m.cost_model
+        addr = rm.data["addr"]
+        spatial = cm.latency_for_deltas(addr[qi] - addr[qj])
+
+        # Temporal reuse: group accesses by target, readers in iteration
+        # order; the gap to the previous reader (scaled by the per-agent
+        # iteration footprint) is the reuse distance.
+        order = np.lexsort((qi, qj))
+        qis = qi[order]
+        qjs = qj[order]
+        footprint = rm.agent_size_bytes * 1.5
+        gap_bytes = np.full(len(qis), np.inf)
+        if len(qis) > 1:
+            same = qjs[1:] == qjs[:-1]
+            gap_bytes[1:] = np.where(
+                same, np.abs(qis[1:] - qis[:-1]) * footprint, np.inf
+            )
+        reuse = cm.latency_for_deltas(np.where(np.isfinite(gap_bytes), gap_bytes, 1e18))
+        lat = np.minimum(spatial[order], reuse)
+
+        mem = np.bincount(qis, weights=lat, minlength=n)
+        misses = lat >= cm.spec.dram_latency
+        dom_j = rm.domain_of_index(qjs)
+        counts = np.zeros((n, rm.num_domains))
+        for d in range(rm.num_domains):
+            sel = misses & (dom_j == d)
+            counts[:, d] = np.bincount(qis[sel], minlength=n)
+        return mem, counts
+
+    def _run_agent_ops(self) -> None:
+        sim = self.sim
+        rm = sim.rm
+        p = sim.param
+        m = sim.machine
+        n = rm.n
+        if n == 0:
+            return
+        charge = m is not None
+        cm = m.cost_model if charge else None
+
+        if charge:
+            cycles = np.zeros(n)
+            mem = np.zeros(n)
+            dom_counts = np.zeros((n, rm.num_domains))
+            own_stream = cm.stream_cycles(rm.agent_size_bytes)
+            # An agent's own payload lives in its segment's domain; those
+            # cache lines also go remote when a foreign thread runs the
+            # block (the main cost NUMA-aware iteration avoids, §4.1).
+            own_lines = rm.agent_size_bytes / 64.0
+            own_domain = rm.domain_of_index(np.arange(n))
+            dom_counts[np.arange(n), own_domain] += own_lines * 2.0
+
+        # Neighbor relations are needed by forces and neighbor-using
+        # behaviors; fetch once (cached).
+        need_neighbors = (
+            sim.mechanics_enabled
+            or any(b.uses_neighbors for b, _ in sim.behaviors)
+            or any(
+                isinstance(op, AgentOperation) and op.uses_neighbors
+                for op in sim.operations
+            )
+        )
+        if need_neighbors:
+            indptr, indices = sim.neighbors()
+            counts_arr = np.diff(indptr)
+            qi_all = np.repeat(np.arange(n, dtype=np.int64), counts_arr)
+            if charge:
+                nbr_mem, nbr_dom = self._neighbor_memory_profile(qi_all, indices, n)
+                self._charge_transient_buffers(len(indices) * 16)
+
+        # --- Behaviors.
+        for behavior, bit in sim.behaviors:
+            idx = np.flatnonzero(rm.data["behavior_mask"] & np.uint64(bit))
+            if len(idx) == 0:
+                continue
+            behavior.run(sim, idx)
+            if charge:
+                cycles[idx] += cm.compute_cycles(behavior.compute_ops_per_agent) + own_stream
+                mem[idx] += own_stream
+                if behavior.uses_neighbors and need_neighbors:
+                    cycles[idx] += nbr_mem[idx] + cm.compute_cycles(
+                        8.0 * counts_arr[idx]
+                    )
+                    mem[idx] += nbr_mem[idx]
+                    dom_counts[idx] += nbr_dom[idx]
+
+        # --- User-defined agent operations.
+        if any(isinstance(op, AgentOperation) for op in sim.operations):
+            self._run_user_agent_ops(
+                cycles if charge else None,
+                mem if charge else None,
+                nbr_mem if charge and need_neighbors else None,
+                counts_arr if need_neighbors else None,
+                need_neighbors,
+            )
+
+        # --- Mechanical forces + displacement.
+        if sim.mechanics_enabled:
+            # §5: the detection conditions are tied to the force
+            # implementation; refuse to skip agents under a force that
+            # does not support them.
+            detect = p.detect_static_agents and sim.force.supports_static_detection
+            active = ~rm.data["static"] if detect else None
+            res = sim.force.compute(
+                rm.positions, rm.data["diameter"], indptr, indices, active
+            )
+            dt = p.simulation_time_step
+            disp = res.net_force * dt
+            norm = np.linalg.norm(disp, axis=1)
+            too_far = norm > p.simulation_max_displacement
+            if np.any(too_far):
+                disp[too_far] *= (p.simulation_max_displacement / norm[too_far])[:, None]
+            moved_now = norm > MOVE_EPSILON
+            rm.positions[moved_now] += disp[moved_now]
+            rm.data["moved"] |= moved_now
+
+            if charge and sim.gpu_device is not None:
+                # Transparent GPU offload (§2): the device does the grid
+                # build and force kernels; the host blocks on transfers +
+                # kernels (charged serially, like a synchronous offload).
+                bd = sim.gpu_device.mechanics_offload(n, res.pairs_evaluated)
+                m.run_serial(
+                    "gpu_offload",
+                    m.spec.seconds_to_cycles(bd.total_s),
+                    memory_cycles=m.spec.seconds_to_cycles(
+                        bd.upload_s + bd.download_s
+                    ),
+                )
+            elif charge:
+                act = active if active is not None else np.ones(n, dtype=bool)
+                search = sim.env.search_cycles_per_agent()
+                pair_comp = cm.compute_cycles(
+                    counts_arr * InteractionForce.OPS_PER_PAIR
+                ) + cm.compute_cycles(DISPLACEMENT_OPS)
+                cycles[act] += (
+                    pair_comp[act] + nbr_mem[act] + search[act] + own_stream
+                )
+                mem[act] += nbr_mem[act] + search[act] + own_stream
+                dom_counts[act] += nbr_dom[act]
+
+            if detect:
+                rm.data["static"] = update_static_flags(
+                    rm.data["moved"],
+                    rm.data["grew"],
+                    res.nonzero_neighbor_forces,
+                    indptr,
+                    indices,
+                )
+                if charge:
+                    det = cm.compute_cycles(DETECTION_OPS_PER_AGENT)
+                    cycles += det
+        # Closed simulation space: clamp all movements (bound_space).
+        if p.bound_space is not None:
+            lo, hi = p.bound_space
+            np.clip(rm.positions, lo, hi, out=rm.positions)
+
+        if charge:
+            self._charge_agent_region("agent_ops", cycles, mem, dom_counts)
+        self._drain_allocator_cycles("agent_ops")
+
+        # Reset per-iteration flags; agents committed later this iteration
+        # are inserted with moved=True, preserving condition (iii) of §5.
+        rm.data["moved"][:] = False
+        rm.data["grew"][:] = False
+
+    def _run_standalone_ops(self, kind: OpKind) -> None:
+        """Execute user operations of the given kind that are due."""
+        sim = self.sim
+        m = sim.machine
+        for op in sim.operations:
+            if op.kind is not kind or isinstance(op, AgentOperation):
+                continue
+            if not op.due(self.iteration):
+                continue
+            t0 = time.perf_counter()
+            op.run(sim)
+            self.wall_times[op.name] += time.perf_counter() - t0
+            if m is None:
+                continue
+            cm = m.cost_model
+            if op.parallelizable:
+                items = op.num_items(sim)
+                total = cm.compute_cycles(op.compute_ops)
+                self._charge_items_region(op.name, total, total * 0.3, items)
+            else:
+                m.run_serial(op.name, cm.compute_cycles(op.compute_ops))
+
+    def _run_user_agent_ops(self, cycles, mem, nbr_mem, counts_arr,
+                            need_neighbors) -> None:
+        """Execute user-defined agent operations inside the agent loop."""
+        sim = self.sim
+        m = sim.machine
+        cm = m.cost_model if m is not None else None
+        n = sim.rm.n
+        for op in sim.operations:
+            if not isinstance(op, AgentOperation) or not op.due(self.iteration):
+                continue
+            op.run(sim)
+            if cm is not None and cycles is not None:
+                own = cm.stream_cycles(sim.rm.agent_size_bytes)
+                cycles += cm.compute_cycles(op.compute_ops_per_agent) + own
+                mem += own
+                if op.uses_neighbors and nbr_mem is not None:
+                    cycles += nbr_mem + cm.compute_cycles(4.0 * counts_arr)
+                    mem += nbr_mem
+
+    def _run_diffusion(self) -> None:
+        sim = self.sim
+        m = sim.machine
+        dt = sim.param.simulation_time_step
+        total_voxels = 0
+        for grid in sim.diffusion_grids.values():
+            stable = grid.stable_time_step()
+            steps = max(1, int(np.ceil(dt / stable)))
+            sub_dt = dt / steps
+            for _ in range(steps):
+                grid.step(sub_dt)
+            total_voxels += grid.num_volumes * steps
+        if m is not None and total_voxels:
+            cm = m.cost_model
+            comp = cm.compute_cycles(OPS_PER_VOXEL) * total_voxels
+            memc = cm.stream_cycles(total_voxels * 8 * 2)
+            self._charge_items_region("diffusion", comp + memc, memc, total_voxels)
+
+    def _commit(self) -> None:
+        sim = self.sim
+        rm = sim.rm
+        p = sim.param
+        m = sim.machine
+        num_threads = m.num_threads if m is not None else 4
+        stats = rm.commit(
+            parallel=p.parallel_agent_modifications, num_threads=num_threads
+        )
+        if m is not None:
+            # Fixed per-iteration teardown cost (queue scans, barriers).
+            m.run_serial("setup_teardown", 300.0)
+        if m is not None:
+            cm = m.cost_model
+            if p.parallel_agent_modifications:
+                items = stats.added + stats.removed
+                if items:
+                    comp = items * cm.compute_cycles(40.0)
+                    memc = cm.stream_cycles(items * rm.agent_size_bytes)
+                    self._charge_items_region(
+                        "setup_teardown", comp + memc, memc, items
+                    )
+            else:
+                # Serial path: scans the whole vector to compact it.
+                scan = stats.serial_scan_items if stats.removed else 0
+                items = stats.added + stats.removed
+                cycles = items * cm.compute_cycles(40.0) + scan * 4.0
+                if cycles:
+                    m.run_serial("setup_teardown", cycles, memory_cycles=cycles * 0.5)
+        self._drain_allocator_cycles("setup_teardown")
+        if stats.added or stats.removed:
+            sim.invalidate_neighbor_cache()

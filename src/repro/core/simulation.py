@@ -1,0 +1,269 @@
+"""Simulation facade: the public entry point of the engine.
+
+A :class:`Simulation` binds together a parameter set (:class:`Param`), the
+agent storage (:class:`ResourceManager`), a neighbor-search environment, an
+optional virtual NUMA machine for cost accounting, diffusion grids,
+registered behaviors, and the scheduler that executes Algorithm 1.
+
+Typical use::
+
+    from repro import Simulation, Param
+
+    sim = Simulation("demo", Param.optimized())
+    sim.add_cells(positions, diameters=10.0)
+    sim.attach_behavior(indices, GrowDivide(...))
+    sim.simulate(100)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.behavior import Behavior
+from repro.core.force import InteractionForce
+from repro.core.param import Param
+from repro.core.random import SimulationRandom
+from repro.core.resource_manager import ResourceManager
+from repro.core.scheduler import Scheduler
+from repro.core.diffusion import DiffusionGrid
+from repro.env import make_environment
+from repro.mem import AddressSpace, make_allocator
+
+__all__ = ["Simulation"]
+
+#: Number of per-agent behavior payload addresses tracked exactly; further
+#: attachments still count allocator traffic but are freed in bulk.
+MAX_TRACKED_BEHAVIORS = 2
+
+
+class Simulation:
+    """An agent-based simulation (paper §2)."""
+
+    def __init__(
+        self,
+        name: str = "simulation",
+        param: Param | None = None,
+        machine=None,
+        seed: int = 4357,
+    ):
+        self.name = name
+        self.param = param or Param()
+        self.param.validate()
+        self.machine = machine
+        num_domains = machine.num_domains if machine is not None else 1
+
+        space = AddressSpace(num_domains)
+        alloc_kwargs = {}
+        if self.param.agent_allocator == "bdm":
+            alloc_kwargs = dict(
+                growth_rate=self.param.mem_mgr_growth_rate,
+                aligned_pages_shift=self.param.mem_mgr_aligned_pages_shift,
+            )
+        self.agent_allocator = make_allocator(
+            self.param.agent_allocator, num_domains, address_space=space, **alloc_kwargs
+        )
+        if self.param.other_allocator == self.param.agent_allocator:
+            self.other_allocator = self.agent_allocator
+        else:
+            self.other_allocator = make_allocator(
+                self.param.other_allocator, num_domains, address_space=space
+            )
+
+        self.rm = ResourceManager(
+            num_domains, self.agent_allocator, self.param.agent_size_bytes
+        )
+        for i in range(MAX_TRACKED_BEHAVIORS):
+            self.rm.register_column(f"behavior_addr{i}", np.int64, (), 0)
+
+        self.env = make_environment(
+            self.param.environment, **self.param.environment_kwargs
+        )
+        self.random = SimulationRandom(seed)
+        self.force = InteractionForce()
+        self.scheduler = Scheduler(self)
+        self.diffusion_grids: dict[str, DiffusionGrid] = {}
+        self.behaviors: list[tuple[Behavior, int]] = []
+        self._behavior_bits: dict[int, int] = {}
+        self.operations: list = []
+        self.mechanics_enabled = True
+        #: Optional simulated GPU; when set, the mechanics operation's
+        #: cost is charged to the device instead of the CPU cost model
+        #: (BioDynaMo's transparent offload, paper §2).
+        self.gpu_device = None
+        self.fixed_interaction_radius: float | None = None
+        self.visualize_callback = None
+        self.time = 0.0
+        self._csr_cache = None
+
+    # ------------------------------------------------------------------ #
+    # Model construction
+    # ------------------------------------------------------------------ #
+
+    def add_cells(
+        self,
+        positions: np.ndarray,
+        diameters=10.0,
+        behaviors: list[Behavior] | None = None,
+        domain=None,
+        **extra_columns,
+    ) -> np.ndarray:
+        """Add spherical cells immediately (model initialization).
+
+        Returns the storage indices of the new agents (valid until the
+        next commit or sort).
+        """
+        positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+        count = len(positions)
+        attributes = {
+            "position": positions,
+            "diameter": np.broadcast_to(
+                np.asarray(diameters, dtype=np.float64), (count,)
+            ).copy(),
+        }
+        for k, v in extra_columns.items():
+            attributes[k] = np.asarray(v)
+        uids = self.rm.add_agents_now(attributes, domain=domain)
+        idx = np.flatnonzero(np.isin(self.rm.data["uid"], uids))
+        if behaviors:
+            for b in behaviors:
+                self.attach_behavior(idx, b)
+        self.invalidate_neighbor_cache()
+        return idx
+
+    def register_behavior(self, behavior: Behavior) -> int:
+        """Register a behavior instance; returns its bit in the mask."""
+        key = id(behavior)
+        if key in self._behavior_bits:
+            return self._behavior_bits[key]
+        if len(self.behaviors) >= 64:
+            raise RuntimeError("at most 64 distinct behaviors per simulation")
+        bit = 1 << len(self.behaviors)
+        self.behaviors.append((behavior, bit))
+        self._behavior_bits[key] = bit
+        return bit
+
+    def attach_behavior(self, idx, behavior: Behavior, thread: int = 0) -> None:
+        """Attach ``behavior`` to agents ``idx`` (allocates their payloads)."""
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        bit = self.register_behavior(behavior)
+        mask = self.rm.data["behavior_mask"]
+        fresh = idx[(mask[idx] & np.uint64(bit)) == 0]
+        mask[fresh] |= np.uint64(bit)
+        if len(fresh) and self.agent_allocator is not None:
+            doms = self.rm.domain_of_index(fresh)
+            size = self.param.behavior_size_bytes
+            addrs = np.zeros(len(fresh), dtype=np.int64)
+            for d in range(self.rm.num_domains):
+                sel = doms == d
+                c = int(sel.sum())
+                if c:
+                    addrs[sel] = self.agent_allocator.allocate_many(size, c, domain=d)
+            # Record in the first free tracked slot per agent.
+            for col in range(MAX_TRACKED_BEHAVIORS):
+                column = self.rm.data[f"behavior_addr{col}"]
+                free = column[fresh] == 0
+                column[fresh[free]] = addrs[free]
+                fresh = fresh[~free]
+                addrs = addrs[~free]
+                if len(fresh) == 0:
+                    break
+
+    def detach_behavior(self, idx, behavior: Behavior) -> None:
+        """Clear the behavior bit for agents ``idx``."""
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        bit = self._behavior_bits.get(id(behavior))
+        if bit is None:
+            return
+        self.rm.data["behavior_mask"][idx] &= ~np.uint64(bit)
+
+    def add_diffusion_grid(self, grid: DiffusionGrid) -> DiffusionGrid:
+        """Register a substance grid (stepped once per iteration)."""
+        self.diffusion_grids[grid.name] = grid
+        return grid
+
+    def add_operation(self, operation) -> None:
+        """Register a user-defined operation (paper §2: agent operations
+        and standalone operations with an execution frequency)."""
+        self.operations.append(operation)
+
+    def remove_operation(self, operation) -> None:
+        """Unregister a previously added operation."""
+        self.operations.remove(operation)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def get_agent(self, uid: int):
+        """BioDynaMo-style handle to one agent by uid (stays valid across
+        sorting and removals of other agents)."""
+        from repro.core.agent import Agent
+
+        handle = Agent(self, uid)
+        handle.index  # raises KeyError for dead/unknown uids
+        return handle
+
+    def agents(self):
+        """Iterate handles over all live agents (snapshot of uids)."""
+        from repro.core.agent import Agent
+
+        for uid in self.rm.data["uid"].tolist():
+            yield Agent(self, uid)
+
+    def interaction_radius(self) -> float:
+        """Neighbor radius: fixed override or max diameter times factor."""
+        if self.fixed_interaction_radius is not None:
+            return self.fixed_interaction_radius
+        if self.rm.n == 0:
+            return 1.0
+        return float(self.rm.data["diameter"].max()) * self.param.interaction_radius_factor
+
+    def neighbors(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR neighbor lists from the current environment build (cached
+        within an iteration)."""
+        if self._csr_cache is None:
+            self._csr_cache = self.env.neighbor_csr()
+        return self._csr_cache
+
+    def invalidate_neighbor_cache(self) -> None:
+        """Drop the cached CSR (after moves, commits, or sorting)."""
+        self._csr_cache = None
+
+    @property
+    def num_agents(self) -> int:
+        return self.rm.n
+
+    def memory_bytes(self) -> int:
+        """Total simulated memory footprint (Fig. 6/9/13 memory metric)."""
+        total = self.rm.memory_bytes()
+        total += self.env.memory_bytes
+        if self.other_allocator is not self.agent_allocator and self.other_allocator:
+            total += self.other_allocator.reserved_bytes
+        for grid in self.diffusion_grids.values():
+            total += grid.concentration.nbytes
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def simulate(self, iterations: int) -> None:
+        """Run the model for ``iterations`` time steps (Algorithm 1)."""
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        self.scheduler.simulate(iterations)
+
+    # Reporting ---------------------------------------------------------- #
+
+    def virtual_seconds(self) -> float:
+        """Virtual elapsed time on the attached machine (0 without one)."""
+        return self.machine.elapsed_seconds if self.machine is not None else 0.0
+
+    def runtime_breakdown(self) -> dict[str, float]:
+        """Per-operation virtual seconds (paper Fig. 5 left)."""
+        if self.machine is None:
+            return dict(self.scheduler.wall_times)
+        return {
+            name: self.machine.spec.cycles_to_seconds(st.cycles)
+            for name, st in self.machine.stats.items()
+        }

@@ -1,0 +1,60 @@
+"""Partition-invariant random motility for the distributed engine.
+
+Random movement in a distributed simulation must not depend on *which
+node* computes an agent, or results would change with the node count.
+The standard solution is counter-based randomness: every agent's step is
+a pure function of ``(seed, uid, iteration)``.  We hash those with
+SplitMix64 (vectorized over agents) and map the uniform bits to Gaussian
+steps with Box–Muller, so any decomposition produces identical motion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BrownianMotion"]
+
+_U = np.uint64
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 finalizer (high-quality 64-bit mixing)."""
+    x = x + _U(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> _U(30))) * _U(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> _U(27))) * _U(0x94D049BB133111EB)
+    return x ^ (x >> _U(31))
+
+
+def _uniforms(seed: int, uids: np.ndarray, iteration: int, lane: int) -> np.ndarray:
+    """Deterministic uniforms in (0, 1), one per uid."""
+    base = (
+        _U(seed & 0xFFFFFFFFFFFFFFFF)
+        ^ (_U(iteration & 0xFFFFFFFF) << _U(32))
+        ^ (_U(lane) << _U(16))
+    )
+    bits = _splitmix64(uids.astype(_U) * _U(0x9E3779B97F4A7C15) + base)
+    # Top 53 bits -> double in [0,1); nudge away from exact 0.
+    u = (bits >> _U(11)).astype(np.float64) * (1.0 / (1 << 53))
+    return np.clip(u, 1e-16, 1.0 - 1e-16)
+
+
+class BrownianMotion:
+    """Gaussian random steps that are a pure function of (uid, iteration)."""
+
+    def __init__(self, speed: float, seed: int = 0):
+        self.speed = speed
+        self.seed = seed
+
+    def displacements(self, uids: np.ndarray, iteration: int, dt: float) -> np.ndarray:
+        """(n, 3) Gaussian steps for the given agents at this iteration."""
+        uids = np.asarray(uids, dtype=np.int64)
+        out = np.empty((len(uids), 3))
+        scale = self.speed * dt
+        for axis in range(3):
+            u1 = _uniforms(self.seed, uids, iteration, lane=2 * axis)
+            u2 = _uniforms(self.seed, uids, iteration, lane=2 * axis + 1)
+            # Box-Muller.
+            out[:, axis] = scale * np.sqrt(-2.0 * np.log(u1)) * np.cos(
+                2.0 * np.pi * u2
+            )
+        return out

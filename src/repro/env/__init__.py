@@ -1,0 +1,45 @@
+"""Neighbor-search environments (paper §3.1, §6.9).
+
+BioDynaMo exposes a common *environment* interface over interchangeable
+radial neighbor-search algorithms.  We implement the three the paper
+evaluates in Fig. 11:
+
+- :class:`~repro.env.uniform_grid.UniformGridEnvironment` — the paper's
+  optimized uniform grid: boxes the size of the interaction radius,
+  timestamped so the build never touches empty boxes (O(#agents), not
+  O(#agents + #boxes)), an array-based linked list sharing agent indices
+  with the ResourceManager, and a parallelizable build.
+- :class:`~repro.env.kdtree.KDTreeEnvironment` — a from-scratch kd-tree
+  (the role nanoflann plays in BioDynaMo); serial build.
+- :class:`~repro.env.octree.OctreeEnvironment` — a from-scratch bucket
+  octree after Behley et al.; serial build.
+
+All three return identical neighbor sets (CSR adjacency within the
+interaction radius) and report the work they performed (build work, per-
+agent search candidates, index memory) so the virtual machine can charge
+costs.
+"""
+
+from repro.env.environment import BuildWork, Environment
+from repro.env.uniform_grid import UniformGridEnvironment
+from repro.env.kdtree import KDTreeEnvironment
+from repro.env.octree import OctreeEnvironment
+
+__all__ = [
+    "BuildWork",
+    "Environment",
+    "UniformGridEnvironment",
+    "KDTreeEnvironment",
+    "OctreeEnvironment",
+]
+
+
+def make_environment(name: str, **kwargs) -> Environment:
+    """Factory for benchmark configurations: ``uniform_grid`` / ``kd_tree`` / ``octree``."""
+    if name == "uniform_grid":
+        return UniformGridEnvironment(**kwargs)
+    if name == "kd_tree":
+        return KDTreeEnvironment(**kwargs)
+    if name == "octree":
+        return OctreeEnvironment(**kwargs)
+    raise ValueError(f"unknown environment {name!r}")

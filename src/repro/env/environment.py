@@ -1,0 +1,86 @@
+"""Common interface for radial neighbor-search environments."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BuildWork", "Environment"]
+
+
+@dataclass
+class BuildWork:
+    """Work performed while (re)building an environment index.
+
+    The virtual machine charges ``per_item_cycles`` as a parallel region
+    when the build is parallelizable (the uniform grid) and
+    ``serial_cycles`` as a serial section otherwise (kd-tree, octree) —
+    the distinction behind the 255–983x build-time gap in Fig. 11.
+    """
+
+    parallelizable: bool
+    per_item_cycles: np.ndarray | None = None
+    serial_cycles: float = 0.0
+    memory_bytes: int = 0
+    #: Span of the index array hit by scattered writes during the build
+    #: (e.g. the grid's box array).  The scheduler charges one access at
+    #: this address distance per item — how a "wider environment"
+    #: increases the update time (paper §6.3, epidemiology).
+    random_access_spread_bytes: float = 0.0
+
+
+class Environment(ABC):
+    """A fixed-radius neighbor index over agent positions.
+
+    Subclasses must set :attr:`name` and implement :meth:`update` and
+    :meth:`neighbor_csr`.  ``update`` must be called whenever agent
+    positions changed; BioDynaMo rebuilds the environment at the start of
+    every iteration (Algorithm 1, L3-5).
+    """
+
+    name: str = "environment"
+
+    def __init__(self):
+        self.last_build_work: BuildWork | None = None
+
+    @abstractmethod
+    def update(self, positions: np.ndarray, radius: float) -> BuildWork:
+        """(Re)build the index for ``positions`` with interaction ``radius``."""
+
+    @abstractmethod
+    def neighbor_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """All-pairs fixed-radius neighbors as CSR ``(indptr, indices)``.
+
+        ``indices[indptr[i]:indptr[i+1]]`` are the agents within the
+        interaction radius of agent ``i`` (excluding ``i`` itself).
+        """
+
+    @abstractmethod
+    def search_candidates_per_agent(self) -> np.ndarray:
+        """Number of candidate agents examined per query during the last
+        :meth:`neighbor_csr` (the search work charged to agent operations)."""
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes held by the index (Fig. 11, memory row)."""
+        return self.last_build_work.memory_bytes if self.last_build_work else 0
+
+    # Convenience used by tests and examples -----------------------------
+
+    def neighbors_of(self, i: int) -> np.ndarray:
+        """Neighbor indices of agent ``i`` from the current build."""
+        indptr, indices = self.neighbor_csr()
+        return indices[indptr[i] : indptr[i + 1]]
+
+
+def brute_force_csr(positions: np.ndarray, radius: float) -> tuple[np.ndarray, np.ndarray]:
+    """Reference O(n^2) neighbor search used by the test suite."""
+    n = len(positions)
+    d2 = np.sum((positions[:, None, :] - positions[None, :, :]) ** 2, axis=-1)
+    mask = (d2 <= radius * radius) & ~np.eye(n, dtype=bool)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(mask.sum(axis=1), out=indptr[1:])
+    indices = np.nonzero(mask)[1]
+    return indptr, indices

@@ -1,0 +1,180 @@
+"""From-scratch bucket octree environment (after Behley et al., ICRA'15).
+
+BioDynaMo's third environment wraps the UniBN octree; we implement the
+same idea: a cubic root cell covering all agents, recursively subdivided
+into octants until at most ``bucket_size`` agents remain.  The build is
+serial (as in the paper's evaluation); fixed-radius queries run as a
+batched traversal with ball/cell overlap pruning, like the kd-tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.environment import BuildWork, Environment
+
+__all__ = ["OctreeEnvironment"]
+
+_BUILD_ELEM_CYCLES = 20.0
+_NODE_VISIT_CYCLES = 42.0
+_LEAF_CAND_CYCLES = 10.0
+
+
+class _Cell:
+    __slots__ = ("center", "extent", "children", "lo", "hi")
+
+    def __init__(self, center, extent, lo, hi):
+        self.center = center
+        self.extent = extent
+        self.children: list["_Cell"] | None = None
+        self.lo = lo
+        self.hi = hi
+
+
+class OctreeEnvironment(Environment):
+    """Serial-build bucket octree with batched fixed-radius search."""
+
+    name = "octree"
+
+    def __init__(self, bucket_size: int = 32, min_extent: float = 1e-9):
+        super().__init__()
+        if bucket_size < 1:
+            raise ValueError("bucket_size must be >= 1")
+        self.bucket_size = bucket_size
+        self.min_extent = min_extent
+        self._root: _Cell | None = None
+        self._idx = np.empty(0, dtype=np.int64)
+        self._positions = np.empty((0, 3))
+        self._radius = 0.0
+        self._num_nodes = 0
+        self._build_elem_work = 0
+        self._visited = np.empty(0, dtype=np.int64)
+        self._csr = None
+
+    def update(self, positions: np.ndarray, radius: float) -> BuildWork:
+        positions = np.asarray(positions, dtype=np.float64)
+        if radius <= 0:
+            raise ValueError("interaction radius must be positive")
+        n = len(positions)
+        self._positions = positions
+        self._radius = radius
+        self._idx = np.arange(n, dtype=np.int64)
+        self._num_nodes = 0
+        self._build_elem_work = 0
+        self._csr = None
+        if n:
+            mins = positions.min(axis=0)
+            maxs = positions.max(axis=0)
+            center = (mins + maxs) / 2.0
+            extent = float(np.max(maxs - mins) / 2.0) + 1e-9
+            self._root = self._build(center, extent, 0, n)
+        else:
+            self._root = None
+        self.last_build_work = BuildWork(
+            parallelizable=False,
+            serial_cycles=self._build_elem_work * _BUILD_ELEM_CYCLES
+            + self._num_nodes * _NODE_VISIT_CYCLES,
+            memory_bytes=self._num_nodes * 64 + n * 8,
+        )
+        return self.last_build_work
+
+    def _build(self, center, extent, lo, hi) -> _Cell:
+        cell = _Cell(center, extent, lo, hi)
+        self._num_nodes += 1
+        count = hi - lo
+        if count <= self.bucket_size or extent <= self.min_extent:
+            return cell
+        self._build_elem_work += count
+        seg = self._idx[lo:hi]
+        pts = self._positions[seg]
+        octant = (
+            (pts[:, 0] > center[0]).astype(np.int64)
+            | ((pts[:, 1] > center[1]).astype(np.int64) << 1)
+            | ((pts[:, 2] > center[2]).astype(np.int64) << 2)
+        )
+        order = np.argsort(octant, kind="stable")
+        self._idx[lo:hi] = seg[order]
+        counts = np.bincount(octant, minlength=8)
+        bounds = np.zeros(9, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        half = extent / 2.0
+        children = []
+        for o in range(8):
+            c_lo, c_hi = lo + bounds[o], lo + bounds[o + 1]
+            offset = np.array(
+                [half if o & 1 else -half,
+                 half if o & 2 else -half,
+                 half if o & 4 else -half]
+            )
+            if c_hi > c_lo:
+                children.append(self._build(center + offset, half, c_lo, c_hi))
+            else:
+                children.append(None)
+        cell.children = children
+        return cell
+
+    # ------------------------------------------------------------------ #
+
+    def neighbor_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._csr is not None:
+            return self._csr
+        n = len(self._positions)
+        visited = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            self._visited = visited
+            self._csr = (np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+            return self._csr
+
+        pos = self._positions
+        r = self._radius
+        r2 = r * r
+        qi_parts, cand_parts = [], []
+        stack = [(self._root, np.arange(n, dtype=np.int64))]
+        while stack:
+            cell, queries = stack.pop()
+            visited[queries] += 1
+            if cell.children is None:  # leaf bucket
+                leaf = self._idx[cell.lo : cell.hi]
+                if len(leaf) == 0 or len(queries) == 0:
+                    continue
+                visited[queries] += len(leaf)
+                qi = np.repeat(queries, len(leaf))
+                cand = np.tile(leaf, len(queries))
+                d2 = np.sum((pos[qi] - pos[cand]) ** 2, axis=1)
+                keep = (d2 <= r2) & (qi != cand)
+                qi_parts.append(qi[keep])
+                cand_parts.append(cand[keep])
+                continue
+            for child in cell.children:
+                if child is None:
+                    continue
+                # Ball/cell overlap test (Behley et al., Sec. III).
+                delta = np.abs(pos[queries] - child.center) - child.extent
+                d2c = np.sum(np.maximum(delta, 0.0) ** 2, axis=1)
+                overlap = d2c <= r2
+                q = queries[overlap]
+                if len(q):
+                    stack.append((child, q))
+
+        qi = np.concatenate(qi_parts) if qi_parts else np.empty(0, dtype=np.int64)
+        cand = np.concatenate(cand_parts) if cand_parts else np.empty(0, dtype=np.int64)
+        counts = np.bincount(qi, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(qi, kind="stable")
+        self._visited = visited
+        self._csr = (indptr, cand[order])
+        return self._csr
+
+    def search_candidates_per_agent(self) -> np.ndarray:
+        if self._csr is None:
+            self.neighbor_csr()
+        return self._visited
+
+    def search_cycles_per_agent(self) -> np.ndarray:
+        """Search cost per query in cycles (visited work times unit cost)."""
+        return self.search_candidates_per_agent() * _LEAF_CAND_CYCLES
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes

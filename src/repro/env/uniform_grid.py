@@ -1,0 +1,400 @@
+"""BioDynaMo's optimized uniform grid environment (paper §3.1).
+
+Design points reproduced from the paper:
+
+- **Fixed-radius exploitation.**  The box edge equals the interaction
+  radius, so all neighbors of an agent lie in the 3x3x3 cube of boxes
+  around its own box.
+- **Timestamped boxes.**  Every box carries a timestamp updated when an
+  agent is added; a box whose timestamp differs from the grid's current
+  timestamp is empty.  The build therefore never clears box arrays and
+  runs in O(#agents) instead of O(#agents + #boxes) — relevant for large,
+  sparsely populated simulation spaces.  We allocate box arrays with
+  ``np.empty`` (i.e. uninitialized) to keep this property honest.
+- **Array-based linked list.**  Agents inside a box are chained using the
+  same agent indices as the ResourceManager, so the agent-sorting
+  optimization (§4.2) also shortens pointer-chase distances here.  The
+  batch build produces the equivalent compact form (a counting sort); the
+  faithful incremental insertion path is used when agents are added one
+  at a time.
+- **Parallel build.**  Assigning agents to boxes is embarrassingly
+  parallel; the reported :class:`BuildWork` charges per-agent cycles to a
+  parallel region (unlike the serial kd-tree/octree builds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.environment import BuildWork, Environment
+
+__all__ = ["UniformGridEnvironment"]
+
+# Model constants (cycles).
+_ASSIGN_CYCLES = 14.0      # compute box coords + insert into linked list
+_CANDIDATE_CYCLES = 6.0    # examine one candidate during search (distance check)
+
+_NO_AGENT = -1
+
+
+class UniformGridEnvironment(Environment):
+    """Uniform grid with timestamped boxes and array-based linked lists."""
+
+    name = "uniform_grid"
+
+    def __init__(self, box_length_factor: float = 1.0, max_boxes: int = 1 << 26):
+        super().__init__()
+        if box_length_factor < 1.0:
+            raise ValueError("box_length_factor must be >= 1 (boxes may not be "
+                             "smaller than the interaction radius)")
+        self.box_length_factor = box_length_factor
+        self.max_boxes = max_boxes
+        self._timestamp = 0
+        self._dims = np.zeros(3, dtype=np.int64)
+        self._mins = np.zeros(3)
+        self._box_len = 0.0
+        # Box arrays are lazily (re)allocated UNINITIALIZED; timestamps
+        # guarantee stale contents are never read.
+        self._box_start = np.empty(0, dtype=np.int64)
+        self._box_count = np.empty(0, dtype=np.int64)
+        self._box_stamp = np.empty(0, dtype=np.int64)
+        self._successor = np.empty(0, dtype=np.int64)
+        self._order = np.empty(0, dtype=np.int64)       # agents sorted by box
+        self._sorted_starts = None
+        self._positions = np.empty((0, 3))
+        self._box_of_agent = np.empty(0, dtype=np.int64)
+        self._radius = 0.0
+        self._candidates = np.empty(0, dtype=np.int64)
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+
+    def _grid_geometry(self, positions: np.ndarray, radius: float):
+        box_len = radius * self.box_length_factor
+        mins = positions.min(axis=0) - 1e-9
+        maxs = positions.max(axis=0)
+        if not (np.all(np.isfinite(mins)) and np.all(np.isfinite(maxs))):
+            raise ValueError("positions contain non-finite coordinates")
+        dims = np.maximum(np.ceil((maxs - mins) / box_len).astype(np.int64), 1)
+        if int(np.prod(dims)) > self.max_boxes:
+            raise MemoryError(
+                f"grid would need {int(np.prod(dims))} boxes (> max_boxes); "
+                "increase box_length_factor or shrink the simulation space"
+            )
+        return mins, dims, box_len
+
+    def update(self, positions: np.ndarray, radius: float) -> BuildWork:
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError("positions must have shape (n, 3)")
+        if radius <= 0:
+            raise ValueError("interaction radius must be positive")
+        n = len(positions)
+        self._positions = positions
+        self._radius = radius
+        self._timestamp += 1
+        self._csr = None
+        self._incremental = False
+        if n == 0:
+            self._box_of_agent = np.empty(0, dtype=np.int64)
+            self._order = np.empty(0, dtype=np.int64)
+            self.last_build_work = BuildWork(parallelizable=True,
+                                             per_item_cycles=np.empty(0))
+            return self.last_build_work
+
+        self._mins, self._dims, self._box_len = self._grid_geometry(positions, radius)
+        num_boxes = int(np.prod(self._dims))
+        if len(self._box_stamp) < num_boxes:
+            # Reallocate WITHOUT zeroing: the timestamp makes this safe.
+            self._box_start = np.empty(num_boxes, dtype=np.int64)
+            self._box_count = np.empty(num_boxes, dtype=np.int64)
+            self._box_stamp = np.zeros(num_boxes, dtype=np.int64)  # one-time
+
+        coords = ((positions - self._mins) / self._box_len).astype(np.int64)
+        coords = np.minimum(coords, self._dims - 1)
+        box_id = (coords[:, 2] * self._dims[1] + coords[:, 1]) * self._dims[0] + coords[:, 0]
+        self._box_of_agent = box_id
+
+        # Counting-sort equivalent of the parallel linked-list build: touch
+        # only boxes that contain agents (O(#agents) semantics).
+        order = np.argsort(box_id, kind="stable")
+        sorted_boxes = box_id[order]
+        run_starts = np.flatnonzero(np.diff(sorted_boxes)) + 1
+        starts = np.concatenate(([0], run_starts))
+        boxes_touched = sorted_boxes[starts]
+        counts = np.diff(np.append(starts, n))
+        self._box_start[boxes_touched] = starts
+        self._box_count[boxes_touched] = counts
+        self._box_stamp[boxes_touched] = self._timestamp
+        self._order = order
+
+        # Array-based linked list: successor chains within each box, using
+        # ResourceManager agent indices.
+        succ = np.full(n, _NO_AGENT, dtype=np.int64)
+        same_box = sorted_boxes[:-1] == sorted_boxes[1:]
+        succ[order[:-1][same_box]] = order[1:][same_box]
+        self._successor = succ
+
+        self.last_build_work = BuildWork(
+            parallelizable=True,
+            per_item_cycles=np.full(n, _ASSIGN_CYCLES),
+            memory_bytes=int(len(self._box_stamp) * 20 + n * 16),
+            # Each insert writes into the box array at an effectively
+            # random offset; wider (sparser) environments spread these
+            # writes over more memory and miss deeper cache levels.
+            random_access_spread_bytes=float(num_boxes * 20),
+        )
+        return self.last_build_work
+
+    # ------------------------------------------------------------------ #
+    # Faithful single-agent insertion (timestamp + linked-list semantics)
+    # ------------------------------------------------------------------ #
+
+    def begin_incremental(self, lower, upper, radius: float) -> None:
+        """Start an incremental build over a fixed spatial extent.
+
+        Agents are then added one at a time with :meth:`insert_agent`,
+        exactly as the paper's head-insertion linked-list build does;
+        searches consolidate the chains on demand.  The batch
+        :meth:`update` path produces the same neighbor sets.
+        """
+        if radius <= 0:
+            raise ValueError("interaction radius must be positive")
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        if np.any(upper <= lower):
+            raise ValueError("upper bound must exceed lower bound")
+        self._radius = radius
+        self._box_len = radius * self.box_length_factor
+        self._mins = lower - 1e-9
+        self._dims = np.maximum(
+            np.ceil((upper - self._mins) / self._box_len).astype(np.int64), 1
+        )
+        num_boxes = int(np.prod(self._dims))
+        if num_boxes > self.max_boxes:
+            raise MemoryError("grid would need too many boxes")
+        if len(self._box_stamp) < num_boxes:
+            self._box_start = np.empty(num_boxes, dtype=np.int64)
+            self._box_count = np.empty(num_boxes, dtype=np.int64)
+            self._box_stamp = np.zeros(num_boxes, dtype=np.int64)
+        self._timestamp += 1
+        self._inc_positions: list[np.ndarray] = []
+        self._inc_boxes: list[int] = []
+        self._touched: list[int] = []
+        self._successor = np.empty(0, dtype=np.int64)
+        self._csr = None
+        self._incremental = True
+
+    def insert_agent(self, position) -> int:
+        """Insert one agent with the paper's timestamped head-insertion.
+
+        Returns the agent's index.  Requires :meth:`begin_incremental`.
+        """
+        if not getattr(self, "_incremental", False):
+            raise RuntimeError("call begin_incremental() first")
+        position = np.asarray(position, dtype=np.float64)
+        coords = ((position - self._mins) / self._box_len).astype(np.int64)
+        coords = np.clip(coords, 0, self._dims - 1)
+        b = int((coords[2] * self._dims[1] + coords[1]) * self._dims[0] + coords[0])
+        idx = len(self._inc_positions)
+        if idx >= len(self._successor):
+            grown = np.full(max(2 * idx, 16), _NO_AGENT, dtype=np.int64)
+            grown[: len(self._successor)] = self._successor
+            self._successor = grown
+        if self._box_stamp[b] != self._timestamp:
+            # First agent in this box this iteration: no zeroing needed.
+            self._box_stamp[b] = self._timestamp
+            self._box_count[b] = 0
+            self._box_start[b] = _NO_AGENT
+            self._touched.append(b)
+        self._successor[idx] = self._box_start[b]
+        self._box_start[b] = idx
+        self._box_count[b] += 1
+        self._inc_positions.append(position)
+        self._inc_boxes.append(b)
+        self._csr = None
+        return idx
+
+    def _consolidate(self) -> None:
+        """Turn the head-insertion chains into the batch search layout."""
+        n = len(self._inc_positions)
+        self._positions = (
+            np.vstack(self._inc_positions) if n else np.empty((0, 3))
+        )
+        self._box_of_agent = np.asarray(self._inc_boxes, dtype=np.int64)
+        order = np.empty(n, dtype=np.int64)
+        pos_cursor = 0
+        for b in self._touched:
+            start = pos_cursor
+            cur = int(self._box_start[b])
+            while cur != _NO_AGENT:
+                order[pos_cursor] = cur
+                pos_cursor += 1
+                cur = int(self._successor[cur])
+            self._box_start[b] = start
+            self._box_count[b] = pos_cursor - start
+        self._order = order
+        self._incremental = False
+
+    def box_chain(self, box_id: int) -> list[int]:
+        """Walk the linked list of one box (incremental mode only)."""
+        if not getattr(self, "_incremental", False):
+            raise RuntimeError("box chains exist only during incremental builds")
+        if self._box_stamp[box_id] != self._timestamp:
+            return []
+        out = []
+        cur = int(self._box_start[box_id])
+        while cur != _NO_AGENT:
+            out.append(cur)
+            cur = int(self._successor[cur])
+        return out
+
+    def is_box_empty(self, box_id: int) -> bool:
+        """Timestamp check: True if no agent was added this iteration."""
+        return self._box_stamp[box_id] != self._timestamp
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+
+    def neighbor_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """All-pairs fixed-radius neighbors as CSR ``(indptr, indices)``."""
+        if self._csr is not None:
+            return self._csr
+        if getattr(self, "_incremental", False):
+            self._consolidate()
+        n = len(self._positions)
+        if n == 0:
+            self._candidates = np.empty(0, dtype=np.int64)
+            self._csr = (np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+            return self._csr
+
+        pos = self._positions
+        dims = self._dims
+        box = self._box_of_agent
+        cz, rem = np.divmod(box, dims[0] * dims[1])
+        cy, cx = np.divmod(rem, dims[0])
+        r2 = self._radius * self._radius
+
+        # All 27 neighbor boxes of every agent in one vectorized pass.
+        d = np.array([-1, 0, 1], dtype=np.int64)
+        off = np.stack(np.meshgrid(d, d, d, indexing="ij"), axis=-1).reshape(27, 3)
+        nbx = cx[:, None] + off[None, :, 0]
+        nby = cy[:, None] + off[None, :, 1]
+        nbz = cz[:, None] + off[None, :, 2]
+        valid = (
+            (nbx >= 0) & (nbx < dims[0])
+            & (nby >= 0) & (nby < dims[1])
+            & (nbz >= 0) & (nbz < dims[2])
+        )
+        nbid = (nbz * dims[1] + nby) * dims[0] + nbx
+        nbid[~valid] = 0  # clamped; masked out via reps below
+        fresh = self._box_stamp[nbid] == self._timestamp
+        reps = np.where(valid & fresh, self._box_count[nbid], 0)
+
+        candidates = reps.sum(axis=1)
+        reps_f = reps.ravel()
+        total = int(candidates.sum())
+        qi = np.repeat(np.arange(n, dtype=np.int64), candidates)
+        # Gather the ranges [start, start+count) of each (agent, box) pair.
+        csum = np.cumsum(reps_f) - reps_f
+        within = np.arange(total, dtype=np.int64) - np.repeat(csum, reps_f)
+        cand = self._order[np.repeat(self._box_start[nbid].ravel(), reps_f) + within]
+
+        # Component-wise distance: avoids materializing (npairs, 3) temps
+        # and the slow axis reduction.
+        px, py, pz = pos[:, 0], pos[:, 1], pos[:, 2]
+        dx = px[qi] - px[cand]
+        dy = py[qi] - py[cand]
+        dz = pz[qi] - pz[cand]
+        d2 = dx * dx
+        d2 += dy * dy
+        d2 += dz * dz
+        keep = (d2 <= r2) & (qi != cand)
+        qi, cand = qi[keep], cand[keep]
+
+        # qi is already sorted (agents emitted in index order) -> CSR.
+        counts = np.bincount(qi, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._candidates = candidates
+        self._csr = (indptr, cand)
+        return self._csr
+
+    def search_candidates_per_agent(self) -> np.ndarray:
+        if self._csr is None:
+            self.neighbor_csr()
+        return self._candidates
+
+    def search_cycles_per_agent(self) -> np.ndarray:
+        """Search cost per agent in cycles (candidates times unit cost)."""
+        return self.search_candidates_per_agent() * _CANDIDATE_CYCLES
+
+    def query(self, points: np.ndarray, radius: float | None = None) -> list[np.ndarray]:
+        """Agents within ``radius`` of arbitrary query points.
+
+        Uses the current build; ``radius`` defaults to (and must not
+        exceed) the build radius, since only the 3x3x3 box cube around
+        each point is searched.  Returns one index array per point.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(self._positions) == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(len(points))]
+        radius = self._radius if radius is None else radius
+        if radius > self._radius + 1e-12:
+            raise ValueError("query radius exceeds the build radius")
+        coords = ((points - self._mins) / self._box_len).astype(np.int64)
+        coords = np.clip(coords, 0, self._dims - 1)
+        out = []
+        r2 = radius * radius
+        for p, (cx, cy, cz) in zip(points, coords):
+            cands = []
+            for dz in (-1, 0, 1):
+                z = cz + dz
+                if not 0 <= z < self._dims[2]:
+                    continue
+                for dy in (-1, 0, 1):
+                    y = cy + dy
+                    if not 0 <= y < self._dims[1]:
+                        continue
+                    for dx in (-1, 0, 1):
+                        x = cx + dx
+                        if not 0 <= x < self._dims[0]:
+                            continue
+                        b = (z * self._dims[1] + y) * self._dims[0] + x
+                        if self._box_stamp[b] != self._timestamp:
+                            continue
+                        s = self._box_start[b]
+                        cands.append(self._order[s : s + self._box_count[b]])
+            if cands:
+                cand = np.concatenate(cands)
+                d2 = np.sum((self._positions[cand] - p) ** 2, axis=1)
+                out.append(cand[d2 <= r2])
+            else:
+                out.append(np.empty(0, dtype=np.int64))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by agent sorting (§4.2) and tests
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dims(self) -> np.ndarray:
+        return self._dims
+
+    @property
+    def box_length(self) -> float:
+        return self._box_len
+
+    @property
+    def box_of_agent(self) -> np.ndarray:
+        return self._box_of_agent
+
+    @property
+    def num_boxes(self) -> int:
+        """Total boxes of the current grid geometry."""
+        if getattr(self, "_incremental", False) or len(self._positions):
+            return int(np.prod(self._dims))
+        return 0

@@ -1,0 +1,19 @@
+"""Simulated GPU offload (paper §2).
+
+BioDynaMo "is a hybrid framework able to utilize multi-core CPUs and
+GPUs ... BioDynaMo only offloads computations to the GPU, transparently
+to the user" (Hesam et al., IPDPSW'21).  The paper's evaluation focuses
+on the CPU for two stated reasons: GPUs have far less memory (System A
+has 12x the A100's 40 GB), and the user community writes CPU-side code.
+
+This subpackage models that offload path so both arguments are
+measurable: a roofline GPU device (compute vs memory-bandwidth bound
+kernels, PCIe transfers, launch overhead, a hard memory capacity), and a
+transparent hook — ``sim.gpu_device = GpuDevice(A100)`` — that redirects
+the mechanical-forces operation's cost from the CPU cost model to the
+device while the numerical results stay exactly the same.
+"""
+
+from repro.gpu.device import A100, GpuDevice, GpuSpec, OffloadBreakdown, V100
+
+__all__ = ["GpuSpec", "GpuDevice", "OffloadBreakdown", "A100", "V100"]

@@ -1,0 +1,131 @@
+"""Roofline GPU device model for the mechanics offload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "GpuDevice", "OffloadBreakdown", "A100", "V100"]
+
+#: Bytes per agent on the device (position, diameter, force, grid entry).
+DEVICE_BYTES_PER_AGENT = 64
+
+#: Bytes transferred per agent host->device (position + diameter) and
+#: device->host (displacement).
+UPLOAD_BYTES_PER_AGENT = 32
+DOWNLOAD_BYTES_PER_AGENT = 24
+
+#: Kernel work estimates (match the CPU cost model's assumptions).
+FORCE_FLOPS_PER_PAIR = 55.0
+FORCE_BYTES_PER_PAIR = 32.0
+BUILD_FLOPS_PER_AGENT = 20.0
+BUILD_BYTES_PER_AGENT = 24.0
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU (roofline parameters)."""
+
+    name: str
+    sms: int
+    cores_per_sm: int
+    freq_ghz: float
+    mem_bandwidth_gb_s: float
+    mem_gb: float
+    pcie_bandwidth_gb_s: float
+    pcie_latency_s: float = 8e-6
+    kernel_launch_s: float = 5e-6
+
+    @property
+    def peak_flops(self) -> float:
+        """FMA-counted peak throughput in FLOP/s."""
+        return self.sms * self.cores_per_sm * self.freq_ghz * 1e9 * 2.0
+
+    def kernel_seconds(self, flops: float, bytes_moved: float) -> float:
+        """Roofline: a kernel runs at the compute or bandwidth limit."""
+        compute = flops / self.peak_flops
+        memory = bytes_moved / (self.mem_bandwidth_gb_s * 1e9)
+        return max(compute, memory) + self.kernel_launch_s
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        """PCIe transfer time for ``nbytes`` (latency + bandwidth)."""
+        if nbytes <= 0:
+            return 0.0
+        return self.pcie_latency_s + nbytes / (self.pcie_bandwidth_gb_s * 1e9)
+
+    def max_agents(self) -> int:
+        """Device-memory capacity ceiling (paper §2: the reason the CPU
+        engine can simulate far more agents)."""
+        return int(self.mem_gb * 1e9 * 0.9 / DEVICE_BYTES_PER_AGENT)
+
+
+#: NVIDIA A100 40 GB (the paper's §2 comparison point).
+A100 = GpuSpec(
+    name="A100-40GB", sms=108, cores_per_sm=64, freq_ghz=1.41,
+    mem_bandwidth_gb_s=1555.0, mem_gb=40.0, pcie_bandwidth_gb_s=24.0,
+)
+
+#: NVIDIA V100 16 GB.
+V100 = GpuSpec(
+    name="V100-16GB", sms=80, cores_per_sm=64, freq_ghz=1.53,
+    mem_bandwidth_gb_s=900.0, mem_gb=16.0, pcie_bandwidth_gb_s=12.0,
+)
+
+
+@dataclass
+class OffloadBreakdown:
+    """Timing of one offloaded mechanics iteration."""
+
+    upload_s: float
+    build_s: float
+    force_s: float
+    download_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.upload_s + self.build_s + self.force_s + self.download_s
+
+
+class GpuDevice:
+    """A device executing the offloaded mechanics operation.
+
+    Attach to a simulation with ``sim.gpu_device = GpuDevice(A100)``; the
+    scheduler then charges the force operation here instead of the CPU
+    cost model (numerical results are unchanged — the offload is a cost
+    redirection, exactly like BioDynaMo's transparent offload).
+    """
+
+    def __init__(self, spec: GpuSpec):
+        self.spec = spec
+        self.offload_count = 0
+        self.total_seconds = 0.0
+        self.last_breakdown: OffloadBreakdown | None = None
+
+    def check_capacity(self, num_agents: int) -> None:
+        """Raise ``MemoryError`` if the population exceeds device memory."""
+        if num_agents > self.spec.max_agents():
+            raise MemoryError(
+                f"{self.spec.name} holds at most {self.spec.max_agents():,} "
+                f"agents ({self.spec.mem_gb} GB); requested {num_agents:,}. "
+                "This is the capacity argument of paper §2."
+            )
+
+    def mechanics_offload(self, num_agents: int, num_pairs: int) -> OffloadBreakdown:
+        """Account one offloaded mechanics iteration; returns its timing."""
+        self.check_capacity(num_agents)
+        spec = self.spec
+        bd = OffloadBreakdown(
+            upload_s=spec.transfer_seconds(num_agents * UPLOAD_BYTES_PER_AGENT),
+            build_s=spec.kernel_seconds(
+                num_agents * BUILD_FLOPS_PER_AGENT,
+                num_agents * BUILD_BYTES_PER_AGENT,
+            ),
+            force_s=spec.kernel_seconds(
+                num_pairs * FORCE_FLOPS_PER_PAIR,
+                num_pairs * FORCE_BYTES_PER_PAIR,
+            ),
+            download_s=spec.transfer_seconds(num_agents * DOWNLOAD_BYTES_PER_AGENT),
+        )
+        self.offload_count += 1
+        self.total_seconds += bd.total_s
+        self.last_breakdown = bd
+        return bd

@@ -1,0 +1,43 @@
+"""Simulated memory subsystem.
+
+BioDynaMo's custom NUMA-aware pool allocator (paper §4.3) and the native
+allocators it is compared against (ptmalloc2, jemalloc; Fig. 13) operate on
+real heaps.  Here they operate on a *simulated address space*: allocators
+make genuine placement decisions (which address, which NUMA domain, how much
+is reserved, what is wasted), agents store the resulting addresses, and the
+memory cost model prices accesses by address distance and domain.  Runtime
+and memory-consumption differences between allocators therefore emerge from
+their actual policies, not from baked-in constants.
+"""
+
+from repro.mem.address_space import AddressSpace, DOMAIN_SHIFT
+from repro.mem.base import Allocator, AllocatorStats
+from repro.mem.pool_allocator import NumaPoolAllocator, PoolAllocatorSet
+from repro.mem.malloc_baselines import PtmallocLike, JemallocLike
+
+__all__ = [
+    "AddressSpace",
+    "DOMAIN_SHIFT",
+    "Allocator",
+    "AllocatorStats",
+    "NumaPoolAllocator",
+    "PoolAllocatorSet",
+    "PtmallocLike",
+    "JemallocLike",
+]
+
+
+def make_allocator(name: str, num_domains: int = 1, **kwargs):
+    """Factory used by benchmark configurations.
+
+    ``name`` is one of ``"bdm"`` (the paper's pool allocator),
+    ``"ptmalloc2"``, or ``"jemalloc"``.
+    """
+    space = kwargs.pop("address_space", None) or AddressSpace(num_domains)
+    if name == "bdm":
+        return PoolAllocatorSet(space, **kwargs)
+    if name == "ptmalloc2":
+        return PtmallocLike(space, **kwargs)
+    if name == "jemalloc":
+        return JemallocLike(space, **kwargs)
+    raise ValueError(f"unknown allocator {name!r}")

@@ -1,0 +1,43 @@
+"""Neuroscience specialization (paper §1, §6.1).
+
+BioDynaMo features a neuroscience module able to simulate the development
+of neurons: somas sprout neurites, whose terminal segments elongate,
+bifurcate, and side-branch; elongated segments are split into chains of
+cylinder elements ("discretization").  Only the growth front moves — the
+proximal part of each arbor is mechanically inert, which is exactly the
+structure the static-agent detection of §5 exploits (Fig. 8/9:
+``neuroscience`` gains most from O6).
+
+The module extends the core engine through ResourceManager columns:
+``kind`` (soma/neurite), ``parent_uid``, ``axis``, ``length``,
+``is_terminal``, and ``branch_order``.
+"""
+
+from repro.neuro.neuron import (
+    KIND_NEURITE,
+    KIND_SOMA,
+    add_neuron,
+    register_neuro_columns,
+)
+from repro.neuro.behaviors import NeuriteExtension
+from repro.neuro.synapse import SynapseFormation, connectome
+from repro.neuro.morphology import (
+    arbor_graph,
+    branch_counts,
+    terminal_tips,
+    total_cable_length,
+)
+
+__all__ = [
+    "KIND_SOMA",
+    "KIND_NEURITE",
+    "register_neuro_columns",
+    "add_neuron",
+    "NeuriteExtension",
+    "SynapseFormation",
+    "connectome",
+    "arbor_graph",
+    "total_cable_length",
+    "branch_counts",
+    "terminal_tips",
+]

@@ -1,0 +1,88 @@
+"""Neuron agents: somas and neurite (cylinder) elements.
+
+A neurite element is modeled as a short cylinder: its ``position`` is the
+distal end, ``axis`` the unit direction from its proximal attachment point,
+``length`` its current extent, and ``parent_uid`` the uid of the element
+(or soma) it grew from.  Terminal elements carry the growth cone
+(``is_terminal``) and are the only ones that move.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KIND_SOMA", "KIND_NEURITE", "register_neuro_columns", "add_neuron"]
+
+KIND_SOMA = 0
+KIND_NEURITE = 1
+
+#: Extra per-agent attributes of the neuroscience specialization.
+NEURO_COLUMNS = (
+    ("kind", np.int8, (), KIND_SOMA),
+    ("parent_uid", np.int64, (), -1),
+    ("axis", np.float64, (3,), 0.0),
+    ("length", np.float64, (), 0.0),
+    ("is_terminal", np.bool_, (), False),
+    ("branch_order", np.int16, (), 0),
+)
+
+
+def register_neuro_columns(sim) -> None:
+    """Register the neuroscience columns on a simulation's ResourceManager."""
+    for name, dtype, shape, fill in NEURO_COLUMNS:
+        if name not in sim.rm.data:
+            sim.rm.register_column(name, dtype, shape, fill)
+
+
+def add_neuron(
+    sim,
+    soma_position,
+    soma_diameter: float = 12.0,
+    num_neurites: int = 2,
+    neurite_diameter: float = 2.0,
+    neuron_id: int | None = None,
+    rng=None,
+) -> tuple[int, np.ndarray]:
+    """Create a soma with ``num_neurites`` initial neurite stubs.
+
+    ``neuron_id`` tags all elements of this neuron (used by synapse
+    formation); pass distinct ids per neuron.  Returns
+    ``(soma_index, neurite_indices)`` — storage indices valid until the
+    next commit or sort.
+    """
+    register_neuro_columns(sim)
+    if neuron_id is not None and "neuron_id" not in sim.rm.data:
+        sim.rm.register_column("neuron_id", np.int64, (), -1)
+    rng = rng or sim.random.rng
+    soma_position = np.asarray(soma_position, dtype=np.float64)
+
+    extra = {}
+    if neuron_id is not None:
+        extra["neuron_id"] = np.array([neuron_id], dtype=np.int64)
+    soma_idx = sim.add_cells(
+        soma_position[None, :],
+        diameters=soma_diameter,
+        kind=np.array([KIND_SOMA], dtype=np.int8),
+        **extra,
+    )[0]
+    soma_uid = int(sim.rm.data["uid"][soma_idx])
+
+    # Sprout stubs in random directions on the soma surface.
+    axes = rng.normal(size=(num_neurites, 3))
+    axes /= np.linalg.norm(axes, axis=1)[:, None]
+    stub_len = neurite_diameter
+    positions = soma_position + axes * (soma_diameter / 2.0 + stub_len)
+    extra = {}
+    if neuron_id is not None:
+        extra["neuron_id"] = np.full(num_neurites, neuron_id, dtype=np.int64)
+    neurite_idx = sim.add_cells(
+        positions,
+        diameters=neurite_diameter,
+        kind=np.full(num_neurites, KIND_NEURITE, dtype=np.int8),
+        parent_uid=np.full(num_neurites, soma_uid, dtype=np.int64),
+        axis=axes,
+        length=np.full(num_neurites, stub_len),
+        is_terminal=np.ones(num_neurites, dtype=bool),
+        **extra,
+    )
+    return int(soma_idx), neurite_idx

@@ -1,0 +1,30 @@
+"""Simulated shared-memory NUMA machine.
+
+The paper's results depend on multi-socket NUMA servers (Table 2) that are
+not available here (see DESIGN.md §2).  This subpackage provides a
+*mechanistic* substitute: machine descriptions, virtual threads with
+per-thread cycle clocks, OpenMP-style parallel regions with static /
+dynamic / NUMA-aware scheduling and the paper's two-level work stealing
+(§4.1), and a memory cost model that charges cache-level latencies based on
+address locality plus a remote-DRAM penalty for cross-domain accesses.
+
+A parallel region's virtual elapsed time is the makespan of its scheduled
+blocks; serial regions charge a single thread.  All figure benchmarks report
+this virtual time.
+"""
+
+from repro.parallel.topology import MachineSpec, SYSTEM_A, SYSTEM_B, SYSTEM_C
+from repro.parallel.costmodel import MemoryCostModel, CacheSim
+from repro.parallel.machine import Machine, WorkBlock, SchedulePolicy
+
+__all__ = [
+    "MachineSpec",
+    "SYSTEM_A",
+    "SYSTEM_B",
+    "SYSTEM_C",
+    "MemoryCostModel",
+    "CacheSim",
+    "Machine",
+    "WorkBlock",
+    "SchedulePolicy",
+]

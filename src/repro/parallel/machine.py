@@ -1,0 +1,373 @@
+"""Virtual machine: threads, parallel regions, two-level work stealing.
+
+The :class:`Machine` replaces the paper's OpenMP runtime on real NUMA
+hardware.  It keeps a virtual clock in core cycles.  Code under measurement
+submits *regions*:
+
+- ``run_serial(name, cycles)`` — a serial section; one thread advances the
+  clock (this is what makes the standard implementation's kd-tree build
+  poison its strong scaling, Fig. 10).
+- ``run_parallel(name, blocks, policy)`` — an OpenMP-style ``parallel for``
+  over :class:`WorkBlock` items.  The region's elapsed time is the makespan
+  of an online greedy schedule:
+
+  * ``STATIC`` — blocks are chunked contiguously over all threads, no
+    stealing (plain ``#pragma omp for schedule(static)``).
+  * ``DYNAMIC`` — idle threads pull from any queue, ignoring NUMA placement.
+  * ``NUMA_AWARE`` — the paper's mechanism (§4.1, Fig. 2): blocks start on
+    the threads of the NUMA domain that owns their data; an idle thread
+    first steals inside its own domain, and only crosses domains when its
+    domain has no work left.
+
+Each block may carry per-domain access counts; when a block executes on a
+thread of domain *e*, every access to a different domain pays the
+remote-DRAM premium.  This is how NUMA-aware iteration and agent balancing
+show up as measured time differences.
+
+SMT is modeled by giving hyperthread slots a reduced speed
+(``spec.smt_efficiency``), which produces the paper's hyperthreading
+plateau in Fig. 10.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.parallel.costmodel import MemoryCostModel
+from repro.parallel.topology import MachineSpec
+
+__all__ = ["SchedulePolicy", "WorkBlock", "Machine", "make_blocks"]
+
+#: Synchronization cost charged per successful steal, in cycles.
+STEAL_OVERHEAD_CYCLES = 400.0
+
+#: Barrier/fork-join overhead charged per parallel region, in cycles:
+#: a base cost plus a tree-barrier term logarithmic in the thread count.
+REGION_OVERHEAD_BASE = 600.0
+REGION_OVERHEAD_LOG = 150.0
+
+
+def region_overhead_cycles(num_threads: int) -> float:
+    """Fork-join/barrier overhead of one parallel region."""
+    return REGION_OVERHEAD_BASE + REGION_OVERHEAD_LOG * float(
+        np.log2(max(num_threads, 1)) if num_threads > 1 else 0.0
+    )
+
+
+class SchedulePolicy(Enum):
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    NUMA_AWARE = "numa_aware"
+
+
+@dataclass
+class WorkBlock:
+    """A chunk of parallel work (a block of agents, boxes, ...).
+
+    Attributes
+    ----------
+    cycles:
+        Total cost in cycles assuming all memory accesses are domain-local.
+    memory_cycles:
+        The part of ``cycles`` that is memory stalls (pipeline-slot
+        accounting for Fig. 5 right).
+    preferred_domain:
+        NUMA domain owning the block's data.
+    domain_accesses:
+        Optional per-domain memory access counts; accesses to domains other
+        than the executing thread's pay the remote premium.
+    """
+
+    cycles: float
+    memory_cycles: float = 0.0
+    preferred_domain: int = 0
+    domain_accesses: np.ndarray | None = None
+
+
+@dataclass
+class RegionStats:
+    """Accumulated accounting for one named region type."""
+
+    cycles: float = 0.0
+    invocations: int = 0
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    steals_same_domain: int = 0
+    steals_cross_domain: int = 0
+
+
+class Machine:
+    """A simulated NUMA server executing serial and parallel regions."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        num_threads: int | None = None,
+        num_domains: int | None = None,
+    ):
+        self.spec = spec
+        self.num_domains = num_domains if num_domains is not None else spec.numa_domains
+        if not 1 <= self.num_domains <= spec.numa_domains:
+            raise ValueError("num_domains out of range for this machine spec")
+        physical = self.num_domains * spec.cores_per_domain
+        max_threads = physical * spec.threads_per_core
+        self.num_threads = num_threads if num_threads is not None else max_threads
+        if not 1 <= self.num_threads <= max_threads:
+            raise ValueError(
+                f"num_threads must be in [1, {max_threads}] for "
+                f"{self.num_domains} domain(s) of {spec.name}"
+            )
+        self.cost_model = MemoryCostModel(spec)
+
+        # Thread t's NUMA domain and speed.  Physical core slots are filled
+        # first (speed 1.0), scattered round-robin across active domains;
+        # hyperthread slots follow at smt_efficiency.
+        domains = np.empty(self.num_threads, dtype=np.int64)
+        speeds = np.empty(self.num_threads, dtype=np.float64)
+        for t in range(self.num_threads):
+            slot = t if t < physical else t - physical
+            domains[t] = slot % self.num_domains
+            speeds[t] = 1.0 if t < physical else spec.smt_efficiency
+        self.thread_domains = domains
+        self.thread_speeds = speeds
+
+        self.cycles = 0.0
+        self.stats: dict[str, RegionStats] = {}
+        self.total_compute_cycles = 0.0
+        self.total_memory_cycles = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Accounting helpers
+    # ------------------------------------------------------------------ #
+
+    def _stat(self, name: str) -> RegionStats:
+        if name not in self.stats:
+            self.stats[name] = RegionStats()
+        return self.stats[name]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.spec.cycles_to_seconds(self.cycles)
+
+    def op_seconds(self, name: str) -> float:
+        """Virtual seconds spent in region ``name`` (0 if never run)."""
+        return self.spec.cycles_to_seconds(self.stats[name].cycles) if name in self.stats else 0.0
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        """Fraction of used pipeline slots stalled on memory (Fig. 5 right)."""
+        total = self.total_compute_cycles + self.total_memory_cycles
+        return self.total_memory_cycles / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero the clock and all region statistics."""
+        self.cycles = 0.0
+        self.stats = {}
+        self.total_compute_cycles = 0.0
+        self.total_memory_cycles = 0.0
+
+    def threads_of_domain(self, domain: int) -> np.ndarray:
+        """Thread ids pinned to NUMA ``domain``."""
+        return np.flatnonzero(self.thread_domains == domain)
+
+    # ------------------------------------------------------------------ #
+    # Regions
+    # ------------------------------------------------------------------ #
+
+    def run_serial(self, name: str, cycles: float, memory_cycles: float = 0.0) -> float:
+        """Execute a serial section on one thread; returns elapsed cycles."""
+        elapsed = float(cycles)
+        self.cycles += elapsed
+        st = self._stat(name)
+        st.cycles += elapsed
+        st.invocations += 1
+        st.compute_cycles += cycles - memory_cycles
+        st.memory_cycles += memory_cycles
+        self.total_compute_cycles += cycles - memory_cycles
+        self.total_memory_cycles += memory_cycles
+        return elapsed
+
+    def run_parallel(
+        self,
+        name: str,
+        blocks: list[WorkBlock],
+        policy: SchedulePolicy = SchedulePolicy.NUMA_AWARE,
+    ) -> float:
+        """Execute a parallel-for region; returns its elapsed cycles."""
+        st = self._stat(name)
+        st.invocations += 1
+        if not blocks:
+            return 0.0
+        if policy is SchedulePolicy.STATIC:
+            elapsed, extra_mem, steals = self._schedule_static(blocks)
+        else:
+            elapsed, extra_mem, steals = self._schedule_stealing(blocks, policy)
+        elapsed += region_overhead_cycles(self.num_threads)
+        self.cycles += elapsed
+        st.cycles += elapsed
+        compute = sum(b.cycles - b.memory_cycles for b in blocks)
+        memory = sum(b.memory_cycles for b in blocks) + extra_mem
+        st.compute_cycles += compute
+        st.memory_cycles += memory
+        st.steals_same_domain += steals[0]
+        st.steals_cross_domain += steals[1]
+        self.total_compute_cycles += compute
+        self.total_memory_cycles += memory
+        return elapsed
+
+    # ------------------------------------------------------------------ #
+    # Schedulers
+    # ------------------------------------------------------------------ #
+
+    def _block_cost(self, block: WorkBlock, thread: int) -> tuple[float, float]:
+        """(execution cycles on `thread`, extra remote-memory cycles)."""
+        extra = 0.0
+        if block.domain_accesses is not None and self.num_domains > 1:
+            dom = self.thread_domains[thread]
+            total = float(np.sum(block.domain_accesses))
+            local = float(block.domain_accesses[dom]) if dom < len(block.domain_accesses) else 0.0
+            extra = (total - local) * self.cost_model.remote_premium
+        return (block.cycles + extra) / self.thread_speeds[thread], extra
+
+    def _schedule_static(self, blocks):
+        """Contiguous chunking over all threads, no stealing."""
+        T = self.num_threads
+        bounds = np.linspace(0, len(blocks), T + 1, dtype=np.int64)
+        makespan = 0.0
+        extra_mem = 0.0
+        for t in range(T):
+            tot = 0.0
+            for i in range(bounds[t], bounds[t + 1]):
+                c, extra = self._block_cost(blocks[i], t)
+                tot += c
+                extra_mem += extra
+            makespan = max(makespan, tot)
+        return makespan, extra_mem, (0, 0)
+
+    def _schedule_stealing(self, blocks, policy: SchedulePolicy):
+        """Online greedy schedule with (two-level) work stealing.
+
+        Threads consume their own deque from the front; steals take from the
+        back of the victim with the most remaining blocks — first within the
+        thief's NUMA domain, then across domains (paper Fig. 2, steps 4-5).
+        With ``DYNAMIC`` the domain preference is ignored (single level).
+        """
+        T = self.num_threads
+        queues: list[deque] = [deque() for _ in range(T)]
+
+        if policy is SchedulePolicy.NUMA_AWARE:
+            # Group blocks by their data's domain, split among that domain's
+            # threads.  Domains with no threads fall back to round-robin.
+            by_domain: dict[int, list[int]] = {}
+            for i, b in enumerate(blocks):
+                by_domain.setdefault(b.preferred_domain % self.num_domains, []).append(i)
+            for dom, idxs in by_domain.items():
+                tids = self.threads_of_domain(dom)
+                if len(tids) == 0:
+                    tids = np.arange(T)
+                for j, i in enumerate(idxs):
+                    queues[tids[j % len(tids)]].append(i)
+        else:
+            for i in range(len(blocks)):
+                queues[i % T].append(i)
+
+        same_steals = 0
+        cross_steals = 0
+        extra_mem = 0.0
+        makespan = 0.0
+        # Event heap of (time_when_free, thread).
+        heap = [(0.0, t) for t in range(T)]
+        heapq.heapify(heap)
+        remaining = len(blocks)
+        while remaining:
+            now, t = heapq.heappop(heap)
+            steal_cost = 0.0
+            if queues[t]:
+                i = queues[t].popleft()
+            else:
+                victim = self._pick_victim(queues, t, same_domain=policy is SchedulePolicy.NUMA_AWARE)
+                if victim is None:
+                    continue  # nothing left to steal; thread retires
+                vic, same = victim
+                i = queues[vic].pop()
+                steal_cost = STEAL_OVERHEAD_CYCLES
+                if same:
+                    same_steals += 1
+                else:
+                    cross_steals += 1
+            cost, extra = self._block_cost(blocks[i], t)
+            extra_mem += extra
+            finish = now + cost + steal_cost
+            makespan = max(makespan, finish)
+            remaining -= 1
+            heapq.heappush(heap, (finish, t))
+        return makespan, extra_mem, (same_steals, cross_steals)
+
+    def _pick_victim(self, queues, thief: int, same_domain: bool):
+        """Victim with the most remaining work; returns (victim, same_dom?)."""
+        best = None
+        best_len = 0
+        if same_domain:
+            for v in self.threads_of_domain(self.thread_domains[thief]):
+                if v != thief and len(queues[v]) > best_len:
+                    best, best_len = int(v), len(queues[v])
+            if best is not None:
+                return best, True
+        for v in range(len(queues)):
+            if v != thief and len(queues[v]) > best_len:
+                best, best_len = v, len(queues[v])
+        if best is not None:
+            return best, same_domain and self.thread_domains[best] == self.thread_domains[thief]
+        return None
+
+
+def make_blocks(
+    cycles: np.ndarray,
+    memory_cycles: np.ndarray | None = None,
+    domain: int = 0,
+    access_domain_counts: np.ndarray | None = None,
+    block_size: int = 1024,
+) -> list[WorkBlock]:
+    """Aggregate per-item costs into :class:`WorkBlock` chunks.
+
+    Parameters
+    ----------
+    cycles:
+        Per-item total cycles (compute + local-assumption memory).
+    memory_cycles:
+        Per-item memory-stall cycles (subset of ``cycles``).
+    domain:
+        NUMA domain owning these items.
+    access_domain_counts:
+        Optional ``(n_items, num_domains)`` array of access counts per
+        target domain.
+    block_size:
+        Items per block (the paper partitions agent vectors into equal-size
+        blocks, Fig. 2 step 2).
+    """
+    cycles = np.asarray(cycles, dtype=np.float64)
+    n = len(cycles)
+    if n == 0:
+        return []
+    if memory_cycles is None:
+        memory_cycles = np.zeros(n)
+    blocks = []
+    for lo in range(0, n, block_size):
+        hi = min(lo + block_size, n)
+        acc = None
+        if access_domain_counts is not None:
+            acc = np.asarray(access_domain_counts[lo:hi].sum(axis=0), dtype=np.float64)
+        blocks.append(
+            WorkBlock(
+                cycles=float(np.sum(cycles[lo:hi])),
+                memory_cycles=float(np.sum(memory_cycles[lo:hi])),
+                preferred_domain=domain,
+                domain_accesses=acc,
+            )
+        )
+    return blocks

@@ -1,0 +1,127 @@
+"""Machine descriptions for the simulated NUMA machine.
+
+The three systems mirror Table 2 of the paper:
+
+- **System A** — four NUMA domains, 72 physical cores, 2-way SMT
+  (144 hardware threads), 504 GB DRAM.
+- **System B** — same CPU configuration as A with 1008 GB DRAM (used for the
+  billion-agent runs).
+- **System C** — two Intel Xeon E5-2683 v3 sockets, 28 physical cores, 2-way
+  SMT, 62 GB DRAM (used for the 16-core Biocellion comparison).
+
+Latency/throughput constants approximate a Xeon-class core; they are *model
+parameters*, set once here, never per-experiment.  The cache "spans" define
+the address-distance locality model: an access whose address lies within
+``lX_span`` bytes of the most recently touched addresses of the same stream
+is charged the level-X latency (see :mod:`repro.parallel.costmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "SYSTEM_A", "SYSTEM_B", "SYSTEM_C"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a simulated shared-memory NUMA server."""
+
+    name: str
+    numa_domains: int
+    cores_per_domain: int
+    threads_per_core: int
+    freq_ghz: float
+    dram_gb_per_domain: float
+
+    # Cache/memory latency constants, in core cycles.
+    l1_latency: float = 4.0
+    l2_latency: float = 14.0
+    l3_latency: float = 42.0
+    dram_latency: float = 200.0
+    remote_dram_latency: float = 350.0
+
+    # Address-distance spans for the locality model, in bytes.
+    cache_line: int = 64
+    l1_span: int = 32 * 1024
+    l2_span: int = 1024 * 1024
+    l3_span: int = 24 * 1024 * 1024
+
+    # Superscalar issue width for pure arithmetic (ops per cycle).
+    issue_width: float = 2.0
+
+    # SMT efficiency: the second hardware thread of a core contributes this
+    # fraction of a full core (matches the paper's hyperthreading speedup
+    # plateau in Fig. 10).
+    smt_efficiency: float = 0.35
+
+    def with_scaled_caches(self, factor: float) -> "MachineSpec":
+        """Spec with cache spans divided by ``factor``.
+
+        Benchmarks run at a fraction of the paper's agent counts; shrinking
+        the simulated cache capacity by the same fraction keeps the
+        working-set:cache ratio — the quantity the memory optimizations
+        act on — faithful to the paper's scale (see DESIGN.md §2).
+        """
+        from dataclasses import replace
+
+        if factor <= 1.0:
+            return self
+        floor = 4 * self.cache_line
+        return replace(
+            self,
+            l1_span=max(int(self.l1_span / factor), floor),
+            l2_span=max(int(self.l2_span / factor), 2 * floor),
+            l3_span=max(int(self.l3_span / factor), 4 * floor),
+        )
+
+    @property
+    def physical_cores(self) -> int:
+        return self.numa_domains * self.cores_per_domain
+
+    @property
+    def max_threads(self) -> int:
+        return self.physical_cores * self.threads_per_core
+
+    @property
+    def dram_gb(self) -> float:
+        return self.dram_gb_per_domain * self.numa_domains
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert core cycles to seconds at this frequency."""
+        return cycles / (self.freq_ghz * 1e9)
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds to core cycles at this frequency."""
+        return seconds * self.freq_ghz * 1e9
+
+
+# Table 2 of the paper. System A/B: four NUMA domains, 72 physical cores
+# total, two threads per core.  System C: two Xeon E5-2683 v3 (2.0 GHz),
+# 28 physical cores total, two NUMA domains.
+SYSTEM_A = MachineSpec(
+    name="System A",
+    numa_domains=4,
+    cores_per_domain=18,
+    threads_per_core=2,
+    freq_ghz=2.3,
+    dram_gb_per_domain=126.0,
+)
+
+SYSTEM_B = MachineSpec(
+    name="System B",
+    numa_domains=4,
+    cores_per_domain=18,
+    threads_per_core=2,
+    freq_ghz=2.3,
+    dram_gb_per_domain=252.0,
+)
+
+SYSTEM_C = MachineSpec(
+    name="System C",
+    numa_domains=2,
+    cores_per_domain=14,
+    threads_per_core=2,
+    freq_ghz=2.0,
+    dram_gb_per_domain=31.0,
+)

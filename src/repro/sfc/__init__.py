@@ -1,0 +1,57 @@
+"""Space-filling curves and scan primitives.
+
+This subpackage implements the building blocks of BioDynaMo's agent sorting
+and balancing mechanism (paper §4.2):
+
+- :mod:`repro.sfc.morton` — Morton (Z-order) encode/decode in 2D and 3D,
+  vectorized over NumPy arrays.
+- :mod:`repro.sfc.hilbert` — Hilbert curve encode/decode (2D classic
+  algorithm and n-D Skilling transpose algorithm), used in the paper only to
+  justify the choice of Morton order (0.54% difference).
+- :mod:`repro.sfc.gap_traversal` — the paper's linear-time algorithm to
+  determine the Morton order of a non-cubic grid by depth-first traversal of
+  an *implicit* quad/octree, recording gaps as an offsets array
+  (paper Fig. 3 D–E).
+- :mod:`repro.sfc.prefix_sum` — work-efficient (Blelloch/Ladner-Fischer
+  style) block prefix sum used to partition agents among NUMA domains and
+  threads (paper Fig. 3 F).
+"""
+
+from repro.sfc.morton import (
+    morton_encode_2d,
+    morton_decode_2d,
+    morton_encode_3d,
+    morton_decode_3d,
+)
+from repro.sfc.hilbert import (
+    hilbert_encode_2d,
+    hilbert_decode_2d,
+    hilbert_encode_nd,
+    hilbert_decode_nd,
+)
+from repro.sfc.gap_traversal import (
+    MortonRuns,
+    morton_runs_2d,
+    morton_runs_3d,
+    morton_order_2d,
+    morton_order_3d,
+)
+from repro.sfc.prefix_sum import exclusive_prefix_sum, block_prefix_sum
+
+__all__ = [
+    "morton_encode_2d",
+    "morton_decode_2d",
+    "morton_encode_3d",
+    "morton_decode_3d",
+    "hilbert_encode_2d",
+    "hilbert_decode_2d",
+    "hilbert_encode_nd",
+    "hilbert_decode_nd",
+    "MortonRuns",
+    "morton_runs_2d",
+    "morton_runs_3d",
+    "morton_order_2d",
+    "morton_order_3d",
+    "exclusive_prefix_sum",
+    "block_prefix_sum",
+]

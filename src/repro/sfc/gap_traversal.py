@@ -1,0 +1,192 @@
+"""Linear-time Morton order of a non-cubic grid (paper §4.2, Fig. 3 D-E).
+
+The Morton order is only contiguous for quadratic/cubic simulation spaces
+whose side length is a power of two.  For an ``nx × ny`` (or
+``nx × ny × nz``) grid, the codes of in-grid boxes have *gaps* wherever the
+curve leaves the grid.  Sorting all boxes by Morton code would cost
+``O(B log B)``; iterating over the full power-of-two cube would cost
+``O(N**d)``.  The paper instead walks an *implicit* quad/octree depth-first:
+
+- a node is **empty** if its square lies fully outside the grid — all its
+  leaves are gaps;
+- a node is **complete** if its square lies fully inside the grid — its
+  leaves form a contiguous run of Morton codes;
+- otherwise the node is partial and the traversal descends.
+
+The traversal emits an *offsets array*: one ``(rank_start, offset)`` entry
+per maximal contiguous run of in-grid codes, where ``offset`` is the number
+of gap leaves preceding the run.  A box with compact rank ``r`` inside run
+``i`` has Morton code ``r + offset[i]``; the full box order is then
+reconstructed run-by-run with vectorized Morton decoding, in time linear in
+the number of boxes.
+
+Only the current traversal path is kept, i.e. ``O(log #boxes)`` space for
+the walk itself, as the paper states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.sfc.morton import morton_decode_2d, morton_decode_3d
+
+__all__ = [
+    "MortonRuns",
+    "morton_runs_2d",
+    "morton_runs_3d",
+    "morton_order_2d",
+    "morton_order_3d",
+]
+
+
+def _next_pow2(v: int) -> int:
+    n = 1
+    while n < v:
+        n <<= 1
+    return n
+
+
+@dataclass(frozen=True)
+class MortonRuns:
+    """Compact description of the Morton order of a non-cubic grid.
+
+    Attributes
+    ----------
+    rank_starts:
+        ``rank_starts[i]`` is the compact rank (index among in-grid boxes in
+        Morton order) at which run ``i`` begins.
+    offsets:
+        ``offsets[i]`` is the number of gap leaves preceding run ``i``; a box
+        of rank ``r`` belonging to run ``i`` has Morton code ``r + offsets[i]``.
+    num_boxes:
+        Total number of in-grid boxes.
+    dims:
+        Grid dimensions ``(nx, ny)`` or ``(nx, ny, nz)``.
+    """
+
+    rank_starts: np.ndarray
+    offsets: np.ndarray
+    num_boxes: int
+    dims: tuple[int, ...]
+    #: Tree nodes the DFS actually visited (complete/empty subtrees are
+    #: skipped, so this is far below the number of boxes).
+    nodes_visited: int = 0
+
+    def codes_for_ranks(self, ranks) -> np.ndarray:
+        """Morton codes of in-grid boxes given their compact ranks."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        run = np.searchsorted(self.rank_starts, ranks, side="right") - 1
+        return ranks + self.offsets[run]
+
+    def ranks_for_codes(self, codes) -> np.ndarray:
+        """Compact ranks of in-grid boxes given their Morton codes.
+
+        Codes must belong to in-grid boxes; gap codes yield undefined ranks.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        run_code_starts = self.rank_starts + self.offsets
+        run = np.searchsorted(run_code_starts, codes, side="right") - 1
+        return codes - self.offsets[run]
+
+
+def _traverse(dims: tuple[int, ...]) -> MortonRuns:
+    """Shared 2D/3D implicit-tree DFS emitting the offsets array."""
+    d = len(dims)
+    n = _next_pow2(max(dims))
+    children_2d = ((0, 0), (1, 0), (0, 1), (1, 1))
+    children_3d = (
+        (0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0),
+        (0, 0, 1), (1, 0, 1), (0, 1, 1), (1, 1, 1),
+    )
+    children = children_2d if d == 2 else children_3d
+
+    rank_starts: list[int] = []
+    offsets: list[int] = []
+    box_counter = 0
+    offset = 0
+    found_gap = True
+
+    # Explicit stack of (origin, size); children pushed in reverse Morton
+    # order so they are popped in increasing-code order.
+    stack: list[tuple[tuple[int, ...], int]] = [((0,) * d, n)]
+    nodes_visited = 0
+    while stack:
+        origin, size = stack.pop()
+        nodes_visited += 1
+        leaves = size**d
+        if any(origin[i] >= dims[i] for i in range(d)):
+            # Empty node: every leaf is a gap.
+            offset += leaves
+            found_gap = True
+        elif all(origin[i] + size <= dims[i] for i in range(d)):
+            # Complete node: a contiguous run of in-grid codes.
+            if found_gap:
+                rank_starts.append(box_counter)
+                offsets.append(offset)
+                found_gap = False
+            box_counter += leaves
+        else:
+            half = size >> 1
+            for delta in reversed(children):
+                child = tuple(origin[i] + delta[i] * half for i in range(d))
+                stack.append((child, half))
+
+    if not rank_starts:  # degenerate empty grid
+        rank_starts, offsets = [0], [0]
+    return MortonRuns(
+        rank_starts=np.asarray(rank_starts, dtype=np.int64),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        num_boxes=box_counter,
+        dims=dims,
+        nodes_visited=nodes_visited,
+    )
+
+
+@lru_cache(maxsize=64)
+def morton_runs_2d(nx: int, ny: int) -> MortonRuns:
+    """Offsets array for an ``nx × ny`` grid (paper Fig. 3 D).
+
+    Cached per grid shape: the offsets array depends only on the
+    dimensions, which change rarely between iterations.
+    """
+    return _traverse((nx, ny))
+
+
+@lru_cache(maxsize=64)
+def morton_runs_3d(nx: int, ny: int, nz: int) -> MortonRuns:
+    """Offsets array for an ``nx × ny × nz`` grid (cached per shape)."""
+    return _traverse((nx, ny, nz))
+
+
+def _order_from_runs(runs: MortonRuns) -> np.ndarray:
+    dims = runs.dims
+    order = np.empty(runs.num_boxes, dtype=np.int64)
+    starts = runs.rank_starts
+    bounds = np.append(starts, runs.num_boxes)
+    for i in range(len(starts)):
+        ranks = np.arange(bounds[i], bounds[i + 1], dtype=np.int64)
+        codes = (ranks + runs.offsets[i]).astype(np.uint64)
+        if len(dims) == 2:
+            x, y = morton_decode_2d(codes)
+            order[ranks] = (y * dims[0] + x).astype(np.int64)
+        else:
+            x, y, z = morton_decode_3d(codes)
+            order[ranks] = ((z * dims[1] + y) * dims[0] + x).astype(np.int64)
+    return order
+
+
+def morton_order_2d(nx: int, ny: int) -> np.ndarray:
+    """Row-major box indices of an ``nx × ny`` grid in Morton order.
+
+    ``result[rank]`` is the row-major index (``y*nx + x``) of the box with
+    compact Morton rank ``rank``.  Runs in ``O(nx*ny)`` time.
+    """
+    return _order_from_runs(morton_runs_2d(nx, ny))
+
+
+def morton_order_3d(nx: int, ny: int, nz: int) -> np.ndarray:
+    """Row-major box indices of an ``nx × ny × nz`` grid in Morton order."""
+    return _order_from_runs(morton_runs_3d(nx, ny, nz))

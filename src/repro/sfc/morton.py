@@ -1,0 +1,106 @@
+"""Morton (Z-order) space-filling curve, vectorized.
+
+The Morton code of a grid coordinate interleaves the bits of its components:
+in 2D ``code = y1 x1 y0 x0``, in 3D ``code = z1 y1 x1 z0 y0 x0`` (x occupies
+the least significant position).  Points that are close in space tend to be
+close on the curve, which BioDynaMo exploits to place spatially-close agents
+at nearby memory addresses (paper §4.2).
+
+All functions accept scalars or NumPy integer arrays and are implemented with
+branch-free magic-number bit spreading, so encoding/decoding N points costs a
+constant number of vector passes.
+
+Supported ranges: 2D coordinates up to 2**31 - 1 (codes fit in uint64), 3D
+coordinates up to 2**21 - 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "morton_encode_2d",
+    "morton_decode_2d",
+    "morton_encode_3d",
+    "morton_decode_3d",
+]
+
+_U64 = np.uint64
+
+
+def _u64(v) -> np.ndarray:
+    return np.asarray(v, dtype=_U64)
+
+
+def _part1by1(x: np.ndarray) -> np.ndarray:
+    """Spread the low 32 bits of ``x``: bit i moves to bit 2i."""
+    x = x & _U64(0x00000000FFFFFFFF)
+    x = (x | (x << _U64(16))) & _U64(0x0000FFFF0000FFFF)
+    x = (x | (x << _U64(8))) & _U64(0x00FF00FF00FF00FF)
+    x = (x | (x << _U64(4))) & _U64(0x0F0F0F0F0F0F0F0F)
+    x = (x | (x << _U64(2))) & _U64(0x3333333333333333)
+    x = (x | (x << _U64(1))) & _U64(0x5555555555555555)
+    return x
+
+
+def _compact1by1(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_part1by1`: gather every second bit."""
+    x = x & _U64(0x5555555555555555)
+    x = (x | (x >> _U64(1))) & _U64(0x3333333333333333)
+    x = (x | (x >> _U64(2))) & _U64(0x0F0F0F0F0F0F0F0F)
+    x = (x | (x >> _U64(4))) & _U64(0x00FF00FF00FF00FF)
+    x = (x | (x >> _U64(8))) & _U64(0x0000FFFF0000FFFF)
+    x = (x | (x >> _U64(16))) & _U64(0x00000000FFFFFFFF)
+    return x
+
+
+def _part1by2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of ``x``: bit i moves to bit 3i."""
+    x = x & _U64(0x1FFFFF)
+    x = (x | (x << _U64(32))) & _U64(0x1F00000000FFFF)
+    x = (x | (x << _U64(16))) & _U64(0x1F0000FF0000FF)
+    x = (x | (x << _U64(8))) & _U64(0x100F00F00F00F00F)
+    x = (x | (x << _U64(4))) & _U64(0x10C30C30C30C30C3)
+    x = (x | (x << _U64(2))) & _U64(0x1249249249249249)
+    return x
+
+
+def _compact1by2(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_part1by2`: gather every third bit."""
+    x = x & _U64(0x1249249249249249)
+    x = (x | (x >> _U64(2))) & _U64(0x10C30C30C30C30C3)
+    x = (x | (x >> _U64(4))) & _U64(0x100F00F00F00F00F)
+    x = (x | (x >> _U64(8))) & _U64(0x1F0000FF0000FF)
+    x = (x | (x >> _U64(16))) & _U64(0x1F00000000FFFF)
+    x = (x | (x >> _U64(32))) & _U64(0x1FFFFF)
+    return x
+
+
+def morton_encode_2d(x, y) -> np.ndarray:
+    """Return the 2D Morton code(s) of integer coordinates ``(x, y)``."""
+    return _part1by1(_u64(x)) | (_part1by1(_u64(y)) << _U64(1))
+
+
+def morton_decode_2d(code) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, y)`` coordinates for 2D Morton code(s)."""
+    c = _u64(code)
+    return _compact1by1(c), _compact1by1(c >> _U64(1))
+
+
+def morton_encode_3d(x, y, z) -> np.ndarray:
+    """Return the 3D Morton code(s) of integer coordinates ``(x, y, z)``."""
+    return (
+        _part1by2(_u64(x))
+        | (_part1by2(_u64(y)) << _U64(1))
+        | (_part1by2(_u64(z)) << _U64(2))
+    )
+
+
+def morton_decode_3d(code) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(x, y, z)`` coordinates for 3D Morton code(s)."""
+    c = _u64(code)
+    return (
+        _compact1by2(c),
+        _compact1by2(c >> _U64(1)),
+        _compact1by2(c >> _U64(2)),
+    )

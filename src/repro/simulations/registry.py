@@ -1,0 +1,73 @@
+"""Registry of benchmark simulations and the Table-1 generator."""
+
+from __future__ import annotations
+
+from repro.simulations.base import BenchmarkSimulation
+from repro.simulations.cell_clustering import CellClustering
+from repro.simulations.cell_proliferation import CellProliferation
+from repro.simulations.cell_sorting import CellSorting
+from repro.simulations.epidemiology import Epidemiology
+from repro.simulations.neuroscience import Neuroscience
+from repro.simulations.oncology import Oncology
+
+__all__ = ["TABLE1_ORDER", "get_simulation", "all_simulations", "table1_rows"]
+
+#: Column order of the paper's Table 1.
+TABLE1_ORDER = (
+    "cell_proliferation",
+    "cell_clustering",
+    "epidemiology",
+    "neuroscience",
+    "oncology",
+)
+
+_REGISTRY: dict[str, type[BenchmarkSimulation]] = {
+    cls.name: cls
+    for cls in (
+        CellProliferation,
+        CellClustering,
+        Epidemiology,
+        Neuroscience,
+        Oncology,
+        CellSorting,
+    )
+}
+
+
+def get_simulation(name: str) -> BenchmarkSimulation:
+    """Instantiate a benchmark simulation by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_simulations(include_cell_sorting: bool = False) -> list[BenchmarkSimulation]:
+    """The five Table-1 simulations (optionally plus cell sorting)."""
+    names = list(TABLE1_ORDER) + (["cell_sorting"] if include_cell_sorting else [])
+    return [get_simulation(n) for n in names]
+
+
+def table1_rows() -> list[dict]:
+    """Rows of the paper's Table 1, generated from the registry."""
+    rows = []
+    for name in TABLE1_ORDER:
+        c = get_simulation(name).characteristics
+        rows.append(
+            {
+                "simulation": name,
+                "creates_agents": c.creates_agents,
+                "deletes_agents": c.deletes_agents,
+                "modifies_neighbors": c.modifies_neighbors,
+                "load_imbalance": c.load_imbalance,
+                "random_movement": c.random_movement,
+                "uses_diffusion": c.uses_diffusion,
+                "has_static_regions": c.has_static_regions,
+                "iterations": c.paper_iterations,
+                "agents_millions": c.paper_agents_millions,
+                "diffusion_volumes": c.paper_diffusion_volumes,
+            }
+        )
+    return rows

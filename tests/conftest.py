@@ -1,0 +1,13 @@
+"""Test-suite configuration: a CI-friendly hypothesis profile."""
+
+from hypothesis import HealthCheck, settings
+
+# Property tests exercise whole-engine paths whose first run includes
+# one-time costs (lazy numpy imports, pool warmup); disable the deadline
+# and the too-slow health check globally rather than per-test.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

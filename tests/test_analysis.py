@@ -1,0 +1,142 @@
+"""Tests for the analysis subpackage."""
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.analysis import (
+    TrajectoryRecorder,
+    density_profile,
+    mean_squared_displacement,
+    mixing_index,
+    nearest_neighbor_distances,
+    radial_distribution_function,
+)
+from repro.core.behaviors_lib import RandomWalk
+
+
+class TestRDF:
+    def test_lattice_peaks_at_spacing(self):
+        g = np.arange(8) * 10.0
+        x, y, z = np.meshgrid(g, g, g, indexing="ij")
+        pos = np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+        centers, gr = radial_distribution_function(pos, r_max=16.0, bins=32)
+        peak_r = centers[np.argmax(gr)]
+        assert abs(peak_r - 10.0) < 1.0  # first shell at the lattice constant
+
+    def test_random_gas_flat(self):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 100, (4000, 3))
+        centers, gr = radial_distribution_function(pos, r_max=10.0, bins=20)
+        # Away from r=0, g(r) hovers near 1 for an ideal gas.
+        tail = gr[centers > 3.0]
+        assert 0.7 < tail.mean() < 1.3
+
+    def test_needs_two_agents(self):
+        with pytest.raises(ValueError):
+            radial_distribution_function(np.zeros((1, 3)), 5.0)
+
+
+class TestDensityProfile:
+    def test_uniform_ball(self):
+        rng = np.random.default_rng(1)
+        d = rng.normal(size=(20_000, 3))
+        d /= np.linalg.norm(d, axis=1)[:, None]
+        r = 20.0 * rng.random(20_000) ** (1 / 3)
+        pos = d * r[:, None]
+        centers, dens = density_profile(pos, center=np.zeros(3), bins=10,
+                                        r_max=20.0)
+        inner = dens[(centers > 4) & (centers < 16)]
+        # Constant density inside the ball (within sampling noise).
+        assert inner.std() / inner.mean() < 0.15
+
+    def test_density_drops_outside(self):
+        rng = np.random.default_rng(2)
+        pos = rng.normal(scale=5.0, size=(5000, 3))
+        centers, dens = density_profile(pos, center=np.zeros(3), bins=12)
+        assert dens[0] > dens[-1]
+
+
+class TestNearestNeighbor:
+    def test_lattice(self):
+        g = np.arange(4) * 7.0
+        x, y, z = np.meshgrid(g, g, g, indexing="ij")
+        pos = np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+        nn = nearest_neighbor_distances(pos, r_max=10.0)
+        np.testing.assert_allclose(nn, 7.0)
+
+    def test_isolated_agent_inf(self):
+        pos = np.array([[0.0, 0, 0], [100.0, 0, 0]])
+        nn = nearest_neighbor_distances(pos, r_max=5.0)
+        assert np.all(np.isinf(nn))
+
+
+class TestMixingIndex:
+    def test_random_mixture(self):
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(0, 50, (2000, 3))
+        types = rng.integers(0, 2, 2000)
+        m = mixing_index(pos, types, radius=6.0)
+        assert 0.4 < m < 0.6
+
+    def test_segregated(self):
+        rng = np.random.default_rng(4)
+        left = rng.uniform(0, 20, (500, 3))
+        right = rng.uniform(40, 60, (500, 3))
+        pos = np.concatenate([left, right])
+        types = np.concatenate([np.zeros(500), np.ones(500)])
+        assert mixing_index(pos, types, radius=6.0) < 0.05
+
+
+class TestTrajectories:
+    def _walk_sim(self, speed=20.0, n=30):
+        sim = Simulation("traj", Param.optimized(agent_sort_frequency=3), seed=0)
+        sim.mechanics_enabled = False
+        sim.add_cells(np.random.default_rng(0).uniform(0, 40, (n, 3)),
+                      behaviors=[RandomWalk(speed=speed)])
+        rec = TrajectoryRecorder()
+        sim.add_operation(rec)
+        return sim, rec
+
+    def test_recording(self):
+        sim, rec = self._walk_sim()
+        sim.simulate(6)
+        assert rec.num_frames == 6
+        uid = int(sim.rm.data["uid"][0])
+        ts, ps = rec.trajectory_of(uid)
+        assert len(ts) == 6 and ps.shape == (6, 3)
+
+    def test_trajectory_tracks_across_sorting(self):
+        # Sorting permutes storage; trajectories must follow uids.
+        sim, rec = self._walk_sim()
+        sim.simulate(8)
+        uid = int(sim.rm.data["uid"][5])
+        ts, ps = rec.trajectory_of(uid)
+        a = sim.get_agent(uid)
+        np.testing.assert_array_equal(ps[-1], sim.rm.positions[a.index])
+
+    def test_msd_grows_for_random_walk(self):
+        sim, rec = self._walk_sim(speed=50.0)
+        sim.simulate(15)
+        lags, msd = mean_squared_displacement(rec)
+        assert msd[-1] > msd[0] > 0
+        # Roughly linear growth (diffusive): doubling lag ~doubles MSD.
+        mid, end = msd[len(msd) // 2], msd[-1]
+        assert end > mid
+
+    def test_msd_zero_for_static(self):
+        sim, rec = self._walk_sim(speed=0.0)
+        sim.simulate(5)
+        lags, msd = mean_squared_displacement(rec)
+        np.testing.assert_allclose(msd, 0.0, atol=1e-12)
+
+    def test_max_frames(self):
+        sim, rec = self._walk_sim()
+        rec.max_frames = 3
+        sim.simulate(10)
+        assert rec.num_frames == 3
+
+    def test_msd_requires_frames(self):
+        rec = TrajectoryRecorder()
+        with pytest.raises(ValueError):
+            mean_squared_displacement(rec)

@@ -1,0 +1,100 @@
+"""Tests for the benchmark harness (runner, stacks, tables)."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentReport,
+    OPTIMIZATION_STACK,
+    format_table,
+    run_benchmark,
+    stack_params,
+)
+from repro.parallel import SYSTEM_C
+
+
+class TestTables:
+    def test_format_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [33, 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_report_render_and_queries(self):
+        rep = ExperimentReport(
+            "Fig X", "title", ["sim", "val"],
+            [["a", 1.0], ["b", 2.0]], notes=["n1"],
+        )
+        assert "Fig X" in rep.render()
+        assert "n1" in rep.render()
+        assert rep.column("val") == [1.0, 2.0]
+        assert rep.rows_where("sim", "a") == [["a", 1.0]]
+        assert rep.cell({"sim": "b"}, "val") == 2.0
+
+    def test_cell_ambiguous(self):
+        rep = ExperimentReport("f", "t", ["a"], [["x"], ["x"]])
+        with pytest.raises(KeyError):
+            rep.cell({"a": "x"}, "a")
+
+
+class TestStack:
+    def test_six_configurations(self):
+        assert len(OPTIMIZATION_STACK) == 6
+        labels = [l for l, _ in stack_params()]
+        assert labels[0] == "standard"
+        assert labels[-1] == "+static_detection"
+
+    def test_cumulative(self):
+        params = dict(stack_params())
+        assert params["standard"].environment == "kd_tree"
+        assert params["+uniform_grid"].environment == "uniform_grid"
+        # Later steps keep earlier settings.
+        assert params["+static_detection"].environment == "uniform_grid"
+        assert params["+static_detection"].agent_allocator == "bdm"
+        assert not params["+uniform_grid"].numa_aware_iteration
+        assert params["+memory_layout"].numa_aware_iteration
+
+    def test_truncation(self):
+        assert [l for l, _ in stack_params(upto="+uniform_grid")] == [
+            "standard", "+uniform_grid",
+        ]
+
+
+class TestRunner:
+    def test_basic_run(self):
+        res = run_benchmark("cell_clustering", 200, 2, num_threads=8)
+        assert res.virtual_seconds > 0
+        assert res.wall_seconds > 0
+        assert res.iterations == 2
+        assert res.num_threads == 8
+        assert res.peak_memory_bytes > 0
+        assert "agent_ops" in res.breakdown
+
+    def test_without_machine(self):
+        res = run_benchmark("cell_clustering", 100, 1, with_machine=False)
+        assert res.virtual_seconds == 0
+        assert res.num_threads == 1
+
+    def test_warmup_excluded_from_measurement(self):
+        a = run_benchmark("cell_clustering", 200, 2, num_threads=8)
+        b = run_benchmark("cell_clustering", 200, 2, num_threads=8,
+                          warmup_iterations=3)
+        # Warmup resets the clock: measured virtual time stays comparable.
+        assert b.virtual_seconds < a.virtual_seconds * 3
+
+    def test_system_spec_and_domains(self):
+        res = run_benchmark("cell_clustering", 100, 1, spec=SYSTEM_C,
+                            num_threads=4, num_domains=1)
+        assert res.num_domains == 1
+
+    def test_breakdown_percent_sums(self):
+        res = run_benchmark("cell_clustering", 200, 2)
+        pct = res.breakdown_percent()
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_cache_scale_override(self):
+        res = run_benchmark("cell_clustering", 100, 1, cache_scale=1.0)
+        assert res.virtual_seconds > 0

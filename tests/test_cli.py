@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_models(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cell_proliferation", "oncology", "cell_sorting"):
+            assert name in out
+
+
+class TestRun:
+    def test_basic_run(self, capsys):
+        assert main(["run", "cell_clustering", "--agents", "100",
+                     "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "finished" in out
+
+    def test_run_with_machine(self, capsys):
+        assert main(["run", "oncology", "--agents", "150", "--iterations", "3",
+                     "--machine", "C", "--threads", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "virtual time" in out
+        assert "agent_ops" in out
+
+    def test_run_with_series(self, tmp_path, capsys):
+        csv = tmp_path / "series.csv"
+        assert main(["run", "epidemiology", "--agents", "200",
+                     "--iterations", "4", "--series", str(csv)]) == 0
+        assert csv.exists()
+        assert len(csv.read_text().splitlines()) == 5
+
+    def test_run_with_export(self, tmp_path, capsys):
+        outdir = tmp_path / "snaps"
+        assert main(["run", "cell_clustering", "--agents", "80",
+                     "--iterations", "4", "--export", str(outdir),
+                     "--export-every", "2", "--export-format", "csv"]) == 0
+        assert len(list(outdir.glob("*.csv"))) == 2
+
+    def test_run_with_param_file(self, tmp_path, capsys):
+        f = tmp_path / "bdm.toml"
+        f.write_text('environment = "octree"\nagent_sort_frequency = 0\n')
+        assert main(["run", "cell_clustering", "--agents", "80",
+                     "--iterations", "2", "--param", str(f)]) == 0
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            main(["run", "economics", "--agents", "10"])
+
+
+class TestBenchForwarding:
+    def test_table1(self, capsys):
+        assert main(["bench", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_validate_passes(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "Kendall tau" in out

@@ -1,0 +1,111 @@
+"""Tests for Agent handles and the uid index."""
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.core.agent import Agent
+from repro.core.sorting import sort_and_balance
+
+
+def small_sim(n=10, seed=0):
+    sim = Simulation("handle-test", Param.optimized(agent_sort_frequency=0),
+                     seed=seed)
+    sim.mechanics_enabled = False
+    rng = np.random.default_rng(seed)
+    sim.add_cells(rng.uniform(0, 50, (n, 3)), diameters=8.0)
+    return sim
+
+
+class TestBasics:
+    def test_get_agent(self):
+        sim = small_sim()
+        uid = int(sim.rm.data["uid"][3])
+        a = sim.get_agent(uid)
+        assert a.uid == uid
+        assert a.is_alive
+        np.testing.assert_array_equal(a.position, sim.rm.positions[a.index])
+
+    def test_unknown_uid(self):
+        sim = small_sim()
+        with pytest.raises(KeyError):
+            sim.get_agent(10_000)
+
+    def test_attribute_roundtrip(self):
+        sim = small_sim()
+        a = next(sim.agents())
+        a.diameter = 11.5
+        assert a.diameter == 11.5
+        a.position = [1.0, 2.0, 3.0]
+        np.testing.assert_array_equal(a.position, [1.0, 2.0, 3.0])
+        assert sim.rm.data["moved"][a.index]
+
+    def test_growth_sets_grew_flag(self):
+        sim = small_sim()
+        a = next(sim.agents())
+        sim.rm.data["grew"][:] = False
+        a.diameter = a.diameter + 1
+        assert a.get("grew")
+
+    def test_generic_get_set(self):
+        sim = small_sim()
+        sim.rm.register_column("label", np.int64, (), 0)
+        a = next(sim.agents())
+        a.set("label", 42)
+        assert a.get("label") == 42
+
+    def test_equality_and_hash(self):
+        sim = small_sim()
+        uid = int(sim.rm.data["uid"][0])
+        assert sim.get_agent(uid) == sim.get_agent(uid)
+        assert len({sim.get_agent(uid), sim.get_agent(uid)}) == 1
+
+    def test_iteration_yields_all(self):
+        sim = small_sim(n=7)
+        assert len(list(sim.agents())) == 7
+
+
+class TestStability:
+    def test_handle_survives_sorting(self):
+        sim = small_sim(n=200)
+        uid = int(sim.rm.data["uid"][150])
+        a = sim.get_agent(uid)
+        pos_before = a.position
+        sim.env.update(sim.rm.positions, sim.interaction_radius())
+        sort_and_balance(sim)
+        np.testing.assert_array_equal(a.position, pos_before)
+
+    def test_handle_survives_removals_of_others(self):
+        sim = small_sim(n=20)
+        uid = int(sim.rm.data["uid"][10])
+        a = sim.get_agent(uid)
+        d_before = a.diameter
+        sim.rm.queue_removals([0, 1, 2, 19])
+        sim.rm.commit()
+        assert a.is_alive
+        assert a.diameter == d_before
+
+    def test_handle_dies_with_agent(self):
+        sim = small_sim(n=5)
+        a = sim.get_agent(int(sim.rm.data["uid"][2]))
+        a.remove()
+        sim.rm.commit()
+        assert not a.is_alive
+        with pytest.raises(KeyError):
+            _ = a.index
+
+    def test_neighbors_via_handle(self):
+        sim = Simulation("nbr", Param.optimized(agent_sort_frequency=0))
+        sim.add_cells(np.array([[0.0, 0, 0], [5.0, 0, 0], [100.0, 0, 0]]),
+                      diameters=10.0)
+        sim.env.update(sim.rm.positions, sim.interaction_radius())
+        a = sim.get_agent(int(sim.rm.data["uid"][0]))
+        assert a.neighbors().tolist() == [1]
+
+    def test_repr(self):
+        sim = small_sim(n=2)
+        a = next(sim.agents())
+        assert "alive" in repr(a)
+        a.remove()
+        sim.rm.commit()
+        assert "removed" in repr(a)

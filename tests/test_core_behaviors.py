@@ -1,0 +1,212 @@
+"""Tests for the behavior system and the built-in behavior library."""
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation, DiffusionGrid
+from repro.core.behaviors_lib import (
+    Chemotaxis,
+    GrowDivide,
+    Infection,
+    RandomWalk,
+    Recovery,
+    Secretion,
+    StochasticDeath,
+)
+
+
+def fresh_sim(seed=0, **param_overrides):
+    defaults = dict(agent_sort_frequency=0)
+    defaults.update(param_overrides)
+    return Simulation("behavior-test", Param.optimized(**defaults), seed=seed)
+
+
+class TestAttachment:
+    def test_mask_set_and_cleared(self):
+        sim = fresh_sim()
+        walk = RandomWalk(1.0)
+        idx = sim.add_cells(np.zeros((3, 3)), behaviors=[walk])
+        bit = sim.register_behavior(walk)
+        assert np.all(sim.rm.data["behavior_mask"][idx] & np.uint64(bit))
+        sim.detach_behavior(idx[:1], walk)
+        assert sim.rm.data["behavior_mask"][idx[0]] == 0
+
+    def test_distinct_instances_get_distinct_bits(self):
+        sim = fresh_sim()
+        b1, b2 = RandomWalk(1.0), RandomWalk(2.0)
+        assert sim.register_behavior(b1) != sim.register_behavior(b2)
+
+    def test_reregistration_is_stable(self):
+        sim = fresh_sim()
+        b = RandomWalk(1.0)
+        assert sim.register_behavior(b) == sim.register_behavior(b)
+
+    def test_behavior_payloads_allocated(self):
+        sim = fresh_sim()
+        live0 = sim.agent_allocator.live_bytes
+        sim.add_cells(np.zeros((4, 3)), behaviors=[RandomWalk(1.0)])
+        # 4 agents + 4 behavior payloads.
+        expected = 4 * sim.param.agent_size_bytes + 4 * sim.param.behavior_size_bytes
+        assert sim.agent_allocator.live_bytes - live0 == expected
+
+    def test_double_attach_no_double_alloc(self):
+        sim = fresh_sim()
+        walk = RandomWalk(1.0)
+        idx = sim.add_cells(np.zeros((2, 3)), behaviors=[walk])
+        live = sim.agent_allocator.live_bytes
+        sim.attach_behavior(idx, walk)
+        assert sim.agent_allocator.live_bytes == live
+
+    def test_only_attached_agents_run(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        idx = sim.add_cells(np.zeros((4, 3)))
+        sim.attach_behavior(idx[:2], RandomWalk(50.0))
+        sim.simulate(1)
+        moved = np.linalg.norm(sim.rm.positions, axis=1) > 0
+        assert moved[:2].all() and not moved[2:].any()
+
+
+class TestGrowDivide:
+    def test_growth(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        sim.add_cells(np.zeros((1, 3)), diameters=5.0,
+                      behaviors=[GrowDivide(growth_rate=100.0, division_diameter=99.0)])
+        sim.simulate(3)
+        assert sim.rm.data["diameter"][0] == pytest.approx(5.0 + 3 * 100.0 * 0.01)
+
+    def test_division_conserves_volume(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        sim.add_cells(np.zeros((1, 3)), diameters=9.99,
+                      behaviors=[GrowDivide(growth_rate=1.0, division_diameter=10.0)])
+        sim.simulate(1)
+        assert sim.num_agents == 2
+        vol = np.sum(sim.rm.data["diameter"] ** 3)
+        assert vol == pytest.approx(2 * (10.0**3) / 2, rel=0.01)
+
+    def test_daughter_inherits_behavior(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        gd = GrowDivide(growth_rate=500.0, division_diameter=10.0)
+        sim.add_cells(np.zeros((1, 3)), diameters=5.0, behaviors=[gd])
+        sim.simulate(4)
+        assert sim.num_agents > 2  # daughters divide too
+        bit = sim.register_behavior(gd)
+        assert np.all(sim.rm.data["behavior_mask"] & np.uint64(bit))
+
+    def test_max_agents_cap(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        gd = GrowDivide(growth_rate=500.0, division_diameter=10.0, max_agents=10)
+        sim.add_cells(np.zeros((1, 3)), diameters=5.0, behaviors=[gd])
+        sim.simulate(10)
+        assert sim.num_agents <= 10
+
+    def test_sets_grew_flag(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        gd = GrowDivide(growth_rate=1.0, division_diameter=99.0)
+        idx = sim.add_cells(np.zeros((1, 3)), diameters=5.0, behaviors=[gd])
+        gd.run(sim, idx)
+        assert sim.rm.data["grew"][0]
+
+
+class TestMovementBehaviors:
+    def test_random_walk_moves(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        sim.add_cells(np.zeros((10, 3)), behaviors=[RandomWalk(speed=10.0)])
+        sim.simulate(5)
+        assert np.all(np.linalg.norm(sim.rm.positions, axis=1) > 0)
+
+    def test_random_walk_deterministic_with_seed(self):
+        outs = []
+        for _ in range(2):
+            sim = fresh_sim(seed=42)
+            sim.mechanics_enabled = False
+            sim.add_cells(np.zeros((5, 3)), behaviors=[RandomWalk(speed=10.0)])
+            sim.simulate(3)
+            outs.append(sim.rm.positions.copy())
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_chemotaxis_climbs_gradient(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        grid = sim.add_diffusion_grid(
+            DiffusionGrid("food", 16, 0.0, 32.0, diffusion_coefficient=0.0)
+        )
+        grid.add_substance(np.array([[30.0, 16.0, 16.0]]), 100.0)
+        grid.concentration[:] = np.linspace(0, 1, 16)[:, None, None]  # x gradient
+        sim.add_cells(np.array([[8.0, 16.0, 16.0]]),
+                      behaviors=[Chemotaxis("food", speed=100.0)])
+        x0 = sim.rm.positions[0, 0]
+        sim.simulate(5)
+        assert sim.rm.positions[0, 0] > x0
+
+
+class TestSecretion:
+    def test_secretes_every_iteration(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        grid = sim.add_diffusion_grid(
+            DiffusionGrid("m", 8, 0.0, 32.0, diffusion_coefficient=0.1)
+        )
+        sim.add_cells(np.array([[16.0, 16, 16]]), behaviors=[Secretion("m", 2.0)])
+        sim.simulate(4)
+        assert grid.total_substance() == pytest.approx(
+            4 * 2.0 * grid.voxel_size**3, rel=1e-9
+        )
+
+
+class TestSIR:
+    def _sir_sim(self, seed=0):
+        sim = fresh_sim(seed=seed)
+        sim.mechanics_enabled = False
+        sim.fixed_interaction_radius = 3.0
+        sim.rm.register_column("state", np.int64, (), Infection.SUSCEPTIBLE)
+        rng = np.random.default_rng(seed)
+        idx = sim.add_cells(rng.uniform(0, 20, (200, 3)),
+                            behaviors=[Infection(0.8), Recovery(0.05)])
+        sim.rm.data["state"][idx[:5]] = Infection.INFECTED
+        return sim
+
+    def test_epidemic_spreads(self):
+        sim = self._sir_sim()
+        sim.simulate(10)
+        state = sim.rm.data["state"]
+        assert (state != Infection.SUSCEPTIBLE).sum() > 5
+
+    def test_recovered_accumulate(self):
+        sim = self._sir_sim()
+        sim.simulate(40)
+        assert (sim.rm.data["state"] == Infection.RECOVERED).sum() > 0
+
+    def test_no_infection_with_zero_probability(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        sim.fixed_interaction_radius = 3.0
+        sim.rm.register_column("state", np.int64, (), Infection.SUSCEPTIBLE)
+        idx = sim.add_cells(np.random.default_rng(0).uniform(0, 10, (50, 3)),
+                            behaviors=[Infection(0.0)])
+        sim.rm.data["state"][idx[0]] = Infection.INFECTED
+        sim.simulate(5)
+        assert (sim.rm.data["state"] == Infection.INFECTED).sum() == 1
+
+
+class TestDeath:
+    def test_death_removes_agents(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        sim.add_cells(np.random.default_rng(0).uniform(0, 50, (300, 3)),
+                      behaviors=[StochasticDeath(0.2)])
+        sim.simulate(5)
+        assert sim.num_agents < 300
+
+    def test_no_death_with_zero_probability(self):
+        sim = fresh_sim()
+        sim.mechanics_enabled = False
+        sim.add_cells(np.zeros((10, 3)), behaviors=[StochasticDeath(0.0)])
+        sim.simulate(5)
+        assert sim.num_agents == 10

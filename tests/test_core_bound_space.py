@@ -1,0 +1,49 @@
+"""Tests for the closed simulation space (bound_space)."""
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.core.behaviors_lib import RandomWalk
+
+
+class TestBoundSpace:
+    def test_positions_clamped(self):
+        p = Param.optimized(bound_space=(0.0, 20.0), agent_sort_frequency=0)
+        sim = Simulation("bound", p, seed=0)
+        sim.mechanics_enabled = False
+        sim.add_cells(np.full((20, 3), 10.0), behaviors=[RandomWalk(speed=500.0)])
+        sim.simulate(20)
+        assert sim.rm.positions.min() >= 0.0
+        assert sim.rm.positions.max() <= 20.0
+
+    def test_unbounded_walk_escapes(self):
+        p = Param.optimized(agent_sort_frequency=0)
+        sim = Simulation("free", p, seed=0)
+        sim.mechanics_enabled = False
+        sim.add_cells(np.full((20, 3), 10.0), behaviors=[RandomWalk(speed=500.0)])
+        sim.simulate(20)
+        assert sim.rm.positions.max() > 20.0 or sim.rm.positions.min() < 0.0
+
+    def test_mechanics_respects_bounds(self):
+        p = Param.optimized(bound_space=(0.0, 15.0), agent_sort_frequency=0)
+        sim = Simulation("bound-mech", p, seed=0)
+        # Overlapping pair at the boundary: repulsion would push one out.
+        sim.add_cells(np.array([[14.0, 7, 7], [14.8, 7, 7]]), diameters=10.0)
+        sim.simulate(30)
+        assert sim.rm.positions.max() <= 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Simulation("bad", Param.optimized(bound_space=(5.0, 5.0)))
+
+    def test_bounded_grid_stays_small(self):
+        # A closed world caps the grid dimensions no matter how agitated
+        # the agents are.
+        p = Param.optimized(bound_space=(0.0, 50.0), agent_sort_frequency=0)
+        sim = Simulation("bound-grid", p, seed=0)
+        sim.mechanics_enabled = False
+        sim.fixed_interaction_radius = 5.0
+        sim.add_cells(np.full((50, 3), 25.0), behaviors=[RandomWalk(speed=300.0)])
+        sim.simulate(30)
+        assert sim.env.num_boxes <= 11**3

@@ -1,0 +1,93 @@
+"""Tests for checkpoint/restore."""
+
+import numpy as np
+import pytest
+
+from repro import DiffusionGrid, Param, Simulation
+from repro.core.behaviors_lib import GrowDivide, RandomWalk
+from repro.core.checkpoint import restore_checkpoint, save_checkpoint
+
+
+def build_sim(seed=0, with_grid=True, extra_column=False):
+    sim = Simulation("ckpt-test", Param.optimized(agent_sort_frequency=0),
+                     seed=seed)
+    if with_grid:
+        g = sim.add_diffusion_grid(DiffusionGrid("oxygen", 8, 0.0, 64.0))
+        g.add_substance(np.array([[32.0, 32, 32]]), 10.0)
+    if extra_column:
+        sim.rm.register_column("age", np.int64, (), 0)
+    rng = np.random.default_rng(seed)
+    sim.add_cells(rng.uniform(0, 60, (50, 3)), diameters=9.0,
+                  behaviors=[GrowDivide(growth_rate=30.0, division_diameter=12.0,
+                                        max_agents=200)])
+    return sim
+
+
+class TestRoundtrip:
+    def test_state_restored_exactly(self, tmp_path):
+        sim = build_sim()
+        sim.simulate(10)
+        path = save_checkpoint(sim, tmp_path / "state.npz")
+
+        fresh = build_sim()
+        restore_checkpoint(fresh, path)
+        assert fresh.num_agents == sim.num_agents
+        np.testing.assert_array_equal(fresh.rm.positions, sim.rm.positions)
+        np.testing.assert_array_equal(fresh.rm.data["uid"], sim.rm.data["uid"])
+        np.testing.assert_array_equal(
+            fresh.diffusion_grids["oxygen"].concentration,
+            sim.diffusion_grids["oxygen"].concentration,
+        )
+        assert fresh.scheduler.iteration == sim.scheduler.iteration
+        assert fresh.time == pytest.approx(sim.time)
+
+    def test_continuation_preserves_uid_uniqueness(self, tmp_path):
+        sim = build_sim()
+        sim.simulate(10)
+        path = save_checkpoint(sim, tmp_path / "state.npz")
+        fresh = build_sim()
+        restore_checkpoint(fresh, path)
+        fresh.simulate(10)  # more divisions happen
+        uids = fresh.rm.data["uid"]
+        assert len(np.unique(uids)) == len(uids)
+
+    def test_restored_simulation_continues(self, tmp_path):
+        sim = build_sim()
+        sim.simulate(5)
+        n_mid = sim.num_agents
+        path = save_checkpoint(sim, tmp_path / "state.npz")
+        fresh = build_sim()
+        restore_checkpoint(fresh, path)
+        fresh.simulate(10)
+        assert fresh.num_agents >= n_mid
+
+    def test_custom_columns_roundtrip(self, tmp_path):
+        sim = build_sim(extra_column=True)
+        sim.rm.data["age"][:] = np.arange(sim.rm.n)
+        path = save_checkpoint(sim, tmp_path / "s.npz")
+        fresh = build_sim(extra_column=True)
+        restore_checkpoint(fresh, path)
+        np.testing.assert_array_equal(fresh.rm.data["age"], np.arange(sim.rm.n))
+
+
+class TestValidation:
+    def test_missing_column_rejected(self, tmp_path):
+        sim = build_sim()
+        path = save_checkpoint(sim, tmp_path / "s.npz")
+        target = build_sim(extra_column=True)  # has a column the file lacks
+        with pytest.raises(ValueError, match="lacks columns"):
+            restore_checkpoint(target, path)
+
+    def test_extra_column_rejected(self, tmp_path):
+        sim = build_sim(extra_column=True)
+        path = save_checkpoint(sim, tmp_path / "s.npz")
+        target = build_sim()
+        with pytest.raises(ValueError, match="register them"):
+            restore_checkpoint(target, path)
+
+    def test_unknown_grid_rejected(self, tmp_path):
+        sim = build_sim(with_grid=True)
+        path = save_checkpoint(sim, tmp_path / "s.npz")
+        target = build_sim(with_grid=False)
+        with pytest.raises(ValueError, match="diffusion grid"):
+            restore_checkpoint(target, path)

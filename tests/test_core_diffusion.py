@@ -1,0 +1,129 @@
+"""Tests for the diffusion grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.diffusion import DiffusionGrid
+
+
+def make_grid(res=16, D=0.5, decay=0.0):
+    return DiffusionGrid("s", res, lower=0.0, upper=32.0,
+                         diffusion_coefficient=D, decay=decay)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        g = make_grid(res=16)
+        assert g.voxel_size == pytest.approx(2.0)
+        assert g.num_volumes == 16**3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DiffusionGrid("s", 0, 0, 1)
+        with pytest.raises(ValueError):
+            DiffusionGrid("s", 4, 1.0, 1.0)
+
+
+class TestConservation:
+    def test_mass_conserved_without_decay(self):
+        g = make_grid()
+        g.add_substance(np.array([[16.0, 16, 16]]), 100.0)
+        before = g.total_substance()
+        dt = g.stable_time_step() * 0.9
+        for _ in range(50):
+            g.step(dt)
+        assert g.total_substance() == pytest.approx(before, rel=1e-9)
+
+    def test_decay_reduces_mass(self):
+        g = make_grid(decay=0.1)
+        g.add_substance(np.array([[16.0, 16, 16]]), 100.0)
+        before = g.total_substance()
+        g.step(g.stable_time_step() * 0.5)
+        assert g.total_substance() < before
+
+    def test_concentration_spreads(self):
+        g = make_grid()
+        g.add_substance(np.array([[16.0, 16, 16]]), 100.0)
+        peak_before = g.concentration.max()
+        dt = g.stable_time_step() * 0.9
+        for _ in range(20):
+            g.step(dt)
+        assert g.concentration.max() < peak_before
+        assert g.concentration.min() >= 0  # no negative concentrations
+        # Substance reached the neighboring voxels.
+        i, j, k = g.voxel_of(np.array([[16.0, 16, 16]]))
+        assert g.concentration[i[0] + 2, j[0], k[0]] > 0
+
+    def test_uniform_field_is_steady_state(self):
+        g = make_grid()
+        g.concentration[:] = 3.0
+        g.step(g.stable_time_step() * 0.9)
+        np.testing.assert_allclose(g.concentration, 3.0)
+
+
+class TestStability:
+    def test_unstable_step_rejected(self):
+        g = make_grid()
+        with pytest.raises(ValueError):
+            g.step(g.stable_time_step() * 2.0)
+
+    def test_cfl_formula(self):
+        g = make_grid(D=0.5)
+        assert g.stable_time_step() == pytest.approx(2.0**2 / (6 * 0.5))
+
+    def test_zero_diffusion_any_step(self):
+        g = make_grid(D=0.0)
+        g.add_substance(np.array([[1.0, 1, 1]]), 5.0)
+        g.step(100.0)  # no CFL limit
+        assert g.total_substance() == pytest.approx(5.0 * g.voxel_size**3)
+
+
+class TestAgentCoupling:
+    def test_voxel_clamping(self):
+        g = make_grid()
+        i, j, k = g.voxel_of(np.array([[-5.0, 0, 0], [100.0, 0, 0]]))
+        assert i.tolist() == [0, 15]
+
+    def test_secrete_and_read_back(self):
+        g = make_grid()
+        pts = np.array([[5.0, 5, 5], [20.0, 20, 20]])
+        g.add_substance(pts, np.array([2.0, 3.0]))
+        c = g.concentration_at(pts)
+        assert c.tolist() == [2.0, 3.0]
+
+    def test_consume(self):
+        g = make_grid()
+        pts = np.array([[5.0, 5, 5]])
+        g.add_substance(pts, 10.0)
+        taken = g.consume(pts, 0.25)
+        assert taken[0] == pytest.approx(2.5)
+        assert g.concentration_at(pts)[0] == pytest.approx(7.5)
+
+    def test_consume_validates_fraction(self):
+        with pytest.raises(ValueError):
+            make_grid().consume(np.zeros((1, 3)), 1.5)
+
+    def test_gradient_points_toward_source(self):
+        g = make_grid()
+        g.add_substance(np.array([[16.0, 16, 16]]), 100.0)
+        dt = g.stable_time_step() * 0.9
+        for _ in range(30):
+            g.step(dt)
+        grad = g.gradient_at(np.array([[8.0, 16.0, 16.0]]))
+        assert grad[0, 0] > 0  # uphill toward the center
+        grad2 = g.gradient_at(np.array([[24.0, 16.0, 16.0]]))
+        assert grad2[0, 0] < 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        x=st.floats(0.0, 31.9),
+        y=st.floats(0.0, 31.9),
+        z=st.floats(0.0, 31.9),
+        amount=st.floats(0.1, 100.0),
+    )
+    def test_secretion_property(self, x, y, z, amount):
+        g = make_grid()
+        g.add_substance(np.array([[x, y, z]]), amount)
+        assert g.concentration_at(np.array([[x, y, z]]))[0] == pytest.approx(amount)
+        assert g.total_substance() == pytest.approx(amount * g.voxel_size**3)

@@ -1,0 +1,77 @@
+"""Tests for VTK/CSV export."""
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.core.exporter import ExportOperation, write_csv, write_vtk
+
+
+def small_sim(n=5):
+    sim = Simulation("export-test", Param.optimized(agent_sort_frequency=0))
+    sim.mechanics_enabled = False
+    rng = np.random.default_rng(1)
+    sim.add_cells(rng.uniform(0, 10, (n, 3)), diameters=rng.uniform(5, 9, n))
+    return sim
+
+
+class TestVTK:
+    def test_structure(self, tmp_path):
+        sim = small_sim()
+        out = write_vtk(sim, tmp_path / "s.vtk", attributes=("diameter", "uid"))
+        text = out.read_text()
+        assert text.startswith("# vtk DataFile Version 3.0")
+        assert "POINTS 5 double" in text
+        assert "VERTICES 5 10" in text
+        assert "SCALARS diameter double 1" in text
+        assert "SCALARS uid int 1" in text
+
+    def test_positions_roundtrip(self, tmp_path):
+        sim = small_sim()
+        out = write_vtk(sim, tmp_path / "s.vtk")
+        lines = out.read_text().splitlines()
+        start = lines.index("POINTS 5 double") + 1
+        pts = np.array([[float(v) for v in lines[start + i].split()] for i in range(5)])
+        np.testing.assert_allclose(pts, sim.rm.positions, rtol=1e-5)
+
+    def test_unknown_attribute(self, tmp_path):
+        with pytest.raises(KeyError):
+            write_vtk(small_sim(), tmp_path / "s.vtk", attributes=("mass",))
+
+    def test_vector_attribute_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_vtk(small_sim(), tmp_path / "s.vtk", attributes=("position",))
+
+
+class TestCSV:
+    def test_structure(self, tmp_path):
+        sim = small_sim()
+        out = write_csv(sim, tmp_path / "s.csv", attributes=("diameter",))
+        lines = out.read_text().splitlines()
+        assert lines[0] == "x,y,z,diameter"
+        assert len(lines) == 6
+        first = lines[1].split(",")
+        assert len(first) == 4
+        assert float(first[3]) == pytest.approx(sim.rm.data["diameter"][0], rel=1e-5)
+
+
+class TestExportOperation:
+    def test_writes_every_frequency(self, tmp_path):
+        sim = small_sim()
+        op = ExportOperation(tmp_path, fmt="csv", frequency=2)
+        sim.add_operation(op)
+        sim.simulate(5)
+        assert len(op.written) == 2
+        assert all(p.exists() for p in op.written)
+
+    def test_vtk_files_named_by_iteration(self, tmp_path):
+        sim = small_sim()
+        op = ExportOperation(tmp_path, fmt="vtk")
+        sim.add_operation(op)
+        sim.simulate(2)
+        names = sorted(p.name for p in op.written)
+        assert names == ["export-test_000000.vtk", "export-test_000001.vtk"]
+
+    def test_invalid_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExportOperation(tmp_path, fmt="hdf5")

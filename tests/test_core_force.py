@@ -1,0 +1,110 @@
+"""Tests for the Cortex3D-style interaction force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.force import InteractionForce
+from repro.env.environment import brute_force_csr
+
+
+def two_spheres(distance, d1=10.0, d2=10.0):
+    positions = np.array([[0.0, 0, 0], [distance, 0, 0]])
+    diameters = np.array([d1, d2])
+    indptr = np.array([0, 1, 2])
+    indices = np.array([1, 0])
+    return positions, diameters, indptr, indices
+
+
+class TestPairForces:
+    def test_no_force_without_overlap(self):
+        f = InteractionForce()
+        pos, dia, indptr, indices = two_spheres(15.0)
+        res = f.compute(pos, dia, indptr, indices)
+        np.testing.assert_allclose(res.net_force, 0.0)
+        assert res.nonzero_neighbor_forces.tolist() == [0, 0]
+
+    def test_overlap_repels(self):
+        f = InteractionForce()
+        pos, dia, indptr, indices = two_spheres(8.0)  # overlap = 2
+        res = f.compute(pos, dia, indptr, indices)
+        # Agent 0 pushed in -x, agent 1 in +x.
+        assert res.net_force[0, 0] < 0
+        assert res.net_force[1, 0] > 0
+
+    def test_newtons_third_law(self):
+        f = InteractionForce()
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(0, 20, (30, 3))
+        dia = rng.uniform(5, 12, 30)
+        indptr, indices = brute_force_csr(pos, 12.0)
+        res = f.compute(pos, dia, indptr, indices)
+        # Total momentum change is zero because forces are antisymmetric.
+        np.testing.assert_allclose(res.net_force.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_deeper_overlap_stronger_repulsion(self):
+        f = InteractionForce(attraction=0.0)
+        shallow = f.compute(*two_spheres(9.5))
+        deep = f.compute(*two_spheres(8.0))
+        assert abs(deep.net_force[0, 0]) > abs(shallow.net_force[0, 0])
+
+    def test_adhesion_reduces_net_repulsion(self):
+        plain = InteractionForce(attraction=0.0).compute(*two_spheres(9.0))
+        sticky = InteractionForce(attraction=1.0).compute(*two_spheres(9.0))
+        assert abs(sticky.net_force[0, 0]) < abs(plain.net_force[0, 0])
+
+    def test_coincident_centers_pushed_apart(self):
+        f = InteractionForce()
+        res = f.compute(*two_spheres(0.0))
+        assert np.linalg.norm(res.net_force[0]) > 0
+        # The two agents separate in opposite directions.
+        assert np.dot(res.net_force[0], res.net_force[1]) < 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(distance=st.floats(0.1, 9.9))
+    def test_force_along_separation_axis(self, distance):
+        f = InteractionForce(attraction=0.0)
+        res = f.compute(*two_spheres(distance))
+        np.testing.assert_allclose(res.net_force[:, 1:], 0.0, atol=1e-12)
+
+
+class TestActiveMask:
+    def test_static_agents_skipped(self):
+        f = InteractionForce()
+        pos, dia, indptr, indices = two_spheres(8.0)
+        active = np.array([True, False])
+        res = f.compute(pos, dia, indptr, indices, active)
+        assert res.net_force[0, 0] != 0
+        np.testing.assert_allclose(res.net_force[1], 0.0)
+        assert res.pairs_evaluated == 1
+
+    def test_all_static(self):
+        f = InteractionForce()
+        pos, dia, indptr, indices = two_spheres(8.0)
+        res = f.compute(pos, dia, indptr, indices, np.array([False, False]))
+        np.testing.assert_allclose(res.net_force, 0.0)
+        assert res.pairs_evaluated == 0
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        f = InteractionForce()
+        res = f.compute(np.empty((0, 3)), np.empty(0), np.zeros(1, np.int64), np.empty(0, np.int64))
+        assert res.net_force.shape == (0, 3)
+
+    def test_isolated_agents(self):
+        f = InteractionForce()
+        pos = np.array([[0.0, 0, 0], [100.0, 0, 0]])
+        indptr = np.array([0, 0, 0])
+        res = f.compute(pos, np.array([10.0, 10.0]), indptr, np.empty(0, np.int64))
+        np.testing.assert_allclose(res.net_force, 0.0)
+
+    def test_nonzero_force_counts(self):
+        # Three overlapping agents in a row: the middle one feels two
+        # non-zero neighbor forces.
+        f = InteractionForce(attraction=0.0)
+        pos = np.array([[0.0, 0, 0], [8.0, 0, 0], [16.0, 0, 0]])
+        dia = np.full(3, 10.0)
+        indptr, indices = brute_force_csr(pos, 10.0)
+        res = f.compute(pos, dia, indptr, indices)
+        assert res.nonzero_neighbor_forces[1] == 2

@@ -1,0 +1,158 @@
+"""Tests for user-defined operations (paper §2)."""
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.core.operation import (
+    AgentOperation,
+    Operation,
+    OpKind,
+    StandaloneOperation,
+)
+
+
+def fresh_sim(n=20, machine=None):
+    from repro.parallel import Machine, SYSTEM_A
+
+    m = Machine(SYSTEM_A, num_threads=8) if machine else None
+    sim = Simulation("op-test", Param.optimized(agent_sort_frequency=0), machine=m)
+    sim.mechanics_enabled = False
+    sim.add_cells(np.random.default_rng(0).uniform(0, 50, (n, 3)))
+    return sim
+
+
+class TestFrequency:
+    def test_due_every_iteration(self):
+        op = StandaloneOperation(lambda s: None)
+        assert all(op.due(i) for i in range(5))
+
+    def test_due_every_third(self):
+        op = StandaloneOperation(lambda s: None, frequency=3)
+        assert [op.due(i) for i in range(6)] == [False, False, True] * 2
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            StandaloneOperation(lambda s: None, frequency=0)
+
+
+class TestStandaloneExecution:
+    @pytest.mark.parametrize("kind", [OpKind.PRE, OpKind.STANDALONE, OpKind.POST])
+    def test_runs_once_per_iteration(self, kind):
+        sim = fresh_sim()
+        calls = []
+        sim.add_operation(
+            StandaloneOperation(lambda s: calls.append(s.scheduler.iteration),
+                                name="probe", kind=kind)
+        )
+        sim.simulate(4)
+        assert calls == [0, 1, 2, 3]
+
+    def test_frequency_respected(self):
+        sim = fresh_sim()
+        calls = []
+        sim.add_operation(
+            StandaloneOperation(lambda s: calls.append(1), frequency=2)
+        )
+        sim.simulate(5)
+        assert len(calls) == 2
+
+    def test_pre_sees_fresh_environment(self):
+        # PRE runs after the environment update of the same iteration.
+        sim = fresh_sim()
+        seen = []
+        sim.add_operation(
+            StandaloneOperation(
+                lambda s: seen.append(s.env.neighbor_csr()[0][-1]),
+                kind=OpKind.PRE,
+            )
+        )
+        sim.simulate(1)
+        assert len(seen) == 1
+
+    def test_removal(self):
+        sim = fresh_sim()
+        calls = []
+        op = StandaloneOperation(lambda s: calls.append(1))
+        sim.add_operation(op)
+        sim.simulate(2)
+        sim.remove_operation(op)
+        sim.simulate(2)
+        assert len(calls) == 2
+
+    def test_serial_cost_charged(self):
+        sim = fresh_sim(machine=True)
+        sim.add_operation(
+            StandaloneOperation(lambda s: None, name="expensive",
+                                compute_ops=1e6)
+        )
+        sim.simulate(2)
+        assert "expensive" in sim.machine.stats
+        assert sim.machine.stats["expensive"].cycles > 0
+
+    def test_parallel_cost_charged(self):
+        sim = fresh_sim(machine=True)
+        sim.add_operation(
+            StandaloneOperation(lambda s: None, name="par",
+                                compute_ops=1e6, parallelizable=True)
+        )
+        sim.simulate(2)
+        assert sim.machine.stats["par"].cycles > 0
+        # Parallel charging is cheaper than serial for equal work.
+        sim2 = fresh_sim(machine=True)
+        sim2.add_operation(
+            StandaloneOperation(lambda s: None, name="ser", compute_ops=1e6)
+        )
+        sim2.simulate(2)
+        assert sim.machine.stats["par"].cycles < sim2.machine.stats["ser"].cycles
+
+
+class TestAgentOperations:
+    class Tag(AgentOperation):
+        name = "tag"
+        compute_ops_per_agent = 5.0
+
+        def run_on(self, op_self, idx):
+            op_self.rm.data["diameter"][idx] += 1.0
+
+    def test_applies_to_all_agents(self):
+        sim = fresh_sim()
+        sim.add_operation(self.Tag())
+        before = sim.rm.data["diameter"].copy()
+        sim.simulate(3)
+        np.testing.assert_allclose(sim.rm.data["diameter"], before + 3.0)
+
+    def test_frequency(self):
+        sim = fresh_sim()
+        op = self.Tag(frequency=2)
+        sim.add_operation(op)
+        before = sim.rm.data["diameter"].copy()
+        sim.simulate(4)
+        np.testing.assert_allclose(sim.rm.data["diameter"], before + 2.0)
+
+    def test_cost_lands_in_agent_ops(self):
+        sim = fresh_sim(machine=True)
+        base_sim = fresh_sim(machine=True)
+        sim.add_operation(self.Tag())
+        sim.simulate(3)
+        base_sim.simulate(3)
+        # Compare the charged WORK (makespans are noisy at 20 agents).
+        assert (
+            sim.machine.stats["agent_ops"].compute_cycles
+            > base_sim.machine.stats["agent_ops"].compute_cycles
+        )
+
+    def test_neighbor_using_agent_op(self):
+        class CountNeighbors(AgentOperation):
+            name = "count"
+            uses_neighbors = True
+
+            def run_on(self, s, idx):
+                indptr, _ = s.neighbors()
+                s.last_counts = np.diff(indptr)
+
+        sim = fresh_sim()
+        sim.add_operation(CountNeighbors())
+        sim.simulate(1)
+        assert hasattr(sim, "last_counts")
+        assert len(sim.last_counts) == sim.rm.n

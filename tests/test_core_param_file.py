@@ -1,0 +1,54 @@
+"""Tests for Param file loading (BioDynaMo's bdm.toml)."""
+
+import pytest
+
+from repro import Param
+
+
+class TestTomlLoading:
+    def test_flat_keys(self, tmp_path):
+        f = tmp_path / "bdm.toml"
+        f.write_text(
+            'environment = "kd_tree"\n'
+            "agent_sort_frequency = 7\n"
+            "detect_static_agents = true\n"
+        )
+        p = Param.from_file(f)
+        assert p.environment == "kd_tree"
+        assert p.agent_sort_frequency == 7
+        assert p.detect_static_agents
+
+    def test_param_table(self, tmp_path):
+        f = tmp_path / "bdm.toml"
+        f.write_text("[param]\nblock_size = 128\n")
+        assert Param.from_file(f).block_size == 128
+
+    def test_bound_space_list(self, tmp_path):
+        f = tmp_path / "bdm.toml"
+        f.write_text("bound_space = [0.0, 100.0]\n")
+        assert Param.from_file(f).bound_space == (0.0, 100.0)
+
+    def test_unknown_key_rejected(self, tmp_path):
+        f = tmp_path / "bdm.toml"
+        f.write_text("gpu_count = 3\n")
+        with pytest.raises(ValueError, match="unknown parameter"):
+            Param.from_file(f)
+
+    def test_invalid_value_rejected(self, tmp_path):
+        f = tmp_path / "bdm.toml"
+        f.write_text('environment = "voronoi"\n')
+        with pytest.raises(ValueError):
+            Param.from_file(f)
+
+
+class TestJsonLoading:
+    def test_json(self, tmp_path):
+        f = tmp_path / "params.json"
+        f.write_text('{"param": {"agent_allocator": "jemalloc"}}')
+        assert Param.from_file(f).agent_allocator == "jemalloc"
+
+    def test_unsupported_extension(self, tmp_path):
+        f = tmp_path / "params.yaml"
+        f.write_text("a: 1")
+        with pytest.raises(ValueError, match="unsupported"):
+            Param.from_file(f)

@@ -1,0 +1,122 @@
+"""Tests for the five-step parallel removal algorithm (paper §3.2, Fig. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.removal import apply_removal, plan_removal
+
+
+def reference_remove(values: np.ndarray, removed) -> set:
+    """Order-agnostic reference: the surviving multiset."""
+    keep = np.ones(len(values), dtype=bool)
+    keep[list(removed)] = False
+    return set(values[keep].tolist())
+
+
+class TestPaperExample:
+    def test_figure1_scenario(self):
+        # Fig. 1: seven agents (ids 1-7), agents at indices 1, 4, 6 removed
+        # (values 2, 5, 7 in the figure); new size is 4.
+        values = np.array([1, 2, 3, 4, 5, 6, 7])
+        plan = plan_removal(7, [1, 4, 6], num_threads=2)
+        assert plan.new_size == 4
+        out = apply_removal({"v": values.copy()}, plan)["v"]
+        assert set(out.tolist()) == {1, 3, 4, 6}
+
+    def test_holes_pair_with_tail_survivors(self):
+        plan = plan_removal(7, [1, 4, 6], num_threads=2)
+        src, dst = plan.moves
+        # Exactly one hole left of new_size=4 (index 1) and one surviving
+        # tail element (index 5, value 6).
+        assert dst.tolist() == [1]
+        assert src.tolist() == [5]
+
+
+class TestPlanStructure:
+    def test_no_removals(self):
+        plan = plan_removal(10, [])
+        assert plan.new_size == 10
+        assert len(plan.to_right) == 0
+
+    def test_remove_all(self):
+        plan = plan_removal(5, [0, 1, 2, 3, 4])
+        assert plan.new_size == 0
+        assert len(plan.to_right) == 0
+
+    def test_remove_only_tail(self):
+        # Removing the last elements requires zero swaps.
+        plan = plan_removal(10, [7, 8, 9])
+        assert plan.new_size == 7
+        assert len(plan.to_right) == 0
+
+    def test_remove_only_head(self):
+        plan = plan_removal(10, [0, 1, 2])
+        assert plan.new_size == 7
+        assert sorted(plan.to_right.tolist()) == [0, 1, 2]
+        assert sorted(plan.to_left.tolist()) == [7, 8, 9]
+
+    def test_space_is_o_removed(self):
+        # Auxiliary data scales with removals, not with n.
+        plan = plan_removal(10**6, [5, 10])
+        assert len(plan.to_right) + len(plan.to_left) <= 4
+
+    def test_prefix_sums_consistent(self):
+        plan = plan_removal(100, list(range(0, 100, 3)), num_threads=8)
+        assert plan.prefix_right[-1] + plan.swaps_right[-1] == len(plan.to_right)
+        assert plan.prefix_left[-1] + plan.swaps_left[-1] == len(plan.to_left)
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            plan_removal(10, [3, 3])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            plan_removal(10, [10])
+        with pytest.raises(ValueError):
+            plan_removal(10, [-1])
+
+
+class TestApply:
+    def test_multi_column(self):
+        n = 50
+        arrays = {
+            "a": np.arange(n),
+            "b": np.arange(n, dtype=np.float64) * 1.5,
+            "c": np.arange(n * 3).reshape(n, 3),
+        }
+        removed = [0, 10, 20, 30, 49]
+        plan = plan_removal(n, removed)
+        out = apply_removal({k: v.copy() for k, v in arrays.items()}, plan)
+        assert set(out["a"].tolist()) == reference_remove(arrays["a"], removed)
+        # Row integrity: column b still equals 1.5 * a.
+        np.testing.assert_allclose(out["b"], out["a"] * 1.5)
+        np.testing.assert_array_equal(out["c"][:, 0], out["a"] * 3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 200),
+        num_threads=st.integers(1, 9),
+        data=st.data(),
+    )
+    def test_matches_reference_property(self, n, num_threads, data):
+        removed = data.draw(
+            st.lists(st.integers(0, n - 1), unique=True, max_size=n)
+        )
+        values = np.arange(n) * 7
+        plan = plan_removal(n, removed, num_threads=num_threads)
+        out = apply_removal({"v": values.copy()}, plan)["v"]
+        assert plan.new_size == n - len(removed)
+        assert len(out) == plan.new_size
+        assert set(out.tolist()) == reference_remove(values, removed)
+        # No duplicates introduced by swapping.
+        assert len(set(out.tolist())) == len(out)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 100), data=st.data(), t1=st.integers(1, 8), t2=st.integers(1, 8))
+    def test_thread_count_does_not_change_result(self, n, data, t1, t2):
+        removed = data.draw(st.lists(st.integers(0, n - 1), unique=True, max_size=n))
+        values = np.arange(n)
+        o1 = apply_removal({"v": values.copy()}, plan_removal(n, removed, t1))["v"]
+        o2 = apply_removal({"v": values.copy()}, plan_removal(n, removed, t2))["v"]
+        assert set(o1.tolist()) == set(o2.tolist())

@@ -1,0 +1,223 @@
+"""Tests for the ResourceManager (per-domain SoA storage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.resource_manager import ResourceManager
+from repro.mem import AddressSpace, PoolAllocatorSet
+
+
+def make_rm(num_domains=1, with_allocator=True):
+    alloc = PoolAllocatorSet(AddressSpace(num_domains)) if with_allocator else None
+    return ResourceManager(num_domains, alloc, agent_size_bytes=128)
+
+
+def add_random(rm, n, seed=0, domain=None):
+    rng = np.random.default_rng(seed)
+    return rm.add_agents_now(
+        {"position": rng.uniform(0, 100, (n, 3)),
+         "diameter": np.full(n, 10.0)},
+        domain=domain,
+    )
+
+
+class TestAddition:
+    def test_basic_add(self):
+        rm = make_rm()
+        add_random(rm, 10)
+        assert rm.n == 10
+        assert rm.positions.shape == (10, 3)
+
+    def test_uids_unique_and_monotone(self):
+        rm = make_rm()
+        u1 = add_random(rm, 5)
+        u2 = add_random(rm, 5)
+        all_uids = np.concatenate([u1, u2])
+        assert len(np.unique(all_uids)) == 10
+        assert u2.min() > u1.max()
+
+    def test_domain_balancing(self):
+        rm = make_rm(num_domains=4)
+        add_random(rm, 100)
+        np.testing.assert_array_equal(rm.domain_sizes(), [25, 25, 25, 25])
+
+    def test_domain_invariant_sorted(self):
+        rm = make_rm(num_domains=3)
+        add_random(rm, 31)
+        add_random(rm, 17, seed=1)
+        doms = rm.domain_of_index(np.arange(rm.n))
+        assert np.all(np.diff(doms) >= 0)
+        assert rm.domain_starts[-1] == rm.n
+
+    def test_pinned_domain(self):
+        rm = make_rm(num_domains=2)
+        add_random(rm, 10, domain=1)
+        assert rm.domain_sizes().tolist() == [0, 10]
+
+    def test_addresses_allocated_in_matching_domain(self):
+        rm = make_rm(num_domains=2)
+        add_random(rm, 20)
+        space_domains = rm.allocator.space.domain_of(rm.data["addr"])
+        np.testing.assert_array_equal(
+            space_domains, rm.domain_of_index(np.arange(rm.n))
+        )
+
+    def test_fill_values_for_missing_columns(self):
+        rm = make_rm()
+        rm.add_agents_now({"position": np.zeros((3, 3))})
+        assert np.all(rm.data["diameter"] == 10.0)
+        assert np.all(rm.data["moved"])  # new agents count as moved (§5 iii)
+
+
+class TestColumns:
+    def test_register_custom_column(self):
+        rm = make_rm()
+        add_random(rm, 5)
+        rm.register_column("state", np.int64, (), 7)
+        assert rm.data["state"].tolist() == [7] * 5
+
+    def test_duplicate_registration_rejected(self):
+        rm = make_rm()
+        with pytest.raises(ValueError):
+            rm.register_column("position", np.float64, (3,))
+
+    def test_custom_column_resizes_with_additions(self):
+        rm = make_rm()
+        rm.register_column("state", np.int64, (), -1)
+        add_random(rm, 4)
+        rm.queue_new_agents({"position": np.zeros((2, 3))})
+        rm.commit()
+        assert len(rm.data["state"]) == 6
+
+
+class TestQueuedCommit:
+    def test_queued_addition(self):
+        rm = make_rm()
+        add_random(rm, 10)
+        rm.queue_new_agents({"position": np.ones((3, 3)), "diameter": np.full(3, 5.0)})
+        assert rm.pending_additions == 3
+        assert rm.n == 10  # not yet visible
+        stats = rm.commit()
+        assert stats.added == 3
+        assert rm.n == 13
+        assert rm.pending_additions == 0
+
+    def test_new_agent_indices_reported(self):
+        rm = make_rm(num_domains=2)
+        add_random(rm, 10)
+        rm.queue_new_agents({"position": np.full((2, 3), 7.0)})
+        stats = rm.commit()
+        np.testing.assert_allclose(rm.positions[stats.new_agent_indices], 7.0)
+
+    def test_queued_removal(self):
+        rm = make_rm()
+        uids = add_random(rm, 10)
+        rm.queue_removals([2, 5])
+        stats = rm.commit()
+        assert stats.removed == 2
+        assert rm.n == 8
+        survivors = set(rm.data["uid"].tolist())
+        assert survivors == set(uids.tolist()) - {uids[2], uids[5]}
+
+    def test_serial_vs_parallel_removal_same_survivors(self):
+        for par in (True, False):
+            rm = make_rm(num_domains=2)
+            uids = add_random(rm, 40)
+            rm.queue_removals(np.arange(0, 40, 4))
+            rm.commit(parallel=par)
+            assert rm.n == 30
+            doms = rm.domain_of_index(np.arange(rm.n))
+            assert np.all(np.diff(doms) >= 0)
+
+    def test_serial_path_reports_scan_work(self):
+        rm = make_rm()
+        add_random(rm, 100)
+        rm.queue_removals([3])
+        stats = rm.commit(parallel=False)
+        assert stats.serial_scan_items == 100
+
+    def test_removal_frees_payloads(self):
+        rm = make_rm()
+        add_random(rm, 10)
+        live_before = rm.allocator.live_bytes
+        rm.queue_removals([0, 1, 2])
+        rm.commit()
+        assert rm.allocator.live_bytes == live_before - 3 * 128
+
+    def test_combined_add_and_remove(self):
+        rm = make_rm(num_domains=2)
+        add_random(rm, 20)
+        rm.queue_removals([0, 19])
+        rm.queue_new_agents({"position": np.zeros((5, 3))})
+        stats = rm.commit()
+        assert rm.n == 23
+        assert stats.added == 5 and stats.removed == 2
+
+    def test_duplicate_queued_removals_deduped(self):
+        rm = make_rm()
+        add_random(rm, 10)
+        rm.queue_removals([3, 4], thread=0)
+        rm.queue_removals([4, 5], thread=1)
+        stats = rm.commit()
+        assert stats.removed == 3
+        assert rm.n == 7
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 60),
+        domains=st.integers(1, 4),
+        data=st.data(),
+    )
+    def test_commit_property(self, n, domains, data):
+        rm = make_rm(num_domains=domains)
+        add_random(rm, n)
+        removed = data.draw(st.lists(st.integers(0, n - 1), unique=True, max_size=n))
+        added = data.draw(st.integers(0, 10))
+        # Storage indices and uids differ after domain sorting; capture the
+        # uids of the agents being removed at queue time.
+        uids_removed = rm.data["uid"][removed].tolist()
+        rm.queue_removals(removed)
+        if added:
+            rm.queue_new_agents({"position": np.zeros((added, 3))})
+        rm.commit()
+        assert rm.n == n - len(removed) + added
+        doms = rm.domain_of_index(np.arange(rm.n))
+        assert np.all(np.diff(doms) >= 0)
+        assert set(uids_removed).isdisjoint(set(rm.data["uid"].tolist()))
+
+
+class TestReorder:
+    def test_permutation(self):
+        rm = make_rm(num_domains=2)
+        add_random(rm, 10)
+        uids = rm.data["uid"].copy()
+        order = np.arange(10)[::-1]
+        rm.reorder(order, np.array([0, 5, 10]))
+        np.testing.assert_array_equal(rm.data["uid"], uids[::-1])
+
+    def test_new_addresses_applied(self):
+        rm = make_rm()
+        add_random(rm, 4)
+        addrs = np.array([100, 200, 300, 400])
+        rm.reorder(np.arange(4), np.array([0, 4]), addrs)
+        np.testing.assert_array_equal(rm.data["addr"], addrs)
+
+    def test_wrong_length_rejected(self):
+        rm = make_rm()
+        add_random(rm, 5)
+        with pytest.raises(ValueError):
+            rm.reorder(np.arange(3), np.array([0, 3]))
+
+
+class TestMemory:
+    def test_memory_counts_columns_and_allocator(self):
+        rm = make_rm()
+        add_random(rm, 100)
+        assert rm.memory_bytes() > 100 * 128  # at least the payloads
+
+    def test_without_allocator(self):
+        rm = make_rm(with_allocator=False)
+        add_random(rm, 10)
+        assert rm.memory_bytes() > 0
+        assert np.all(rm.data["addr"] == 0)

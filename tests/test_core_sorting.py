@@ -1,0 +1,122 @@
+"""Tests for agent sorting and NUMA balancing (paper §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro import Machine, Param, Simulation, SYSTEM_A
+from repro.core.sorting import sort_and_balance
+
+
+def build_sim(param=None, machine=None, n=200, seed=0, span=60.0):
+    sim = Simulation("sort-test", param or Param.optimized(agent_sort_frequency=0),
+                     machine=machine, seed=seed)
+    rng = np.random.default_rng(seed)
+    sim.add_cells(rng.uniform(0, span, (n, 3)), diameters=8.0)
+    # Build the grid (sorting requires a current build).
+    sim.env.update(sim.rm.positions, sim.interaction_radius())
+    return sim
+
+
+class TestSorting:
+    def test_preserves_population(self):
+        sim = build_sim()
+        uids = set(sim.rm.data["uid"].tolist())
+        res = sort_and_balance(sim)
+        assert res is not None
+        assert set(sim.rm.data["uid"].tolist()) == uids
+
+    def test_rows_stay_consistent(self):
+        sim = build_sim()
+        uid_to_pos = {int(u): p.copy() for u, p in zip(sim.rm.data["uid"], sim.rm.positions)}
+        sort_and_balance(sim)
+        for u, p in zip(sim.rm.data["uid"], sim.rm.positions):
+            np.testing.assert_array_equal(p, uid_to_pos[int(u)])
+
+    def test_improves_address_locality(self):
+        # THE property the optimization exists for: after sorting, spatial
+        # neighbors live at smaller address distances.
+        sim = build_sim(n=2000, span=100.0)
+
+        def neighbor_addr_gap(s):
+            indptr, indices = s.env.neighbor_csr()
+            counts = np.diff(indptr)
+            qi = np.repeat(np.arange(s.rm.n), counts)
+            return np.median(np.abs(s.rm.data["addr"][qi] - s.rm.data["addr"][indices]))
+
+        before = neighbor_addr_gap(sim)
+        sort_and_balance(sim)
+        sim.env.update(sim.rm.positions, sim.interaction_radius())
+        sim.invalidate_neighbor_cache()
+        after = neighbor_addr_gap(sim)
+        assert after < before
+
+    def test_spatially_ordered_in_memory(self):
+        sim = build_sim(n=500)
+        sort_and_balance(sim)
+        # Consecutive agents in storage are close in space (median step is
+        # much smaller than the simulation span).
+        steps = np.linalg.norm(np.diff(sim.rm.positions, axis=0), axis=1)
+        assert np.median(steps) < 20.0
+
+    def test_balances_domains(self):
+        machine = Machine(SYSTEM_A, num_threads=8)
+        sim = build_sim(machine=machine, n=400)
+        # Unbalance on purpose.
+        sim.rm.domain_starts = np.array([0, 400, 400, 400, 400])
+        sort_and_balance(sim)
+        np.testing.assert_array_equal(sim.rm.domain_sizes(), [100, 100, 100, 100])
+
+    def test_extra_memory_mode_fresh_addresses(self):
+        p = Param.optimized(agent_sort_frequency=0, agent_sort_extra_memory=True)
+        sim = build_sim(param=p, n=500)
+        sort_and_balance(sim)
+        addrs = sim.rm.data["addr"]
+        # Fresh sequential allocation: addresses are strictly increasing.
+        assert np.all(np.diff(addrs) > 0)
+
+    def test_no_extra_memory_recycles(self):
+        p = Param.optimized(agent_sort_frequency=0, agent_sort_extra_memory=False)
+        sim = build_sim(param=p, n=500)
+        before = set(sim.rm.data["addr"].tolist())
+        reserved_before = sim.agent_allocator.reserved_bytes
+        sort_and_balance(sim)
+        after = set(sim.rm.data["addr"].tolist())
+        assert after == before  # same memory reused
+        assert sim.agent_allocator.reserved_bytes == reserved_before
+
+    def test_extra_memory_raises_peak(self):
+        p_extra = Param.optimized(agent_sort_frequency=0, agent_sort_extra_memory=True)
+        p_frugal = Param.optimized(agent_sort_frequency=0, agent_sort_extra_memory=False)
+        peaks = []
+        for p in (p_extra, p_frugal):
+            sim = build_sim(param=p, n=2000)
+            sort_and_balance(sim)
+            peaks.append(sim.agent_allocator.peak_live_bytes)
+        # With extra memory the old and new copies coexist (~2x live peak).
+        assert peaks[0] > 1.5 * peaks[1]
+
+    def test_hilbert_curve_mode(self):
+        p = Param.optimized(agent_sort_frequency=0, space_filling_curve="hilbert")
+        sim = build_sim(param=p, n=300)
+        uids = set(sim.rm.data["uid"].tolist())
+        res = sort_and_balance(sim)
+        assert res is not None
+        assert res.rank_ops_per_agent > 50  # the costlier decode
+        assert set(sim.rm.data["uid"].tolist()) == uids
+
+    def test_requires_uniform_grid(self):
+        p = Param.optimized(environment="kd_tree", agent_sort_frequency=0)
+        sim = build_sim(param=p)
+        assert sort_and_balance(sim) is None
+
+    def test_empty_simulation(self):
+        sim = Simulation("empty", Param.optimized())
+        assert sort_and_balance(sim) is None
+
+    def test_idempotent_on_sorted(self):
+        sim = build_sim(n=300)
+        sort_and_balance(sim)
+        order1 = sim.rm.data["uid"].copy()
+        sim.env.update(sim.rm.positions, sim.interaction_radius())
+        sort_and_balance(sim)
+        np.testing.assert_array_equal(sim.rm.data["uid"], order1)

@@ -1,0 +1,73 @@
+"""Tests for agent-sorting internals: domain shares and cost reporting."""
+
+import numpy as np
+import pytest
+
+from repro import Machine, Param, Simulation, SYSTEM_A, SYSTEM_C
+from repro.core.sorting import _domain_shares, sort_and_balance
+
+
+class TestDomainShares:
+    def test_no_machine_equal_split(self):
+        starts = _domain_shares(100, None, 4)
+        assert starts.tolist() == [0, 25, 50, 75, 100]
+
+    def test_machine_thread_proportional(self):
+        # 6 threads over 2 domains of System C -> 3 per domain -> even.
+        m = Machine(SYSTEM_C, num_threads=6)
+        starts = _domain_shares(90, m, 2)
+        assert starts.tolist() == [0, 45, 90]
+
+    def test_uneven_thread_counts(self):
+        # 3 threads over 2 domains: domain 0 gets 2 (rounded share).
+        m = Machine(SYSTEM_C, num_threads=3)
+        starts = _domain_shares(90, m, 2)
+        sizes = np.diff(starts)
+        assert sizes[0] > sizes[1]
+        assert sizes.sum() == 90
+
+    def test_last_boundary_always_n(self):
+        m = Machine(SYSTEM_A, num_threads=7)
+        starts = _domain_shares(101, m, 4)
+        assert starts[-1] == 101
+        assert np.all(np.diff(starts) >= 0)
+
+    def test_zero_agents(self):
+        starts = _domain_shares(0, None, 3)
+        assert starts[-1] == 0
+
+
+class TestSortWorkReport:
+    def _sorted_sim(self, curve="morton", n=400):
+        p = Param.optimized(agent_sort_frequency=0, space_filling_curve=curve)
+        sim = Simulation("sort-int", p, seed=0)
+        rng = np.random.default_rng(0)
+        sim.add_cells(rng.uniform(0, 60, (n, 3)), diameters=8.0)
+        sim.env.update(sim.rm.positions, sim.interaction_radius())
+        return sim
+
+    def test_morton_serial_cost_small(self):
+        sim = self._sorted_sim("morton")
+        res = sort_and_balance(sim)
+        # The gap traversal visits far fewer nodes than there are boxes.
+        assert res.serial_cycles < res.boxes_touched * 8.0
+
+    def test_hilbert_serial_cost_reflects_sort(self):
+        m = self._sorted_sim("morton")
+        h = self._sorted_sim("hilbert")
+        rm_ = sort_and_balance(m)
+        rh = sort_and_balance(h)
+        assert rh.serial_cycles > rm_.serial_cycles
+        assert rh.rank_ops_per_agent > rm_.rank_ops_per_agent
+
+    def test_copied_bytes(self):
+        sim = self._sorted_sim()
+        res = sort_and_balance(sim)
+        assert res.copied_bytes == pytest.approx(
+            sim.rm.n * sim.rm.agent_size_bytes * 2.0
+        )
+
+    def test_new_order_is_permutation(self):
+        sim = self._sorted_sim()
+        res = sort_and_balance(sim)
+        assert sorted(res.new_order.tolist()) == list(range(sim.rm.n))

@@ -1,0 +1,109 @@
+"""Tests for static-agent detection (paper §5)."""
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.core.static_detection import neighbor_or, update_static_flags
+from repro.env.environment import brute_force_csr
+
+
+class TestNeighborOr:
+    def test_flag_propagates_to_neighbors(self):
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0], [50.0, 0, 0]])
+        indptr, indices = brute_force_csr(pos, 2.0)
+        flags = np.array([True, False, False])
+        out = neighbor_or(flags, indptr, indices)
+        assert out.tolist() == [False, True, False]  # 1 neighbors 0; 2 isolated
+
+    def test_no_neighbors(self):
+        out = neighbor_or(np.array([True]), np.zeros(2, np.int64), np.empty(0, np.int64))
+        assert out.tolist() == [False]
+
+
+class TestConditions:
+    def setup_method(self):
+        # Chain 0-1-2 of neighbors, agent 3 isolated.
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0], [2.0, 0, 0], [50.0, 0, 0]])
+        self.indptr, self.indices = brute_force_csr(pos, 1.5)
+        self.n = 4
+
+    def _flags(self, moved=None, grew=None, forces=None):
+        z = np.zeros(self.n, dtype=bool)
+        f = np.zeros(self.n, dtype=np.int64)
+        return (
+            moved if moved is not None else z.copy(),
+            grew if grew is not None else z.copy(),
+            forces if forces is not None else f.copy(),
+        )
+
+    def test_all_quiet_becomes_static(self):
+        static = update_static_flags(*self._flags(), self.indptr, self.indices)
+        assert static.all()
+
+    def test_condition_i_movement(self):
+        moved = np.array([False, True, False, False])
+        static = update_static_flags(*self._flags(moved=moved), self.indptr, self.indices)
+        # Agent 1 moved: itself and neighbors 0, 2 are not static.
+        assert static.tolist() == [False, False, False, True]
+
+    def test_condition_ii_growth(self):
+        grew = np.array([True, False, False, False])
+        static = update_static_flags(*self._flags(grew=grew), self.indptr, self.indices)
+        assert static.tolist() == [False, False, True, True]
+
+    def test_condition_iv_two_nonzero_forces(self):
+        forces = np.array([0, 2, 0, 0])
+        static = update_static_flags(*self._flags(forces=forces), self.indptr, self.indices)
+        # Two cancelled forces on agent 1: it cannot be static (shrinking
+        # neighbors could reveal a net force), but its neighbors can.
+        assert static.tolist() == [True, False, True, True]
+
+    def test_one_nonzero_force_allowed(self):
+        forces = np.array([0, 1, 0, 0])
+        static = update_static_flags(*self._flags(forces=forces), self.indptr, self.indices)
+        assert static.all()
+
+
+class TestEngineIntegration:
+    def _equilibrium_simulation(self, detect):
+        # Non-overlapping lattice: no forces, nothing moves.
+        param = Param.optimized(detect_static_agents=detect, agent_sort_frequency=0)
+        sim = Simulation("static-test", param, seed=1)
+        g = np.arange(4) * 20.0
+        x, y, z = np.meshgrid(g, g, g, indexing="ij")
+        pos = np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+        sim.add_cells(pos, diameters=10.0)
+        return sim
+
+    def test_equilibrium_becomes_static(self):
+        sim = self._equilibrium_simulation(detect=True)
+        sim.simulate(3)
+        assert sim.rm.data["static"].all()
+
+    def test_detection_preserves_trajectories(self):
+        # Positions must be identical with and without the optimization.
+        sims = [self._equilibrium_simulation(d) for d in (False, True)]
+        for s in sims:
+            s.simulate(5)
+        np.testing.assert_allclose(sims[0].rm.positions, sims[1].rm.positions)
+
+    def test_overlapping_agents_stay_active(self):
+        param = Param.optimized(detect_static_agents=True, agent_sort_frequency=0)
+        sim = Simulation("active-test", param, seed=1)
+        # Two overlapping cells keep pushing each other apart for a while.
+        sim.add_cells(np.array([[0.0, 0, 0], [4.0, 0, 0]]), diameters=10.0)
+        sim.simulate(1)
+        assert not sim.rm.data["static"].any()
+
+    def test_new_agent_wakes_neighbors(self):
+        sim = self._equilibrium_simulation(detect=True)
+        sim.simulate(3)
+        assert sim.rm.data["static"].all()
+        # Drop a new cell next to an existing one; its neighbors must wake.
+        sim.rm.queue_new_agents(
+            {"position": np.array([[1.0, 0.0, 0.0]]), "diameter": np.array([10.0])}
+        )
+        sim.simulate(1)  # commit happens at the end of this iteration
+        sim.simulate(1)  # detection sees the fresh agent (moved=True)
+        assert not sim.rm.data["static"].all()

@@ -1,0 +1,85 @@
+"""Tests for time-series collection."""
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.core.behaviors_lib import GrowDivide
+from repro.core.timeseries import TimeSeriesOperation, common_collectors
+
+
+def growing_sim():
+    sim = Simulation("ts-test", Param.optimized(agent_sort_frequency=0,
+                                                simulation_time_step=0.1))
+    sim.mechanics_enabled = False
+    sim.add_cells(np.zeros((2, 3)), diameters=9.9,
+                  behaviors=[GrowDivide(growth_rate=5.0, division_diameter=10.0,
+                                        max_agents=50)])
+    return sim
+
+
+class TestCollection:
+    def test_samples_every_iteration(self):
+        sim = growing_sim()
+        ts = TimeSeriesOperation()
+        ts.add_collector("population", lambda s: s.num_agents)
+        sim.add_operation(ts)
+        sim.simulate(5)
+        assert len(ts) == 5
+        assert ts.column("iteration").tolist() == [0, 1, 2, 3, 4]
+
+    def test_population_growth_recorded(self):
+        sim = growing_sim()
+        ts = TimeSeriesOperation()
+        ts.add_collector("population", lambda s: s.num_agents)
+        sim.add_operation(ts)
+        sim.simulate(8)
+        pop = ts.column("population")
+        assert pop[-1] > pop[0]
+        assert np.all(np.diff(pop) >= 0)
+
+    def test_time_axis(self):
+        sim = growing_sim()
+        ts = TimeSeriesOperation()
+        sim.add_operation(ts)
+        sim.simulate(3)
+        np.testing.assert_allclose(ts.column("time"), [0.1, 0.2, 0.3])
+
+    def test_frequency(self):
+        sim = growing_sim()
+        ts = TimeSeriesOperation(frequency=3)
+        sim.add_operation(ts)
+        sim.simulate(9)
+        assert len(ts) == 3
+
+    def test_reserved_names(self):
+        ts = TimeSeriesOperation()
+        with pytest.raises(ValueError):
+            ts.add_collector("time", lambda s: 0)
+
+    def test_duplicate_collector(self):
+        ts = TimeSeriesOperation()
+        ts.add_collector("x", lambda s: 0)
+        with pytest.raises(ValueError):
+            ts.add_collector("x", lambda s: 1)
+
+    def test_common_collectors(self):
+        sim = growing_sim()
+        ts = common_collectors(TimeSeriesOperation())
+        sim.add_operation(ts)
+        sim.simulate(2)
+        d = ts.as_dict()
+        for key in ("population", "mean_diameter", "static_fraction", "memory_mb"):
+            assert key in d and len(d[key]) == 2
+        assert d["memory_mb"][0] > 0
+
+    def test_to_csv(self, tmp_path):
+        sim = growing_sim()
+        ts = TimeSeriesOperation()
+        ts.add_collector("population", lambda s: s.num_agents)
+        sim.add_operation(ts)
+        sim.simulate(2)
+        out = ts.to_csv(tmp_path / "series.csv")
+        lines = out.read_text().splitlines()
+        assert lines[0] == "time,iteration,population"
+        assert len(lines) == 3

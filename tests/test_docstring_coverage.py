@@ -1,0 +1,58 @@
+"""Quality gate: every public item carries a doc comment.
+
+Deliverable (e) requires doc comments on every public item; this test
+walks the package and fails on any public module, class, or function
+without a docstring.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+IGNORED_MODULES = {"repro.__main__", "repro.bench.__main__"}
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if getattr(obj, "__module__", None) == module.__name__:
+                yield name, obj
+
+
+def iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in IGNORED_MODULES:
+            continue
+        yield importlib.import_module(info.name)
+
+
+def test_all_modules_have_docstrings():
+    missing = [m.__name__ for m in iter_modules() if not m.__doc__]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_all_public_classes_and_functions_have_docstrings():
+    missing = []
+    for module in iter_modules():
+        for name, obj in _public_members(module):
+            if not inspect.getdoc(obj):
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"public items without docstrings: {missing}"
+
+
+def test_public_methods_have_docstrings():
+    missing = []
+    for module in iter_modules():
+        for cname, cls in _public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for mname, meth in vars(cls).items():
+                if mname.startswith("_") or not inspect.isfunction(meth):
+                    continue
+                if not inspect.getdoc(meth):
+                    missing.append(f"{module.__name__}.{cname}.{mname}")
+    assert not missing, f"public methods without docstrings: {missing}"

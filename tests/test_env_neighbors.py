@@ -1,0 +1,215 @@
+"""Cross-validation of the three neighbor-search environments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.env import (
+    KDTreeEnvironment,
+    OctreeEnvironment,
+    UniformGridEnvironment,
+    make_environment,
+)
+from repro.env.environment import brute_force_csr
+
+
+def csr_to_sets(indptr, indices):
+    return [frozenset(indices[indptr[i] : indptr[i + 1]].tolist()) for i in range(len(indptr) - 1)]
+
+
+def random_positions(n, seed=0, span=100.0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, span, size=(n, 3))
+
+
+ALL_ENVS = [UniformGridEnvironment, KDTreeEnvironment, OctreeEnvironment]
+
+
+@pytest.mark.parametrize("env_cls", ALL_ENVS)
+class TestCorrectness:
+    def test_matches_brute_force_uniform(self, env_cls):
+        pos = random_positions(300, seed=1)
+        env = env_cls()
+        env.update(pos, 8.0)
+        got = csr_to_sets(*env.neighbor_csr())
+        want = csr_to_sets(*brute_force_csr(pos, 8.0))
+        assert got == want
+
+    def test_matches_brute_force_clustered(self, env_cls):
+        rng = np.random.default_rng(2)
+        centers = rng.uniform(0, 50, size=(5, 3))
+        pos = np.concatenate(
+            [c + rng.normal(0, 2.0, size=(60, 3)) for c in centers]
+        )
+        env = env_cls()
+        env.update(pos, 5.0)
+        assert csr_to_sets(*env.neighbor_csr()) == csr_to_sets(*brute_force_csr(pos, 5.0))
+
+    def test_no_self_neighbors(self, env_cls):
+        pos = random_positions(100, seed=3)
+        env = env_cls()
+        env.update(pos, 20.0)
+        indptr, indices = env.neighbor_csr()
+        for i in range(100):
+            assert i not in indices[indptr[i] : indptr[i + 1]]
+
+    def test_symmetry(self, env_cls):
+        pos = random_positions(150, seed=4)
+        env = env_cls()
+        env.update(pos, 10.0)
+        sets = csr_to_sets(*env.neighbor_csr())
+        for i, s in enumerate(sets):
+            for j in s:
+                assert i in sets[j]
+
+    def test_empty(self, env_cls):
+        env = env_cls()
+        env.update(np.empty((0, 3)), 1.0)
+        indptr, indices = env.neighbor_csr()
+        assert len(indptr) == 1 and len(indices) == 0
+
+    def test_single_agent(self, env_cls):
+        env = env_cls()
+        env.update(np.array([[1.0, 2.0, 3.0]]), 1.0)
+        indptr, indices = env.neighbor_csr()
+        assert indptr.tolist() == [0, 0]
+
+    def test_coincident_points(self, env_cls):
+        pos = np.zeros((5, 3))
+        env = env_cls()
+        env.update(pos, 1.0)
+        sets = csr_to_sets(*env.neighbor_csr())
+        for i, s in enumerate(sets):
+            assert s == frozenset(range(5)) - {i}
+
+    def test_invalid_radius(self, env_cls):
+        with pytest.raises(ValueError):
+            env_cls().update(random_positions(10), 0.0)
+
+    def test_rebuild_after_move(self, env_cls):
+        pos = random_positions(100, seed=5)
+        env = env_cls()
+        env.update(pos, 6.0)
+        env.neighbor_csr()
+        pos2 = pos + 30.0
+        env.update(pos2, 6.0)
+        assert csr_to_sets(*env.neighbor_csr()) == csr_to_sets(*brute_force_csr(pos2, 6.0))
+
+    def test_reports_build_work(self, env_cls):
+        env = env_cls()
+        work = env.update(random_positions(200), 10.0)
+        if work.parallelizable:
+            assert work.per_item_cycles is not None and len(work.per_item_cycles) == 200
+        else:
+            assert work.serial_cycles > 0
+        assert env.memory_bytes > 0
+
+    def test_search_work_positive(self, env_cls):
+        env = env_cls()
+        env.update(random_positions(200, span=20.0), 5.0)
+        env.neighbor_csr()
+        work = env.search_candidates_per_agent()
+        assert len(work) == 200
+        assert np.all(work > 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 80),
+    seed=st.integers(0, 10_000),
+    radius=st.floats(0.5, 30.0),
+)
+def test_all_envs_agree_property(n, seed, radius):
+    pos = random_positions(n, seed=seed, span=40.0)
+    results = []
+    for cls in ALL_ENVS:
+        env = cls()
+        env.update(pos, radius)
+        results.append(csr_to_sets(*env.neighbor_csr()))
+    assert results[0] == results[1] == results[2]
+
+
+class TestUniformGridSpecifics:
+    def test_timestamp_skips_stale_boxes(self):
+        env = UniformGridEnvironment()
+        env.update(random_positions(50, span=50.0), 5.0)
+        ts1 = env._timestamp
+        env.update(random_positions(50, seed=9, span=50.0), 5.0)
+        assert env._timestamp == ts1 + 1
+
+    def test_box_of_agent_consistent(self):
+        pos = random_positions(100, span=30.0)
+        env = UniformGridEnvironment()
+        env.update(pos, 5.0)
+        coords = ((pos - pos.min(axis=0) + 1e-9) / env.box_length).astype(np.int64)
+        coords = np.minimum(coords, env.dims - 1)
+        want = (coords[:, 2] * env.dims[1] + coords[:, 1]) * env.dims[0] + coords[:, 0]
+        np.testing.assert_array_equal(env.box_of_agent, want)
+
+    def test_incremental_insertion_linked_list(self):
+        env = UniformGridEnvironment()
+        env.begin_incremental([0.0, 0.0, 0.0], [10.0, 10.0, 10.0], 2.0)
+        a = env.insert_agent([1.0, 1.0, 1.0])
+        b = env.insert_agent([1.2, 1.0, 1.0])
+        env.insert_agent([9.0, 9.0, 9.0])
+        c = env.insert_agent([1.1, 1.0, 1.0])
+        # All three same-box agents share a chain, newest at the head.
+        box = None
+        for bid in range(env.num_boxes):
+            chain = env.box_chain(bid)
+            if a in chain:
+                box = chain
+        assert box == [c, b, a]  # LIFO head insertion
+
+    def test_empty_box_detection(self):
+        env = UniformGridEnvironment()
+        pos = np.array([[0.0, 0, 0], [50.0, 50, 50]])
+        env.update(pos, 5.0)
+        assert not env.is_box_empty(int(env.box_of_agent[0]))
+        # Middle of the space is empty.
+        mid = env.num_boxes // 2
+        if mid not in set(env.box_of_agent.tolist()):
+            assert env.is_box_empty(mid)
+
+    def test_box_length_factor_validation(self):
+        with pytest.raises(ValueError):
+            UniformGridEnvironment(box_length_factor=0.5)
+
+    def test_max_boxes_guard(self):
+        env = UniformGridEnvironment(max_boxes=100)
+        pos = np.array([[0.0, 0, 0], [1000.0, 1000, 1000]])
+        with pytest.raises(MemoryError):
+            env.update(pos, 1.0)
+
+
+class TestTreeSpecifics:
+    def test_kdtree_leaf_size_respected(self):
+        env = KDTreeEnvironment(leaf_size=4)
+        env.update(random_positions(200), 5.0)
+        assert env.num_nodes > 200 // 4  # deep enough
+
+    def test_kdtree_serial_build_work_grows(self):
+        small, big = KDTreeEnvironment(), KDTreeEnvironment()
+        small.update(random_positions(100), 5.0)
+        big.update(random_positions(10_000), 5.0)
+        assert big.last_build_work.serial_cycles > 10 * small.last_build_work.serial_cycles
+
+    def test_octree_bucket_size(self):
+        env = OctreeEnvironment(bucket_size=8)
+        env.update(random_positions(500), 5.0)
+        assert env.num_nodes > 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KDTreeEnvironment(leaf_size=0)
+        with pytest.raises(ValueError):
+            OctreeEnvironment(bucket_size=0)
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_environment("uniform_grid").name == "uniform_grid"
+        assert make_environment("kd_tree").name == "kd_tree"
+        assert make_environment("octree").name == "octree"
+        with pytest.raises(ValueError):
+            make_environment("delaunay")

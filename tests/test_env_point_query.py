@@ -1,0 +1,56 @@
+"""Tests for arbitrary-point neighbor queries on the uniform grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.env import UniformGridEnvironment
+
+
+def brute(positions, point, radius):
+    d = np.linalg.norm(positions - point, axis=1)
+    return set(np.flatnonzero(d <= radius).tolist())
+
+
+class TestPointQuery:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.pos = rng.uniform(0, 50, (300, 3))
+        self.env = UniformGridEnvironment()
+        self.env.update(self.pos, 6.0)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 50, (20, 3))
+        results = self.env.query(pts)
+        for p, res in zip(pts, results):
+            assert set(res.tolist()) == brute(self.pos, p, 6.0)
+
+    def test_smaller_radius(self):
+        pts = np.array([[25.0, 25, 25]])
+        res = self.env.query(pts, radius=3.0)[0]
+        assert set(res.tolist()) == brute(self.pos, pts[0], 3.0)
+
+    def test_radius_larger_than_build_rejected(self):
+        with pytest.raises(ValueError):
+            self.env.query(np.zeros((1, 3)), radius=20.0)
+
+    def test_point_outside_space(self):
+        res = self.env.query(np.array([[500.0, 500, 500]]))[0]
+        assert len(res) == 0
+
+    def test_single_point_shape(self):
+        res = self.env.query(np.array([25.0, 25.0, 25.0]))
+        assert len(res) == 1
+
+    def test_empty_environment(self):
+        env = UniformGridEnvironment()
+        env.update(np.empty((0, 3)), 1.0)
+        assert len(env.query(np.zeros((2, 3)))[0]) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(x=st.floats(-10, 60), y=st.floats(-10, 60), z=st.floats(-10, 60))
+    def test_query_property(self, x, y, z):
+        p = np.array([x, y, z])
+        res = self.env.query(p[None, :])[0]
+        assert set(res.tolist()) == brute(self.pos, p, 6.0)

@@ -1,0 +1,134 @@
+"""Deeper tests for the kd-tree and octree environments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.env import KDTreeEnvironment, OctreeEnvironment, UniformGridEnvironment
+from repro.env.environment import brute_force_csr
+
+
+def csr_sets(indptr, indices):
+    return [frozenset(indices[indptr[i]: indptr[i + 1]].tolist())
+            for i in range(len(indptr) - 1)]
+
+
+class TestDegenerateGeometry:
+    @pytest.mark.parametrize("env_cls", [KDTreeEnvironment, OctreeEnvironment,
+                                         UniformGridEnvironment])
+    def test_collinear_points(self, env_cls):
+        pos = np.zeros((50, 3))
+        pos[:, 0] = np.arange(50) * 2.0
+        env = env_cls()
+        env.update(pos, 3.0)
+        assert csr_sets(*env.neighbor_csr()) == csr_sets(*brute_force_csr(pos, 3.0))
+
+    @pytest.mark.parametrize("env_cls", [KDTreeEnvironment, OctreeEnvironment,
+                                         UniformGridEnvironment])
+    def test_coplanar_points(self, env_cls):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 30, (80, 3))
+        pos[:, 2] = 5.0
+        env = env_cls()
+        env.update(pos, 4.0)
+        assert csr_sets(*env.neighbor_csr()) == csr_sets(*brute_force_csr(pos, 4.0))
+
+    @pytest.mark.parametrize("env_cls", [KDTreeEnvironment, OctreeEnvironment])
+    def test_many_duplicates(self, env_cls):
+        # 100 points at 5 distinct locations: tree recursion must stop.
+        rng = np.random.default_rng(1)
+        sites = rng.uniform(0, 20, (5, 3))
+        pos = sites[rng.integers(0, 5, 100)]
+        env = env_cls()
+        env.update(pos, 2.0)
+        assert csr_sets(*env.neighbor_csr()) == csr_sets(*brute_force_csr(pos, 2.0))
+
+    @pytest.mark.parametrize("env_cls", [KDTreeEnvironment, OctreeEnvironment,
+                                         UniformGridEnvironment])
+    def test_huge_radius_all_pairs(self, env_cls):
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(0, 10, (30, 3))
+        env = env_cls()
+        env.update(pos, 1000.0)
+        sets = csr_sets(*env.neighbor_csr())
+        assert all(len(s) == 29 for s in sets)
+
+
+class TestTreeParameters:
+    @pytest.mark.parametrize("leaf", [1, 2, 64])
+    def test_kdtree_leaf_sizes_agree(self, leaf):
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(0, 40, (150, 3))
+        ref = csr_sets(*brute_force_csr(pos, 7.0))
+        env = KDTreeEnvironment(leaf_size=leaf)
+        env.update(pos, 7.0)
+        assert csr_sets(*env.neighbor_csr()) == ref
+
+    @pytest.mark.parametrize("bucket", [1, 4, 128])
+    def test_octree_bucket_sizes_agree(self, bucket):
+        rng = np.random.default_rng(4)
+        pos = rng.uniform(0, 40, (150, 3))
+        ref = csr_sets(*brute_force_csr(pos, 7.0))
+        env = OctreeEnvironment(bucket_size=bucket)
+        env.update(pos, 7.0)
+        assert csr_sets(*env.neighbor_csr()) == ref
+
+    def test_smaller_leaves_more_nodes(self):
+        rng = np.random.default_rng(5)
+        pos = rng.uniform(0, 40, (500, 3))
+        small = KDTreeEnvironment(leaf_size=2)
+        big = KDTreeEnvironment(leaf_size=64)
+        small.update(pos, 5.0)
+        big.update(pos, 5.0)
+        assert small.num_nodes > big.num_nodes
+
+    def test_build_work_scales(self):
+        rng = np.random.default_rng(6)
+        for cls in (KDTreeEnvironment, OctreeEnvironment):
+            e1, e2 = cls(), cls()
+            e1.update(rng.uniform(0, 40, (200, 3)), 5.0)
+            e2.update(rng.uniform(0, 40, (3200, 3)), 5.0)
+            assert e2.last_build_work.serial_cycles > 8 * e1.last_build_work.serial_cycles
+
+
+class TestSearchWorkAccounting:
+    def test_visited_counts_cover_queries(self):
+        rng = np.random.default_rng(7)
+        pos = rng.uniform(0, 30, (200, 3))
+        for cls in (KDTreeEnvironment, OctreeEnvironment):
+            env = cls()
+            env.update(pos, 5.0)
+            env.neighbor_csr()
+            visited = env.search_candidates_per_agent()
+            # Every query visits at least the root and one leaf's items.
+            assert np.all(visited >= 1)
+
+    def test_denser_regions_visit_more(self):
+        rng = np.random.default_rng(8)
+        sparse = rng.uniform(0, 100, (200, 3))
+        cluster = rng.normal(50.0, 2.0, (200, 3))
+        pos = np.concatenate([sparse, cluster])
+        env = KDTreeEnvironment()
+        env.update(pos, 5.0)
+        env.neighbor_csr()
+        visited = env.search_candidates_per_agent()
+        assert visited[200:].mean() > visited[:200].mean()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(2, 60),
+    seed=st.integers(0, 1000),
+    leaf=st.integers(1, 20),
+    bucket=st.integers(1, 20),
+)
+def test_tree_params_never_change_results(n, seed, leaf, bucket):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 25, (n, 3))
+    ref = csr_sets(*brute_force_csr(pos, 6.0))
+    kd = KDTreeEnvironment(leaf_size=leaf)
+    kd.update(pos, 6.0)
+    oc = OctreeEnvironment(bucket_size=bucket)
+    oc.update(pos, 6.0)
+    assert csr_sets(*kd.neighbor_csr()) == ref
+    assert csr_sets(*oc.neighbor_csr()) == ref

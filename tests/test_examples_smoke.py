@@ -1,0 +1,56 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones are executed end to
+end (they double as integration tests of the public API).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+#: Scripts cheap enough to execute in the unit-test suite.
+RUNNABLE = [
+    "quickstart.py",
+    "performance_tour.py",
+    "data_pipeline.py",
+    "distributed_scaling.py",
+]
+
+
+def test_example_inventory():
+    # The README promises at least these examples.
+    for name in [
+        "quickstart.py",
+        "tumor_spheroid.py",
+        "epidemic_sir.py",
+        "neuron_growth.py",
+        "performance_tour.py",
+        "data_pipeline.py",
+        "calibrate_model.py",
+        "distributed_scaling.py",
+    ]:
+        assert name in ALL, name
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_examples_compile(name):
+    py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+@pytest.mark.parametrize("name", RUNNABLE)
+def test_examples_run(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must produce output"

@@ -1,0 +1,95 @@
+"""Failure injection: the engine must fail loudly and stay consistent."""
+
+import numpy as np
+import pytest
+
+from repro import Behavior, Param, Simulation
+from repro.core.checkpoint import restore_checkpoint
+from repro.mem import AddressSpace
+from repro.mem.address_space import DOMAIN_SHIFT
+
+
+class FaultyBehavior(Behavior):
+    """Raises after mutating some state, mid-iteration."""
+
+    name = "faulty"
+
+    def __init__(self, fail_on_call=1):
+        self.calls = 0
+        self.fail_on_call = fail_on_call
+
+    def run(self, sim, idx):
+        self.calls += 1
+        sim.rm.data["diameter"][idx] += 0.5
+        if self.calls == self.fail_on_call:
+            raise RuntimeError("injected model failure")
+
+
+class TestBehaviorFailure:
+    def test_exception_propagates(self):
+        sim = Simulation("fault", Param.optimized(agent_sort_frequency=0))
+        sim.mechanics_enabled = False
+        sim.add_cells(np.zeros((5, 3)), behaviors=[FaultyBehavior()])
+        with pytest.raises(RuntimeError, match="injected"):
+            sim.simulate(3)
+
+    def test_engine_usable_after_failure(self):
+        sim = Simulation("fault2", Param.optimized(agent_sort_frequency=0))
+        sim.mechanics_enabled = False
+        b = FaultyBehavior(fail_on_call=1)
+        idx = sim.add_cells(np.zeros((5, 3)), behaviors=[b])
+        with pytest.raises(RuntimeError):
+            sim.simulate(1)
+        # Detach the faulty behavior; the engine continues.
+        sim.detach_behavior(idx, b)
+        sim.simulate(2)
+        assert sim.scheduler.iteration >= 2
+
+
+class TestResourceExhaustion:
+    def test_simulated_address_space_exhaustion(self):
+        sp = AddressSpace(1)
+        with pytest.raises(MemoryError):
+            sp.reserve((1 << DOMAIN_SHIFT) + 1, 0)
+
+    def test_grid_box_explosion_guarded(self):
+        from repro.env import UniformGridEnvironment
+
+        env = UniformGridEnvironment(max_boxes=1000)
+        pos = np.array([[0.0, 0, 0], [1e6, 1e6, 1e6]])
+        with pytest.raises(MemoryError, match="boxes"):
+            env.update(pos, 1.0)
+
+
+class TestCorruptInputs:
+    def test_bad_positions_shape(self):
+        sim = Simulation("bad", Param.optimized())
+        with pytest.raises(ValueError):
+            sim.env.update(np.zeros((3, 2)), 1.0)
+
+    def test_nan_positions_do_not_hang(self):
+        # NaNs should surface as garbage results or errors, never a hang.
+        sim = Simulation("nan", Param.optimized(agent_sort_frequency=0))
+        sim.mechanics_enabled = False
+        pos = np.zeros((4, 3))
+        sim.add_cells(pos)
+        sim.rm.positions[0] = np.nan
+        try:
+            sim.simulate(1)
+        except (ValueError, MemoryError):
+            pass  # rejecting is acceptable; hanging is not
+
+    def test_restore_from_garbage_file(self, tmp_path):
+        f = tmp_path / "junk.npz"
+        np.savez(f, nonsense=np.arange(3))
+        sim = Simulation("junk", Param.optimized())
+        with pytest.raises(KeyError):
+            restore_checkpoint(sim, f)
+
+    def test_remove_same_agent_twice_same_commit(self):
+        sim = Simulation("dup", Param.optimized(agent_sort_frequency=0))
+        sim.add_cells(np.zeros((5, 3)))
+        sim.rm.queue_removals([2])
+        sim.rm.queue_removals([2])
+        sim.rm.commit()  # deduplicated
+        assert sim.num_agents == 4

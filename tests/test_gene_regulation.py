@@ -1,0 +1,122 @@
+"""Tests for the gene-regulation (per-agent ODE) behavior."""
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.core.gene_regulation import GeneRegulation
+
+
+def ode_sim(method="euler", substeps=1, dt=0.01, n=10):
+    sim = Simulation("ode", Param.optimized(agent_sort_frequency=0,
+                                            simulation_time_step=dt))
+    sim.mechanics_enabled = False
+    idx = sim.add_cells(np.random.default_rng(0).uniform(0, 30, (n, 3)))
+    genes = GeneRegulation(method=method, substeps=substeps)
+    return sim, idx, genes
+
+
+class TestConstruction:
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            GeneRegulation(method="verlet")
+
+    def test_invalid_substeps(self):
+        with pytest.raises(ValueError):
+            GeneRegulation(substeps=0)
+
+    def test_duplicate_species(self):
+        g = GeneRegulation()
+        g.add_species("a", 1.0, lambda s, i, y: 0)
+        with pytest.raises(ValueError):
+            g.add_species("a", 1.0, lambda s, i, y: 0)
+
+
+class TestIntegration:
+    def test_exponential_decay_euler(self):
+        sim, idx, genes = ode_sim(method="euler", dt=0.001)
+        genes.add_species("p", 1.0, lambda s, i, y: -2.0 * y["p"])
+        sim.attach_behavior(idx, genes)
+        sim.simulate(100)  # t = 0.1
+        val = sim.rm.data["gene_p"]
+        np.testing.assert_allclose(val, np.exp(-0.2), rtol=1e-3)
+
+    def test_rk4_more_accurate_than_euler(self):
+        errors = {}
+        for method in ("euler", "rk4"):
+            sim, idx, genes = ode_sim(method=method, dt=0.05)
+            genes.add_species("p", 1.0, lambda s, i, y: -3.0 * y["p"])
+            sim.attach_behavior(idx, genes)
+            sim.simulate(20)  # t = 1.0
+            errors[method] = abs(float(sim.rm.data["gene_p"][0]) - np.exp(-3.0))
+        assert errors["rk4"] < errors["euler"] / 10
+
+    def test_coupled_system(self):
+        # Simple activation chain: a -> b (b produced proportional to a).
+        sim, idx, genes = ode_sim(method="rk4", dt=0.01)
+        genes.add_species("a", 1.0, lambda s, i, y: -1.0 * y["a"])
+        genes.add_species("b", 0.0, lambda s, i, y: 1.0 * y["a"] - 0.0 * y["b"])
+        sim.attach_behavior(idx, genes)
+        sim.simulate(100)  # t = 1
+        a = sim.rm.data["gene_a"][0]
+        b = sim.rm.data["gene_b"][0]
+        # b(t) = 1 - exp(-t) for this system.
+        assert a == pytest.approx(np.exp(-1.0), rel=1e-4)
+        assert b == pytest.approx(1.0 - np.exp(-1.0), rel=1e-4)
+
+    def test_substepping_improves_euler(self):
+        errs = {}
+        for sub in (1, 10):
+            sim, idx, genes = ode_sim(method="euler", substeps=sub, dt=0.1)
+            genes.add_species("p", 1.0, lambda s, i, y: -5.0 * y["p"])
+            sim.attach_behavior(idx, genes)
+            sim.simulate(10)
+            errs[sub] = abs(float(sim.rm.data["gene_p"][0]) - np.exp(-5.0))
+        assert errs[10] < errs[1]
+
+    def test_per_agent_independence(self):
+        # Different initial conditions evolve independently.
+        sim, idx, genes = ode_sim(dt=0.01)
+        genes.add_species("p", 1.0, lambda s, i, y: -1.0 * y["p"])
+        sim.attach_behavior(idx, genes)
+        genes.ensure_columns(sim)
+        sim.rm.data["gene_p"][idx] = np.arange(len(idx), dtype=np.float64)
+        sim.simulate(10)
+        vals = sim.rm.data["gene_p"][idx]
+        np.testing.assert_allclose(
+            vals, np.arange(len(idx)) * np.exp(-0.1), rtol=1e-3
+        )
+
+    def test_environment_coupled_rhs(self):
+        # RHS may read simulation state (e.g. local substance levels).
+        from repro import DiffusionGrid
+
+        sim, idx, genes = ode_sim(dt=0.01)
+        grid = sim.add_diffusion_grid(
+            DiffusionGrid("ligand", 8, 0.0, 32.0, diffusion_coefficient=0.0)
+        )
+        grid.concentration[:] = 2.0
+
+        def production(s, i, y):
+            local = s.diffusion_grids["ligand"].concentration_at(
+                s.rm.positions[i]
+            )
+            return local - y["r"]
+
+        genes.add_species("r", 0.0, production)
+        sim.attach_behavior(idx, genes)
+        sim.simulate(300)  # converges toward the ligand level
+        np.testing.assert_allclose(sim.rm.data["gene_r"][idx], 2.0, rtol=0.1)
+
+    def test_survives_sorting(self):
+        sim, idx, genes = ode_sim(n=50)
+        genes.add_species("p", 1.0, lambda s, i, y: 0.0 * y["p"])
+        sim.attach_behavior(idx, genes)
+        genes.ensure_columns(sim)
+        sim.rm.data["gene_p"][:] = np.arange(50, dtype=np.float64)
+        uid_to_val = dict(zip(sim.rm.data["uid"].tolist(),
+                              sim.rm.data["gene_p"].tolist()))
+        sim.param = sim.param.with_(agent_sort_frequency=1)
+        sim.simulate(2)
+        for u, v in zip(sim.rm.data["uid"], sim.rm.data["gene_p"]):
+            assert uid_to_val[int(u)] == v

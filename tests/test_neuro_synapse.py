@@ -1,0 +1,95 @@
+"""Tests for synapse formation and the connectome."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.neuro import (
+    NeuriteExtension,
+    SynapseFormation,
+    add_neuron,
+    connectome,
+)
+
+
+def facing_neurons_sim(distance=30.0, seed=0, probability=1.0):
+    """Two neurons whose arbors grow toward each other."""
+    sim = Simulation("syn", Param.optimized(agent_sort_frequency=0), seed=seed)
+    sim.mechanics_enabled = False
+    sim.fixed_interaction_radius = 5.0
+    syn = SynapseFormation(contact_distance=5.0, probability=probability)
+    rng = np.random.default_rng(seed)
+    for k, x in enumerate((50.0, 50.0 + distance)):
+        _, tips = add_neuron(sim, [x, 50.0, 50.0], num_neurites=3,
+                             neuron_id=k, rng=rng)
+        ext = NeuriteExtension(speed=60.0, max_segment_length=5.0,
+                               bifurcation_probability=0.1, wiggle=0.4,
+                               max_agents=600)
+        sim.attach_behavior(tips, ext)
+        sim.attach_behavior(tips, syn)
+    return sim, syn
+
+
+class TestSynapseFormation:
+    def test_requires_neuron_id(self):
+        sim = Simulation("no-id", Param.optimized(agent_sort_frequency=0))
+        sim.mechanics_enabled = False
+        sim.fixed_interaction_radius = 5.0
+        _, tips = add_neuron(sim, [50.0, 50.0, 50.0])
+        syn = SynapseFormation()
+        sim.attach_behavior(tips, syn)
+        with pytest.raises(KeyError, match="neuron_id"):
+            sim.simulate(1)
+
+    def test_synapses_form_between_neurons(self):
+        sim, syn = facing_neurons_sim(distance=20.0)
+        sim.simulate(50)
+        assert len(syn.synapses) > 0
+
+    def test_no_self_synapses(self):
+        sim, syn = facing_neurons_sim(distance=20.0)
+        sim.simulate(50)
+        uid_to_neuron = dict(zip(sim.rm.data["uid"].tolist(),
+                                 sim.rm.data["neuron_id"].tolist()))
+        for pre, post in syn.synapses:
+            assert uid_to_neuron[pre] != uid_to_neuron[post]
+
+    def test_distant_neurons_never_connect(self):
+        sim, syn = facing_neurons_sim(distance=500.0)
+        sim.simulate(30)
+        assert len(syn.synapses) == 0
+
+    def test_zero_probability(self):
+        sim, syn = facing_neurons_sim(distance=20.0, probability=0.0)
+        sim.simulate(40)
+        assert len(syn.synapses) == 0
+
+    def test_per_terminal_budget(self):
+        sim, syn = facing_neurons_sim(distance=15.0)
+        syn.max_per_terminal = 1
+        sim.simulate(50)
+        from collections import Counter
+
+        per_pre = Counter(pre for pre, _ in syn.synapses)
+        assert all(v <= 1 for v in per_pre.values())
+
+
+class TestConnectome:
+    def test_graph_structure(self):
+        sim, syn = facing_neurons_sim(distance=20.0)
+        sim.simulate(50)
+        g = connectome(sim, syn)
+        assert set(g.nodes) == {0, 1}
+        assert g.number_of_edges() >= 1
+        total = sum(d["weight"] for _, _, d in g.edges(data=True))
+        assert total == len([
+            1 for pre, post in syn.synapses
+        ])
+
+    def test_empty_connectome(self):
+        sim, syn = facing_neurons_sim(distance=500.0)
+        sim.simulate(10)
+        g = connectome(sim, syn)
+        assert g.number_of_edges() == 0
+        assert set(g.nodes) == {0, 1}

@@ -1,0 +1,195 @@
+"""Tests for the virtual NUMA machine and its schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    Machine,
+    SchedulePolicy,
+    SYSTEM_A,
+    SYSTEM_C,
+    WorkBlock,
+)
+from repro.parallel.machine import make_blocks, region_overhead_cycles
+
+
+def overhead(m):
+    return region_overhead_cycles(m.num_threads)
+
+
+def blocks_of(costs, domain=0):
+    return [WorkBlock(cycles=float(c), preferred_domain=domain) for c in costs]
+
+
+class TestConstruction:
+    def test_defaults(self):
+        m = Machine(SYSTEM_A)
+        assert m.num_threads == 144
+        assert m.num_domains == 4
+
+    def test_domain_limit(self):
+        m = Machine(SYSTEM_A, num_domains=1)
+        assert m.num_threads == 36
+        assert set(m.thread_domains.tolist()) == {0}
+
+    def test_threads_spread_over_domains(self):
+        m = Machine(SYSTEM_A, num_threads=4)
+        assert sorted(m.thread_domains.tolist()) == [0, 1, 2, 3]
+
+    def test_smt_threads_slower(self):
+        m = Machine(SYSTEM_C)  # 28 physical, 56 threads
+        assert m.thread_speeds[0] == 1.0
+        assert m.thread_speeds[-1] == SYSTEM_C.smt_efficiency
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            Machine(SYSTEM_A, num_threads=145)
+        with pytest.raises(ValueError):
+            Machine(SYSTEM_A, num_threads=0)
+
+    def test_invalid_domains(self):
+        with pytest.raises(ValueError):
+            Machine(SYSTEM_A, num_domains=5)
+
+
+class TestSerial:
+    def test_accumulates_time(self):
+        m = Machine(SYSTEM_A, num_threads=8)
+        m.run_serial("build", 1000)
+        m.run_serial("build", 500)
+        assert m.cycles == 1500
+        assert m.stats["build"].invocations == 2
+
+    def test_memory_accounting(self):
+        m = Machine(SYSTEM_A, num_threads=2)
+        m.run_serial("op", 100, memory_cycles=80)
+        assert m.total_memory_cycles == 80
+        assert m.total_compute_cycles == 20
+        assert m.memory_bound_fraction == pytest.approx(0.8)
+
+    def test_elapsed_seconds(self):
+        m = Machine(SYSTEM_A, num_threads=1)
+        m.run_serial("x", SYSTEM_A.freq_ghz * 1e9)
+        assert m.elapsed_seconds == pytest.approx(1.0)
+
+
+class TestStaticSchedule:
+    def test_perfect_balance(self):
+        m = Machine(SYSTEM_A, num_threads=4)
+        elapsed = m.run_parallel("op", blocks_of([100] * 4), SchedulePolicy.STATIC)
+        assert elapsed == pytest.approx(100 + overhead(m))
+
+    def test_imbalance_not_fixed(self):
+        # Static chunking puts both heavy blocks on thread 0.
+        m = Machine(SYSTEM_A, num_threads=2)
+        elapsed = m.run_parallel(
+            "op", blocks_of([1000, 1000, 10, 10]), SchedulePolicy.STATIC
+        )
+        assert elapsed == pytest.approx(2000 + overhead(m))
+
+    def test_empty_region(self):
+        m = Machine(SYSTEM_A, num_threads=2)
+        assert m.run_parallel("op", [], SchedulePolicy.STATIC) == 0.0
+
+
+class TestStealingSchedule:
+    def test_dynamic_fixes_imbalance(self):
+        m = Machine(SYSTEM_A, num_threads=2)
+        static = Machine(SYSTEM_A, num_threads=2)
+        costs = [1000, 1000, 10, 10]
+        e_dyn = m.run_parallel("op", blocks_of(costs), SchedulePolicy.DYNAMIC)
+        e_sta = static.run_parallel("op", blocks_of(costs), SchedulePolicy.STATIC)
+        assert e_dyn < e_sta
+
+    def test_speedup_with_threads(self):
+        costs = [50_000.0] * 64
+        times = []
+        for t in [1, 2, 4, 8]:
+            m = Machine(SYSTEM_A, num_threads=t)
+            times.append(m.run_parallel("op", blocks_of(costs), SchedulePolicy.DYNAMIC))
+        assert times[0] > times[1] > times[2] > times[3]
+        # Near-ideal scaling for embarrassingly parallel equal blocks.
+        assert times[0] / times[3] > 6.0
+
+    def test_numa_aware_prefers_local_threads(self):
+        # All blocks on domain 0; under NUMA_AWARE, domain-0 threads do the
+        # work first and cross-domain steals are counted.
+        m = Machine(SYSTEM_A, num_threads=8)  # 2 threads per domain
+        blocks = blocks_of([100] * 16, domain=0)
+        m.run_parallel("op", blocks, SchedulePolicy.NUMA_AWARE)
+        st = m.stats["op"]
+        assert st.steals_cross_domain > 0
+
+    def test_remote_access_premium_charged(self):
+        # A block whose accesses all target domain 1, executed by a
+        # domain-0 thread under STATIC, pays the remote premium.
+        m = Machine(SYSTEM_A, num_threads=1)  # single thread, domain 0
+        acc = np.zeros(4)
+        acc[1] = 100.0
+        blk = WorkBlock(cycles=1000.0, domain_accesses=acc)
+        local = WorkBlock(cycles=1000.0, domain_accesses=None)
+        e_remote = m.run_parallel("r", [blk], SchedulePolicy.STATIC)
+        e_local = m.run_parallel("l", [local], SchedulePolicy.STATIC)
+        premium = m.cost_model.remote_premium
+        assert e_remote - e_local == pytest.approx(100 * premium)
+
+    def test_balanced_domains_beat_single_domain(self):
+        # The agent-balancing goal: blocks spread over all domains finish
+        # faster than all blocks homed on one domain (remote steals pay).
+        n = 32
+        acc_dom0 = np.zeros(4)
+        acc_dom0[0] = 200.0
+        lop = [
+            WorkBlock(cycles=2000.0, preferred_domain=0, domain_accesses=acc_dom0)
+            for _ in range(n)
+        ]
+        spread = []
+        for i in range(n):
+            acc = np.zeros(4)
+            acc[i % 4] = 200.0
+            spread.append(
+                WorkBlock(cycles=2000.0, preferred_domain=i % 4, domain_accesses=acc)
+            )
+        m1 = Machine(SYSTEM_A, num_threads=8)
+        m2 = Machine(SYSTEM_A, num_threads=8)
+        e_single = m1.run_parallel("op", lop, SchedulePolicy.NUMA_AWARE)
+        e_spread = m2.run_parallel("op", spread, SchedulePolicy.NUMA_AWARE)
+        assert e_spread < e_single
+
+    def test_all_blocks_processed(self):
+        m = Machine(SYSTEM_A, num_threads=3)
+        blocks = blocks_of(list(range(1, 20)))
+        m.run_parallel("op", blocks, SchedulePolicy.NUMA_AWARE)
+        st = m.stats["op"]
+        total = sum(b.cycles for b in blocks)
+        assert st.compute_cycles == pytest.approx(total)
+
+
+class TestSMT:
+    def test_hyperthreads_give_sublinear_gain(self):
+        costs = [50_000.0] * 288
+        m_phys = Machine(SYSTEM_A, num_threads=72)
+        m_smt = Machine(SYSTEM_A, num_threads=144)
+        e_phys = m_phys.run_parallel("op", blocks_of(costs), SchedulePolicy.DYNAMIC)
+        e_smt = m_smt.run_parallel("op", blocks_of(costs), SchedulePolicy.DYNAMIC)
+        assert e_smt < e_phys  # still helps...
+        assert e_phys / e_smt < 1.6  # ...but far from 2x
+
+
+class TestMakeBlocks:
+    def test_aggregation(self):
+        cycles = np.ones(100) * 10
+        mem = np.ones(100) * 4
+        blocks = make_blocks(cycles, mem, domain=2, block_size=32)
+        assert len(blocks) == 4
+        assert sum(b.cycles for b in blocks) == pytest.approx(1000)
+        assert sum(b.memory_cycles for b in blocks) == pytest.approx(400)
+        assert all(b.preferred_domain == 2 for b in blocks)
+
+    def test_domain_access_counts_summed(self):
+        counts = np.tile(np.array([1.0, 2.0]), (10, 1))
+        blocks = make_blocks(np.ones(10), access_domain_counts=counts, block_size=5)
+        np.testing.assert_allclose(blocks[0].domain_accesses, [5.0, 10.0])
+
+    def test_empty(self):
+        assert make_blocks(np.array([])) == []

@@ -1,0 +1,107 @@
+"""Deeper scheduler/machine tests: policies, domains, mixed regions."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    Machine,
+    SchedulePolicy,
+    SYSTEM_A,
+    SYSTEM_B,
+    SYSTEM_C,
+    WorkBlock,
+)
+
+
+class TestThreadLayout:
+    def test_physical_before_smt(self):
+        m = Machine(SYSTEM_C)  # 28 physical, 56 threads
+        assert np.all(m.thread_speeds[:28] == 1.0)
+        assert np.all(m.thread_speeds[28:] == SYSTEM_C.smt_efficiency)
+
+    def test_domains_balanced(self):
+        m = Machine(SYSTEM_A)  # 144 threads over 4 domains
+        counts = np.bincount(m.thread_domains)
+        assert counts.tolist() == [36, 36, 36, 36]
+
+    def test_threads_of_domain(self):
+        m = Machine(SYSTEM_A, num_threads=8)
+        for d in range(4):
+            tids = m.threads_of_domain(d)
+            assert np.all(m.thread_domains[tids] == d)
+
+    def test_partial_thread_counts(self):
+        for t in (1, 5, 7, 143):
+            m = Machine(SYSTEM_A, num_threads=t)
+            assert len(m.thread_domains) == t
+
+
+class TestPolicyDifferences:
+    def _domain_blocks(self, per_domain, cost=50_000.0, domains=4):
+        blocks = []
+        for d in range(domains):
+            acc = np.zeros(domains)
+            acc[d] = 300.0
+            blocks += [
+                WorkBlock(cycles=cost, preferred_domain=d, domain_accesses=acc)
+                for _ in range(per_domain)
+            ]
+        return blocks
+
+    def test_numa_aware_beats_dynamic_on_domain_data(self):
+        # With strongly domain-homed data, placement-aware scheduling wins.
+        m1 = Machine(SYSTEM_A, num_threads=16)
+        m2 = Machine(SYSTEM_A, num_threads=16)
+        e_numa = m1.run_parallel("op", self._domain_blocks(32),
+                                 SchedulePolicy.NUMA_AWARE)
+        e_dyn = m2.run_parallel("op", self._domain_blocks(32),
+                                SchedulePolicy.DYNAMIC)
+        assert e_numa < e_dyn
+
+    def test_policies_agree_on_single_domain(self):
+        # With one domain there is nothing to place; dynamic ~ numa-aware.
+        blocks = lambda: [WorkBlock(cycles=50_000.0) for _ in range(64)]  # noqa: E731
+        m1 = Machine(SYSTEM_A, num_threads=18, num_domains=1)
+        m2 = Machine(SYSTEM_A, num_threads=18, num_domains=1)
+        e1 = m1.run_parallel("op", blocks(), SchedulePolicy.NUMA_AWARE)
+        e2 = m2.run_parallel("op", blocks(), SchedulePolicy.DYNAMIC)
+        assert e1 == pytest.approx(e2, rel=0.15)
+
+    def test_serial_and_parallel_mix(self):
+        m = Machine(SYSTEM_A, num_threads=4)
+        m.run_serial("s", 10_000)
+        m.run_parallel("p", [WorkBlock(cycles=1000.0)] * 4)
+        assert m.cycles > 10_000
+        assert set(m.stats) == {"s", "p"}
+
+    def test_memory_bound_fraction_zero_without_memory(self):
+        m = Machine(SYSTEM_A, num_threads=2)
+        m.run_serial("x", 1000, memory_cycles=0)
+        assert m.memory_bound_fraction == 0.0
+
+
+class TestSpecs:
+    def test_table2_shapes(self):
+        assert SYSTEM_A.physical_cores == 72
+        assert SYSTEM_A.max_threads == 144
+        assert SYSTEM_A.numa_domains == 4
+        assert SYSTEM_B.dram_gb == pytest.approx(1008.0)
+        assert SYSTEM_C.physical_cores == 28
+        assert SYSTEM_C.numa_domains == 2
+
+    def test_cycles_seconds_roundtrip(self):
+        c = SYSTEM_A.seconds_to_cycles(0.5)
+        assert SYSTEM_A.cycles_to_seconds(c) == pytest.approx(0.5)
+
+    def test_cache_scaling(self):
+        s = SYSTEM_A.with_scaled_caches(100.0)
+        assert s.l1_span < SYSTEM_A.l1_span
+        assert s.l2_span < SYSTEM_A.l2_span
+        assert s.l1_span < s.l2_span < s.l3_span  # hierarchy preserved
+
+    def test_cache_scaling_identity(self):
+        assert SYSTEM_A.with_scaled_caches(1.0) is SYSTEM_A
+
+    def test_cache_scaling_floor(self):
+        s = SYSTEM_A.with_scaled_caches(1e9)
+        assert s.l1_span >= 4 * SYSTEM_A.cache_line

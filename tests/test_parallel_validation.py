@@ -1,0 +1,70 @@
+"""Tests for the cost-model validation harness."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.validation import (
+    TRACE_FAMILIES,
+    ValidationReport,
+    generate_trace,
+    validate_model,
+)
+
+
+class TestTraces:
+    def test_all_families_generate(self):
+        for f in TRACE_FAMILIES:
+            t = generate_trace(f, n=500)
+            assert len(t) >= 500 // 8 * 8
+            assert np.all(t >= 0)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            generate_trace("zigzag")
+
+    def test_deterministic(self):
+        a = generate_trace("random", seed=3)
+        b = generate_trace("random", seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sorted_tighter_than_unsorted(self):
+        s = generate_trace("sorted_neighbors", n=2000)
+        u = generate_trace("unsorted_neighbors", n=2000)
+        assert np.mean(np.abs(np.diff(s))) < np.mean(np.abs(np.diff(u)))
+
+
+class TestValidation:
+    def test_models_agree_on_ranking(self):
+        report = validate_model(n=4000)
+        # The claim DESIGN.md makes: the fast model ranks access patterns
+        # like real LRU caches do.
+        assert report.kendall_tau >= 0.8
+
+    def test_extremes_ordered(self):
+        report = validate_model(n=4000)
+        assert (
+            report.reference_cycles["sequential"]
+            < report.reference_cycles["random"]
+        )
+        assert report.fast_cycles["sequential"] < report.fast_cycles["random"]
+        assert (
+            report.fast_cycles["sorted_neighbors"]
+            < report.fast_cycles["unsorted_neighbors"]
+        )
+
+    def test_render(self):
+        report = validate_model(n=1000)
+        out = report.render()
+        assert "Kendall tau" in out
+        for f in TRACE_FAMILIES:
+            assert f in out
+
+    def test_tau_bounds(self):
+        r = ValidationReport(
+            ("a", "b"), {"a": 1, "b": 2}, {"a": 10.0, "b": 20.0}
+        )
+        assert r.kendall_tau == 1.0
+        r2 = ValidationReport(
+            ("a", "b"), {"a": 1, "b": 2}, {"a": 20.0, "b": 10.0}
+        )
+        assert r2.kendall_tau == -1.0

@@ -1,0 +1,126 @@
+"""Cross-cutting property tests on core invariants.
+
+These target the invariants that the paper's correctness depends on but
+that no single unit test pins down: allocators never hand out overlapping
+live memory, the virtual scheduler's makespan is physically possible, and
+the engine's population accounting stays consistent under arbitrary
+add/remove sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Param, Simulation
+from repro.mem import AddressSpace, make_allocator
+from repro.parallel import Machine, SchedulePolicy, SYSTEM_A, WorkBlock
+from repro.parallel.machine import region_overhead_cycles
+
+
+class TestAllocatorNoOverlap:
+    """Live allocations must never overlap, for any allocator and any
+    interleaving of variable-size allocs and frees."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        name=st.sampled_from(["bdm", "ptmalloc2", "jemalloc"]),
+        ops=st.lists(
+            st.tuples(st.sampled_from(["alloc", "free"]),
+                      st.sampled_from([24, 64, 136, 200])),
+            min_size=1, max_size=150,
+        ),
+    )
+    def test_live_ranges_disjoint(self, name, ops):
+        al = make_allocator(name, num_domains=2)
+        live: list[tuple[int, int]] = []  # (addr, size)
+        for op, size in ops:
+            if op == "alloc" or not live:
+                addr = al.allocate(size, domain=0)
+                live.append((addr, size))
+            else:
+                addr, size = live.pop()
+                al.free(addr, size, domain=0)
+            # Check pairwise disjointness of live ranges.
+            ranges = sorted(live)
+            for (a1, s1), (a2, _s2) in zip(ranges, ranges[1:]):
+                assert a1 + s1 <= a2, f"{name}: overlap at {a1}+{s1} > {a2}"
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        name=st.sampled_from(["bdm", "ptmalloc2", "jemalloc"]),
+        count=st.integers(1, 300),
+        size=st.sampled_from([64, 136]),
+    )
+    def test_bulk_allocation_disjoint(self, name, count, size):
+        al = make_allocator(name, num_domains=1)
+        addrs = np.sort(al.allocate_many(size, count, domain=0))
+        assert len(np.unique(addrs)) == count
+        assert np.all(np.diff(addrs) >= size)
+
+
+class TestScheduleBounds:
+    """A region's makespan must respect physical lower and upper bounds."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_threads=st.integers(1, 36),
+        costs=st.lists(st.floats(100.0, 1e6), min_size=1, max_size=60),
+        policy=st.sampled_from(list(SchedulePolicy)),
+    )
+    def test_makespan_bounds(self, num_threads, costs, policy):
+        m = Machine(SYSTEM_A, num_threads=num_threads)
+        blocks = [WorkBlock(cycles=c, preferred_domain=i % 4)
+                  for i, c in enumerate(costs)]
+        elapsed = m.run_parallel("op", blocks, policy)
+        overhead = region_overhead_cycles(num_threads)
+        total = sum(costs)
+        capacity = float(np.sum(m.thread_speeds))
+        # Lower bound: perfect parallelism over the machine's capacity,
+        # and no faster than the single largest block on a fast thread.
+        assert elapsed >= total / capacity - 1e-6
+        assert elapsed >= max(costs) - 1e-6
+        # Upper bound: never worse than fully serial on the slowest slot
+        # plus overheads.
+        slowest = float(np.min(m.thread_speeds))
+        assert elapsed <= total / slowest + overhead + 500 * len(costs) + 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(costs=st.lists(st.floats(1e4, 1e5), min_size=8, max_size=40))
+    def test_stealing_never_loses_badly_to_static(self, costs):
+        # Greedy online stealing is not optimal: adversarial block mixes
+        # can cost it up to ~1.5x vs offline contiguous chunking (a known
+        # list-scheduling bound); it must never lose catastrophically.
+        blocks = lambda: [WorkBlock(cycles=c) for c in costs]  # noqa: E731
+        m1 = Machine(SYSTEM_A, num_threads=8)
+        m2 = Machine(SYSTEM_A, num_threads=8)
+        dyn = m1.run_parallel("op", blocks(), SchedulePolicy.DYNAMIC)
+        sta = m2.run_parallel("op", blocks(), SchedulePolicy.STATIC)
+        assert dyn <= sta * 2.0 + 8000
+
+
+class TestEngineAccounting:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 100),
+        iters=st.integers(1, 6),
+    )
+    def test_population_accounting(self, seed, iters):
+        from repro.core.behaviors_lib import GrowDivide, StochasticDeath
+
+        sim = Simulation("acct", Param.optimized(agent_sort_frequency=2),
+                         seed=seed)
+        rng = np.random.default_rng(seed)
+        sim.add_cells(rng.uniform(0, 40, (60, 3)), diameters=11.0,
+                      behaviors=[GrowDivide(growth_rate=150.0,
+                                            division_diameter=13.0,
+                                            max_agents=200),
+                                 StochasticDeath(probability=0.05)])
+        sim.simulate(iters)
+        rm = sim.rm
+        # Invariants after any run: unique uids, domain segments cover
+        # the population, queues drained, all columns same length.
+        assert len(np.unique(rm.data["uid"])) == rm.n
+        assert rm.domain_starts[-1] == rm.n
+        assert rm.pending_additions == 0 and rm.pending_removals == 0
+        for name, arr in rm.data.items():
+            assert len(arr) == rm.n, name

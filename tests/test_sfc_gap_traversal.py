@@ -1,0 +1,107 @@
+"""Tests for the linear-time Morton order of non-cubic grids (paper Fig. 3 D-E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sfc import (
+    morton_encode_2d,
+    morton_encode_3d,
+    morton_order_2d,
+    morton_order_3d,
+    morton_runs_2d,
+    morton_runs_3d,
+)
+
+
+def brute_force_order_2d(nx, ny):
+    xs, ys = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    idx = (ys * nx + xs).ravel()
+    codes = morton_encode_2d(xs.ravel(), ys.ravel())
+    return idx[np.argsort(codes, kind="stable")]
+
+
+def brute_force_order_3d(nx, ny, nz):
+    g = np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij")
+    xs, ys, zs = (a.ravel() for a in g)
+    idx = (zs * ny + ys) * nx + xs
+    codes = morton_encode_3d(xs, ys, zs)
+    return idx[np.argsort(codes, kind="stable")]
+
+
+class TestPaperExample:
+    def test_3x3_grid_matches_figure3(self):
+        # Fig. 3 (C) of the paper: 3x3 grid embedded in a 4x4 Morton space
+        # with gaps after codes 4, 6, and 9.
+        runs = morton_runs_2d(3, 3)
+        assert runs.num_boxes == 9
+        codes = runs.codes_for_ranks(np.arange(9))
+        assert codes.tolist() == [0, 1, 2, 3, 4, 6, 8, 9, 12]
+
+    def test_3x3_order(self):
+        order = morton_order_2d(3, 3)
+        np.testing.assert_array_equal(order, brute_force_order_2d(3, 3))
+
+
+class TestAgainstBruteForce2D:
+    @pytest.mark.parametrize(
+        "nx,ny",
+        [(1, 1), (1, 7), (7, 1), (2, 2), (3, 5), (5, 3), (4, 4), (9, 13), (16, 16), (17, 31)],
+    )
+    def test_order_matches(self, nx, ny):
+        np.testing.assert_array_equal(
+            morton_order_2d(nx, ny), brute_force_order_2d(nx, ny)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 40))
+    def test_order_matches_property(self, nx, ny):
+        np.testing.assert_array_equal(
+            morton_order_2d(nx, ny), brute_force_order_2d(nx, ny)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 40))
+    def test_rank_code_roundtrip(self, nx, ny):
+        runs = morton_runs_2d(nx, ny)
+        ranks = np.arange(runs.num_boxes)
+        codes = runs.codes_for_ranks(ranks)
+        np.testing.assert_array_equal(runs.ranks_for_codes(codes), ranks)
+
+
+class TestAgainstBruteForce3D:
+    @pytest.mark.parametrize(
+        "dims", [(1, 1, 1), (2, 3, 4), (3, 3, 3), (5, 2, 7), (8, 8, 8), (9, 4, 6)]
+    )
+    def test_order_matches(self, dims):
+        np.testing.assert_array_equal(
+            morton_order_3d(*dims), brute_force_order_3d(*dims)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(1, 12))
+    def test_order_matches_property(self, nx, ny, nz):
+        np.testing.assert_array_equal(
+            morton_order_3d(nx, ny, nz), brute_force_order_3d(nx, ny, nz)
+        )
+
+
+class TestRunsStructure:
+    def test_power_of_two_grid_has_single_run(self):
+        runs = morton_runs_2d(8, 8)
+        assert len(runs.rank_starts) == 1
+        assert runs.offsets[0] == 0
+
+    def test_codes_strictly_increasing(self):
+        runs = morton_runs_2d(13, 7)
+        codes = runs.codes_for_ranks(np.arange(runs.num_boxes))
+        assert np.all(np.diff(codes) > 0)
+
+    def test_offsets_nonnegative_and_nondecreasing(self):
+        for dims in [(3, 3), (11, 6), (30, 17)]:
+            runs = morton_runs_2d(*dims)
+            assert np.all(runs.offsets >= 0)
+            assert np.all(np.diff(runs.offsets) > 0) or len(runs.offsets) == 1
+
+    def test_num_boxes(self):
+        assert morton_runs_3d(4, 5, 6).num_boxes == 120

@@ -1,0 +1,124 @@
+"""Unit and property tests for Morton encode/decode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sfc import (
+    morton_decode_2d,
+    morton_decode_3d,
+    morton_encode_2d,
+    morton_encode_3d,
+)
+
+
+class TestMorton2D:
+    def test_origin(self):
+        assert morton_encode_2d(0, 0) == 0
+
+    def test_unit_steps(self):
+        # x occupies the least significant bit.
+        assert morton_encode_2d(1, 0) == 1
+        assert morton_encode_2d(0, 1) == 2
+        assert morton_encode_2d(1, 1) == 3
+
+    def test_known_values(self):
+        # Classic Z-order table for a 4x4 grid.
+        expected = {
+            (0, 0): 0, (1, 0): 1, (0, 1): 2, (1, 1): 3,
+            (2, 0): 4, (3, 0): 5, (2, 1): 6, (3, 1): 7,
+            (0, 2): 8, (1, 2): 9, (0, 3): 10, (1, 3): 11,
+            (2, 2): 12, (3, 2): 13, (2, 3): 14, (3, 3): 15,
+        }
+        for (x, y), code in expected.items():
+            assert morton_encode_2d(x, y) == code
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, 2**20, 100)
+        ys = rng.integers(0, 2**20, 100)
+        codes = morton_encode_2d(xs, ys)
+        for i in range(100):
+            assert codes[i] == morton_encode_2d(int(xs[i]), int(ys[i]))
+
+    def test_bijective_on_grid(self):
+        n = 32
+        xs, ys = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        codes = morton_encode_2d(xs.ravel(), ys.ravel())
+        assert len(np.unique(codes)) == n * n
+        dx, dy = morton_decode_2d(codes)
+        np.testing.assert_array_equal(dx, xs.ravel())
+        np.testing.assert_array_equal(dy, ys.ravel())
+
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1))
+    def test_roundtrip_property(self, x, y):
+        code = morton_encode_2d(x, y)
+        dx, dy = morton_decode_2d(code)
+        assert (dx, dy) == (x, y)
+
+    @given(st.integers(0, 2**20 - 1), st.integers(0, 2**20 - 1))
+    def test_monotone_in_each_axis(self, x, y):
+        # Increasing one coordinate strictly increases the code.
+        assert morton_encode_2d(x + 1, y) > morton_encode_2d(x, y)
+        assert morton_encode_2d(x, y + 1) > morton_encode_2d(x, y)
+
+
+class TestMorton3D:
+    def test_unit_steps(self):
+        assert morton_encode_3d(0, 0, 0) == 0
+        assert morton_encode_3d(1, 0, 0) == 1
+        assert morton_encode_3d(0, 1, 0) == 2
+        assert morton_encode_3d(0, 0, 1) == 4
+        assert morton_encode_3d(1, 1, 1) == 7
+
+    def test_bijective_on_grid(self):
+        n = 16
+        g = np.arange(n)
+        xs, ys, zs = np.meshgrid(g, g, g, indexing="ij")
+        codes = morton_encode_3d(xs.ravel(), ys.ravel(), zs.ravel())
+        assert len(np.unique(codes)) == n**3
+        dx, dy, dz = morton_decode_3d(codes)
+        np.testing.assert_array_equal(dx, xs.ravel())
+        np.testing.assert_array_equal(dy, ys.ravel())
+        np.testing.assert_array_equal(dz, zs.ravel())
+
+    @given(
+        st.integers(0, 2**21 - 1),
+        st.integers(0, 2**21 - 1),
+        st.integers(0, 2**21 - 1),
+    )
+    def test_roundtrip_property(self, x, y, z):
+        code = morton_encode_3d(x, y, z)
+        assert tuple(int(v) for v in morton_decode_3d(code)) == (x, y, z)
+
+    def test_locality_preference(self):
+        # Morton codes of spatial neighbors are closer (on average) than
+        # codes of random pairs: the property the sorting optimization uses.
+        rng = np.random.default_rng(1)
+        pts = rng.integers(0, 512, size=(2000, 3))
+        codes = morton_encode_3d(pts[:, 0], pts[:, 1], pts[:, 2]).astype(np.int64)
+        neighbor = pts + rng.integers(-1, 2, size=pts.shape)
+        neighbor = np.clip(neighbor, 0, 511)
+        ncodes = morton_encode_3d(
+            neighbor[:, 0], neighbor[:, 1], neighbor[:, 2]
+        ).astype(np.int64)
+        near_gap = np.median(np.abs(codes - ncodes))
+        far_gap = np.median(np.abs(codes - np.roll(codes, 1)))
+        assert near_gap < far_gap
+
+
+class TestEdges:
+    def test_max_coordinate_2d(self):
+        x = 2**31 - 1
+        code = morton_encode_2d(x, x)
+        dx, dy = morton_decode_2d(code)
+        assert (dx, dy) == (x, x)
+
+    def test_max_coordinate_3d(self):
+        v = 2**21 - 1
+        code = morton_encode_3d(v, v, v)
+        assert tuple(int(c) for c in morton_decode_3d(code)) == (v, v, v)
+
+    def test_dtype_is_uint64(self):
+        assert morton_encode_2d(3, 5).dtype == np.uint64
+        assert morton_encode_3d(3, 5, 7).dtype == np.uint64

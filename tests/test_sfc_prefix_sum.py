@@ -1,0 +1,54 @@
+"""Tests for the work-efficient block prefix sum."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.sfc import block_prefix_sum, exclusive_prefix_sum
+from repro.sfc.prefix_sum import (
+    block_bounds,
+    block_local_sums,
+    block_write_phase,
+    scan_block_sums,
+)
+
+
+class TestSerial:
+    def test_empty(self):
+        assert len(exclusive_prefix_sum([])) == 0
+
+    def test_simple(self):
+        np.testing.assert_array_equal(
+            exclusive_prefix_sum([3, 1, 4, 1, 5]), [0, 3, 4, 8, 9]
+        )
+
+    def test_exclusive_semantics(self):
+        out = exclusive_prefix_sum([7])
+        assert out.tolist() == [0]
+
+
+class TestBlocked:
+    @given(
+        st.lists(st.integers(0, 1000), min_size=0, max_size=200),
+        st.integers(1, 16),
+    )
+    def test_matches_serial(self, values, num_blocks):
+        np.testing.assert_array_equal(
+            block_prefix_sum(values, num_blocks), exclusive_prefix_sum(values)
+        )
+
+    def test_phases_compose(self):
+        values = np.arange(20, dtype=np.int64)
+        bounds = block_bounds(20, 4)
+        sums = block_local_sums(values, bounds)
+        assert sums.sum() == values.sum()
+        offsets = scan_block_sums(sums)
+        out = block_write_phase(values, bounds, offsets)
+        np.testing.assert_array_equal(out, exclusive_prefix_sum(values))
+
+    def test_more_blocks_than_items(self):
+        np.testing.assert_array_equal(block_prefix_sum([5, 6], 10), [0, 5])
+
+    def test_bounds_cover_range(self):
+        bounds = block_bounds(103, 7)
+        assert bounds[0] == 0 and bounds[-1] == 103
+        assert np.all(np.diff(bounds) >= 0)
