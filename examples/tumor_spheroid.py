@@ -21,13 +21,17 @@ def spheroid_radius(sim) -> float:
     return float(np.sqrt(np.mean(np.sum((pos - center) ** 2, axis=1))))
 
 
-def main():
-    param = Param.optimized(agent_sort_frequency=10)
-    sim = Simulation("tumor-spheroid", param, seed=7)
-    rng = np.random.default_rng(7)
+def build_simulation(seed: int = 7, n0: int = 300) -> Simulation:
+    """Build the tumor spheroid model as a pure function of ``seed``.
 
-    # Seed: 300 cells in a tight ball.
-    n0 = 300
+    Exposed separately from :func:`main` so the determinism harness
+    (``tests/test_verify_replay.py``) can replay the exact example model.
+    """
+    param = Param.optimized(agent_sort_frequency=10)
+    sim = Simulation("tumor-spheroid", param, seed=seed)
+    rng = np.random.default_rng(seed)
+
+    # Seed: cells in a tight ball.
     direction = rng.normal(size=(n0, 3))
     direction /= np.linalg.norm(direction, axis=1)[:, None]
     radii = 40.0 * rng.random(n0) ** (1 / 3)
@@ -40,6 +44,11 @@ def main():
             RandomWalk(speed=10.0),
         ],
     )
+    return sim
+
+
+def main():
+    sim = build_simulation(seed=7)
 
     print(f"{'step':>5} {'cells':>6} {'radius_um':>10} {'deaths':>7}")
     total_deaths = 0

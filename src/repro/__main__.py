@@ -8,10 +8,13 @@
         --series sir.csv --export out --export-every 20
     python -m repro run cell_sorting --machine A --threads 72 --agents 3000
     python -m repro bench fig09 --scale small
+    python -m repro verify --fuzz 200
 
 ``run`` executes a registry model, optionally on a virtual machine (for
 the per-operation breakdown), with time-series and VTK/CSV export.
-``bench`` forwards to :mod:`repro.bench.__main__`.
+``bench`` forwards to :mod:`repro.bench.__main__`.  ``verify`` runs the
+correctness suite (:mod:`repro.verify`): differential oracle, engine
+invariants, determinism replay, structure fuzzing.
 """
 
 from __future__ import annotations
@@ -130,6 +133,9 @@ def main(argv=None) -> int:
                                          "(see `python -m repro.bench -h`)")
     bench.add_argument("experiment")
     bench.add_argument("--scale", default="small", choices=["small", "medium"])
+    from repro.verify.cli import add_verify_parser
+
+    add_verify_parser(sub)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -142,6 +148,10 @@ def main(argv=None) -> int:
         return 0 if report.kendall_tau >= 0.8 else 1
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "verify":
+        from repro.verify.cli import run_verify
+
+        return run_verify(args)
     if args.command == "bench":
         from repro.bench.__main__ import main as bench_main
 

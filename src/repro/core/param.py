@@ -32,7 +32,9 @@ class Param:
     """All engine knobs; defaults correspond to the fully optimized engine."""
 
     # --- Environment (O1) -------------------------------------------------
-    environment: str = "uniform_grid"     # "uniform_grid" | "kd_tree" | "octree"
+    #: "uniform_grid" | "kd_tree" | "octree" | "brute_force" (O(n^2)
+    #: reference, small debugging runs only)
+    environment: str = "uniform_grid"
     environment_kwargs: dict = field(default_factory=dict)
 
     # --- Parallelism (O2, O3) ---------------------------------------------
@@ -51,6 +53,13 @@ class Param:
 
     # --- Static detection (O6) ---------------------------------------------
     detect_static_agents: bool = False     # off by default, like BioDynaMo
+
+    # --- Self-verification (repro.verify) -----------------------------------
+    #: Run the engine invariant checker (:mod:`repro.verify.invariants`)
+    #: every N iterations; 0 disables.  Any violation raises
+    #: ``InvariantViolation`` — turn this on (e.g. 1) when modifying engine
+    #: internals or validating a new optimization against the oracle.
+    check_invariants_frequency: int = 0
 
     # --- Physics -----------------------------------------------------------
     simulation_time_step: float = 0.01
@@ -127,7 +136,8 @@ class Param:
 
     def validate(self) -> None:
         """Raise ``ValueError`` on any invalid or unknown setting."""
-        if self.environment not in ("uniform_grid", "kd_tree", "octree"):
+        if self.environment not in ("uniform_grid", "kd_tree", "octree",
+                                    "brute_force"):
             raise ValueError(f"unknown environment {self.environment!r}")
         if self.agent_allocator not in ("bdm", "ptmalloc2", "jemalloc"):
             raise ValueError(f"unknown allocator {self.agent_allocator!r}")
@@ -137,6 +147,8 @@ class Param:
             raise ValueError(f"unknown curve {self.space_filling_curve!r}")
         if self.agent_sort_frequency < 0:
             raise ValueError("agent_sort_frequency must be >= 0")
+        if self.check_invariants_frequency < 0:
+            raise ValueError("check_invariants_frequency must be >= 0")
         if self.block_size < 1:
             raise ValueError("block_size must be >= 1")
         if self.simulation_time_step <= 0:

@@ -8,6 +8,9 @@ paths that emulate thread-local behavior.
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 import numpy as np
 
 __all__ = ["SimulationRandom"]
@@ -29,3 +32,25 @@ class SimulationRandom:
                 np.random.SeedSequence(entropy=self.seed, spawn_key=(thread,))
             )
         return self._thread_rngs[thread]
+
+    def state_checksum(self) -> str:
+        """Hex digest over the exact state of every generator.
+
+        Two simulations whose stochastic code consumed identical draw
+        sequences have identical checksums; a single extra or missing draw
+        changes it.  The determinism replay harness
+        (:mod:`repro.verify.replay`) folds this into the per-step state
+        checksum to catch seed-plumbing regressions that happen not to
+        change agent state in the compared window.
+        """
+        h = hashlib.sha256()
+        h.update(str(self.seed).encode())
+
+        def _feed(state: dict) -> None:
+            h.update(json.dumps(state, sort_keys=True, default=str).encode())
+
+        _feed(self.rng.bit_generator.state)
+        for thread in sorted(self._thread_rngs):
+            h.update(str(thread).encode())
+            _feed(self._thread_rngs[thread].bit_generator.state)
+        return h.hexdigest()

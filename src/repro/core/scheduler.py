@@ -272,6 +272,15 @@ class Scheduler:
         sim.time += p.simulation_time_step
         self._run_standalone_ops(OpKind.POST)
 
+        # ---- Self-verification: engine invariants (repro.verify).
+        freq = p.check_invariants_frequency
+        if freq > 0 and (self.iteration + 1) % freq == 0:
+            from repro.verify.invariants import check_simulation_invariants
+
+            t0 = time.perf_counter()
+            check_simulation_invariants(sim, raise_on_violation=True)
+            self.wall_times["invariant_checks"] += time.perf_counter() - t0
+
         self.iteration += 1
         self.peak_memory_bytes = max(self.peak_memory_bytes, sim.memory_bytes())
 

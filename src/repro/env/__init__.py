@@ -20,7 +20,12 @@ agent search candidates, index memory) so the virtual machine can charge
 costs.
 """
 
-from repro.env.environment import BuildWork, Environment
+from repro.env.environment import (
+    BruteForceEnvironment,
+    BuildWork,
+    Environment,
+    brute_force_csr,
+)
 from repro.env.uniform_grid import UniformGridEnvironment
 from repro.env.kdtree import KDTreeEnvironment
 from repro.env.octree import OctreeEnvironment
@@ -31,15 +36,21 @@ __all__ = [
     "UniformGridEnvironment",
     "KDTreeEnvironment",
     "OctreeEnvironment",
+    "BruteForceEnvironment",
+    "brute_force_csr",
 ]
 
 
 def make_environment(name: str, **kwargs) -> Environment:
-    """Factory for benchmark configurations: ``uniform_grid`` / ``kd_tree`` / ``octree``."""
+    """Factory for benchmark configurations: ``uniform_grid`` / ``kd_tree`` /
+    ``octree``, plus the O(n^2) ``brute_force`` reference used by the
+    differential oracle (:mod:`repro.verify`)."""
     if name == "uniform_grid":
         return UniformGridEnvironment(**kwargs)
     if name == "kd_tree":
         return KDTreeEnvironment(**kwargs)
     if name == "octree":
         return OctreeEnvironment(**kwargs)
+    if name == "brute_force":
+        return BruteForceEnvironment(**kwargs)
     raise ValueError(f"unknown environment {name!r}")

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BuildWork", "Environment"]
+__all__ = ["BuildWork", "Environment", "BruteForceEnvironment", "brute_force_csr"]
 
 
 @dataclass
@@ -74,6 +74,21 @@ class Environment(ABC):
         indptr, indices = self.neighbor_csr()
         return indices[indptr[i] : indptr[i + 1]]
 
+    # Query-snapshot interface (repro.verify) -----------------------------
+
+    def neighbor_lists(self) -> list[np.ndarray]:
+        """Per-agent neighbor lists in canonical (sorted) form.
+
+        All environments must agree on this representation for identical
+        inputs — it is the normal form the differential oracle
+        (:mod:`repro.verify.oracle`) compares across implementations.
+        """
+        indptr, indices = self.neighbor_csr()
+        return [
+            np.sort(indices[indptr[i] : indptr[i + 1]])
+            for i in range(len(indptr) - 1)
+        ]
+
 
 def brute_force_csr(positions: np.ndarray, radius: float) -> tuple[np.ndarray, np.ndarray]:
     """Reference O(n^2) neighbor search used by the test suite."""
@@ -84,3 +99,50 @@ def brute_force_csr(positions: np.ndarray, radius: float) -> tuple[np.ndarray, n
     np.cumsum(mask.sum(axis=1), out=indptr[1:])
     indices = np.nonzero(mask)[1]
     return indptr, indices
+
+
+class BruteForceEnvironment(Environment):
+    """The O(n^2) all-pairs reference as a full :class:`Environment`.
+
+    Exists so the differential oracle (and small debugging simulations)
+    can run the exact same code paths through an implementation whose
+    correctness is self-evident — the role BioDynaMo's environment
+    cross-checks play in §6.9.  Quadratic: keep it to small populations.
+    """
+
+    name = "brute_force"
+
+    #: Distance check per candidate (every other agent is a candidate).
+    _CAND_CYCLES = 8.0
+
+    def __init__(self):
+        super().__init__()
+        self._positions = np.empty((0, 3))
+        self._radius = 0.0
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
+
+    def update(self, positions: np.ndarray, radius: float) -> BuildWork:
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError("positions must have shape (n, 3)")
+        if radius <= 0:
+            raise ValueError("interaction radius must be positive")
+        self._positions = positions
+        self._radius = radius
+        self._csr = None
+        # There is no index: the "build" stores a reference.
+        self.last_build_work = BuildWork(parallelizable=False, serial_cycles=1.0)
+        return self.last_build_work
+
+    def neighbor_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._csr is None:
+            self._csr = brute_force_csr(self._positions, self._radius)
+        return self._csr
+
+    def search_candidates_per_agent(self) -> np.ndarray:
+        n = len(self._positions)
+        return np.full(n, max(n - 1, 0), dtype=np.int64)
+
+    def search_cycles_per_agent(self) -> np.ndarray:
+        """Search cost per query: one distance check per candidate."""
+        return self.search_candidates_per_agent() * self._CAND_CYCLES

@@ -21,11 +21,19 @@ _LEAF_CAND_CYCLES = 10.0
 
 
 class _Cell:
-    __slots__ = ("center", "extent", "children", "lo", "hi")
+    __slots__ = ("center", "extent", "bmin", "bmax", "children", "lo", "hi")
 
     def __init__(self, center, extent, lo, hi):
         self.center = center
         self.extent = extent
+        # Tight bounds of the points actually in the cell.  Queries prune
+        # against these, not the nominal center/extent box: the nominal
+        # box accumulates rounding through center ± extent/2 subdivision
+        # and can sit one ULP away from a contained point, pruning a
+        # subtree that holds a neighbor at exactly radius distance (found
+        # by the differential oracle, repro.verify).
+        self.bmin = None
+        self.bmax = None
         self.children: list["_Cell"] | None = None
         self.lo = lo
         self.hi = hi
@@ -82,11 +90,13 @@ class OctreeEnvironment(Environment):
         cell = _Cell(center, extent, lo, hi)
         self._num_nodes += 1
         count = hi - lo
+        seg = self._idx[lo:hi]
+        pts = self._positions[seg]
+        cell.bmin = pts.min(axis=0)
+        cell.bmax = pts.max(axis=0)
         if count <= self.bucket_size or extent <= self.min_extent:
             return cell
         self._build_elem_work += count
-        seg = self._idx[lo:hi]
-        pts = self._positions[seg]
         octant = (
             (pts[:, 0] > center[0]).astype(np.int64)
             | ((pts[:, 1] > center[1]).astype(np.int64) << 1)
@@ -148,9 +158,17 @@ class OctreeEnvironment(Environment):
             for child in cell.children:
                 if child is None:
                     continue
-                # Ball/cell overlap test (Behley et al., Sec. III).
-                delta = np.abs(pos[queries] - child.center) - child.extent
-                d2c = np.sum(np.maximum(delta, 0.0) ** 2, axis=1)
+                # Ball/cell overlap test (Behley et al., Sec. III) against
+                # the child's *tight* point bounds.  Per dimension,
+                # fl(bmin - q) <= fl(x - q) for any contained point x, so
+                # this never prunes a cell holding a true neighbor — the
+                # comparison degrades to exactly the leaf's distance
+                # arithmetic for a corner point.
+                qp = pos[queries]
+                delta = np.maximum(
+                    np.maximum(child.bmin - qp, qp - child.bmax), 0.0
+                )
+                d2c = np.sum(delta * delta, axis=1)
                 overlap = d2c <= r2
                 q = queries[overlap]
                 if len(q):

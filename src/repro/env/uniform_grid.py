@@ -398,3 +398,24 @@ class UniformGridEnvironment(Environment):
         if getattr(self, "_incremental", False) or len(self._positions):
             return int(np.prod(self._dims))
         return 0
+
+    def linked_list_state(self) -> dict:
+        """Raw build state for the invariant checker (:mod:`repro.verify`).
+
+        Returns views, not copies — read-only use only.  ``order`` and
+        ``successor`` describe the array-based linked lists; a box is live
+        iff ``box_stamp[b] == timestamp``.
+        """
+        return {
+            "timestamp": self._timestamp,
+            "box_start": self._box_start,
+            "box_count": self._box_count,
+            "box_stamp": self._box_stamp,
+            "successor": self._successor,
+            "order": self._order,
+            "box_of_agent": self._box_of_agent,
+            "positions": self._positions,
+            "mins": self._mins,
+            "dims": self._dims,
+            "box_length": self._box_len,
+        }

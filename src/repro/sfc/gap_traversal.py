@@ -91,6 +91,42 @@ class MortonRuns:
         run = np.searchsorted(run_code_starts, codes, side="right") - 1
         return codes - self.offsets[run]
 
+    def validate(self) -> "MortonRuns":
+        """Check the internal consistency of the offsets array; used by the
+        invariant checker (:mod:`repro.verify.invariants`).
+
+        Verifies that the run structure is well-formed, that the compact
+        ranks cover every in-grid box exactly once, and that
+        :meth:`ranks_for_codes` inverts :meth:`codes_for_ranks`.  Raises
+        ``ValueError`` on the first violation; returns ``self`` otherwise.
+        """
+        if self.num_boxes != int(np.prod(self.dims)):
+            raise ValueError(
+                f"run structure covers {self.num_boxes} boxes, grid has "
+                f"{int(np.prod(self.dims))}"
+            )
+        if len(self.rank_starts) != len(self.offsets):
+            raise ValueError("rank_starts and offsets length mismatch")
+        if np.any(np.diff(self.rank_starts) <= 0):
+            raise ValueError("rank_starts must be strictly increasing")
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        ranks = np.arange(self.num_boxes, dtype=np.int64)
+        codes = self.codes_for_ranks(ranks)
+        if np.any(np.diff(codes) <= 0):
+            raise ValueError("Morton codes of consecutive ranks must increase")
+        if not np.array_equal(self.ranks_for_codes(codes), ranks):
+            raise ValueError("ranks_for_codes does not invert codes_for_ranks")
+        # Decoded coordinates must land inside the grid (no gap leaked in).
+        if len(self.dims) == 2:
+            coords = morton_decode_2d(codes.astype(np.uint64))
+        else:
+            coords = morton_decode_3d(codes.astype(np.uint64))
+        for axis, c in enumerate(coords):
+            if np.any(c.astype(np.int64) >= self.dims[axis]):
+                raise ValueError(f"rank decodes outside the grid on axis {axis}")
+        return self
+
 
 def _traverse(dims: tuple[int, ...]) -> MortonRuns:
     """Shared 2D/3D implicit-tree DFS emitting the offsets array."""

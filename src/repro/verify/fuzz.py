@@ -1,0 +1,435 @@
+"""Seeded structure fuzzer with a shrinking loop.
+
+Generates randomized interleavings of the operations that mutate engine
+structure — agent **add**, **remove** (the five-step parallel algorithm,
+§3.2), **sort** (Morton reorder + NUMA balancing, §4.2), and neighbor
+**query** (cross-checked against the brute-force oracle) — and executes
+them against a real :class:`~repro.core.simulation.Simulation` while
+maintaining an independent reference model (a plain ``uid -> position``
+dict).  After every operation the engine must agree with the model
+byte-for-byte and satisfy all structural invariants.
+
+Every case is fully described by ``(seed, ops)``: each op re-derives its
+randomness from ``SeedSequence(seed, spawn_key=(op_index,))``, so a case
+remains deterministic when ops are *removed* — which is what makes the
+shrinking loop sound.  A failing case is minimized by delta-debugging the
+op list and halving op sizes, then reported with a copy-pasteable
+reproducer.
+
+The removal paths are exercised twice: end-to-end through
+``ResourceManager.commit`` and *directly* against
+:func:`repro.core.removal.plan_removal` / ``apply_removal`` versus a
+``np.delete`` reference (the ``raw_removal`` op) — a deliberately
+injected bug in either path is caught and shrunk to a one-op case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import removal as removal_mod
+from repro.core.param import Param
+from repro.core.simulation import Simulation
+from repro.core.sorting import sort_and_balance
+from repro.verify.invariants import (
+    check_permutation,
+    check_resource_manager,
+    check_uniform_grid,
+)
+from repro.verify.oracle import compare_environments
+from repro.verify.snapshot import QuerySnapshot
+
+__all__ = [
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "FuzzViolation",
+    "generate_case",
+    "run_case",
+    "shrink_case",
+    "run_fuzz",
+]
+
+#: Op kinds and the relative frequency the generator picks them with.
+_OP_WEIGHTS = (
+    ("add", 0.25),
+    ("remove", 0.25),
+    ("churn", 0.15),      # queued adds + removals in one commit
+    ("sort", 0.15),
+    ("query", 0.10),
+    ("raw_removal", 0.10),
+)
+
+#: Cap on live agents (keeps the O(n^2) query oracle affordable).
+_MAX_AGENTS = 400
+
+
+class FuzzViolation(AssertionError):
+    """The engine disagreed with the reference model or an invariant."""
+
+
+@dataclass
+class FuzzCase:
+    """A reproducible op sequence: ``(seed, ops)`` is the whole case.
+
+    ``ops`` entries are ``(op_index, kind, *args)``; ``op_index`` keys the
+    op's private RNG stream, so dropping other ops never changes what an
+    op does.
+    """
+
+    seed: int
+    ops: list[tuple]
+
+    def describe(self) -> str:
+        """One-line human summary of the op sequence."""
+        kinds = [f"{op[1]}({', '.join(map(str, op[2:]))})" for op in self.ops]
+        return f"FuzzCase(seed={self.seed}, ops=[{', '.join(kinds)}])"
+
+    def to_reproducer(self) -> str:
+        """Copy-pasteable code that re-runs this exact case."""
+        return (
+            "from repro.verify.fuzz import FuzzCase, run_case\n"
+            f"run_case(FuzzCase(seed={self.seed}, ops={self.ops!r}))\n"
+        )
+
+
+@dataclass
+class FuzzFailure:
+    """One failing case, before and after shrinking."""
+
+    case: FuzzCase
+    message: str
+    minimized: FuzzCase | None = None
+    minimized_message: str = ""
+
+    def reproducer(self) -> str:
+        """Reproducer for the minimized case (or the original if none)."""
+        return (self.minimized or self.case).to_reproducer()
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzzing session."""
+
+    cases_run: int
+    seed: int
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        """Human-readable report; failures include their reproducers."""
+        if self.ok:
+            return f"fuzz: {self.cases_run} cases (seed {self.seed}) — all pass"
+        lines = [
+            f"fuzz: {len(self.failures)} of {self.cases_run} cases FAIL "
+            f"(seed {self.seed})"
+        ]
+        for f in self.failures:
+            mini = f.minimized or f.case
+            lines.append(f"  {mini.describe()}")
+            lines.append(f"    {f.minimized_message or f.message}")
+            lines.append("  reproducer:")
+            for rl in f.reproducer().splitlines():
+                lines.append(f"    {rl}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Generation
+# --------------------------------------------------------------------- #
+
+def _op_rng(case_seed: int, op_index: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=case_seed, spawn_key=(op_index,))
+    )
+
+
+def generate_case(case_seed: int) -> FuzzCase:
+    """A random op sequence, always starting with a population."""
+    rng = _op_rng(case_seed, 0)
+    length = int(rng.integers(3, 12))
+    ops: list[tuple] = [(1, "add", int(rng.integers(10, 80)))]
+    kinds = [k for k, _ in _OP_WEIGHTS]
+    weights = np.array([w for _, w in _OP_WEIGHTS])
+    for j in range(2, length + 2):
+        kind = kinds[int(rng.choice(len(kinds), p=weights / weights.sum()))]
+        if kind in ("add", "remove"):
+            ops.append((j, kind, int(rng.integers(1, 40))))
+        elif kind == "churn":
+            ops.append((j, kind, int(rng.integers(1, 25)),
+                        int(rng.integers(1, 25))))
+        elif kind == "raw_removal":
+            ops.append((j, kind, int(rng.integers(2, 200))))
+        else:  # sort, query
+            ops.append((j, kind))
+    return FuzzCase(seed=case_seed, ops=ops)
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+
+def _fail(case: FuzzCase, op, message: str):
+    raise FuzzViolation(
+        f"op #{op[0]} {op[1]}: {message}\n  case: {case.describe()}"
+    )
+
+
+def _check_against_model(case, op, sim, model) -> None:
+    rm = sim.rm
+    violations = check_resource_manager(rm)
+    if violations:
+        _fail(case, op, "; ".join(v.message for v in violations))
+    uids = rm.data["uid"][: rm.n]
+    engine = set(uids.tolist())
+    expected = set(model)
+    if engine != expected:
+        missing = sorted(expected - engine)[:10]
+        extra = sorted(engine - expected)[:10]
+        _fail(case, op,
+              f"uid set mismatch: engine lost {missing}, invented {extra}")
+    if rm.n:
+        pos = rm.positions
+        for k, uid in enumerate(uids.tolist()):
+            if pos[k].tobytes() != model[uid]:
+                _fail(case, op,
+                      f"agent uid {uid} position corrupted "
+                      f"(moved during a structural operation)")
+
+
+def _exec_raw_removal(case, op, rng) -> None:
+    """Differential check of plan_removal/apply_removal vs np.delete."""
+    n = int(op[2])
+    r = int(rng.integers(0, n + 1))
+    removed = rng.choice(n, size=r, replace=False).astype(np.int64)
+    payload = {
+        "uid": np.arange(n, dtype=np.int64),
+        "value": rng.random(n),
+    }
+    threads = int(rng.integers(1, 9))
+    plan = removal_mod.plan_removal(n, removed, num_threads=threads)
+    if plan.new_size != n - r:
+        _fail(case, op, f"new_size {plan.new_size} != {n - r}")
+    if len(plan.to_right) > r:
+        _fail(case, op,
+              f"{len(plan.to_right)} swaps for {r} removals (must be <= r)")
+    # The plan may not depend on the (virtual) thread count.
+    plan1 = removal_mod.plan_removal(n, removed, num_threads=1)
+    if not (np.array_equal(plan.to_right, plan1.to_right)
+            and np.array_equal(plan.to_left, plan1.to_left)):
+        _fail(case, op, f"plan differs between 1 and {threads} threads")
+    out = removal_mod.apply_removal(
+        {k: v.copy() for k, v in payload.items()}, plan
+    )
+    for name in payload:
+        expect = np.delete(payload[name], removed)
+        got = out[name]
+        if sorted(got.tolist()) != sorted(expect.tolist()):
+            lost = set(expect.tolist()) - set(got.tolist())
+            _fail(case, op,
+                  f"column {name!r}: survivor multiset wrong after removal "
+                  f"(lost {sorted(lost)[:5]}...)" if lost else
+                  f"column {name!r}: survivor multiset wrong after removal")
+    if len(out["uid"]) != plan.new_size:
+        _fail(case, op, "output not shrunk to new_size")
+
+
+def run_case(case: FuzzCase) -> None:
+    """Execute one case; raises :class:`FuzzViolation` on any mismatch.
+
+    Total by construction: ops that do not apply to the current state
+    (removing from an empty population, sorting nothing) degrade to
+    no-ops, so any sub-sequence of a valid case is valid — the property
+    the shrinker relies on.
+    """
+    setup = _op_rng(case.seed, 0)
+    radius = float(setup.uniform(3.0, 12.0))
+    side = radius * float(setup.uniform(2.0, 8.0))
+    sim = Simulation(
+        "fuzz",
+        Param.optimized(agent_sort_frequency=0),
+        seed=case.seed % (2**31),
+    )
+    sim.fixed_interaction_radius = radius
+    rm = sim.rm
+    model: dict[int, bytes] = {}
+
+    def record(uids: np.ndarray) -> None:
+        idx = np.flatnonzero(np.isin(rm.data["uid"], uids))
+        for k in idx:
+            model[int(rm.data["uid"][k])] = rm.positions[k].tobytes()
+
+    for op in case.ops:
+        rng = _op_rng(case.seed, op[0])
+        kind = op[1]
+        if kind == "raw_removal":
+            _exec_raw_removal(case, op, rng)
+            continue
+        if kind == "add":
+            k = min(int(op[2]), _MAX_AGENTS - rm.n)
+            if k > 0:
+                pos = rng.uniform(0.0, side, size=(k, 3))
+                idx = sim.add_cells(pos)
+                record(rm.data["uid"][idx])
+        elif kind == "remove":
+            k = min(int(op[2]), rm.n)
+            if k > 0:
+                idx = rng.choice(rm.n, size=k, replace=False)
+                doomed = rm.data["uid"][idx].tolist()
+                rm.queue_removals(idx)
+                rm.commit(parallel=True,
+                          num_threads=int(rng.integers(1, 9)))
+                for uid in doomed:
+                    del model[int(uid)]
+        elif kind == "churn":
+            k_add = min(int(op[2]), _MAX_AGENTS - rm.n)
+            k_rem = min(int(op[3]), rm.n)
+            doomed = []
+            if k_rem > 0:
+                idx = rng.choice(rm.n, size=k_rem, replace=False)
+                doomed = rm.data["uid"][idx].tolist()
+                rm.queue_removals(idx, thread=int(rng.integers(0, 4)))
+            new_pos = None
+            if k_add > 0:
+                new_pos = rng.uniform(0.0, side, size=(k_add, 3))
+                rm.queue_new_agents({"position": new_pos},
+                                    thread=int(rng.integers(0, 4)))
+            stats = rm.commit(parallel=True,
+                              num_threads=int(rng.integers(1, 9)))
+            for uid in doomed:
+                del model[int(uid)]
+            if k_add > 0:
+                if stats.added != k_add:
+                    _fail(case, op,
+                          f"commit added {stats.added}, queued {k_add}")
+                record(rm.data["uid"][stats.new_agent_indices])
+        elif kind == "sort":
+            if rm.n > 1:
+                sim.env.update(rm.positions, radius)
+                result = sort_and_balance(sim)
+                if result is not None:
+                    violations = check_permutation(rm.n, result.new_order)
+                    if violations:
+                        _fail(case, op, violations[0].message)
+        elif kind == "query":
+            if 2 <= rm.n <= _MAX_AGENTS:
+                snap = QuerySnapshot(rm.positions.copy(), radius,
+                                     seed=case.seed)
+                disagreements = compare_environments(snap)
+                if disagreements:
+                    _fail(case, op, disagreements[0].describe())
+        else:  # pragma: no cover - generator and executor agree on kinds
+            _fail(case, op, f"unknown op kind {kind!r}")
+        _check_against_model(case, op, sim, model)
+
+        # Grid invariants on the live build (cheap at fuzz scales).
+        if rm.n and kind in ("add", "remove", "churn", "sort"):
+            sim.env.update(rm.positions, radius)
+            violations = check_uniform_grid(sim.env)
+            if violations:
+                _fail(case, op, "; ".join(v.message for v in violations))
+
+
+# --------------------------------------------------------------------- #
+# Shrinking
+# --------------------------------------------------------------------- #
+
+def _fails(case: FuzzCase) -> str | None:
+    """Failure message of a case, or None.  Any exception counts as a
+    failure — a crash during a structural op is as much a bug as a
+    mismatch (InvariantViolation and FuzzViolation are the common ones)."""
+    try:
+        run_case(case)
+        return None
+    except Exception as exc:
+        return f"{type(exc).__name__}: {exc}"
+
+
+def shrink_case(case: FuzzCase, budget: int = 200) -> tuple[FuzzCase, str]:
+    """Minimize a failing case: drop ops, then halve op sizes.
+
+    Returns the smallest still-failing case found within ``budget``
+    executions and its failure message.  Sound because op randomness is
+    keyed by original op index (removing op A never changes op B) and the
+    executor is total on any sub-sequence.
+    """
+    message = _fails(case)
+    if message is None:
+        raise ValueError("case does not fail; nothing to shrink")
+    current = case
+    spent = 0
+
+    # Pass 1: delta-debug the op list.
+    changed = True
+    while changed and spent < budget:
+        changed = False
+        chunk = max(len(current.ops) // 2, 1)
+        while chunk >= 1 and spent < budget:
+            i = 0
+            while i < len(current.ops) and spent < budget:
+                if len(current.ops) == 1:
+                    break
+                trial = FuzzCase(
+                    current.seed,
+                    current.ops[:i] + current.ops[i + chunk:],
+                )
+                spent += 1
+                msg = _fails(trial)
+                if msg is not None and trial.ops:
+                    current, message, changed = trial, msg, True
+                else:
+                    i += chunk
+            chunk //= 2
+
+    # Pass 2: shrink numeric op arguments (population/removal sizes).
+    for i, op in enumerate(list(current.ops)):
+        args = list(op[2:])
+        for a in range(len(args)):
+            while args[a] > 1 and spent < budget:
+                trial_args = list(args)
+                trial_args[a] = args[a] // 2
+                trial_ops = list(current.ops)
+                trial_ops[i] = (op[0], op[1], *trial_args)
+                trial = FuzzCase(current.seed, trial_ops)
+                spent += 1
+                msg = _fails(trial)
+                if msg is None:
+                    break
+                current, message, args = trial, msg, trial_args
+    return current, message
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+
+def run_fuzz(num_cases: int = 200, seed: int = 0, shrink: bool = True,
+             max_failures: int = 3) -> FuzzReport:
+    """Fuzz ``num_cases`` random op sequences; shrink any failures.
+
+    Stops early after ``max_failures`` distinct failures — at that point
+    the engine is broken and more cases add noise, not signal.
+    """
+    report = FuzzReport(cases_run=0, seed=seed)
+    for i in range(num_cases):
+        case_seed = int(
+            np.random.SeedSequence(entropy=seed,
+                                   spawn_key=(i,)).generate_state(1)[0]
+        )
+        case = generate_case(case_seed)
+        report.cases_run += 1
+        message = _fails(case)
+        if message is None:
+            continue
+        failure = FuzzFailure(case=case, message=message)
+        if shrink:
+            failure.minimized, failure.minimized_message = shrink_case(case)
+        report.failures.append(failure)
+        if len(report.failures) >= max_failures:
+            break
+    return report

@@ -1,0 +1,126 @@
+"""Determinism and replay harness.
+
+A seeded simulation must be a pure function of its seed: running the same
+model twice from the same seed must produce *byte-identical* state at
+every step, and a different seed must actually change the trajectory
+(otherwise the seed is silently not plumbed through).  Both properties
+are prerequisites for differential testing — an optimization can only be
+validated against a baseline if reruns are reproducible.
+
+:func:`replay` drives a simulation factory twice and diffs the per-step
+:func:`~repro.verify.snapshot.state_checksum`; :func:`seed_sensitivity`
+guards the negative direction.  :func:`replay_model` runs either against
+a registry model by name, which is what ``python -m repro verify
+--replay MODEL`` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.verify.snapshot import state_checksum
+
+__all__ = ["ReplayReport", "replay", "seed_sensitivity", "replay_model"]
+
+
+@dataclass
+class ReplayReport:
+    """Step-by-step checksum comparison of two runs."""
+
+    label: str
+    steps: int
+    seed: int
+    checksums_a: list[str]
+    checksums_b: list[str]
+    #: First step (0 = initial state, k = after iteration k) at which the
+    #: runs diverge; ``None`` when byte-identical throughout.
+    first_divergence: int | None
+    #: Whether a control run with a different seed produced a different
+    #: final checksum (``None`` when the control was not requested).
+    seed_sensitive: bool | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.first_divergence is None and self.seed_sensitive is not False
+
+    def render(self) -> str:
+        """Human-readable verdict, including the first diverging step."""
+        if self.first_divergence is not None:
+            return (
+                f"replay {self.label}: NOT deterministic — runs diverge at "
+                f"step {self.first_divergence} of {self.steps} "
+                f"(seed {self.seed})\n"
+                f"  a: {self.checksums_a[self.first_divergence][:16]}...\n"
+                f"  b: {self.checksums_b[self.first_divergence][:16]}..."
+            )
+        msg = (
+            f"replay {self.label}: {self.steps} steps byte-identical "
+            f"(seed {self.seed})"
+        )
+        if self.seed_sensitive is False:
+            msg += " — but a DIFFERENT seed gave the same trajectory " \
+                   "(seed not plumbed through!)"
+        elif self.seed_sensitive:
+            msg += "; different seed diverges (seed plumbing OK)"
+        return msg
+
+
+def _checksum_trace(factory, steps: int, seed: int,
+                    include_rng: bool) -> list[str]:
+    sim = factory(seed)
+    trace = [state_checksum(sim, include_rng=include_rng)]
+    for _ in range(steps):
+        sim.simulate(1)
+        trace.append(state_checksum(sim, include_rng=include_rng))
+    return trace
+
+
+def replay(factory, steps: int = 10, seed: int = 4357,
+           label: str = "simulation", include_rng: bool = True,
+           check_seed_sensitivity: bool = True) -> ReplayReport:
+    """Run ``factory(seed)`` twice for ``steps`` iterations and diff state.
+
+    ``factory`` builds a *fresh* simulation from a seed — it must not
+    share mutable state between calls.  With ``check_seed_sensitivity`` a
+    third run from ``seed + 1`` asserts the trajectory actually depends
+    on the seed.
+    """
+    a = _checksum_trace(factory, steps, seed, include_rng)
+    b = _checksum_trace(factory, steps, seed, include_rng)
+    first_divergence = next(
+        (i for i, (x, y) in enumerate(zip(a, b)) if x != y), None
+    )
+    sensitive = None
+    if check_seed_sensitivity and first_divergence is None:
+        sensitive = seed_sensitivity(factory, steps, seed, seed + 1)
+    return ReplayReport(
+        label=label, steps=steps, seed=seed,
+        checksums_a=a, checksums_b=b,
+        first_divergence=first_divergence,
+        seed_sensitive=sensitive,
+    )
+
+
+def seed_sensitivity(factory, steps: int, seed_a: int, seed_b: int) -> bool:
+    """True when two different seeds produce different trajectories.
+
+    Compares *agent state only* (RNG state excluded): the RNG trivially
+    differs between seeds, so including it would mask a model whose agent
+    placement or behaviors silently ignore the seed.
+    """
+    a = _checksum_trace(factory, steps, seed_a, include_rng=False)
+    b = _checksum_trace(factory, steps, seed_b, include_rng=False)
+    return a != b
+
+
+def replay_model(name: str, num_agents: int = 300, steps: int = 10,
+                 seed: int = 4357, param=None) -> ReplayReport:
+    """Replay a registry model (``python -m repro list``) by name."""
+    from repro.simulations import get_simulation
+
+    bench = get_simulation(name)
+
+    def factory(s):
+        return bench.build(num_agents, param=param, seed=s)
+
+    return replay(factory, steps=steps, seed=seed, label=name)

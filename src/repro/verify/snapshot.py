@@ -1,0 +1,144 @@
+"""Canonical snapshots of queries and simulation state.
+
+Two normal forms underpin every check in :mod:`repro.verify`:
+
+- :class:`QuerySnapshot` freezes the *input* of a neighbor query
+  (positions + radius, plus the seed that generated them) so the exact
+  same question can be replayed through any environment implementation.
+  The canonical *answer* form is per-agent sorted neighbor lists
+  (:meth:`~repro.env.environment.Environment.neighbor_lists`).
+- :func:`state_checksum` digests the *output* of a simulation step — all
+  ResourceManager columns, domain segmentation, diffusion fields, clocks,
+  and the RNG state — into one hex string, so two runs can be compared
+  step-by-step without storing full trajectories.
+
+Both are deliberately environment- and optimization-agnostic: any two
+engine configurations that claim to compute the same simulation must
+produce identical canonical answers and checksums.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env import Environment, make_environment
+
+__all__ = [
+    "QuerySnapshot",
+    "ORACLE_ENVIRONMENTS",
+    "state_checksum",
+    "checksum_arrays",
+]
+
+#: The implementations the differential oracle cross-checks; the brute
+#: force entry is the trusted reference.
+ORACLE_ENVIRONMENTS = ("uniform_grid", "kd_tree", "octree", "brute_force")
+
+
+@dataclass(frozen=True)
+class QuerySnapshot:
+    """A frozen fixed-radius neighbor query: positions, radius, provenance.
+
+    ``seed`` records how the configuration was generated (for one-line
+    reproducers); ``label`` is free-form provenance ("config 17 of 50",
+    "minimized from ...").
+    """
+
+    positions: np.ndarray
+    radius: float
+    seed: int | None = None
+    label: str = ""
+
+    def __post_init__(self):
+        pos = np.atleast_2d(np.asarray(self.positions, dtype=np.float64))
+        object.__setattr__(self, "positions", pos)
+
+    @property
+    def n(self) -> int:
+        return len(self.positions)
+
+    def run(self, env: str | Environment) -> list[np.ndarray]:
+        """Answer the query through ``env`` in canonical form.
+
+        ``env`` is an environment name (a fresh instance is built) or an
+        existing instance (rebuilt in place on this snapshot's data).
+        """
+        if isinstance(env, str):
+            env = make_environment(env)
+        env.update(self.positions, self.radius)
+        return env.neighbor_lists()
+
+    def subset(self, keep: np.ndarray, label: str = "") -> "QuerySnapshot":
+        """The same query restricted to the agents in ``keep``."""
+        return QuerySnapshot(
+            self.positions[keep], self.radius, seed=self.seed,
+            label=label or self.label,
+        )
+
+    def describe(self) -> str:
+        """One-line human description (used in oracle/fuzzer reports)."""
+        seed = f", seed={self.seed}" if self.seed is not None else ""
+        lbl = f" [{self.label}]" if self.label else ""
+        return f"QuerySnapshot(n={self.n}, radius={self.radius:.6g}{seed}){lbl}"
+
+    def to_reproducer(self) -> str:
+        """Self-contained code that rebuilds this snapshot exactly."""
+        pos = np.array2string(
+            self.positions, separator=", ", threshold=np.inf,
+            floatmode="unique",
+        )
+        return (
+            "from repro.verify import QuerySnapshot\n"
+            "import numpy as np\n"
+            f"snapshot = QuerySnapshot(np.array({pos}), radius={self.radius!r}, "
+            f"seed={self.seed!r})\n"
+        )
+
+
+# --------------------------------------------------------------------- #
+# State checksums
+# --------------------------------------------------------------------- #
+
+def checksum_arrays(named_arrays: dict[str, np.ndarray],
+                    extra: bytes = b"") -> str:
+    """Order-insensitive-by-name, byte-exact digest of named arrays."""
+    h = hashlib.sha256()
+    h.update(extra)
+    for name in sorted(named_arrays):
+        arr = np.ascontiguousarray(named_arrays[name])
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def state_checksum(sim, include_rng: bool = True) -> str:
+    """Byte-exact digest of a simulation's full observable state.
+
+    Covers every ResourceManager column (including user-registered ones),
+    the domain segmentation, agent count and uid counter, iteration and
+    simulated time, all diffusion grid concentrations, and (by default)
+    the RNG state via
+    :meth:`~repro.core.random.SimulationRandom.state_checksum`.
+
+    Identical seeds + identical code must yield identical checksums at
+    every step; the replay harness (:mod:`repro.verify.replay`) is built
+    on this.
+    """
+    rm = sim.rm
+    arrays = {f"col:{name}": arr for name, arr in rm.data.items()}
+    arrays["domain_starts"] = rm.domain_starts
+    for gname, grid in sim.diffusion_grids.items():
+        arrays[f"grid:{gname}"] = grid.concentration
+    meta = (
+        f"n={rm.n};next_uid={rm._next_uid};"
+        f"iteration={sim.scheduler.iteration};"
+        f"time={np.float64(sim.time).tobytes().hex()};"
+    )
+    if include_rng:
+        meta += f"rng={sim.random.state_checksum()};"
+    return checksum_arrays(arrays, extra=meta.encode())

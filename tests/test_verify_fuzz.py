@@ -1,0 +1,160 @@
+"""Seeded structure fuzzer: clean engine passes, injected bugs are caught.
+
+The acceptance test for the whole subsystem: monkeypatching a deliberate
+bug into the five-step removal (a skipped swap in ``apply_removal``, a
+truncated plan in the ``ResourceManager.commit`` path) must make the
+fuzzer fail, and the shrinking loop must deliver a *minimized* seeded
+reproducer.
+"""
+
+import pytest
+
+import repro.core.removal as removal_mod
+import repro.core.resource_manager as rm_mod
+from repro.verify.fuzz import (
+    FuzzCase,
+    FuzzViolation,
+    generate_case,
+    run_case,
+    run_fuzz,
+    shrink_case,
+)
+
+
+def test_fuzz_clean_engine_passes():
+    report = run_fuzz(num_cases=40, seed=7)
+    assert report.cases_run == 40
+    assert report.ok, report.render()
+    assert "all pass" in report.render()
+
+
+def test_case_generation_is_deterministic():
+    a, b = generate_case(999), generate_case(999)
+    assert a.seed == b.seed and a.ops == b.ops
+    assert a.ops != generate_case(1000).ops
+    # Cases always start with a population.
+    assert a.ops[0][1] == "add"
+
+
+def test_run_case_is_repeatable():
+    case = generate_case(5)
+    run_case(case)  # must not raise
+    run_case(case)  # and again — no state leaks between runs
+
+
+def test_op_randomness_keyed_by_index():
+    # Dropping an op must not change what later ops do: a case minus its
+    # middle op still runs clean (the totality property the shrinker
+    # relies on).
+    case = generate_case(5)
+    assert len(case.ops) >= 3
+    reduced = FuzzCase(case.seed, [case.ops[0]] + case.ops[2:])
+    run_case(reduced)
+
+
+def _broken_apply_removal(arrays, plan):
+    # The ISSUE's example bug: silently skip the last swap, leaving one
+    # hole holding a removed agent's data.
+    src, dst = plan.moves
+    if len(src):
+        src, dst = src[:-1], dst[:-1]
+    out = {}
+    for name, arr in arrays.items():
+        arr[dst] = arr[src]
+        out[name] = arr[: plan.new_size]
+    return out
+
+
+def test_injected_apply_removal_bug_is_detected_and_minimized(monkeypatch):
+    monkeypatch.setattr(removal_mod, "apply_removal", _broken_apply_removal)
+    report = run_fuzz(num_cases=60, seed=0, max_failures=1)
+    assert not report.ok, "a skipped swap must not survive fuzzing"
+    failure = report.failures[0]
+    # Shrinking produced a strictly smaller (or equal) seeded reproducer
+    # that still fails.
+    assert failure.minimized is not None
+    assert len(failure.minimized.ops) <= len(failure.case.ops)
+    assert len(failure.minimized.ops) <= 2, (
+        "a raw_removal bug must shrink to (at most) setup + one op"
+    )
+    assert failure.minimized_message
+    repro_code = failure.reproducer()
+    assert f"seed={failure.minimized.seed}" in repro_code
+    assert "run_case" in repro_code
+    # The reproducer actually reproduces under the broken function...
+    namespace = {}
+    with pytest.raises(Exception):
+        exec(repro_code, namespace)  # noqa: S102 - own generated code
+    # ...and the report embeds it.
+    assert "reproducer:" in report.render()
+
+
+def _truncating_plan_removal(n, removed, num_threads=4):
+    # Break the *commit* path: drop the last swap pair from the plan the
+    # ResourceManager executes.
+    plan = _REAL_PLAN(n, removed, num_threads=num_threads)
+    if len(plan.to_right):
+        plan.to_right = plan.to_right[:-1]
+        plan.to_left = plan.to_left[:-1]
+    return plan
+
+
+_REAL_PLAN = removal_mod.plan_removal
+
+
+def test_injected_commit_path_bug_is_detected(monkeypatch):
+    monkeypatch.setattr(rm_mod, "plan_removal", _truncating_plan_removal)
+    report = run_fuzz(num_cases=40, seed=1, shrink=False, max_failures=1)
+    assert not report.ok, (
+        "a truncated removal plan in ResourceManager.commit must be caught"
+    )
+    # The model comparison names the symptom: a lost/corrupted agent.
+    msg = report.failures[0].message
+    assert any(s in msg for s in ("uid", "hole", "corrupted", "mismatch")), msg
+
+
+def test_shrink_requires_failing_case():
+    with pytest.raises(ValueError):
+        shrink_case(generate_case(7))
+
+
+def test_shrink_preserves_failure(monkeypatch):
+    monkeypatch.setattr(removal_mod, "apply_removal", _broken_apply_removal)
+    # Find one failing generated case, then shrink it directly.
+    failing = None
+    for i in range(200):
+        case = generate_case(i)
+        if any(op[1] == "raw_removal" for op in case.ops):
+            try:
+                run_case(case)
+            except Exception:
+                failing = case
+                break
+    assert failing is not None, "no generated case hit the injected bug"
+    minimized, message = shrink_case(failing)
+    assert message
+    with pytest.raises(Exception):
+        run_case(minimized)
+    # Shrinking never grows the case, and op sizes only go down.
+    assert len(minimized.ops) <= len(failing.ops)
+    raw_ops = [op for op in minimized.ops if op[1] == "raw_removal"]
+    originals = {op[0]: op[2] for op in failing.ops if op[1] == "raw_removal"}
+    for op in raw_ops:
+        assert op[2] <= originals[op[0]]
+
+
+def test_fuzz_violation_message_names_op_and_case():
+    case = FuzzCase(seed=1, ops=[(1, "add", 5)])
+    from repro.verify.fuzz import _fail
+
+    with pytest.raises(FuzzViolation) as exc_info:
+        _fail(case, case.ops[0], "synthetic failure")
+    text = str(exc_info.value)
+    assert "op #1 add" in text
+    assert "FuzzCase(seed=1" in text
+
+
+def test_raw_removal_differential_against_np_delete():
+    # The raw_removal op's own contract, run directly at fixed seeds.
+    for seed in range(5):
+        run_case(FuzzCase(seed=seed, ops=[(1, "raw_removal", 50)]))

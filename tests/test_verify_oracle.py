@@ -1,0 +1,152 @@
+"""Differential tests: every environment answers every query identically.
+
+The satellite form of the paper's environment cross-check (§6.9): 50
+random configurations — including boundary-coincident agents — must
+produce *identical sorted neighbor lists* through the uniform grid, the
+kd-tree, the octree, and the brute-force reference.  Plus unit tests of
+the delta-debugging minimizer against a deliberately broken environment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.env import BruteForceEnvironment, make_environment
+from repro.verify import (
+    ORACLE_ENVIRONMENTS,
+    QuerySnapshot,
+    compare_environments,
+    minimize_snapshot,
+    random_snapshots,
+    run_oracle,
+)
+
+
+def test_all_environments_agree_on_50_random_configs():
+    # The headline differential test: 50 adversarial configurations
+    # (varying density, clusters, duplicates, boundary-coincident agents),
+    # 4 implementations, zero disagreements.
+    report = run_oracle(num_configs=50, seed=123)
+    assert report.configs_checked == 50
+    assert report.ok, report.render()
+    assert "all agree" in report.render()
+
+
+def test_boundary_coincident_agents_agree():
+    # Agents on exact multiples of the radius sit on grid box edges — the
+    # classic off-by-epsilon binning failure.  All envs must still agree.
+    radius = 2.0
+    grid = np.array(
+        [[x, y, z] for x in range(4) for y in range(3) for z in range(3)],
+        dtype=np.float64,
+    ) * radius
+    snap = QuerySnapshot(grid, radius, label="boundary lattice")
+    assert compare_environments(snap) == []
+
+
+def test_pair_at_exactly_radius_distance_agrees():
+    # Distance == radius is the inclusion boundary itself; every
+    # implementation must make the same call.
+    r = 3.0
+    snap = QuerySnapshot(
+        np.array([[0.0, 0.0, 0.0], [r, 0.0, 0.0], [10 * r, 0.0, 0.0]]),
+        r,
+    )
+    lists = [snap.run(name) for name in ORACLE_ENVIRONMENTS]
+    for got in lists[1:]:
+        for a, b in zip(lists[0], got):
+            assert np.array_equal(a, b)
+
+
+def test_canonical_form_is_sorted():
+    snap = next(iter(random_snapshots(1, seed=9)))
+    for name in ORACLE_ENVIRONMENTS:
+        for neigh in snap.run(name):
+            assert np.all(np.diff(neigh) > 0), "lists must be sorted, unique"
+
+
+class _DroppingEnvironment(BruteForceEnvironment):
+    """Deliberately broken: forgets each agent's largest-index neighbor."""
+
+    name = "dropping"
+
+    def neighbor_lists(self):
+        return [lst[:-1] for lst in super().neighbor_lists()]
+
+
+def test_broken_environment_is_detected():
+    snap = next(iter(random_snapshots(1, seed=3)))
+    disagreements = compare_environments(
+        snap, environments=(_DroppingEnvironment(),)
+    )
+    assert disagreements, "a neighbor-dropping environment must disagree"
+    d = disagreements[0]
+    assert len(d.missing) or len(d.extra)
+    assert "missing" in d.describe() or "extra" in d.describe()
+
+
+def test_minimizer_shrinks_to_two_agents():
+    # A broken env that drops one neighbor disagrees whenever any agent
+    # has a neighbor, so the 1-minimal reproducer is a single pair.
+    rng = np.random.default_rng(42)
+    snap = QuerySnapshot(rng.uniform(0, 10.0, size=(40, 3)), 4.0, seed=42)
+    envs = (_DroppingEnvironment(),)
+    assert compare_environments(snap, envs)
+    minimized, disagreements = minimize_snapshot(snap, environments=envs)
+    assert minimized.n == 2
+    assert disagreements
+    # 1-minimality: the reduced snapshot still disagrees on its own.
+    assert compare_environments(minimized, envs)
+
+
+def test_minimizer_rejects_agreeing_snapshot():
+    snap = QuerySnapshot(np.array([[0.0, 0.0, 0.0], [50.0, 0.0, 0.0]]), 1.0)
+    with pytest.raises(ValueError):
+        minimize_snapshot(snap)
+
+
+def test_reproducer_roundtrip():
+    # The emitted reproducer must rebuild the exact snapshot.
+    snap = next(iter(random_snapshots(1, seed=17)))
+    namespace = {}
+    exec(snap.to_reproducer(), namespace)  # noqa: S102 - own generated code
+    rebuilt = namespace["snapshot"]
+    assert np.array_equal(rebuilt.positions, snap.positions)
+    assert rebuilt.radius == snap.radius
+    assert rebuilt.seed == snap.seed
+
+
+def test_failure_report_contains_minimized_reproducer():
+    rng = np.random.default_rng(5)
+    snap = QuerySnapshot(rng.uniform(0, 8.0, size=(20, 3)), 4.0, seed=5)
+    report = run_oracle(
+        snapshots=[snap],
+        environments=(_DroppingEnvironment(),),
+    )
+    assert not report.ok
+    text = report.render()
+    assert "DISAGREE" in text
+    assert "minimized" in text
+    assert "QuerySnapshot" in text  # the reproducer code is embedded
+
+
+@pytest.mark.parametrize("seed", [123, 152])
+def test_octree_boundary_prune_regression(seed):
+    # These seeds used to disagree: the octree pruned a subtree whose
+    # *nominal* (center ± extent) box sat one ULP beyond a point at
+    # exactly radius distance (seed 123 config 21: d²-to-box exceeded r²
+    # by 1e-14).  Fixed by pruning against each cell's tight point
+    # bounds; the seeded generator makes the exact configurations
+    # permanent regression tests.
+    report = run_oracle(num_configs=50, seed=seed)
+    assert report.ok, report.render()
+
+
+def test_brute_force_env_registry():
+    env = make_environment("brute_force")
+    assert env.name == "brute_force"
+    pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [9.0, 9.0, 9.0]])
+    env.update(pos, 2.0)
+    lists = env.neighbor_lists()
+    assert lists[0].tolist() == [1]
+    assert lists[1].tolist() == [0]
+    assert lists[2].tolist() == []

@@ -1,0 +1,76 @@
+"""RNG discipline: no legacy global ``np.random.*`` calls in the engine.
+
+Determinism (and therefore the whole replay harness,
+``tests/test_verify_replay.py``) requires every random draw to flow from
+an explicit seeded ``numpy.random.Generator``.  The legacy global-state
+API (``np.random.rand``, ``np.random.seed``, ...) breaks replay silently:
+any import-order change reshuffles the stream.  This test greps the
+source tree and rejects any such call.
+"""
+
+import pathlib
+import re
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: The modern, explicitly-seeded API — everything else is legacy.
+ALLOWED = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+}
+
+_CALL = re.compile(r"\b(?:np|numpy)\.random\.(\w+)")
+_FROM_IMPORT = re.compile(r"^\s*from\s+numpy\.random\s+import\s+(.+)$")
+
+
+def _iter_source_lines():
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            yield path.relative_to(SRC.parent), lineno, line.split("#", 1)[0]
+
+
+def test_no_bare_numpy_random_calls():
+    offenders = []
+    for path, lineno, code in _iter_source_lines():
+        for match in _CALL.finditer(code):
+            if match.group(1) not in ALLOWED:
+                offenders.append(f"{path}:{lineno}: {match.group(0)}")
+    assert not offenders, (
+        "legacy global-state numpy RNG calls break determinism/replay; "
+        "use an explicit seeded Generator (np.random.default_rng):\n  "
+        + "\n  ".join(offenders)
+    )
+
+
+def test_no_legacy_numpy_random_imports():
+    offenders = []
+    for path, lineno, code in _iter_source_lines():
+        match = _FROM_IMPORT.match(code)
+        if not match:
+            continue
+        names = {n.split(" as ")[0].strip()
+                 for n in match.group(1).split(",")}
+        bad = names - ALLOWED
+        if bad:
+            offenders.append(f"{path}:{lineno}: imports {sorted(bad)}")
+    assert not offenders, (
+        "import the modern numpy RNG API only:\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_guard_catches_violations():
+    # Self-test of the grep: a known-bad line must be flagged.
+    assert _CALL.search("x = np.random.rand(3)").group(1) == "rand"
+    assert _CALL.search("np.random.seed(0)").group(1) == "seed"
+    assert _CALL.search("rng = np.random.default_rng(0)").group(1) in ALLOWED
+    # Comments are stripped before matching.
+    stripped = "y = 1  # np.random.rand is forbidden".split("#", 1)[0]
+    assert _CALL.search(stripped) is None
