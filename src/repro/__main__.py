@@ -133,6 +133,11 @@ def main(argv=None) -> int:
                                          "(see `python -m repro.bench -h`)")
     bench.add_argument("experiment")
     bench.add_argument("--scale", default="small", choices=["small", "medium"])
+    bench.add_argument("--agents", type=int)
+    bench.add_argument("--iterations", type=int)
+    bench.add_argument("--workers", type=int, nargs="+",
+                       help="worker counts for the `scaling` experiment")
+    bench.add_argument("--out", help="artifact path for `scaling`")
     from repro.verify.cli import add_verify_parser
 
     add_verify_parser(sub)
@@ -155,7 +160,16 @@ def main(argv=None) -> int:
     if args.command == "bench":
         from repro.bench.__main__ import main as bench_main
 
-        return bench_main([args.experiment, "--scale", args.scale])
+        forwarded = [args.experiment, "--scale", args.scale]
+        if args.agents is not None:
+            forwarded += ["--agents", str(args.agents)]
+        if args.iterations is not None:
+            forwarded += ["--iterations", str(args.iterations)]
+        if args.workers:
+            forwarded += ["--workers", *map(str, args.workers)]
+        if args.out:
+            forwarded += ["--out", args.out]
+        return bench_main(forwarded)
     return 2
 
 

@@ -23,13 +23,26 @@ def main(argv=None) -> int:
         help="which table/figure to regenerate",
     )
     parser.add_argument("--scale", default="small", choices=["small", "medium"])
+    scaling_opts = parser.add_argument_group(
+        "scaling", "options for the `scaling` experiment")
+    scaling_opts.add_argument("--agents", type=int, default=None)
+    scaling_opts.add_argument("--iterations", type=int, default=None)
+    scaling_opts.add_argument(
+        "--workers", type=int, nargs="+", default=None,
+        help="process-pool worker counts (default: 1 2 cpu_count)")
+    scaling_opts.add_argument("--out", default="BENCH_scaling.json",
+                              help="artifact path for `scaling`")
     args = parser.parse_args(argv)
 
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         mod = ALL_EXPERIMENTS[name]
+        kwargs = {}
+        if name == "scaling":
+            kwargs = dict(agents=args.agents, iterations=args.iterations,
+                          workers=args.workers, out=args.out)
         t0 = time.perf_counter()
-        report = mod.run(scale=args.scale)
+        report = mod.run(scale=args.scale, **kwargs)
         elapsed = time.perf_counter() - t0
         print(report.render())
         print(f"[{name} completed in {elapsed:.1f}s]\n")

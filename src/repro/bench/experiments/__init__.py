@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     fig11_neighbor,
     fig12_sorting,
     fig13_allocator,
+    scaling,
     sec610_numa,
     table1_characteristics,
 )
@@ -34,6 +35,7 @@ ALL_EXPERIMENTS = {
     "fig11": fig11_neighbor,
     "fig12": fig12_sorting,
     "fig13": fig13_allocator,
+    "scaling": scaling,
     "sec610": sec610_numa,
     "ext_distributed": ext_distributed,
     "ext_ablations": ext_ablations,

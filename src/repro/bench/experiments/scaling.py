@@ -1,0 +1,162 @@
+"""Real-parallelism scaling: serial vs shared-memory process pool (§4.1).
+
+Unlike the other experiments, which measure *virtual* time on a simulated
+machine, this one measures **wall-clock** time of actual execution: the
+same model runs once on the serial backend and once per worker count on
+the process-pool backend (``Param.execution_backend = "process"``), and
+the JSON artifact records agents/second, the scheduler's per-stage
+wall-time breakdown, steal counters, and the final state checksum of
+every run.
+
+The checksum column is the point: the process backend promises *bitwise*
+identity with serial execution (fixed chunk order in every reduction), so
+``checksums_match`` must be true no matter the worker count — a scaling
+number from a run that diverged is meaningless.
+
+``python -m repro bench scaling`` writes ``BENCH_scaling.json`` into the
+current directory (the repo root in CI); ``--workers/--agents/
+--iterations/--out`` override the defaults.  On a single-core container
+the speedup is naturally ~1x or below (process orchestration overhead
+with nothing to parallelize over); the artifact still demonstrates the
+checksum identity and records ``cpu_count`` so readers can interpret the
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench.tables import ExperimentReport
+from repro.verify.snapshot import state_checksum
+
+__all__ = ["run", "main", "run_scaling", "DEFAULT_MODEL"]
+
+DEFAULT_MODEL = "cell_proliferation"
+
+SCALES = {
+    "small": dict(agents=2000, iterations=10),
+    "medium": dict(agents=20_000, iterations=20),
+}
+
+
+def _measure(model: str, agents: int, iterations: int, seed: int,
+             backend: str, workers: int) -> dict:
+    """One timed run; returns the JSON record for the ``runs`` array."""
+    from repro.core.param import Param
+    from repro.simulations import get_simulation
+
+    bench = get_simulation(model)
+    param = Param(execution_backend=backend, backend_workers=workers)
+    sim = bench.build(agents, param=param, seed=seed)
+    try:
+        agent_steps = 0
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            agent_steps += sim.num_agents
+            sim.simulate(1)
+        wall = time.perf_counter() - t0
+        record = {
+            "backend": backend,
+            "workers": workers if backend == "process" else 1,
+            "wall_seconds": wall,
+            "agents_per_second": agent_steps / wall if wall > 0 else 0.0,
+            "agent_steps": agent_steps,
+            "final_agents": sim.num_agents,
+            "stage_seconds": {k: v for k, v in
+                              sim.scheduler.wall_times.items() if v > 0},
+            "final_checksum": state_checksum(sim),
+        }
+        stats = sim.backend.stats()
+        if stats:
+            record["backend_stats"] = stats
+        return record
+    finally:
+        sim.close()
+
+
+def run_scaling(scale: str = "small", model: str = DEFAULT_MODEL,
+                agents: int | None = None, iterations: int | None = None,
+                workers=None, seed: int = 0,
+                out: str | os.PathLike | None = "BENCH_scaling.json") -> dict:
+    """Run the serial/process comparison and return the artifact dict.
+
+    ``workers`` is an iterable of process-pool worker counts; the default
+    is ``{1, 2, cpu_count}``.  ``out=None`` skips writing the JSON file.
+    """
+    cfg = SCALES[scale]
+    agents = agents if agents is not None else cfg["agents"]
+    iterations = iterations if iterations is not None else cfg["iterations"]
+    cpus = os.cpu_count() or 1
+    if workers is None:
+        workers = sorted({1, 2, cpus})
+    else:
+        workers = sorted({int(w) for w in workers})
+
+    runs = [_measure(model, agents, iterations, seed, "serial", 1)]
+    for w in workers:
+        runs.append(_measure(model, agents, iterations, seed, "process", w))
+
+    serial = runs[0]
+    checksums_match = all(r["final_checksum"] == serial["final_checksum"]
+                          for r in runs)
+    best = min(runs[1:], key=lambda r: r["wall_seconds"])
+    artifact = {
+        "experiment": "scaling",
+        "model": model,
+        "agents": agents,
+        "iterations": iterations,
+        "seed": seed,
+        "cpu_count": cpus,
+        "runs": runs,
+        "checksums_match": checksums_match,
+        "best_speedup": serial["wall_seconds"] / best["wall_seconds"],
+        "best_workers": best["workers"],
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(artifact, indent=2) + "\n")
+        artifact["path"] = str(out)
+    return artifact
+
+
+def run(scale: str = "small", **overrides) -> ExperimentReport:
+    """Execute the experiment at the given scale; returns its report."""
+    artifact = run_scaling(scale=scale, **overrides)
+    serial_wall = artifact["runs"][0]["wall_seconds"]
+    rows = []
+    for r in artifact["runs"]:
+        rows.append([
+            r["backend"], r["workers"],
+            round(r["wall_seconds"], 3),
+            round(r["agents_per_second"]),
+            round(serial_wall / r["wall_seconds"], 2),
+            r["final_checksum"][:12],
+        ])
+    notes = [
+        f"model {artifact['model']}, {artifact['agents']} agents, "
+        f"{artifact['iterations']} iterations, cpu_count={artifact['cpu_count']}",
+        "checksums "
+        + ("all bitwise-identical to serial"
+           if artifact["checksums_match"] else "DIVERGE — backend bug"),
+    ]
+    if "path" in artifact:
+        notes.append(f"artifact written to {artifact['path']}")
+    return ExperimentReport(
+        experiment="Scaling",
+        title="Serial vs shared-memory process pool (wall clock)",
+        headers=["backend", "workers", "wall_s", "agents_per_s",
+                 "speedup_vs_serial", "checksum"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def main() -> None:
+    """Print the rendered report to stdout."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -85,13 +85,28 @@ class AgentOperation(Operation):
     kind = OpKind.AGENT
     compute_ops_per_agent: float = 20.0
     uses_neighbors: bool = False
+    #: Opt-in for the process execution backend: the operation can run as
+    #: independent :meth:`kernel` calls over disjoint row chunks of the
+    #: shared columns.  Requires the instance to be picklable and the
+    #: kernel to touch only rows [lo, hi) of the passed column arrays.
+    vectorizable: bool = False
 
     def run(self, sim) -> None:
         """Apply :meth:`run_on` to every agent."""
         self.run_on(sim, np.arange(sim.rm.n, dtype=np.int64))
 
-    def run_on(self, sim, idx: np.ndarray) -> None:  # pragma: no cover
+    def run_on(self, sim, idx: np.ndarray) -> np.ndarray | None:  # pragma: no cover
         """Execute the operation for the agents at storage indices ``idx``."""
+        raise NotImplementedError
+
+    def kernel(self, columns: dict[str, np.ndarray], lo: int, hi: int) -> None:
+        """Chunked execution over ``columns`` rows [lo, hi).
+
+        ``columns`` maps every ResourceManager column name to its full
+        array; implementations must read and write only the given row
+        range so chunks can execute concurrently in worker processes.
+        Only consulted when ``vectorizable`` is True.
+        """
         raise NotImplementedError
 
 

@@ -42,6 +42,20 @@ class Param:
     numa_aware_iteration: bool = True
     block_size: int = 512                  # agents per scheduling block
 
+    # --- Execution backend (real parallelism; repro.parallel) --------------
+    #: "serial" keeps the original in-process NumPy path; "process" runs
+    #: mechanics (and vectorizable agent operations) on a pool of worker
+    #: processes over shared-memory columns (:mod:`repro.parallel.shm`),
+    #: bitwise identical to serial.
+    execution_backend: str = "serial"
+    backend_workers: int = 0               # 0 = os.cpu_count()
+    backend_chunk_size: int = 4096         # agent rows per process-kernel chunk
+    #: Skip the environment rebuild (and neighbor-CSR invalidation) when no
+    #: agent moved or grew since the last build and neither the population
+    #: nor the interaction radius changed.  Code that mutates positions
+    #: directly must call ``sim.invalidate_neighbor_cache()``.
+    skip_unchanged_environment: bool = True
+
     # --- Memory layout (O4, O5) --------------------------------------------
     agent_sort_frequency: int = 10         # 0 disables sorting; 1 = every iter
     agent_sort_extra_memory: bool = True   # keep old copies until sort done
@@ -151,6 +165,14 @@ class Param:
             raise ValueError("check_invariants_frequency must be >= 0")
         if self.block_size < 1:
             raise ValueError("block_size must be >= 1")
+        if self.execution_backend not in ("serial", "process"):
+            raise ValueError(
+                f"unknown execution backend {self.execution_backend!r}"
+            )
+        if self.backend_workers < 0:
+            raise ValueError("backend_workers must be >= 0 (0 = cpu count)")
+        if self.backend_chunk_size < 1:
+            raise ValueError("backend_chunk_size must be >= 1")
         if self.simulation_time_step <= 0:
             raise ValueError("simulation_time_step must be positive")
         if self.bound_space is not None:

@@ -90,9 +90,20 @@ class ResourceManager:
         if name in self._columns:
             raise ValueError(f"column {name!r} already registered")
         self._columns[name] = (np.dtype(dtype), tuple(row_shape), fill)
-        self.data[name] = np.empty((self.n, *row_shape), dtype=dtype)
+        arr = np.empty((self.n, *row_shape), dtype=dtype)
         if self.n:
-            self.data[name][:] = fill
+            arr[:] = fill
+        self._store(name, arr)
+
+    def _store(self, name: str, arr: np.ndarray) -> None:
+        """Publish a column's (re)allocated backing array under ``name``.
+
+        Every structural operation funnels its final per-column array
+        through this hook; storage subclasses (the shared-memory columns of
+        :mod:`repro.parallel.shm`) override it to place the data where
+        worker processes can map it.
+        """
+        self.data[name] = arr
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self.data[name]
@@ -177,7 +188,7 @@ class ResourceManager:
                     new[dst] = np.asarray(src)[ins]
                 else:
                     new[dst] = fill
-            self.data[name] = new
+            self._store(name, new)
         self.n = new_n
         self.structure_version += 1
         self.domain_starts = new_starts
@@ -296,7 +307,7 @@ class ResourceManager:
                 src, dst = plan.moves
                 arr[lo:][dst] = arr[lo:][src]
                 pieces.append(arr[lo : lo + plan.new_size].copy())
-            self.data[name] = np.concatenate(pieces) if pieces else arr[:0]
+            self._store(name, np.concatenate(pieces) if pieces else arr[:0])
         self.n = int(new_starts[-1])
         self.structure_version += 1
         self.domain_starts = new_starts
@@ -317,9 +328,9 @@ class ResourceManager:
         if len(new_order) != self.n:
             raise ValueError("new_order must be a permutation of all agents")
         for name in self._columns:
-            self.data[name] = self.data[name][new_order]
+            self._store(name, self.data[name][new_order])
         if new_addrs is not None:
-            self.data["addr"] = np.asarray(new_addrs, dtype=np.int64)
+            self._store("addr", np.asarray(new_addrs, dtype=np.int64))
         self.structure_version += 1
         self.domain_starts = np.asarray(new_domain_starts, dtype=np.int64)
 

@@ -35,15 +35,13 @@ from repro.core.static_detection import (
 )
 from repro.core.diffusion import OPS_PER_VOXEL
 from repro.core.operation import AgentOperation, OpKind
+from repro.parallel.backend import MOVE_EPSILON  # noqa: F401  (re-export)
 from repro.parallel.machine import SchedulePolicy, make_blocks
 
 __all__ = ["Scheduler"]
 
 #: Arithmetic ops for one agent's displacement integration.
 DISPLACEMENT_OPS = 30.0
-
-#: Movement below this threshold does not count as "moved" (condition i).
-MOVE_EPSILON = 1e-9
 
 #: Transient per-iteration buffers are charged to the "other objects"
 #: allocator in chunks of this many bytes.
@@ -58,6 +56,13 @@ class Scheduler:
         self.iteration = 0
         self.wall_times: dict[str, float] = defaultdict(float)
         self.peak_memory_bytes = 0
+        #: Environment rebuilds actually performed (rebuilds are skipped
+        #: when nothing moved/grew and the geometry is unchanged).
+        self.env_rebuild_count = 0
+        #: (radius, structure_version, n) of the last environment build.
+        self._env_key = None
+        #: Whether any agent moved or grew since the last build.
+        self._moved_since_build = True
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -193,9 +198,24 @@ class Scheduler:
         self._run_standalone_ops(OpKind.PRE)
         t0 = time.perf_counter()
         radius = sim.interaction_radius()
-        work = sim.env.update(rm.positions, radius)
-        sim.invalidate_neighbor_cache()
-        if m is not None:
+        # Rebuild only when something could have changed the answer: an
+        # agent moved or grew since the last build, the population was
+        # restructured, the radius changed, or the CSR cache was dropped
+        # by code outside the scheduler's view.
+        env_key = (radius, rm.structure_version, rm.n)
+        skip = (
+            p.skip_unchanged_environment
+            and not self._moved_since_build
+            and self._env_key == env_key
+            and sim._csr_cache is not None
+        )
+        if not skip:
+            work = sim.env.update(rm.positions, radius)
+            sim.invalidate_neighbor_cache()
+            self.env_rebuild_count += 1
+            self._env_key = env_key
+            self._moved_since_build = False
+        if m is not None and not skip:
             if work.parallelizable and work.per_item_cycles is not None:
                 cycles = work.per_item_cycles
                 if work.random_access_spread_bytes:
@@ -401,25 +421,15 @@ class Scheduler:
                 need_neighbors,
             )
 
-        # --- Mechanical forces + displacement.
+        # --- Mechanical forces + displacement (via the execution backend).
         if sim.mechanics_enabled:
             # §5: the detection conditions are tied to the force
             # implementation; refuse to skip agents under a force that
             # does not support them.
             detect = p.detect_static_agents and sim.force.supports_static_detection
-            active = ~rm.data["static"] if detect else None
-            res = sim.force.compute(
-                rm.positions, rm.data["diameter"], indptr, indices, active
-            )
-            dt = p.simulation_time_step
-            disp = res.net_force * dt
-            norm = np.linalg.norm(disp, axis=1)
-            too_far = norm > p.simulation_max_displacement
-            if np.any(too_far):
-                disp[too_far] *= (p.simulation_max_displacement / norm[too_far])[:, None]
-            moved_now = norm > MOVE_EPSILON
-            rm.positions[moved_now] += disp[moved_now]
-            rm.data["moved"] |= moved_now
+            t_mech = time.perf_counter()
+            res = sim.backend.force_and_displace(sim, indptr, indices, detect)
+            self.wall_times["mechanics"] += time.perf_counter() - t_mech
 
             if charge and sim.gpu_device is not None:
                 # Transparent GPU offload (§2): the device does the grid
@@ -434,7 +444,7 @@ class Scheduler:
                     ),
                 )
             elif charge:
-                act = active if active is not None else np.ones(n, dtype=bool)
+                act = ~rm.data["static"] if detect else np.ones(n, dtype=bool)
                 search = sim.env.search_cycles_per_agent()
                 pair_comp = cm.compute_cycles(
                     counts_arr * InteractionForce.OPS_PER_PAIR
@@ -446,7 +456,9 @@ class Scheduler:
                 dom_counts[act] += nbr_dom[act]
 
             if detect:
-                rm.data["static"] = update_static_flags(
+                # In place: the column must keep its (possibly shared-
+                # memory) backing buffer.
+                rm.data["static"][:] = update_static_flags(
                     rm.data["moved"],
                     rm.data["grew"],
                     res.nonzero_neighbor_forces,
@@ -467,6 +479,10 @@ class Scheduler:
 
         # Reset per-iteration flags; agents committed later this iteration
         # are inserted with moved=True, preserving condition (iii) of §5.
+        # Movement/growth is remembered first so the next iteration knows
+        # whether the environment must be rebuilt.
+        if bool(rm.data["moved"].any()) or bool(rm.data["grew"].any()):
+            self._moved_since_build = True
         rm.data["moved"][:] = False
         rm.data["grew"][:] = False
 
@@ -502,7 +518,7 @@ class Scheduler:
         for op in sim.operations:
             if not isinstance(op, AgentOperation) or not op.due(self.iteration):
                 continue
-            op.run(sim)
+            sim.backend.run_agent_operation(sim, op)
             if cm is not None and cycles is not None:
                 own = cm.stream_cycles(sim.rm.agent_size_bytes)
                 cycles += cm.compute_cycles(op.compute_ops_per_agent) + own

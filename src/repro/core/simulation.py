@@ -69,9 +69,16 @@ class Simulation:
                 self.param.other_allocator, num_domains, address_space=space
             )
 
-        self.rm = ResourceManager(
-            num_domains, self.agent_allocator, self.param.agent_size_bytes
-        )
+        if self.param.execution_backend == "process":
+            from repro.parallel.shm import SharedMemoryResourceManager
+
+            self.rm = SharedMemoryResourceManager(
+                num_domains, self.agent_allocator, self.param.agent_size_bytes
+            )
+        else:
+            self.rm = ResourceManager(
+                num_domains, self.agent_allocator, self.param.agent_size_bytes
+            )
         for i in range(MAX_TRACKED_BEHAVIORS):
             self.rm.register_column(f"behavior_addr{i}", np.int64, (), 0)
 
@@ -81,6 +88,12 @@ class Simulation:
         self.random = SimulationRandom(seed)
         self.force = InteractionForce()
         self.scheduler = Scheduler(self)
+        from repro.parallel.backend import make_backend
+
+        #: Execution backend for mechanics + vectorizable agent operations
+        #: (``Param.execution_backend``); the process pool starts lazily on
+        #: first use.
+        self.backend = make_backend(self)
         self.diffusion_grids: dict[str, DiffusionGrid] = {}
         self.behaviors: list[tuple[Behavior, int]] = []
         self._behavior_bits: dict[int, int] = {}
@@ -252,6 +265,22 @@ class Simulation:
         if iterations < 0:
             raise ValueError("iterations must be non-negative")
         self.scheduler.simulate(iterations)
+
+    def close(self) -> None:
+        """Release execution-backend resources (worker processes, shared
+        memory).  A no-op for the serial backend; idempotent.  Simulations
+        using the process backend should be closed (or used as a context
+        manager) — an atexit hook reclaims leaked segments otherwise."""
+        self.backend.shutdown()
+        arena = getattr(self.rm, "arena", None)
+        if arena is not None:
+            arena.close()
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # Reporting ---------------------------------------------------------- #
 

@@ -338,6 +338,70 @@ class UniformGridEnvironment(Environment):
         Uses the current build; ``radius`` defaults to (and must not
         exceed) the build radius, since only the 3x3x3 box cube around
         each point is searched.  Returns one index array per point.
+
+        Batched NumPy implementation; :meth:`query_scalar` is the plain
+        per-point loop kept as the oracle reference — both return exactly
+        the same arrays (the differential oracle enforces this).
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        m = len(points)
+        if len(self._positions) == 0 or m == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(m)]
+        radius = self._radius if radius is None else radius
+        if radius > self._radius + 1e-12:
+            raise ValueError("query radius exceeds the build radius")
+        coords = ((points - self._mins) / self._box_len).astype(np.int64)
+        coords = np.clip(coords, 0, self._dims - 1)
+        dims = self._dims
+        r2 = radius * radius
+
+        # 27 neighbor boxes per point, enumerated dz-slowest / dx-fastest
+        # to match the scalar loop's candidate order exactly.
+        d = np.array([-1, 0, 1], dtype=np.int64)
+        off = np.stack(np.meshgrid(d, d, d, indexing="ij"), axis=-1).reshape(27, 3)
+        nbz = coords[:, 2][:, None] + off[None, :, 0]
+        nby = coords[:, 1][:, None] + off[None, :, 1]
+        nbx = coords[:, 0][:, None] + off[None, :, 2]
+        valid = (
+            (nbx >= 0) & (nbx < dims[0])
+            & (nby >= 0) & (nby < dims[1])
+            & (nbz >= 0) & (nbz < dims[2])
+        )
+        nbid = (nbz * dims[1] + nby) * dims[0] + nbx
+        nbid[~valid] = 0  # clamped; masked out via reps below
+        fresh = self._box_stamp[nbid] == self._timestamp
+        reps = np.where(valid & fresh, self._box_count[nbid], 0)
+
+        per_point = reps.sum(axis=1)
+        reps_f = reps.ravel()
+        total = int(per_point.sum())
+        if total == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(m)]
+        qp = np.repeat(np.arange(m, dtype=np.int64), per_point)
+        # Gather the ranges [start, start+count) of each (point, box) pair.
+        csum = np.cumsum(reps_f) - reps_f
+        within = np.arange(total, dtype=np.int64) - np.repeat(csum, reps_f)
+        cand = self._order[np.repeat(self._box_start[nbid].ravel(), reps_f) + within]
+
+        pos = self._positions
+        dx = pos[cand, 0] - points[qp, 0]
+        dy = pos[cand, 1] - points[qp, 1]
+        dz = pos[cand, 2] - points[qp, 2]
+        d2 = dx * dx
+        d2 += dy * dy
+        d2 += dz * dz
+        keep = d2 <= r2
+        cand = cand[keep]
+        counts = np.bincount(qp[keep], minlength=m)
+        return [piece.copy() for piece in
+                np.split(cand, np.cumsum(counts)[:-1])]
+
+    def query_scalar(self, points: np.ndarray,
+                     radius: float | None = None) -> list[np.ndarray]:
+        """Reference implementation of :meth:`query` (per-point loop).
+
+        Kept verbatim as the oracle baseline the vectorized path is
+        differentially tested against (:mod:`repro.verify.oracle`).
         """
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         if len(self._positions) == 0:

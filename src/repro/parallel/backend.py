@@ -1,0 +1,109 @@
+"""Pluggable execution backends for the scheduler's mechanics stage.
+
+``Param.execution_backend`` selects how the most expensive part of
+Algorithm 1 — mechanical forces + displacement, and vectorizable
+:class:`~repro.core.operation.AgentOperation` kernels — is executed:
+
+- ``"serial"`` (:class:`SerialBackend`, the default): the original
+  single-process NumPy path, unchanged.
+- ``"process"`` (:class:`~repro.parallel.process_backend.ProcessBackend`):
+  a pool of persistent worker processes operating on shared-memory
+  columns (:mod:`repro.parallel.shm`) with the paper's two-level work
+  stealing — real multicore parallelism, outside the GIL.
+
+Both backends are *bitwise equivalent*: chunked reductions accumulate in
+the same per-row order as the serial ``np.bincount``, so per-step
+:func:`repro.verify.snapshot.state_checksum` values match exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.force import ForceResult
+
+__all__ = [
+    "MOVE_EPSILON",
+    "ExecutionBackend",
+    "SerialBackend",
+    "apply_displacement",
+    "make_backend",
+]
+
+#: Movement below this threshold does not count as "moved" (condition i of
+#: the §5 static-detection mechanism).  Canonical definition; re-exported
+#: by :mod:`repro.core.scheduler` for its historical importers.
+MOVE_EPSILON = 1e-9
+
+
+def apply_displacement(positions, moved_flags, net_force, dt,
+                       max_displacement) -> np.ndarray:
+    """Forward-Euler displacement with clamping; returns the moved mask.
+
+    Shared by the serial backend (full arrays) and the process backend's
+    chunk kernel (row slices): every operation here is row-elementwise,
+    so chunked execution is bitwise identical to the full-array call.
+    """
+    disp = net_force * dt
+    norm = np.linalg.norm(disp, axis=1)
+    too_far = norm > max_displacement
+    if np.any(too_far):
+        disp[too_far] *= (max_displacement / norm[too_far])[:, None]
+    moved_now = norm > MOVE_EPSILON
+    positions[moved_now] += disp[moved_now]
+    moved_flags |= moved_now
+    return moved_now
+
+
+class ExecutionBackend:
+    """Strategy interface the scheduler dispatches stage execution to."""
+
+    name = "base"
+
+    def force_and_displace(self, sim, indptr, indices,
+                           detect: bool) -> ForceResult:
+        """Compute net forces over the CSR neighbor lists and apply the
+        clamped Euler displacement (updating ``position`` and ``moved``
+        in place).  Returns the :class:`ForceResult` for static-detection
+        and cost accounting."""
+        raise NotImplementedError
+
+    def run_agent_operation(self, sim, op) -> None:
+        """Execute one :class:`AgentOperation` (chunked when the backend
+        and the operation support it; serial fallback otherwise)."""
+        op.run(sim)
+
+    def shutdown(self) -> None:
+        """Release pools/queues; idempotent."""
+
+    def stats(self) -> dict:
+        """Backend-specific counters (steals, phases) for reporting."""
+        return {}
+
+
+class SerialBackend(ExecutionBackend):
+    """The original in-process NumPy path."""
+
+    name = "serial"
+
+    def force_and_displace(self, sim, indptr, indices, detect):
+        rm = sim.rm
+        p = sim.param
+        active = ~rm.data["static"] if detect else None
+        res = sim.force.compute(
+            rm.positions, rm.data["diameter"], indptr, indices, active
+        )
+        apply_displacement(
+            rm.positions, rm.data["moved"], res.net_force,
+            p.simulation_time_step, p.simulation_max_displacement,
+        )
+        return res
+
+
+def make_backend(sim) -> ExecutionBackend:
+    """Instantiate the backend selected by ``sim.param.execution_backend``."""
+    if sim.param.execution_backend == "process":
+        from repro.parallel.process_backend import ProcessBackend
+
+        return ProcessBackend(sim)
+    return SerialBackend()

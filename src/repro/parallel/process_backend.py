@@ -1,0 +1,414 @@
+"""Process-pool execution backend: real multicore parallelism (§4.1).
+
+A pool of persistent daemon workers maps the simulation's shared-memory
+arena (:mod:`repro.parallel.shm`) once and then executes *phases*: the
+host partitions the agent range into domain-major chunks, loads them into
+the two-level stealing queues (:mod:`repro.parallel.steal`), broadcasts a
+tiny phase message (arena layout + array shapes + kernel name + pickled
+scalar args — never agent data), and waits for one acknowledgment per
+worker.  Workers drain their own queue front-to-back, then steal — same
+NUMA domain first, then cross-domain (paper Fig. 2 steps 4–5).
+
+Determinism.  The mechanics stage runs as two globally barriered phases —
+``mech_force`` (all reads of ``position`` happen here) then
+``mech_displace`` (all writes) — preserving the serial read-all-then-
+write-all semantics.  Within ``mech_force``, each chunk accumulates its
+rows' CSR pairs with a local ``np.bincount``; pairs of one row are summed
+in the same sequential order as the serial full-array bincount, and rows
+are written to disjoint slices, so the merged net force is *bitwise
+identical* to :meth:`InteractionForce.compute` no matter which worker ran
+which chunk or in what order.  The per-chunk pair counts are summed on
+the host in fixed chunk order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import traceback
+
+import numpy as np
+
+from repro.core.force import FORCE_EPSILON, ForceResult
+from repro.parallel.backend import ExecutionBackend, apply_displacement
+from repro.parallel.shm import COLUMN_PREFIX, WorkerArena
+from repro.parallel.steal import StealQueues
+
+__all__ = ["ProcessBackend", "BackendError"]
+
+#: Seconds the host waits for any single worker acknowledgment before
+#: declaring the pool dead (a worker crash would otherwise hang the step).
+ACK_TIMEOUT_S = 120.0
+
+
+class BackendError(RuntimeError):
+    """A worker failed, died, or the pool lost synchronization."""
+
+
+# --------------------------------------------------------------------- #
+# Kernels — run inside workers, over shared-memory views.
+# --------------------------------------------------------------------- #
+
+def _chunk_pairs(indptr, indices, lo, hi):
+    """CSR pair lists restricted to rows [lo, hi)."""
+    start, stop = int(indptr[lo]), int(indptr[hi])
+    counts = np.diff(indptr[lo : hi + 1])
+    qi = np.repeat(np.arange(lo, hi, dtype=np.int64), counts)
+    return qi, indices[start:stop]
+
+
+def k_force(views, cid, lo, hi, args):
+    """Net force + nonzero-force counts for rows [lo, hi)."""
+    net = views["mech:net_force"]
+    nz = views["mech:nonzero"]
+    pairs = views["mech:chunk_pairs"]
+    qi, qj = _chunk_pairs(views["csr:indptr"], views["csr:indices"], lo, hi)
+    if args["detect"]:
+        keep = ~views[COLUMN_PREFIX + "static"][qi]
+        qi, qj = qi[keep], qj[keep]
+    rows = hi - lo
+    if len(qi) == 0:
+        net[lo:hi] = 0.0
+        nz[lo:hi] = 0
+        pairs[cid] = 0
+        return
+    f = args["force"].pair_forces(
+        views[COLUMN_PREFIX + "position"],
+        views[COLUMN_PREFIX + "diameter"],
+        qi, qj,
+    )
+    local = qi - lo
+    for c in range(3):
+        net[lo:hi, c] = np.bincount(local, weights=f[:, c], minlength=rows)
+    mag_nonzero = (
+        np.abs(f[:, 0]) + np.abs(f[:, 1]) + np.abs(f[:, 2])
+    ) > FORCE_EPSILON
+    nz[lo:hi] = np.bincount(local, weights=mag_nonzero,
+                            minlength=rows).astype(np.int64)
+    pairs[cid] = len(qi)
+
+
+def k_displace(views, cid, lo, hi, args):
+    """Clamped Euler displacement for rows [lo, hi) (row-elementwise)."""
+    apply_displacement(
+        views[COLUMN_PREFIX + "position"][lo:hi],
+        views[COLUMN_PREFIX + "moved"][lo:hi],
+        views["mech:net_force"][lo:hi],
+        args["dt"],
+        args["max_displacement"],
+    )
+
+
+def k_agent_op(views, cid, lo, hi, args):
+    """Run a vectorizable AgentOperation's kernel on rows [lo, hi)."""
+    columns = {
+        name[len(COLUMN_PREFIX):]: arr
+        for name, arr in views.items()
+        if name.startswith(COLUMN_PREFIX)
+    }
+    args["op"].kernel(columns, lo, hi)
+
+
+KERNELS = {
+    "mech_force": k_force,
+    "mech_displace": k_displace,
+    "agent_op": k_agent_op,
+}
+
+
+def worker_main(worker_id, inbox, ack, queues):
+    """Worker loop: wait for a phase, drain/steal chunks, acknowledge."""
+    arena = WorkerArena()
+    queues.attach()
+    while True:
+        msg = inbox.get()
+        if msg[0] == "stop":
+            break
+        _, gen, layout, shapes, kernel, args = msg
+        done = same_steals = cross_steals = 0
+        error = None
+        try:
+            arena.sync(layout)
+            views = {
+                name: arena.view(name, shape, dtype)
+                for name, (shape, dtype) in shapes.items()
+            }
+            chunks = views["mech:chunks"]
+            fn = KERNELS[kernel]
+            while True:
+                got = queues.take(worker_id)
+                if got is None:
+                    break
+                cid, level = got
+                fn(views, cid, int(chunks[cid, 0]), int(chunks[cid, 1]), args)
+                done += 1
+                if level == 1:
+                    same_steals += 1
+                elif level == 2:
+                    cross_steals += 1
+        except BaseException:
+            error = traceback.format_exc()
+        # Drop view references so the next sync() can close replaced blocks.
+        views = chunks = None
+        ack.put((worker_id, gen, done, same_steals, cross_steals, error))
+    arena.close()
+
+
+# --------------------------------------------------------------------- #
+# Host side
+# --------------------------------------------------------------------- #
+
+class ProcessBackend(ExecutionBackend):
+    """Host orchestrator of the shared-memory worker pool."""
+
+    name = "process"
+
+    def __init__(self, sim):
+        from repro.parallel.shm import SharedMemoryResourceManager
+
+        if not isinstance(sim.rm, SharedMemoryResourceManager):
+            raise TypeError(
+                "process backend requires shared-memory columns; construct "
+                "the Simulation with execution_backend='process' so it "
+                "builds a SharedMemoryResourceManager"
+            )
+        p = sim.param
+        self.sim = sim
+        self.num_workers = int(p.backend_workers) or (os.cpu_count() or 1)
+        self.chunk_size = int(p.backend_chunk_size)
+        self.num_domains = sim.rm.num_domains
+        #: Worker w serves simulated NUMA domain w % D — one worker group
+        #: per domain, mirroring Machine.thread_domains.
+        self.worker_domains = [w % self.num_domains
+                               for w in range(self.num_workers)]
+        # fork shares the parent's module state (fast start, no re-import);
+        # spawn is the portable fallback.
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(method)
+        self._procs = []
+        self._inboxes = []
+        self._ack = None
+        self._queues = None
+        self._gen = 0
+        self._started = False
+        self._dead = False
+        #: (id(indptr), id(indices), arena.layout_version) of the CSR copy
+        #: currently in the arena; lets repeat steps over an unchanged CSR
+        #: skip the copy.  The strong refs keep the ids stable.
+        self._csr_state = None
+        self._csr_refs = None
+        self.phase_stats = {
+            "phases": 0,
+            "chunks": 0,
+            "steals_same_domain": 0,
+            "steals_cross_domain": 0,
+        }
+
+    # -- pool lifecycle ------------------------------------------------- #
+
+    def _start(self) -> None:
+        ctx = self._ctx
+        self._queues = StealQueues(ctx, self.worker_domains)
+        self._ack = ctx.Queue()
+        for w in range(self.num_workers):
+            inbox = ctx.SimpleQueue()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(w, inbox, self._ack, self._queues),
+                daemon=True,
+                name=f"repro-shm-worker-{w}",
+            )
+            proc.start()
+            self._inboxes.append(inbox)
+            self._procs.append(proc)
+        self._started = True
+
+    def shutdown(self) -> None:
+        if self._started:
+            for inbox in self._inboxes:
+                try:
+                    inbox.put(("stop",))
+                except (OSError, ValueError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=5)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1)
+            self._procs = []
+            self._inboxes = []
+            self._started = False
+        if self._queues is not None:
+            self._queues.destroy()
+            self._queues = None
+        if self._ack is not None:
+            self._ack.close()
+            self._ack = None
+
+    def stats(self) -> dict:
+        return dict(self.phase_stats)
+
+    # -- partitioning --------------------------------------------------- #
+
+    def _partition(self) -> np.ndarray:
+        """Domain-major ``(C, 3)`` chunk table of (lo, hi, domain) rows."""
+        rm = self.sim.rm
+        rows = []
+        for d in range(rm.num_domains):
+            lo = int(rm.domain_starts[d])
+            hi = int(rm.domain_starts[d + 1])
+            seg = hi - lo
+            if seg == 0:
+                continue
+            workers_here = max(1, self.worker_domains.count(d))
+            # Respect queue capacity even for enormous populations.
+            step = max(
+                self.chunk_size,
+                -(-seg // (workers_here * (self._queue_capacity() - 1))),
+            )
+            for s in range(lo, hi, step):
+                rows.append((s, min(s + step, hi), d))
+        return np.asarray(rows, dtype=np.int64).reshape(-1, 3)
+
+    def _queue_capacity(self) -> int:
+        from repro.parallel.steal import DEFAULT_CAPACITY
+
+        return (self._queues.capacity if self._queues is not None
+                else DEFAULT_CAPACITY)
+
+    def _distribute(self, chunks: np.ndarray) -> list[list[int]]:
+        """Round-robin each domain's chunks over that domain's workers."""
+        per_worker: list[list[int]] = [[] for _ in range(self.num_workers)]
+        domains = np.asarray(self.worker_domains)
+        for d in np.unique(chunks[:, 2]):
+            workers = np.flatnonzero(domains == d)
+            if len(workers) == 0:
+                workers = np.arange(self.num_workers)
+            for j, cid in enumerate(np.flatnonzero(chunks[:, 2] == d)):
+                per_worker[workers[j % len(workers)]].append(int(cid))
+        return per_worker
+
+    # -- phase execution ------------------------------------------------ #
+
+    def _column_shapes(self) -> dict:
+        return {
+            COLUMN_PREFIX + name: (arr.shape, arr.dtype.str)
+            for name, arr in self.sim.rm.data.items()
+        }
+
+    def _run_phase(self, kernel, args, shapes, num_chunks, per_worker) -> None:
+        if self._dead:
+            raise BackendError("process backend is dead after an earlier "
+                               "failure; rebuild the simulation")
+        if not self._started:
+            self._start()
+        self._gen += 1
+        self._queues.fill(per_worker)
+        message = ("phase", self._gen, self.sim.rm.arena.layout(), shapes,
+                   kernel, args)
+        for inbox in self._inboxes:
+            inbox.put(message)
+        done = 0
+        errors = []
+        for _ in range(self.num_workers):
+            try:
+                wid, gen, d, same, cross, error = self._ack.get(
+                    timeout=ACK_TIMEOUT_S
+                )
+            except queue_mod.Empty:
+                self._dead = True
+                self.shutdown()
+                raise BackendError(
+                    "worker did not acknowledge the phase (crashed or hung)"
+                ) from None
+            if gen != self._gen:
+                self._dead = True
+                self.shutdown()
+                raise BackendError(
+                    f"pool out of sync: expected phase {self._gen}, got {gen}"
+                )
+            done += d
+            self.phase_stats["steals_same_domain"] += same
+            self.phase_stats["steals_cross_domain"] += cross
+            if error is not None:
+                errors.append(f"worker {wid}:\n{error}")
+        if errors:
+            self._dead = True
+            self.shutdown()
+            raise BackendError("kernel failed in worker(s):\n"
+                               + "\n".join(errors))
+        if done != num_chunks:
+            self._dead = True
+            self.shutdown()
+            raise BackendError(
+                f"phase executed {done} of {num_chunks} chunks"
+            )
+        self.phase_stats["phases"] += 1
+        self.phase_stats["chunks"] += num_chunks
+
+    # -- stage entry points --------------------------------------------- #
+
+    def force_and_displace(self, sim, indptr, indices, detect):
+        rm = sim.rm
+        p = sim.param
+        n = rm.n
+        if n == 0 or len(indices) == 0:
+            # Same early-out (and same result arrays) as the serial path.
+            return ForceResult(np.zeros((n, 3)), np.zeros(n, np.int64), 0)
+        arena = rm.arena
+
+        ip = arena.ensure("csr:indptr", indptr.shape, np.int64)
+        ix = arena.ensure("csr:indices", indices.shape, np.int64)
+        net = arena.ensure("mech:net_force", (n, 3), np.float64)
+        nz = arena.ensure("mech:nonzero", (n,), np.int64)
+        chunks = self._partition()
+        ch = arena.ensure("mech:chunks", chunks.shape, np.int64)
+        ch[...] = chunks
+        pair_counts = arena.ensure("mech:chunk_pairs", (len(chunks),),
+                                   np.int64)
+        # Copy the CSR unless this exact CSR already sits in the arena
+        # (repeat steps with a skipped environment rebuild, see the
+        # scheduler) and no block was replaced since.
+        state = (id(indptr), id(indices), arena.layout_version)
+        if self._csr_state != state:
+            ip[...] = indptr
+            ix[...] = indices
+            self._csr_refs = (indptr, indices)
+            self._csr_state = (id(indptr), id(indices), arena.layout_version)
+
+        shapes = self._column_shapes()
+        shapes.update({
+            "csr:indptr": (indptr.shape, np.dtype(np.int64).str),
+            "csr:indices": (indices.shape, np.dtype(np.int64).str),
+            "mech:net_force": ((n, 3), np.dtype(np.float64).str),
+            "mech:nonzero": ((n,), np.dtype(np.int64).str),
+            "mech:chunks": (chunks.shape, np.dtype(np.int64).str),
+            "mech:chunk_pairs": ((len(chunks),), np.dtype(np.int64).str),
+        })
+        per_worker = self._distribute(chunks)
+        self._run_phase("mech_force", {"detect": detect, "force": sim.force},
+                        shapes, len(chunks), per_worker)
+        self._run_phase(
+            "mech_displace",
+            {"dt": p.simulation_time_step,
+             "max_displacement": p.simulation_max_displacement},
+            shapes, len(chunks), per_worker,
+        )
+        # Fixed chunk order: sum of int64 pair counts is order-insensitive,
+        # but keep the canonical order anyway for auditability.
+        return ForceResult(net, nz, int(pair_counts.sum()))
+
+    def run_agent_operation(self, sim, op) -> None:
+        if not getattr(op, "vectorizable", False) or sim.rm.n == 0:
+            op.run(sim)
+            return
+        arena = sim.rm.arena
+        chunks = self._partition()
+        ch = arena.ensure("mech:chunks", chunks.shape, np.int64)
+        ch[...] = chunks
+        shapes = self._column_shapes()
+        shapes["mech:chunks"] = (chunks.shape, np.dtype(np.int64).str)
+        per_worker = self._distribute(chunks)
+        self._run_phase("agent_op", {"op": op}, shapes, len(chunks),
+                        per_worker)

@@ -1,0 +1,239 @@
+"""Shared-memory column storage for the process-pool backend (§4.1).
+
+The GIL forbids real thread parallelism over NumPy orchestration code, so
+the process backend maps every :class:`~repro.core.resource_manager.
+ResourceManager` column into ``multiprocessing.shared_memory`` blocks
+that persistent worker processes attach once and then *view* — kernels
+read and write agent state with zero pickling and zero copies.
+
+Three pieces live here:
+
+- :class:`HostArena` — the owner side.  A named, growable set of blocks;
+  ``ensure(name, shape, dtype)`` returns a NumPy view over a block with
+  enough capacity, replacing (never resizing in place) the block when a
+  column outgrows it.  Replaced blocks are unlinked immediately but kept
+  mapped until shutdown: POSIX keeps the memory alive while any process
+  maps it, and closing a mapping that still has exported NumPy views
+  would raise ``BufferError``.
+- :class:`WorkerArena` — the worker side.  ``sync(layout)`` diffs the
+  host's ``{name: shm_name}`` layout against the currently attached
+  blocks and (re)attaches only what changed, so steady-state steps remap
+  nothing.
+- :class:`SharedMemoryResourceManager` — a ``ResourceManager`` whose
+  :meth:`~repro.core.resource_manager.ResourceManager._store` hook copies
+  every (re)allocated column into an arena view.  All structural engine
+  code (insert, the §3.2 removal algorithm, reorder) is inherited
+  unchanged; only the final placement of each column differs.
+"""
+
+from __future__ import annotations
+
+import atexit
+import sys
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.resource_manager import ResourceManager
+
+__all__ = [
+    "attach_block",
+    "HostArena",
+    "WorkerArena",
+    "SharedMemoryResourceManager",
+]
+
+#: Smallest block ever allocated; avoids churning tiny blocks while a
+#: simulation is still growing from a handful of agents.
+_MIN_BLOCK_BYTES = 256
+
+
+def attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing block without resource-tracker ownership.
+
+    Python < 3.13 auto-registers *attached* segments with the resource
+    tracker, which then unlinks them when the attaching process exits —
+    yanking memory out from under the owner.  3.13 grew ``track=False``
+    for exactly this; on older versions, registration is suppressed for
+    the duration of the attach (unregistering *after* would not do:
+    forked workers share the parent's tracker process, so an unregister
+    would erase the creator's own registration).
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **kw: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass
+class _Block:
+    shm: shared_memory.SharedMemory
+    capacity: int
+
+
+#: Arenas still holding OS resources; closed at interpreter exit so
+#: abandoned simulations cannot leak named segments.
+_LIVE_ARENAS: list["HostArena"] = []
+
+
+class HostArena:
+    """Owner of a set of named, growable shared-memory arrays."""
+
+    def __init__(self):
+        self._blocks: dict[str, _Block] = {}
+        #: Unlinked-but-still-mapped blocks (NumPy views may be alive).
+        self._graveyard: list[shared_memory.SharedMemory] = []
+        #: Bumped whenever any block is replaced; lets callers detect that
+        #: previously written scratch contents are gone.
+        self.layout_version = 0
+        self.closed = False
+        _LIVE_ARENAS.append(self)
+
+    def ensure(self, name: str, shape, dtype) -> np.ndarray:
+        """View of block ``name`` with shape/dtype, (re)allocating on growth.
+
+        Growth replaces the block (geometric capacity doubling) — the old
+        contents are *not* carried over; callers re-fill after a replace,
+        which ``layout_version`` makes detectable.
+        """
+        if self.closed:
+            raise RuntimeError("arena is closed")
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        block = self._blocks.get(name)
+        if block is None or block.capacity < nbytes:
+            capacity = max(_MIN_BLOCK_BYTES, nbytes,
+                           2 * (block.capacity if block else 0))
+            fresh = shared_memory.SharedMemory(create=True, size=capacity)
+            if block is not None:
+                self._retire(block.shm)
+            block = _Block(fresh, capacity)
+            self._blocks[name] = block
+            self.layout_version += 1
+        return np.ndarray(shape, dtype=dtype, buffer=block.shm.buf)
+
+    def layout(self) -> dict[str, str]:
+        """``{logical name: OS segment name}`` for workers to attach."""
+        return {name: blk.shm.name for name, blk in self._blocks.items()}
+
+    def _retire(self, block: shared_memory.SharedMemory) -> None:
+        # Unlink now (no new attachments; the OS frees the memory once the
+        # last mapping goes), close the mapping only at shutdown because
+        # live NumPy views pin the buffer.
+        try:
+            block.unlink()
+        except FileNotFoundError:
+            pass
+        self._graveyard.append(block)
+
+    def close(self) -> None:
+        """Unlink every block and drop mappings (best effort)."""
+        if self.closed:
+            return
+        self.closed = True
+        for block in self._blocks.values():
+            self._retire(block.shm)
+        self._blocks = {}
+        for block in self._graveyard:
+            try:
+                block.close()
+            except BufferError:
+                # NumPy views still alive somewhere; the segment is already
+                # unlinked, so the OS reclaims it when the process exits.
+                pass
+        self._graveyard = []
+        if self in _LIVE_ARENAS:
+            _LIVE_ARENAS.remove(self)
+
+
+@atexit.register
+def _close_live_arenas() -> None:
+    for arena in list(_LIVE_ARENAS):
+        arena.close()
+
+
+class WorkerArena:
+    """Worker-side mirror: attach blocks by layout, view them as arrays."""
+
+    def __init__(self):
+        self._blocks: dict[str, shared_memory.SharedMemory] = {}
+        self._graveyard: list[shared_memory.SharedMemory] = []
+
+    def sync(self, layout: dict[str, str]) -> None:
+        """(Re)attach so the local mapping matches the host's layout."""
+        for name, shm_name in layout.items():
+            current = self._blocks.get(name)
+            if current is not None and current.name == shm_name:
+                continue
+            if current is not None:
+                self._drop(current)
+            self._blocks[name] = attach_block(shm_name)
+        for name in [n for n in self._blocks if n not in layout]:
+            self._drop(self._blocks.pop(name))
+        # Retry mappings whose close was blocked by then-live views.
+        still_pinned = []
+        for block in self._graveyard:
+            try:
+                block.close()
+            except BufferError:
+                still_pinned.append(block)
+        self._graveyard = still_pinned
+
+    def _drop(self, block: shared_memory.SharedMemory) -> None:
+        try:
+            block.close()
+        except BufferError:
+            self._graveyard.append(block)
+
+    def view(self, name: str, shape, dtype) -> np.ndarray:
+        """NumPy view over the attached block ``name``."""
+        return np.ndarray(tuple(shape), dtype=np.dtype(dtype),
+                          buffer=self._blocks[name].buf)
+
+    def close(self) -> None:
+        """Drop all mappings (best effort; pinned buffers are skipped)."""
+        for block in list(self._blocks.values()) + self._graveyard:
+            try:
+                block.close()
+            except BufferError:
+                pass
+        self._blocks = {}
+        self._graveyard = []
+
+
+#: Arena key prefix under which agent columns are stored ("col:position",
+#: "col:diameter", ...).  The process backend adds scratch blocks under
+#: other prefixes ("csr:", "mech:") in the same arena.
+COLUMN_PREFIX = "col:"
+
+
+class SharedMemoryResourceManager(ResourceManager):
+    """ResourceManager whose columns live in shared memory.
+
+    Structural operations build their result arrays in private memory
+    exactly as the base class does; the :meth:`_store` hook then copies
+    each final array into an arena-backed view so worker processes can
+    map it.  ``self.data`` values are therefore always views over the
+    arena — in-place mutation (``col[:] = ...``, ``col[idx] += ...``) is
+    visible to workers, while wholesale re-binding must go through
+    ``_store`` (the engine's only re-binding sites already do).
+    """
+
+    def __init__(self, *args, arena: HostArena | None = None, **kwargs):
+        self.arena = arena if arena is not None else HostArena()
+        super().__init__(*args, **kwargs)
+
+    def _store(self, name: str, arr: np.ndarray) -> None:
+        arr = np.asarray(arr)
+        view = self.arena.ensure(COLUMN_PREFIX + name, arr.shape, arr.dtype)
+        if view.size:
+            view[...] = arr
+        self.data[name] = view

@@ -1,0 +1,159 @@
+"""Process-shared work queues with two-level stealing (§4.1, Fig. 2).
+
+The real-parallelism counterpart of :meth:`repro.parallel.machine.Machine.
+_schedule_stealing`: each worker owns a fixed-capacity deque of chunk ids
+living in one shared-memory block; owners pop from the *front*, thieves
+steal from the *back* of the victim with the most remaining work — first
+a victim inside the thief's own NUMA domain, then any domain (the paper's
+Fig. 2 steps 4–5).
+
+Layout of the single block (all int64):
+
+- ``bounds``: ``(W, 2)`` — per-queue ``head, tail`` (half-open);
+- ``slots``:  ``(W, capacity)`` — the chunk ids.
+
+One ``multiprocessing.Lock`` per queue serializes pop/steal on that
+queue; victim *selection* reads bounds racily and revalidates under the
+victim's lock, retrying while any candidate still shows work.  Races only
+ever shrink queues, so the retry loop terminates.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.parallel.shm import attach_block
+
+__all__ = ["StealQueues"]
+
+#: Per-worker queue capacity (chunk ids).  The backend sizes chunks so the
+#: per-worker count stays far below this; `fill` enforces it.
+DEFAULT_CAPACITY = 8192
+
+
+class StealQueues:
+    """``W`` shared deques + per-queue locks, picklable into workers."""
+
+    def __init__(self, ctx, worker_domains, capacity: int = DEFAULT_CAPACITY):
+        self.num_workers = len(worker_domains)
+        self.capacity = int(capacity)
+        self.worker_domains = np.asarray(worker_domains, dtype=np.int64)
+        nbytes = 8 * self.num_workers * (2 + self.capacity)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._shm_name = self._shm.name
+        self._locks = [ctx.Lock() for _ in range(self.num_workers)]
+        self._owner = True
+        self._map_arrays()
+        self.bounds[...] = 0
+
+    def _map_arrays(self) -> None:
+        self.bounds = np.ndarray((self.num_workers, 2), dtype=np.int64,
+                                 buffer=self._shm.buf)
+        self.slots = np.ndarray((self.num_workers, self.capacity),
+                                dtype=np.int64, buffer=self._shm.buf,
+                                offset=8 * 2 * self.num_workers)
+
+    # -- pickling into workers (fork passes the object through Process args;
+    # -- spawn pickles it, so the mapping must be re-established there). ----
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_shm"] = None
+        state["bounds"] = None
+        state["slots"] = None
+        state["_owner"] = False
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    def attach(self) -> None:
+        """Worker-side: map the shared block (idempotent)."""
+        if self._shm is None:
+            self._shm = attach_block(self._shm_name)
+            self._map_arrays()
+
+    # ------------------------------------------------------------------ #
+    # Host side
+    # ------------------------------------------------------------------ #
+
+    def fill(self, per_worker: list[list[int]]) -> None:
+        """Load each worker's queue; only valid while all workers are idle."""
+        if len(per_worker) != self.num_workers:
+            raise ValueError("need one chunk list per worker")
+        for w, items in enumerate(per_worker):
+            if len(items) > self.capacity:
+                raise ValueError(
+                    f"{len(items)} chunks exceed queue capacity {self.capacity}"
+                )
+            with self._locks[w]:
+                if items:
+                    self.slots[w, : len(items)] = items
+                self.bounds[w, 0] = 0
+                self.bounds[w, 1] = len(items)
+
+    def destroy(self) -> None:
+        """Host-side teardown: drop the mapping and unlink the segment."""
+        if self._shm is None:
+            return
+        self.bounds = None
+        self.slots = None
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None
+
+    # ------------------------------------------------------------------ #
+    # Worker side
+    # ------------------------------------------------------------------ #
+
+    def _pop_front(self, w: int):
+        with self._locks[w]:
+            head, tail = int(self.bounds[w, 0]), int(self.bounds[w, 1])
+            if head >= tail:
+                return None
+            self.bounds[w, 0] = head + 1
+            return int(self.slots[w, head])
+
+    def _steal_back(self, victim: int):
+        with self._locks[victim]:
+            head, tail = int(self.bounds[victim, 0]), int(self.bounds[victim, 1])
+            if head >= tail:
+                return None
+            self.bounds[victim, 1] = tail - 1
+            return int(self.slots[victim, tail - 1])
+
+    def take(self, w: int):
+        """Next chunk for worker ``w``: ``(chunk_id, level)`` or ``None``.
+
+        ``level`` is 0 for own-queue work, 1 for a same-domain steal, 2 for
+        a cross-domain steal (mirrors ``RegionStats`` accounting).
+        """
+        item = self._pop_front(w)
+        if item is not None:
+            return item, 0
+        own_domain = self.worker_domains[w]
+        groups = (
+            (1, np.flatnonzero((self.worker_domains == own_domain)
+                               & (np.arange(self.num_workers) != w))),
+            (2, np.flatnonzero(self.worker_domains != own_domain)),
+        )
+        for level, victims in groups:
+            while len(victims):
+                remaining = (self.bounds[victims, 1]
+                             - self.bounds[victims, 0])
+                best = int(np.argmax(remaining))
+                if remaining[best] <= 0:
+                    break
+                item = self._steal_back(int(victims[best]))
+                if item is not None:
+                    return item, level
+                # Lost the race on that victim; re-rank and retry.
+        return None

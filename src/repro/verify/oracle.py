@@ -30,6 +30,7 @@ __all__ = [
     "Disagreement",
     "OracleReport",
     "compare_environments",
+    "compare_point_queries",
     "random_snapshots",
     "minimize_snapshot",
     "run_oracle",
@@ -139,6 +140,46 @@ def compare_environments(
                     extra=np.setdiff1d(got, ref),
                 )
             )
+    return out
+
+
+def compare_point_queries(snapshot: QuerySnapshot) -> list[Disagreement]:
+    """Differential check of the uniform grid's vectorized point query.
+
+    Builds the grid on the snapshot and compares
+    :meth:`~repro.env.uniform_grid.UniformGridEnvironment.query` (the
+    batched NumPy path) against :meth:`query_scalar` (the per-point loop
+    kept as the reference) on an adversarial deterministic point set: the
+    agent positions themselves, midpoints between consecutive agents, and
+    points outside the populated extent.  The two paths must return
+    *identical* index arrays, in identical order.
+    """
+    from repro.env import make_environment
+
+    env = make_environment("uniform_grid")
+    env.update(snapshot.positions, snapshot.radius)
+    pos = snapshot.positions
+    shifted = np.roll(pos, 1, axis=0)
+    points = np.concatenate([
+        pos,
+        (pos + shifted) / 2.0,
+        pos.min(axis=0, keepdims=True) - snapshot.radius,
+        pos.max(axis=0, keepdims=True) + snapshot.radius,
+    ])
+    fast = env.query(points)
+    slow = env.query_scalar(points)
+    out: list[Disagreement] = []
+    for i, (got, ref) in enumerate(zip(fast, slow)):
+        if len(got) == len(ref) and np.array_equal(got, ref):
+            continue
+        out.append(
+            Disagreement(
+                env="uniform_grid.query",
+                agent=i,
+                missing=np.setdiff1d(ref, got),
+                extra=np.setdiff1d(got, ref),
+            )
+        )
     return out
 
 
@@ -259,10 +300,15 @@ def run_oracle(
     for snap in snapshots:
         checked += 1
         disagreements = compare_environments(snap, environments)
+        if "uniform_grid" in environments:
+            disagreements += compare_point_queries(snap)
         if not disagreements:
             continue
         failure = OracleFailure(snap, disagreements)
-        if minimize:
+        # Minimization replays compare_environments only, so it applies
+        # just when the neighbor-list check itself disagreed.
+        if minimize and any(d.env != "uniform_grid.query"
+                            for d in disagreements):
             failure.minimized, failure.minimized_disagreements = (
                 minimize_snapshot(snap, environments)
             )

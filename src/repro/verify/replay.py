@@ -12,15 +12,28 @@ validated against a baseline if reruns are reproducible.
 guards the negative direction.  :func:`replay_model` runs either against
 a registry model by name, which is what ``python -m repro verify
 --replay MODEL`` uses.
+
+:func:`backend_equivalence` extends the same trick across *execution
+backends*: the shared-memory process pool (§4.1) promises bitwise
+identity with serial execution, so the per-step checksums of a serial
+run and a process-pool run from the same seed must be equal — not close,
+equal.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.verify.snapshot import state_checksum
 
-__all__ = ["ReplayReport", "replay", "seed_sensitivity", "replay_model"]
+__all__ = [
+    "ReplayReport",
+    "replay",
+    "seed_sensitivity",
+    "replay_model",
+    "BackendEquivalenceReport",
+    "backend_equivalence",
+]
 
 
 @dataclass
@@ -124,3 +137,83 @@ def replay_model(name: str, num_agents: int = 300, steps: int = 10,
         return bench.build(num_agents, param=param, seed=s)
 
     return replay(factory, steps=steps, seed=seed, label=name)
+
+
+# --------------------------------------------------------------------- #
+# Serial vs process-pool backend equivalence
+# --------------------------------------------------------------------- #
+
+@dataclass
+class BackendEquivalenceReport:
+    """Serial vs process-backend checksum comparison over several seeds."""
+
+    model: str
+    steps: int
+    workers: int
+    #: ``{seed: first diverging step or None}`` — step 0 is the initial
+    #: state, step k the state after iteration k.
+    divergences: dict[int, int | None] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(d is None for d in self.divergences.values())
+
+    def render(self) -> str:
+        """One line per seed: byte-identical, or the first diverging step."""
+        lines = [
+            f"backend equivalence {self.model}: serial vs process "
+            f"({self.workers} workers), {self.steps} steps"
+        ]
+        for seed, div in sorted(self.divergences.items()):
+            if div is None:
+                lines.append(f"  seed {seed}: byte-identical")
+            else:
+                lines.append(f"  seed {seed}: DIVERGES at step {div}")
+        return "\n".join(lines)
+
+
+def backend_equivalence(name: str, num_agents: int = 300, steps: int = 8,
+                        seeds=(1, 2, 3), workers: int = 2,
+                        param=None) -> BackendEquivalenceReport:
+    """Assert the process backend reproduces serial execution bitwise.
+
+    For every seed, runs the registry model once with the default serial
+    backend and once on the shared-memory process pool, diffing the full
+    per-step :func:`~repro.verify.snapshot.state_checksum` trace (all
+    agent columns, domain layout, grids, and RNG state).  Any divergence
+    — a reduction reordered, a flag lost across the shm boundary, a stale
+    remap after agents were added or removed — shows up as a differing
+    checksum at the first affected step.
+    """
+    from repro.core.param import Param
+    from repro.simulations import get_simulation
+
+    bench = get_simulation(name)
+    base = param if param is not None else Param()
+    report = BackendEquivalenceReport(model=name, steps=steps, workers=workers)
+    for seed in seeds:
+        serial_sim = bench.build(
+            num_agents, param=base.with_(execution_backend="serial"),
+            seed=seed)
+        serial_trace = [state_checksum(serial_sim)]
+        for _ in range(steps):
+            serial_sim.simulate(1)
+            serial_trace.append(state_checksum(serial_sim))
+
+        with bench.build(
+            num_agents,
+            param=base.with_(execution_backend="process",
+                       backend_workers=workers),
+            seed=seed,
+        ) as proc_sim:
+            proc_trace = [state_checksum(proc_sim)]
+            for _ in range(steps):
+                proc_sim.simulate(1)
+                proc_trace.append(state_checksum(proc_sim))
+
+        report.divergences[seed] = next(
+            (i for i, (a, b) in enumerate(zip(serial_trace, proc_trace))
+             if a != b),
+            None,
+        )
+    return report
