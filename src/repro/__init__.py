@@ -1,15 +1,23 @@
 """repro — Python reproduction of *High-Performance and Scalable Agent-Based
 Simulation with BioDynaMo* (PPoPP 2023).
 
-Public API re-exports the pieces a model author needs::
+Curated public API — the pieces a model author needs::
 
-    from repro import Simulation, Param, Behavior
-    from repro.core.behaviors_lib import GrowDivide
+    from repro import Simulation, Param, Behavior, GrowDivide
+    from repro import UniformGridEnvironment, Observability
     from repro.parallel import Machine, SYSTEM_A
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-figure reproduction index.
+Everything in ``__all__`` below is stable; engine internals remain
+importable from their defining modules but carry no compatibility
+promise.  Names that moved keep working at their old import path
+through ``DeprecationWarning`` shims for one release.
+
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+paper-figure reproduction index, and docs/observability.md for the
+tracing/metrics layer (``sim.obs``).
 """
+
+import warnings as _warnings
 
 from repro.core import (
     Agent,
@@ -20,25 +28,57 @@ from repro.core import (
     Operation,
     OpKind,
     Param,
+    ParamError,
     ResourceManager,
+    Scheduler,
     Simulation,
     StandaloneOperation,
     TimeSeriesOperation,
     restore_checkpoint,
     save_checkpoint,
 )
+from repro.core.behaviors_lib import (
+    Chemotaxis,
+    Confinement,
+    GrowDivide,
+    Infection,
+    RandomWalk,
+    Recovery,
+    Secretion,
+    StochasticDeath,
+)
 from repro.core.diffusion import DiffusionGrid
+from repro.env import (
+    BruteForceEnvironment,
+    Environment,
+    KDTreeEnvironment,
+    OctreeEnvironment,
+    UniformGridEnvironment,
+    make_environment,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
 from repro.parallel import Machine, SYSTEM_A, SYSTEM_B, SYSTEM_C
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # Core engine
     "Simulation",
     "Param",
+    "ParamError",
+    "Scheduler",
     "Behavior",
     "Agent",
     "ResourceManager",
     "DiffusionGrid",
+    # Operations
     "Operation",
     "AgentOperation",
     "StandaloneOperation",
@@ -46,11 +86,64 @@ __all__ = [
     "TimeSeriesOperation",
     "ExportOperation",
     "GeneRegulation",
+    # Behaviors library
+    "GrowDivide",
+    "RandomWalk",
+    "Chemotaxis",
+    "Secretion",
+    "Infection",
+    "Recovery",
+    "Confinement",
+    "StochasticDeath",
+    # Environments
+    "Environment",
+    "UniformGridEnvironment",
+    "KDTreeEnvironment",
+    "OctreeEnvironment",
+    "BruteForceEnvironment",
+    "make_environment",
+    # Observability
+    "Observability",
+    "MetricsRegistry",
+    "Tracer",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+    # Checkpointing
     "save_checkpoint",
     "restore_checkpoint",
+    # Virtual machines
     "Machine",
     "SYSTEM_A",
     "SYSTEM_B",
     "SYSTEM_C",
     "__version__",
 ]
+
+#: Old import paths kept alive one release: ``repro.<old>`` resolves to
+#: the current home with a DeprecationWarning.
+_DEPRECATED_ALIASES = {
+    # The checksum/trace helpers predate repro.obs and were reachable as
+    # engine internals; point old code at the curated surface.
+    "NullTracer": ("repro.obs", "NullTracer"),
+    "NULL_TRACER": ("repro.obs", "NULL_TRACER"),
+    "metrics_snapshot": ("repro.obs", "metrics_snapshot"),
+    # MOVE_EPSILON historically rode on the scheduler module.
+    "MOVE_EPSILON": ("repro.parallel.backend", "MOVE_EPSILON"),
+}
+
+
+def __getattr__(name: str):
+    target = _DEPRECATED_ALIASES.get(name)
+    if target is not None:
+        module, attr = target
+        _warnings.warn(
+            f"importing {name!r} from 'repro' is deprecated; "
+            f"import it from {module!r}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -9,6 +9,11 @@
     python -m repro run cell_sorting --machine A --threads 72 --agents 3000
     python -m repro bench fig09 --scale small
     python -m repro verify --fuzz 200
+    python -m repro trace oncology --out trace.json
+
+``trace`` runs a model with tracing enabled and writes a Chrome
+trace-event JSON (load it at https://ui.perfetto.dev) plus, with
+``--metrics``, a flat dump of the metrics registry.
 
 ``run`` executes a registry model, optionally on a virtual machine (for
 the per-operation breakdown), with time-series and VTK/CSV export.
@@ -39,6 +44,26 @@ def _add_run_parser(sub):
     p.add_argument("--export", help="write simulation snapshots to this dir")
     p.add_argument("--export-format", choices=["vtk", "csv"], default="vtk")
     p.add_argument("--export-every", type=int, default=10)
+    return p
+
+
+def _add_trace_parser(sub):
+    p = sub.add_parser("trace", help="run a model with tracing enabled and "
+                                     "write a Chrome trace (Perfetto)")
+    p.add_argument("model", help="registry model name (see `list`)")
+    p.add_argument("--agents", type=int, default=1000)
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--param", help="TOML/JSON parameter file (bdm.toml)")
+    p.add_argument("--backend", choices=["serial", "process"],
+                   help="override the execution backend (process-pool runs "
+                        "add per-worker phase spans and steal markers)")
+    p.add_argument("--workers", type=int,
+                   help="worker count for --backend process")
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace JSON output path (default trace.json)")
+    p.add_argument("--metrics",
+                   help="also write the metrics-registry snapshot as JSON")
     return p
 
 
@@ -117,6 +142,38 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro import Param, write_chrome_trace, write_metrics
+    from repro.simulations import get_simulation
+
+    bench = get_simulation(args.model)
+    param = Param.from_file(args.param) if args.param else bench.default_param()
+    overrides = {"tracing": True}
+    if args.backend:
+        overrides["execution_backend"] = args.backend
+    if args.workers:
+        overrides["backend_workers"] = args.workers
+    param = param.with_(**overrides)
+
+    with bench.build(args.agents, param=param, seed=args.seed) as sim:
+        print(f"tracing {args.model}: {sim.num_agents} initial agents, "
+              f"{args.iterations} iterations, "
+              f"backend {sim.param.execution_backend}")
+        sim.simulate(args.iterations)
+        events = sim.obs.tracer.events
+        path = write_chrome_trace(args.out, sim.obs.tracer)
+        stages = sorted({e.name for e in events if e.cat == "stage"})
+        workers = sorted({e.tid for e in events if e.tid > 0})
+        print(f"trace: {len(events)} events -> {path}")
+        print(f"  stages: {', '.join(stages)}")
+        if workers:
+            print(f"  worker threads: {len(workers)}")
+        if args.metrics:
+            mpath = write_metrics(args.metrics, sim)
+            print(f"metrics -> {mpath}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -129,6 +186,7 @@ def main(argv=None) -> int:
                    help="check the fast memory cost model against the "
                         "exact LRU cache simulator")
     _add_run_parser(sub)
+    _add_trace_parser(sub)
     bench = sub.add_parser("bench", help="regenerate a paper figure "
                                          "(see `python -m repro.bench -h`)")
     bench.add_argument("experiment")
@@ -153,6 +211,8 @@ def main(argv=None) -> int:
         return 0 if report.kendall_tau >= 0.8 else 1
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "verify":
         from repro.verify.cli import run_verify
 

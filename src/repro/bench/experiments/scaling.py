@@ -66,7 +66,7 @@ def _measure(model: str, agents: int, iterations: int, seed: int,
             "agent_steps": agent_steps,
             "final_agents": sim.num_agents,
             "stage_seconds": {k: v for k, v in
-                              sim.scheduler.wall_times.items() if v > 0},
+                              sim.obs.stage_seconds().items() if v > 0},
             "final_checksum": state_checksum(sim),
         }
         stats = sim.backend.stats()

@@ -22,7 +22,8 @@ The engine mirrors BioDynaMo's architecture:
 - :mod:`~repro.core.diffusion` — extracellular substance diffusion grids.
 """
 
-from repro.core.param import Param
+from repro.core.param import Param, ParamError
+from repro.core.scheduler import Scheduler
 from repro.core.simulation import Simulation
 from repro.core.behavior import Behavior
 from repro.core.resource_manager import ResourceManager
@@ -35,6 +36,8 @@ from repro.core.gene_regulation import GeneRegulation
 
 __all__ = [
     "Param",
+    "ParamError",
+    "Scheduler",
     "Simulation",
     "Behavior",
     "ResourceManager",

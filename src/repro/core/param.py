@@ -18,13 +18,29 @@ O6 static-agent detection (§5)        ``detect_static_agents``
 ``Param.standard()`` returns the "BioDynaMo standard implementation" used
 as the baseline in §6.6/§6.7: kd-tree environment and all optimizations
 turned off.  ``Param.optimized()`` turns everything on.
+
+Construction-time validation: every ``Param`` is checked the moment it is
+built — unknown keys (``with_``/``from_file``/classmethod overrides) and
+type-mismatched values raise a typed :class:`ParamError` immediately,
+instead of a typo silently riding along as a default until some distant
+engine path trips over it.
 """
 
 from __future__ import annotations
 
+import difflib
+import numbers
 from dataclasses import dataclass, field, fields, replace
 
-__all__ = ["Param"]
+__all__ = ["Param", "ParamError"]
+
+
+class ParamError(ValueError):
+    """An invalid, mistyped, or unknown simulation parameter.
+
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    handlers (and tests) keep working.
+    """
 
 
 @dataclass
@@ -75,6 +91,14 @@ class Param:
     #: internals or validating a new optimization against the oracle.
     check_invariants_frequency: int = 0
 
+    # --- Observability (repro.obs) ------------------------------------------
+    #: Record spans for every scheduler stage (and, under the process
+    #: backend, per-worker phase spans + steal events) into ``sim.obs``.
+    #: Export with ``repro.obs.write_chrome_trace`` or ``python -m repro
+    #: trace``.  Tracing is inert: per-step state checksums are bitwise
+    #: identical with it on or off.  The metrics registry is always on.
+    tracing: bool = False
+
     # --- Physics -----------------------------------------------------------
     simulation_time_step: float = 0.01
     simulation_max_displacement: float = 3.0
@@ -90,9 +114,65 @@ class Param:
 
     # ------------------------------------------------------------------ #
 
+    def __post_init__(self):
+        # Construction-time gate: a Param object that exists is valid.
+        self._check_types()
+        self.validate()
+
+    @classmethod
+    def _reject_unknown(cls, keys) -> None:
+        """Raise :class:`ParamError` for keys that are not Param fields,
+        suggesting the closest real field name (typo guard)."""
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(keys) - valid)
+        if not unknown:
+            return
+        hints = []
+        for k in unknown:
+            close = difflib.get_close_matches(k, valid, n=1)
+            hints.append(f"{k!r}" + (f" (did you mean {close[0]!r}?)"
+                                     if close else ""))
+        raise ParamError("unknown parameter(s): " + ", ".join(hints))
+
+    def _check_types(self) -> None:
+        """Reject type-mismatched field values with :class:`ParamError`."""
+        for f in fields(self):
+            value = getattr(self, f.name)
+            ann = f.type if isinstance(f.type, str) else getattr(
+                f.type, "__name__", str(f.type))
+            if ann == "str":
+                ok = isinstance(value, str)
+            elif ann == "bool":
+                ok = isinstance(value, bool)
+            elif ann == "int":
+                ok = (isinstance(value, numbers.Integral)
+                      and not isinstance(value, bool))
+            elif ann == "float":
+                ok = (isinstance(value, numbers.Real)
+                      and not isinstance(value, bool))
+            elif ann == "dict":
+                ok = isinstance(value, dict)
+            elif ann == "tuple | None":
+                if value is None:
+                    ok = True
+                elif (isinstance(value, (tuple, list)) and len(value) == 2):
+                    # Normalize: lists from TOML/JSON become tuples.
+                    object.__setattr__(self, f.name, tuple(value))
+                    ok = True
+                else:
+                    ok = False
+            else:  # unrecognized annotation: no check
+                ok = True
+            if not ok:
+                raise ParamError(
+                    f"parameter {f.name!r} expects {ann}, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+
     @classmethod
     def optimized(cls, **overrides) -> "Param":
         """All six optimizations on (the paper's 'BioDynaMo optimized')."""
+        cls._reject_unknown(overrides)
         return cls(**overrides)
 
     @classmethod
@@ -116,15 +196,10 @@ class Param:
             raise ValueError(f"unsupported parameter file type {path.suffix!r}")
         if isinstance(data.get("param"), dict):
             data = data["param"]
-        valid = {f.name for f in fields(cls)}
-        unknown = set(data) - valid
-        if unknown:
-            raise ValueError(f"unknown parameter(s): {sorted(unknown)}")
+        cls._reject_unknown(data)
         if isinstance(data.get("bound_space"), list):
             data["bound_space"] = tuple(data["bound_space"])
-        param = cls(**data)
-        param.validate()
-        return param
+        return cls(**data)
 
     @classmethod
     def standard(cls, **overrides) -> "Param":
@@ -142,40 +217,51 @@ class Param:
             agent_allocator="ptmalloc2",
             detect_static_agents=False,
         )
+        cls._reject_unknown(overrides)
         return replace(base, **overrides)
 
     def with_(self, **overrides) -> "Param":
-        """Return a copy with the given fields replaced."""
+        """Return a copy with the given fields replaced.
+
+        Unknown field names raise :class:`ParamError` (with a
+        closest-match suggestion) instead of ``dataclasses.replace``'s
+        bare ``TypeError``.
+        """
+        self._reject_unknown(overrides)
         return replace(self, **overrides)
 
     def validate(self) -> None:
-        """Raise ``ValueError`` on any invalid or unknown setting."""
+        """Raise :class:`ParamError` on any invalid setting.
+
+        Runs automatically at construction (``__post_init__``); kept
+        public for callers that mutate fields in place.
+        """
         if self.environment not in ("uniform_grid", "kd_tree", "octree",
                                     "brute_force"):
-            raise ValueError(f"unknown environment {self.environment!r}")
+            raise ParamError(f"unknown environment {self.environment!r}")
         if self.agent_allocator not in ("bdm", "ptmalloc2", "jemalloc"):
-            raise ValueError(f"unknown allocator {self.agent_allocator!r}")
+            raise ParamError(f"unknown allocator {self.agent_allocator!r}")
         if self.other_allocator not in ("bdm", "ptmalloc2", "jemalloc"):
-            raise ValueError(f"unknown allocator {self.other_allocator!r}")
+            raise ParamError(f"unknown allocator {self.other_allocator!r}")
         if self.space_filling_curve not in ("morton", "hilbert"):
-            raise ValueError(f"unknown curve {self.space_filling_curve!r}")
+            raise ParamError(f"unknown curve {self.space_filling_curve!r}")
         if self.agent_sort_frequency < 0:
-            raise ValueError("agent_sort_frequency must be >= 0")
+            raise ParamError("agent_sort_frequency must be >= 0")
         if self.check_invariants_frequency < 0:
-            raise ValueError("check_invariants_frequency must be >= 0")
+            raise ParamError("check_invariants_frequency must be >= 0")
         if self.block_size < 1:
-            raise ValueError("block_size must be >= 1")
+            raise ParamError("block_size must be >= 1")
         if self.execution_backend not in ("serial", "process"):
-            raise ValueError(
+            raise ParamError(
                 f"unknown execution backend {self.execution_backend!r}"
             )
         if self.backend_workers < 0:
-            raise ValueError("backend_workers must be >= 0 (0 = cpu count)")
+            raise ParamError("backend_workers must be >= 0 (0 = cpu count)")
         if self.backend_chunk_size < 1:
-            raise ValueError("backend_chunk_size must be >= 1")
+            raise ParamError("backend_chunk_size must be >= 1")
         if self.simulation_time_step <= 0:
-            raise ValueError("simulation_time_step must be positive")
+            raise ParamError("simulation_time_step must be positive")
         if self.bound_space is not None:
             lo, hi = self.bound_space
             if hi <= lo:
-                raise ValueError("bound_space max must exceed min")
+                raise ParamError("bound_space max must exceed min")

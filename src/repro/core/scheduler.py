@@ -22,8 +22,7 @@ charge one thread.  Region names match the paper's Fig. 5 breakdown:
 
 from __future__ import annotations
 
-import time
-from collections import defaultdict
+import warnings
 
 import numpy as np
 
@@ -35,10 +34,25 @@ from repro.core.static_detection import (
 )
 from repro.core.diffusion import OPS_PER_VOXEL
 from repro.core.operation import AgentOperation, OpKind
-from repro.parallel.backend import MOVE_EPSILON  # noqa: F401  (re-export)
 from repro.parallel.machine import SchedulePolicy, make_blocks
 
 __all__ = ["Scheduler"]
+
+
+def __getattr__(name: str):
+    # Deprecation shim: MOVE_EPSILON's canonical home moved to
+    # repro.parallel.backend when the execution backends were introduced.
+    if name == "MOVE_EPSILON":
+        warnings.warn(
+            "importing MOVE_EPSILON from repro.core.scheduler is "
+            "deprecated; import it from repro.parallel.backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.parallel.backend import MOVE_EPSILON
+
+        return MOVE_EPSILON
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Arithmetic ops for one agent's displacement integration.
 DISPLACEMENT_OPS = 30.0
@@ -54,15 +68,37 @@ class Scheduler:
     def __init__(self, sim):
         self.sim = sim
         self.iteration = 0
-        self.wall_times: dict[str, float] = defaultdict(float)
         self.peak_memory_bytes = 0
-        #: Environment rebuilds actually performed (rebuilds are skipped
-        #: when nothing moved/grew and the geometry is unchanged).
-        self.env_rebuild_count = 0
+        #: Observability bundle (``sim.obs``): stage timings and every
+        #: scheduler counter live in its registry.
+        self._obs = sim.obs
+        self._env_rebuilds = self._obs.registry.counter("scheduler:env_rebuilds")
+        self._env_rebuild_skips = self._obs.registry.counter(
+            "scheduler:env_rebuild_skips"
+        )
+        self._iterations_done = self._obs.registry.counter("scheduler:iterations")
         #: (radius, structure_version, n) of the last environment build.
         self._env_key = None
         #: Whether any agent moved or grew since the last build.
         self._moved_since_build = True
+
+    # Registry-backed views of the scheduler's former bespoke tallies. -- #
+
+    @property
+    def wall_times(self) -> dict[str, float]:
+        """Measured wall seconds per stage.
+
+        A view over the ``stage:*`` counters in ``sim.obs.registry``
+        (kept as an attribute-shaped shim for existing reporting code;
+        prefer :meth:`~repro.obs.Observability.stage_seconds`).
+        """
+        return self._obs.stage_seconds()
+
+    @property
+    def env_rebuild_count(self) -> int:
+        """Environment rebuilds actually performed (rebuilds are skipped
+        when nothing moved/grew and the geometry is unchanged)."""
+        return int(self._env_rebuilds.value)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -189,104 +225,110 @@ class Scheduler:
 
     def _iterate(self) -> None:
         sim = self.sim
+        obs = self._obs
+        with obs.tracer.span("iterate", cat="scheduler", iteration=self.iteration):
+            self._iterate_stages()
+        self._iterations_done.inc()
+        self.iteration += 1
+        self.peak_memory_bytes = max(self.peak_memory_bytes, sim.memory_bytes())
+
+    def _iterate_stages(self) -> None:
+        sim = self.sim
         rm = sim.rm
         p = sim.param
         m = sim.machine
         n = rm.n
+        obs = self._obs
 
         # ---- Pre standalone: rebuild the environment (Algorithm 1, L3-5).
         self._run_standalone_ops(OpKind.PRE)
-        t0 = time.perf_counter()
-        radius = sim.interaction_radius()
-        # Rebuild only when something could have changed the answer: an
-        # agent moved or grew since the last build, the population was
-        # restructured, the radius changed, or the CSR cache was dropped
-        # by code outside the scheduler's view.
-        env_key = (radius, rm.structure_version, rm.n)
-        skip = (
-            p.skip_unchanged_environment
-            and not self._moved_since_build
-            and self._env_key == env_key
-            and sim._csr_cache is not None
-        )
-        if not skip:
-            work = sim.env.update(rm.positions, radius)
-            sim.invalidate_neighbor_cache()
-            self.env_rebuild_count += 1
-            self._env_key = env_key
-            self._moved_since_build = False
-        if m is not None and not skip:
-            if work.parallelizable and work.per_item_cycles is not None:
-                cycles = work.per_item_cycles
-                if work.random_access_spread_bytes:
-                    scatter = float(
-                        m.cost_model.latency_for_deltas(
-                            work.random_access_spread_bytes / 27.0
-                        )
-                    )
-                    cycles = cycles + scatter
-                self._charge_agent_region(
-                    "build_environment",
-                    cycles,
-                    cycles * 0.6,
-                )
+        with obs.stage("build_environment"):
+            radius = sim.interaction_radius()
+            # Rebuild only when something could have changed the answer: an
+            # agent moved or grew since the last build, the population was
+            # restructured, the radius changed, or the CSR cache was dropped
+            # by code outside the scheduler's view.
+            env_key = (radius, rm.structure_version, rm.n)
+            skip = (
+                p.skip_unchanged_environment
+                and not self._moved_since_build
+                and self._env_key == env_key
+                and sim._csr_cache is not None
+            )
+            if skip:
+                self._env_rebuild_skips.inc()
             else:
-                m.run_serial(
-                    "build_environment",
-                    work.serial_cycles,
-                    memory_cycles=work.serial_cycles * 0.6,
-                )
-        self.wall_times["build_environment"] += time.perf_counter() - t0
+                work = sim.env.update(rm.positions, radius)
+                sim.invalidate_neighbor_cache()
+                self._env_rebuilds.inc()
+                self._env_key = env_key
+                self._moved_since_build = False
+            if m is not None and not skip:
+                if work.parallelizable and work.per_item_cycles is not None:
+                    cycles = work.per_item_cycles
+                    if work.random_access_spread_bytes:
+                        scatter = float(
+                            m.cost_model.latency_for_deltas(
+                                work.random_access_spread_bytes / 27.0
+                            )
+                        )
+                        cycles = cycles + scatter
+                    self._charge_agent_region(
+                        "build_environment",
+                        cycles,
+                        cycles * 0.6,
+                    )
+                else:
+                    m.run_serial(
+                        "build_environment",
+                        work.serial_cycles,
+                        memory_cycles=work.serial_cycles * 0.6,
+                    )
 
         # ---- Agent operations (Algorithm 1, L7-11).
-        t0 = time.perf_counter()
-        self._run_agent_ops()
-        self.wall_times["agent_ops"] += time.perf_counter() - t0
+        with obs.stage("agent_ops"):
+            self._run_agent_ops()
 
         # ---- Standalone operations (L12-14).
-        t0 = time.perf_counter()
-        self._run_diffusion()
-        self.wall_times["diffusion"] += time.perf_counter() - t0
+        with obs.stage("diffusion"):
+            self._run_diffusion()
         self._run_standalone_ops(OpKind.STANDALONE)
 
-        t0 = time.perf_counter()
-        freq = p.agent_sort_frequency
-        if freq > 0 and (self.iteration + 1) % freq == 0:
-            result = sort_and_balance(sim)
-            if result is not None and m is not None:
-                cm = m.cost_model
-                cycles = np.full(
-                    rm.n, cm.compute_cycles(result.rank_ops_per_agent)
-                )
-                copy_mem = cm.stream_cycles(result.copied_bytes) / max(rm.n, 1)
-                self._charge_agent_region(
-                    "agent_sorting", cycles + copy_mem, np.full(rm.n, copy_mem)
-                )
-                # Step F: per-box counting + work-efficient scan (parallel).
-                self._charge_items_region(
-                    "agent_sorting",
-                    result.boxes_touched * 4.0,
-                    result.boxes_touched * 2.0,
-                    result.boxes_touched,
-                )
-                # Step D: serial gap traversal (tiny — O(#runs * depth)).
-                m.run_serial("agent_sorting", result.serial_cycles)
-            if result is not None:
-                sim.invalidate_neighbor_cache()
-        self._drain_allocator_cycles("agent_sorting")
-        self.wall_times["agent_sorting"] += time.perf_counter() - t0
+        with obs.stage("agent_sorting"):
+            freq = p.agent_sort_frequency
+            if freq > 0 and (self.iteration + 1) % freq == 0:
+                result = sort_and_balance(sim)
+                if result is not None and m is not None:
+                    cm = m.cost_model
+                    cycles = np.full(
+                        rm.n, cm.compute_cycles(result.rank_ops_per_agent)
+                    )
+                    copy_mem = cm.stream_cycles(result.copied_bytes) / max(rm.n, 1)
+                    self._charge_agent_region(
+                        "agent_sorting", cycles + copy_mem, np.full(rm.n, copy_mem)
+                    )
+                    # Step F: per-box counting + work-efficient scan (parallel).
+                    self._charge_items_region(
+                        "agent_sorting",
+                        result.boxes_touched * 4.0,
+                        result.boxes_touched * 2.0,
+                        result.boxes_touched,
+                    )
+                    # Step D: serial gap traversal (tiny — O(#runs * depth)).
+                    m.run_serial("agent_sorting", result.serial_cycles)
+                if result is not None:
+                    sim.invalidate_neighbor_cache()
+            self._drain_allocator_cycles("agent_sorting")
 
         # ---- Post standalone: commit agent modifications, visualization.
-        t0 = time.perf_counter()
-        self._commit()
-        self.wall_times["setup_teardown"] += time.perf_counter() - t0
+        with obs.stage("setup_teardown"):
+            self._commit()
 
-        t0 = time.perf_counter()
-        if sim.visualize_callback is not None:
-            sim.visualize_callback(sim)
-            if m is not None:
-                m.run_serial("visualization", rm.n * 1.0)
-        self.wall_times["visualization"] += time.perf_counter() - t0
+        with obs.stage("visualization"):
+            if sim.visualize_callback is not None:
+                sim.visualize_callback(sim)
+                if m is not None:
+                    m.run_serial("visualization", rm.n * 1.0)
         # Simulated time advances before the end-of-iteration operations,
         # so post-op samplers (e.g. TimeSeries) see the completed step.
         sim.time += p.simulation_time_step
@@ -297,12 +339,8 @@ class Scheduler:
         if freq > 0 and (self.iteration + 1) % freq == 0:
             from repro.verify.invariants import check_simulation_invariants
 
-            t0 = time.perf_counter()
-            check_simulation_invariants(sim, raise_on_violation=True)
-            self.wall_times["invariant_checks"] += time.perf_counter() - t0
-
-        self.iteration += 1
-        self.peak_memory_bytes = max(self.peak_memory_bytes, sim.memory_bytes())
+            with obs.stage("invariant_checks"):
+                check_simulation_invariants(sim, raise_on_violation=True)
 
     # ------------------------------------------------------------------ #
 
@@ -427,9 +465,8 @@ class Scheduler:
             # implementation; refuse to skip agents under a force that
             # does not support them.
             detect = p.detect_static_agents and sim.force.supports_static_detection
-            t_mech = time.perf_counter()
-            res = sim.backend.force_and_displace(sim, indptr, indices, detect)
-            self.wall_times["mechanics"] += time.perf_counter() - t_mech
+            with self._obs.stage("mechanics"):
+                res = sim.backend.force_and_displace(sim, indptr, indices, detect)
 
             if charge and sim.gpu_device is not None:
                 # Transparent GPU offload (§2): the device does the grid
@@ -495,9 +532,8 @@ class Scheduler:
                 continue
             if not op.due(self.iteration):
                 continue
-            t0 = time.perf_counter()
-            op.run(sim)
-            self.wall_times[op.name] += time.perf_counter() - t0
+            with self._obs.stage(op.name):
+                op.run(sim)
             if m is None:
                 continue
             cm = m.cost_model

@@ -52,6 +52,13 @@ class Simulation:
         self.machine = machine
         num_domains = machine.num_domains if machine is not None else 1
 
+        from repro.obs import Observability
+
+        #: Unified observability surface (repro.obs): the always-on
+        #: metrics registry every engine counter lives in, and the tracer
+        #: (a shared no-op unless ``param.tracing``).
+        self.obs = Observability(tracing=self.param.tracing)
+
         space = AddressSpace(num_domains)
         alloc_kwargs = {}
         if self.param.agent_allocator == "bdm":
@@ -68,6 +75,9 @@ class Simulation:
             self.other_allocator = make_allocator(
                 self.param.other_allocator, num_domains, address_space=space
             )
+        self.obs.register_allocator("agent", self.agent_allocator)
+        if self.other_allocator is not self.agent_allocator:
+            self.obs.register_allocator("other", self.other_allocator)
 
         if self.param.execution_backend == "process":
             from repro.parallel.shm import SharedMemoryResourceManager
@@ -289,9 +299,13 @@ class Simulation:
         return self.machine.elapsed_seconds if self.machine is not None else 0.0
 
     def runtime_breakdown(self) -> dict[str, float]:
-        """Per-operation virtual seconds (paper Fig. 5 left)."""
+        """Per-operation virtual seconds (paper Fig. 5 left).
+
+        Without a virtual machine, returns the measured wall seconds per
+        stage from the observability registry (``sim.obs``).
+        """
         if self.machine is None:
-            return dict(self.scheduler.wall_times)
+            return self.obs.stage_seconds()
         return {
             name: self.machine.spec.cycles_to_seconds(st.cycles)
             for name, st in self.machine.stats.items()

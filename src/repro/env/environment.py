@@ -62,6 +62,59 @@ class Environment(ABC):
         """Number of candidate agents examined per query during the last
         :meth:`neighbor_csr` (the search work charged to agent operations)."""
 
+    @abstractmethod
+    def search_cycles_per_agent(self) -> np.ndarray:
+        """Search cost per query in cycles, for the virtual cost model."""
+
+    @abstractmethod
+    def query(self, points: np.ndarray,
+              radius: float | None = None) -> list[np.ndarray]:
+        """Agents within ``radius`` of arbitrary query ``points``.
+
+        The vectorized point-query surface of every environment: returns
+        one index array per point, using the current build.  ``radius``
+        defaults to the build radius; box-based environments (the uniform
+        grid) reject a larger one, tree environments accept any positive
+        radius.  Result order within one point's array is
+        implementation-defined, but :meth:`query` and
+        :meth:`query_scalar` of the same environment must return
+        *identical* arrays — the differential oracle
+        (:mod:`repro.verify.oracle`) enforces this.
+        """
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Positions of the last build (read-only view)."""
+        return self._positions
+
+    @property
+    def build_radius(self) -> float:
+        """Interaction radius of the last build."""
+        return self._radius
+
+    def query_scalar(self, points: np.ndarray,
+                     radius: float | None = None) -> list[np.ndarray]:
+        """Reference implementation of :meth:`query` (per-point loop).
+
+        Oracle-only: a plain distance scan over the build's positions,
+        ascending index order.  Environments whose vectorized
+        :meth:`query` emits a different (structure-derived) order
+        override this with a matching scalar walk, as the uniform grid
+        does.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        positions = self.positions
+        if len(positions) == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(len(points))]
+        radius = self.build_radius if radius is None else float(radius)
+        if radius <= 0:
+            raise ValueError("query radius must be positive")
+        out = []
+        for p in points:
+            d2 = np.sum((positions - p) ** 2, axis=1)
+            out.append(np.flatnonzero(d2 <= radius * radius).astype(np.int64))
+        return out
+
     @property
     def memory_bytes(self) -> int:
         """Bytes held by the index (Fig. 11, memory row)."""
@@ -146,3 +199,19 @@ class BruteForceEnvironment(Environment):
     def search_cycles_per_agent(self) -> np.ndarray:
         """Search cost per query: one distance check per candidate."""
         return self.search_candidates_per_agent() * self._CAND_CYCLES
+
+    def query(self, points: np.ndarray,
+              radius: float | None = None) -> list[np.ndarray]:
+        """Vectorized all-pairs point query (ascending index order)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        m = len(points)
+        if len(self._positions) == 0 or m == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(m)]
+        radius = self._radius if radius is None else float(radius)
+        if radius <= 0:
+            raise ValueError("query radius must be positive")
+        d2 = np.sum(
+            (points[:, None, :] - self._positions[None, :, :]) ** 2, axis=-1
+        )
+        mask = d2 <= radius * radius
+        return [np.flatnonzero(row).astype(np.int64) for row in mask]

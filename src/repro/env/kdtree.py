@@ -161,6 +161,55 @@ class KDTreeEnvironment(Environment):
         # roughly one dependent memory access + compare.
         return self.search_candidates_per_agent() * _LEAF_CAND_CYCLES
 
+    def query(self, points: np.ndarray,
+              radius: float | None = None) -> list[np.ndarray]:
+        """Batched fixed-radius point query over the current tree.
+
+        Same worklist traversal as :meth:`neighbor_csr`, but the query
+        balls come from arbitrary points.  Returns ascending index
+        arrays, matching the scalar oracle reference exactly.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        m = len(points)
+        if self._root is None or m == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(m)]
+        radius = self._radius if radius is None else float(radius)
+        if radius <= 0:
+            raise ValueError("query radius must be positive")
+        r2 = radius * radius
+        pos = self._positions
+        qp_parts: list[np.ndarray] = []
+        cand_parts: list[np.ndarray] = []
+        stack = [(self._root, np.arange(m, dtype=np.int64))]
+        while stack:
+            node, queries = stack.pop()
+            if node.dim == -1:  # leaf
+                leaf = self._idx[node.lo : node.hi]
+                if len(leaf) == 0 or len(queries) == 0:
+                    continue
+                qp = np.repeat(queries, len(leaf))
+                cand = np.tile(leaf, len(queries))
+                d2 = np.sum((points[qp] - pos[cand]) ** 2, axis=1)
+                keep = d2 <= r2
+                qp_parts.append(qp[keep])
+                cand_parts.append(cand[keep])
+                continue
+            qvals = points[queries, node.dim]
+            ql = queries[qvals - radius <= node.val]
+            qr = queries[qvals + radius >= node.val]
+            if len(ql):
+                stack.append((node.left, ql))
+            if len(qr):
+                stack.append((node.right, qr))
+        qp = np.concatenate(qp_parts) if qp_parts else np.empty(0, np.int64)
+        cand = (np.concatenate(cand_parts) if cand_parts
+                else np.empty(0, np.int64))
+        order = np.lexsort((cand, qp))
+        qp, cand = qp[order], cand[order]
+        counts = np.bincount(qp, minlength=m)
+        return [piece.copy() for piece in
+                np.split(cand, np.cumsum(counts)[:-1])]
+
     @property
     def num_nodes(self) -> int:
         return self._num_nodes

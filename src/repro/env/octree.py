@@ -193,6 +193,59 @@ class OctreeEnvironment(Environment):
         """Search cost per query in cycles (visited work times unit cost)."""
         return self.search_candidates_per_agent() * _LEAF_CAND_CYCLES
 
+    def query(self, points: np.ndarray,
+              radius: float | None = None) -> list[np.ndarray]:
+        """Batched fixed-radius point query over the current octree.
+
+        The :meth:`neighbor_csr` traversal with arbitrary query balls;
+        pruning tests against each cell's tight point bounds.  Returns
+        ascending index arrays, matching the scalar oracle reference.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        m = len(points)
+        if self._root is None or m == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(m)]
+        radius = self._radius if radius is None else float(radius)
+        if radius <= 0:
+            raise ValueError("query radius must be positive")
+        r2 = radius * radius
+        pos = self._positions
+        qp_parts: list[np.ndarray] = []
+        cand_parts: list[np.ndarray] = []
+        stack = [(self._root, np.arange(m, dtype=np.int64))]
+        while stack:
+            cell, queries = stack.pop()
+            if cell.children is None:  # leaf bucket
+                leaf = self._idx[cell.lo : cell.hi]
+                if len(leaf) == 0 or len(queries) == 0:
+                    continue
+                qp = np.repeat(queries, len(leaf))
+                cand = np.tile(leaf, len(queries))
+                d2 = np.sum((points[qp] - pos[cand]) ** 2, axis=1)
+                keep = d2 <= r2
+                qp_parts.append(qp[keep])
+                cand_parts.append(cand[keep])
+                continue
+            for child in cell.children:
+                if child is None:
+                    continue
+                qpts = points[queries]
+                delta = np.maximum(
+                    np.maximum(child.bmin - qpts, qpts - child.bmax), 0.0
+                )
+                d2c = np.sum(delta * delta, axis=1)
+                q = queries[d2c <= r2]
+                if len(q):
+                    stack.append((child, q))
+        qp = np.concatenate(qp_parts) if qp_parts else np.empty(0, np.int64)
+        cand = (np.concatenate(cand_parts) if cand_parts
+                else np.empty(0, np.int64))
+        order = np.lexsort((cand, qp))
+        qp, cand = qp[order], cand[order]
+        counts = np.bincount(qp, minlength=m)
+        return [piece.copy() for piece in
+                np.split(cand, np.cumsum(counts)[:-1])]
+
     @property
     def num_nodes(self) -> int:
         return self._num_nodes

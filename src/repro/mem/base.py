@@ -26,6 +26,9 @@ class AllocatorStats:
     peak_live_bytes: int = 0
     allocations: int = 0
     frees: int = 0
+    #: Bulk moves between a thread-private free list and the central list
+    #: (§4.3 — only the pool allocator performs them).
+    central_migrations: int = 0
     cycles: float = 0.0
 
     def note_reserved(self, nbytes: int) -> None:
@@ -85,6 +88,14 @@ class Allocator(ABC):
         c = self.stats.cycles
         self.stats.cycles = 0.0
         return c
+
+    @property
+    def allocations(self) -> int:
+        return self.stats.allocations
+
+    @property
+    def frees(self) -> int:
+        return self.stats.frees
 
     @property
     def reserved_bytes(self) -> int:

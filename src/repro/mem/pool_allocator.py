@@ -101,6 +101,16 @@ class NumaPoolAllocator(Allocator):
         seg = (1 << self.aligned_pages_shift) * PAGE_SIZE
         return seg - 8
 
+    @property
+    def central_free_nodes(self) -> int:
+        """Nodes currently on the central free lists (all domains)."""
+        return sum(len(p.central) for p in self._domains)
+
+    @property
+    def central_migrations(self) -> int:
+        """Bulk moves between private and central free lists so far."""
+        return self.stats.central_migrations
+
     # ------------------------------------------------------------------ #
 
     def _reserve_block(self, pool: _DomainPool, domain: int) -> None:
@@ -144,6 +154,7 @@ class NumaPoolAllocator(Allocator):
                 del pool.central[-_MIGRATION_BATCH:]
                 priv.extend(batch)
                 self.stats.cycles += _COST_CENTRAL_MIGRATION
+                self.stats.central_migrations += 1
             else:
                 self.stats.allocations += 1
                 self.stats.note_live(self.element_size)
@@ -166,6 +177,7 @@ class NumaPoolAllocator(Allocator):
             del priv[-_MIGRATION_BATCH:]
             pool.central.extend(batch)
             self.stats.cycles += _COST_CENTRAL_MIGRATION
+            self.stats.central_migrations += 1
 
     # ------------------------------------------------------------------ #
 
@@ -187,6 +199,7 @@ class NumaPoolAllocator(Allocator):
             out[filled : filled + take] = pool.central[-take:]
             del pool.central[-take:]
             self.stats.cycles += _COST_CENTRAL_MIGRATION * (1 + take // _MIGRATION_BATCH)
+            self.stats.central_migrations += 1 + take // _MIGRATION_BATCH
             filled += take
         while filled < count:
             # Carve the rest of the current segment in one vector op.
@@ -213,6 +226,7 @@ class NumaPoolAllocator(Allocator):
         pool = self._domains[domain]
         pool.central.extend(int(a) for a in addrs)
         self.stats.cycles += _COST_CENTRAL_MIGRATION * (1 + len(addrs) // _MIGRATION_BATCH)
+        self.stats.central_migrations += 1 + len(addrs) // _MIGRATION_BATCH
         self.stats.frees += len(addrs)
         self.stats.note_live(-len(addrs) * self.element_size)
 
@@ -264,6 +278,24 @@ class PoolAllocatorSet(Allocator):
         for p in self._pools.values():
             p.stats.cycles = 0.0
         return c
+
+    @property
+    def allocations(self) -> int:
+        return sum(p.stats.allocations for p in self._pools.values())
+
+    @property
+    def frees(self) -> int:
+        return sum(p.stats.frees for p in self._pools.values())
+
+    @property
+    def central_free_nodes(self) -> int:
+        """Nodes on the central free lists, across all size classes."""
+        return sum(p.central_free_nodes for p in self._pools.values())
+
+    @property
+    def central_migrations(self) -> int:
+        """Private<->central bulk moves, across all size classes."""
+        return sum(p.stats.central_migrations for p in self._pools.values())
 
     @property
     def reserved_bytes(self) -> int:

@@ -1,0 +1,55 @@
+"""repro.obs — unified observability: spans, counters, trace export.
+
+One instrumentation surface for the whole engine (the role BioDynaMo's
+timing/statistics infrastructure plays for the paper's §6 evaluation):
+
+- :class:`MetricsRegistry` with :class:`Counter`/:class:`Gauge` — always
+  on; backs every runtime tally (stage wall times, environment rebuild
+  counts, steal counters, allocator statistics).
+- :class:`Tracer` with a span API — off by default via the zero-overhead
+  :data:`NULL_TRACER`; ``Param(tracing=True)`` (or
+  ``sim.obs.enable_tracing()``) records spans for the scheduler stages,
+  the process backend's per-worker phases, and steal events.
+- :func:`chrome_trace`/:func:`write_chrome_trace` — export as Chrome
+  trace-event JSON, loadable in Perfetto or ``about://tracing``
+  (``python -m repro trace <model>`` from the command line).
+- :func:`metrics_snapshot`/:func:`write_metrics` — flat JSON dump of the
+  registry.
+
+See ``docs/observability.md`` for the span taxonomy and how to read the
+traces.
+"""
+
+from repro.obs.core import (
+    NULL_TRACER,
+    STAGE_PREFIX,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NullTracer,
+    Observability,
+    SpanEvent,
+    Tracer,
+)
+from repro.obs.export import (
+    chrome_trace,
+    metrics_snapshot,
+    write_chrome_trace,
+    write_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "SpanEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Observability",
+    "STAGE_PREFIX",
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_snapshot",
+    "write_metrics",
+]

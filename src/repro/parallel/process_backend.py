@@ -26,6 +26,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import time
 import traceback
 
 import numpy as np
@@ -118,16 +119,24 @@ KERNELS = {
 
 
 def worker_main(worker_id, inbox, ack, queues):
-    """Worker loop: wait for a phase, drain/steal chunks, acknowledge."""
+    """Worker loop: wait for a phase, drain/steal chunks, acknowledge.
+
+    When the phase message carries ``trace=True``, the worker records
+    local trace-event tuples ``(ph, name, cat, ts_ns, dur_ns, args)`` —
+    one span per phase plus one instant per steal — and returns them in
+    the acknowledgment; the host adopts them onto this worker's trace
+    thread (``perf_counter_ns`` is CLOCK_MONOTONIC on Linux, so the
+    timestamps share the host tracer's timebase)."""
     arena = WorkerArena()
     queues.attach()
     while True:
         msg = inbox.get()
         if msg[0] == "stop":
             break
-        _, gen, layout, shapes, kernel, args = msg
+        _, gen, layout, shapes, kernel, args, trace = msg
         done = same_steals = cross_steals = 0
         error = None
+        events = [] if trace else None
         try:
             arena.sync(layout)
             views = {
@@ -136,6 +145,7 @@ def worker_main(worker_id, inbox, ack, queues):
             }
             chunks = views["mech:chunks"]
             fn = KERNELS[kernel]
+            t_phase = time.perf_counter_ns() if trace else 0
             while True:
                 got = queues.take(worker_id)
                 if got is None:
@@ -145,13 +155,26 @@ def worker_main(worker_id, inbox, ack, queues):
                 done += 1
                 if level == 1:
                     same_steals += 1
+                    if trace:
+                        events.append(("i", "steal_same_domain", "steal",
+                                       time.perf_counter_ns(), 0,
+                                       {"chunk": cid}))
                 elif level == 2:
                     cross_steals += 1
+                    if trace:
+                        events.append(("i", "steal_cross_domain", "steal",
+                                       time.perf_counter_ns(), 0,
+                                       {"chunk": cid}))
+            if trace:
+                end = time.perf_counter_ns()
+                events.append(("X", kernel, "worker", t_phase,
+                               end - t_phase, {"chunks": done}))
         except BaseException:
             error = traceback.format_exc()
         # Drop view references so the next sync() can close replaced blocks.
         views = chunks = None
-        ack.put((worker_id, gen, done, same_steals, cross_steals, error))
+        ack.put((worker_id, gen, done, same_steals, cross_steals, error,
+                 events))
     arena.close()
 
 
@@ -198,11 +221,21 @@ class ProcessBackend(ExecutionBackend):
         #: skip the copy.  The strong refs keep the ids stable.
         self._csr_state = None
         self._csr_refs = None
-        self.phase_stats = {
-            "phases": 0,
-            "chunks": 0,
-            "steals_same_domain": 0,
-            "steals_cross_domain": 0,
+        reg = sim.obs.registry
+        self._phases = reg.counter("backend:phases")
+        self._chunks = reg.counter("backend:chunks")
+        self._steals_same = reg.counter("backend:steals_same_domain")
+        self._steals_cross = reg.counter("backend:steals_cross_domain")
+
+    @property
+    def phase_stats(self) -> dict:
+        """Pool tallies, as a dict (registry-backed view over the
+        ``backend:*`` counters in ``sim.obs``)."""
+        return {
+            "phases": int(self._phases.value),
+            "chunks": int(self._chunks.value),
+            "steals_same_domain": int(self._steals_same.value),
+            "steals_cross_domain": int(self._steals_cross.value),
         }
 
     # -- pool lifecycle ------------------------------------------------- #
@@ -247,7 +280,7 @@ class ProcessBackend(ExecutionBackend):
             self._ack = None
 
     def stats(self) -> dict:
-        return dict(self.phase_stats)
+        return self.phase_stats
 
     # -- partitioning --------------------------------------------------- #
 
@@ -305,34 +338,41 @@ class ProcessBackend(ExecutionBackend):
             self._start()
         self._gen += 1
         self._queues.fill(per_worker)
+        tracer = self.sim.obs.tracer
+        trace = tracer.enabled
         message = ("phase", self._gen, self.sim.rm.arena.layout(), shapes,
-                   kernel, args)
-        for inbox in self._inboxes:
-            inbox.put(message)
-        done = 0
-        errors = []
-        for _ in range(self.num_workers):
-            try:
-                wid, gen, d, same, cross, error = self._ack.get(
-                    timeout=ACK_TIMEOUT_S
-                )
-            except queue_mod.Empty:
-                self._dead = True
-                self.shutdown()
-                raise BackendError(
-                    "worker did not acknowledge the phase (crashed or hung)"
-                ) from None
-            if gen != self._gen:
-                self._dead = True
-                self.shutdown()
-                raise BackendError(
-                    f"pool out of sync: expected phase {self._gen}, got {gen}"
-                )
-            done += d
-            self.phase_stats["steals_same_domain"] += same
-            self.phase_stats["steals_cross_domain"] += cross
-            if error is not None:
-                errors.append(f"worker {wid}:\n{error}")
+                   kernel, args, trace)
+        with tracer.span(f"phase:{kernel}", cat="backend", chunks=num_chunks):
+            for inbox in self._inboxes:
+                inbox.put(message)
+            done = 0
+            errors = []
+            for _ in range(self.num_workers):
+                try:
+                    wid, gen, d, same, cross, error, events = self._ack.get(
+                        timeout=ACK_TIMEOUT_S
+                    )
+                except queue_mod.Empty:
+                    self._dead = True
+                    self.shutdown()
+                    raise BackendError(
+                        "worker did not acknowledge the phase (crashed or hung)"
+                    ) from None
+                if gen != self._gen:
+                    self._dead = True
+                    self.shutdown()
+                    raise BackendError(
+                        f"pool out of sync: expected phase {self._gen}, got {gen}"
+                    )
+                done += d
+                self._steals_same.inc(same)
+                self._steals_cross.inc(cross)
+                if events:
+                    # Worker trace events ride the existing ack channel;
+                    # adopt them onto this worker's trace thread.
+                    tracer.ingest(events, tid=wid + 1)
+                if error is not None:
+                    errors.append(f"worker {wid}:\n{error}")
         if errors:
             self._dead = True
             self.shutdown()
@@ -344,8 +384,8 @@ class ProcessBackend(ExecutionBackend):
             raise BackendError(
                 f"phase executed {done} of {num_chunks} chunks"
             )
-        self.phase_stats["phases"] += 1
-        self.phase_stats["chunks"] += num_chunks
+        self._phases.inc()
+        self._chunks.inc(num_chunks)
 
     # -- stage entry points --------------------------------------------- #
 

@@ -49,10 +49,13 @@ from repro.verify.invariants import (
     check_uniform_grid,
 )
 from repro.verify.replay import (
+    BackendEquivalenceReport,
     ReplayReport,
+    backend_equivalence,
     replay,
     replay_model,
     seed_sensitivity,
+    tracing_equivalence,
 )
 from repro.verify.fuzz import (
     FuzzCase,
@@ -89,6 +92,9 @@ __all__ = [
     "replay",
     "replay_model",
     "seed_sensitivity",
+    "BackendEquivalenceReport",
+    "backend_equivalence",
+    "tracing_equivalence",
     "FuzzCase",
     "FuzzFailure",
     "FuzzReport",

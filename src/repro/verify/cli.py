@@ -8,7 +8,9 @@ Runs, in order and as selected by flags:
   adversarial configurations;
 - **fuzz**: randomized add/remove/sort/query interleavings with shrinking;
 - **replay**: the determinism harness (same seed → byte-identical state,
-  different seed → different trajectory).
+  different seed → different trajectory), plus the tracing-inertness
+  check (``Param(tracing=True)`` must leave per-step checksums bitwise
+  identical).
 
 With no flags everything runs at smoke-test sizes.  ``--fuzz N``,
 ``--oracle`` and ``--replay MODEL`` select individual sections (and
@@ -112,12 +114,15 @@ def _run_fuzz(args, num_cases: int) -> bool:
 
 
 def _run_replay(args, model: str) -> bool:
-    from repro.verify.replay import replay_model
+    from repro.verify.replay import replay_model, tracing_equivalence
 
     report = replay_model(model, num_agents=args.agents, steps=args.steps,
                           seed=4357 + args.seed)
     print(report.render())
-    return report.ok
+    traced = tracing_equivalence(model, num_agents=args.agents,
+                                 steps=args.steps, seed=4357 + args.seed)
+    print(traced.render())
+    return report.ok and traced.ok
 
 
 def run_verify(args) -> int:

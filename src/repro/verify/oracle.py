@@ -143,21 +143,22 @@ def compare_environments(
     return out
 
 
-def compare_point_queries(snapshot: QuerySnapshot) -> list[Disagreement]:
-    """Differential check of the uniform grid's vectorized point query.
+def compare_point_queries(
+    snapshot: QuerySnapshot,
+    environments: tuple[str, ...] = ORACLE_ENVIRONMENTS,
+) -> list[Disagreement]:
+    """Differential check of every environment's vectorized point query.
 
-    Builds the grid on the snapshot and compares
-    :meth:`~repro.env.uniform_grid.UniformGridEnvironment.query` (the
-    batched NumPy path) against :meth:`query_scalar` (the per-point loop
-    kept as the reference) on an adversarial deterministic point set: the
-    agent positions themselves, midpoints between consecutive agents, and
-    points outside the populated extent.  The two paths must return
-    *identical* index arrays, in identical order.
+    For each environment, builds it on the snapshot and compares
+    :meth:`~repro.env.environment.Environment.query` (the batched path)
+    against :meth:`query_scalar` (the per-point reference loop) on an
+    adversarial deterministic point set: the agent positions themselves,
+    midpoints between consecutive agents, and points outside the
+    populated extent.  The two paths must return *identical* index
+    arrays, in identical order.
     """
     from repro.env import make_environment
 
-    env = make_environment("uniform_grid")
-    env.update(snapshot.positions, snapshot.radius)
     pos = snapshot.positions
     shifted = np.roll(pos, 1, axis=0)
     points = np.concatenate([
@@ -166,20 +167,23 @@ def compare_point_queries(snapshot: QuerySnapshot) -> list[Disagreement]:
         pos.min(axis=0, keepdims=True) - snapshot.radius,
         pos.max(axis=0, keepdims=True) + snapshot.radius,
     ])
-    fast = env.query(points)
-    slow = env.query_scalar(points)
     out: list[Disagreement] = []
-    for i, (got, ref) in enumerate(zip(fast, slow)):
-        if len(got) == len(ref) and np.array_equal(got, ref):
-            continue
-        out.append(
-            Disagreement(
-                env="uniform_grid.query",
-                agent=i,
-                missing=np.setdiff1d(ref, got),
-                extra=np.setdiff1d(got, ref),
+    for name in environments:
+        env = make_environment(name)
+        env.update(snapshot.positions, snapshot.radius)
+        fast = env.query(points)
+        slow = env.query_scalar(points)
+        for i, (got, ref) in enumerate(zip(fast, slow)):
+            if len(got) == len(ref) and np.array_equal(got, ref):
+                continue
+            out.append(
+                Disagreement(
+                    env=f"{name}.query",
+                    agent=i,
+                    missing=np.setdiff1d(ref, got),
+                    extra=np.setdiff1d(got, ref),
+                )
             )
-        )
     return out
 
 

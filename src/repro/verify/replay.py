@@ -18,6 +18,11 @@ backends*: the shared-memory process pool (§4.1) promises bitwise
 identity with serial execution, so the per-step checksums of a serial
 run and a process-pool run from the same seed must be equal — not close,
 equal.
+
+:func:`tracing_equivalence` applies it to the observability layer:
+``Param(tracing=True)`` must be provably inert — the tracer observes
+timestamps, never simulation state — so per-step checksums with the
+tracer on and off must also be bitwise identical.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ __all__ = [
     "replay_model",
     "BackendEquivalenceReport",
     "backend_equivalence",
+    "tracing_equivalence",
 ]
 
 
@@ -217,3 +223,48 @@ def backend_equivalence(name: str, num_agents: int = 300, steps: int = 8,
             None,
         )
     return report
+
+
+def tracing_equivalence(name: str, num_agents: int = 300, steps: int = 8,
+                        seed: int = 4357, param=None) -> ReplayReport:
+    """Assert ``Param(tracing=True)`` is inert: identical per-step state.
+
+    Runs the registry model once with the no-op tracer and once with the
+    recording tracer, diffing the full per-step checksum trace.  Any
+    divergence means instrumentation leaked into simulation state — a
+    span reordering an RNG draw, a counter feeding back into a decision.
+    The traced run must also actually record events; a silently disabled
+    tracer would make the check vacuous.
+    """
+    from repro.core.param import Param
+    from repro.simulations import get_simulation
+
+    bench = get_simulation(name)
+    base = param if param is not None else Param()
+
+    plain_sim = bench.build(num_agents, param=base.with_(tracing=False),
+                            seed=seed)
+    plain = [state_checksum(plain_sim)]
+    for _ in range(steps):
+        plain_sim.simulate(1)
+        plain.append(state_checksum(plain_sim))
+
+    traced_sim = bench.build(num_agents, param=base.with_(tracing=True),
+                             seed=seed)
+    traced = [state_checksum(traced_sim)]
+    for _ in range(steps):
+        traced_sim.simulate(1)
+        traced.append(state_checksum(traced_sim))
+    if not traced_sim.obs.tracer.events:
+        raise AssertionError(
+            "tracing_equivalence: traced run recorded no events — the "
+            "tracer was not actually enabled, the check is vacuous")
+
+    first_divergence = next(
+        (i for i, (a, b) in enumerate(zip(plain, traced)) if a != b), None
+    )
+    return ReplayReport(
+        label=f"{name} (tracer off vs on)", steps=steps, seed=seed,
+        checksums_a=plain, checksums_b=traced,
+        first_divergence=first_divergence,
+    )

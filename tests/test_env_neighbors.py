@@ -133,9 +133,9 @@ class TestUniformGridSpecifics:
     def test_timestamp_skips_stale_boxes(self):
         env = UniformGridEnvironment()
         env.update(random_positions(50, span=50.0), 5.0)
-        ts1 = env._timestamp
+        ts1 = env.linked_list_state()["timestamp"]
         env.update(random_positions(50, seed=9, span=50.0), 5.0)
-        assert env._timestamp == ts1 + 1
+        assert env.linked_list_state()["timestamp"] == ts1 + 1
 
     def test_box_of_agent_consistent(self):
         pos = random_positions(100, span=30.0)

@@ -1,10 +1,23 @@
-"""Tests for arbitrary-point neighbor queries on the uniform grid."""
+"""Tests for arbitrary-point neighbor queries across all environments."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.env import UniformGridEnvironment
+from repro.env import (
+    BruteForceEnvironment,
+    Environment,
+    KDTreeEnvironment,
+    OctreeEnvironment,
+    UniformGridEnvironment,
+)
+
+ALL_ENV_CLASSES = [
+    UniformGridEnvironment,
+    KDTreeEnvironment,
+    OctreeEnvironment,
+    BruteForceEnvironment,
+]
 
 
 def brute(positions, point, radius):
@@ -89,3 +102,63 @@ class TestVectorizedVsScalar:
 
         for snap in random_snapshots(10, seed=3):
             assert compare_point_queries(snap) == []
+
+
+class TestQueryAllEnvironments:
+    """``query`` is part of the Environment ABC: every implementation
+    answers arbitrary-point queries, and each batched path must equal
+    its scalar oracle reference (``query_scalar``) exactly."""
+
+    def _build(self, cls, n=250, span=45.0, radius=6.0, seed=11):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, span, (n, 3))
+        env = cls()
+        env.update(pos, radius)
+        return env, pos, radius
+
+    def test_abc_declares_the_query_surface(self):
+        assert "query" in Environment.__abstractmethods__
+        assert "search_cycles_per_agent" in Environment.__abstractmethods__
+
+    @pytest.mark.parametrize("cls", ALL_ENV_CLASSES)
+    def test_matches_brute_force(self, cls):
+        env, pos, radius = self._build(cls)
+        rng = np.random.default_rng(2)
+        pts = np.concatenate([pos[:20], rng.uniform(-5, 50, (20, 3))])
+        for p, res in zip(pts, env.query(pts)):
+            assert set(res.tolist()) == brute(pos, p, radius)
+
+    @pytest.mark.parametrize("cls", ALL_ENV_CLASSES)
+    def test_vectorized_equals_scalar_reference(self, cls):
+        env, pos, radius = self._build(cls)
+        rng = np.random.default_rng(3)
+        pts = np.concatenate([
+            pos[:30],
+            (pos[:30] + np.roll(pos[:30], 1, axis=0)) / 2.0,
+            rng.uniform(-10, 55, (15, 3)),
+        ])
+        fast = env.query(pts)
+        slow = env.query_scalar(pts)
+        assert len(fast) == len(slow)
+        for a, b in zip(fast, slow):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("cls", [KDTreeEnvironment, OctreeEnvironment,
+                                     BruteForceEnvironment])
+    def test_trees_accept_larger_query_radius(self, cls):
+        env, pos, _ = self._build(cls, radius=4.0)
+        res = env.query(pos[:1], radius=12.0)[0]
+        assert set(res.tolist()) == brute(pos, pos[0], 12.0)
+
+    @pytest.mark.parametrize("cls", ALL_ENV_CLASSES)
+    def test_positions_and_build_radius_views(self, cls):
+        env, pos, radius = self._build(cls)
+        assert env.build_radius == radius
+        np.testing.assert_array_equal(env.positions, pos)
+
+    @pytest.mark.parametrize("cls", ALL_ENV_CLASSES)
+    def test_empty_build(self, cls):
+        env = cls()
+        env.update(np.empty((0, 3)), 1.0)
+        out = env.query(np.zeros((2, 3)))
+        assert len(out) == 2 and all(len(r) == 0 for r in out)

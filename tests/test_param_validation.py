@@ -1,0 +1,97 @@
+"""Construction-time Param validation: unknown keys, type mismatches,
+and invalid values all raise a typed ParamError immediately."""
+
+import json
+
+import pytest
+
+from repro import Param, ParamError
+
+
+class TestUnknownKeys:
+    def test_with_rejects_unknown_key(self):
+        with pytest.raises(ParamError, match="unknown parameter"):
+            Param().with_(block_sizee=64)
+
+    def test_typo_gets_closest_match_suggestion(self):
+        with pytest.raises(ParamError, match="did you mean 'block_size'"):
+            Param().with_(block_sze=64)
+
+    def test_optimized_rejects_unknown_key(self):
+        with pytest.raises(ParamError):
+            Param.optimized(enviroment="octree")
+
+    def test_standard_rejects_unknown_key(self):
+        with pytest.raises(ParamError):
+            Param.standard(detect_static="yes")
+
+    def test_from_file_rejects_unknown_key(self, tmp_path):
+        path = tmp_path / "bdm.json"
+        path.write_text(json.dumps({"tracingg": True}))
+        with pytest.raises(ParamError, match="did you mean 'tracing'"):
+            Param.from_file(path)
+
+
+class TestTypeChecks:
+    def test_str_field_rejects_non_string(self):
+        with pytest.raises(ParamError, match="'environment' expects str"):
+            Param(environment=3)
+
+    def test_bool_field_rejects_string(self):
+        with pytest.raises(ParamError, match="'tracing' expects bool"):
+            Param(tracing="yes")
+
+    def test_int_field_rejects_bool(self):
+        with pytest.raises(ParamError, match="'block_size' expects int"):
+            Param(block_size=True)
+
+    def test_int_field_rejects_float(self):
+        with pytest.raises(ParamError):
+            Param(agent_sort_frequency=2.5)
+
+    def test_float_field_accepts_int(self):
+        assert Param(mem_mgr_growth_rate=2).mem_mgr_growth_rate == 2
+
+    def test_bound_space_list_normalized_to_tuple(self):
+        assert Param(bound_space=[0, 10]).bound_space == (0, 10)
+
+    def test_bound_space_wrong_arity(self):
+        with pytest.raises(ParamError):
+            Param(bound_space=(0, 10, 20))
+
+
+class TestValueChecks:
+    @pytest.mark.parametrize("kwargs", [
+        dict(environment="delaunay"),
+        dict(agent_allocator="tcmalloc"),
+        dict(other_allocator="tcmalloc"),
+        dict(space_filling_curve="peano"),
+        dict(agent_sort_frequency=-1),
+        dict(check_invariants_frequency=-1),
+        dict(block_size=0),
+        dict(execution_backend="gpu"),
+        dict(backend_workers=-1),
+        dict(backend_chunk_size=0),
+        dict(simulation_time_step=0.0),
+        dict(bound_space=(10, 0)),
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ParamError):
+            Param(**kwargs)
+
+    def test_param_error_is_a_value_error(self):
+        assert issubclass(ParamError, ValueError)
+        with pytest.raises(ValueError):
+            Param(environment="delaunay")
+
+    def test_validate_catches_in_place_mutation(self):
+        p = Param()
+        p.environment = "delaunay"
+        with pytest.raises(ParamError):
+            p.validate()
+
+    def test_valid_construction_paths(self):
+        assert Param(tracing=True).tracing
+        assert Param.standard().environment == "kd_tree"
+        assert Param.optimized().agent_allocator == "bdm"
+        assert Param().with_(execution_backend="process").backend_workers == 0
