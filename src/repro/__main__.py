@@ -166,6 +166,12 @@ def _cmd_trace(args) -> int:
         workers = sorted({e.tid for e in events if e.tid > 0})
         print(f"trace: {len(events)} events -> {path}")
         print(f"  stages: {', '.join(stages)}")
+        reg = sim.obs.registry
+        print("  neighbor cache: "
+              f"{int(reg.counter('neighbor_cache:hits').value)} hits, "
+              f"{int(reg.counter('neighbor_cache:misses').value)} misses, "
+              f"{int(reg.counter('neighbor_cache:refilters').value)} "
+              "refilters")
         if workers:
             print(f"  worker threads: {len(workers)}")
         if args.metrics:
@@ -195,7 +201,8 @@ def main(argv=None) -> int:
     bench.add_argument("--iterations", type=int)
     bench.add_argument("--workers", type=int, nargs="+",
                        help="worker counts for the `scaling` experiment")
-    bench.add_argument("--out", help="artifact path for `scaling`")
+    bench.add_argument("--out", help="artifact path for the wall-clock "
+                                     "experiments (scaling, neighbor_cache)")
     from repro.verify.cli import add_verify_parser
 
     add_verify_parser(sub)

@@ -23,15 +23,18 @@ def main(argv=None) -> int:
         help="which table/figure to regenerate",
     )
     parser.add_argument("--scale", default="small", choices=["small", "medium"])
-    scaling_opts = parser.add_argument_group(
-        "scaling", "options for the `scaling` experiment")
-    scaling_opts.add_argument("--agents", type=int, default=None)
-    scaling_opts.add_argument("--iterations", type=int, default=None)
-    scaling_opts.add_argument(
+    wall_opts = parser.add_argument_group(
+        "wall-clock", "options for the `scaling` and `neighbor_cache` "
+                      "experiments")
+    wall_opts.add_argument("--agents", type=int, default=None)
+    wall_opts.add_argument("--iterations", type=int, default=None)
+    wall_opts.add_argument(
         "--workers", type=int, nargs="+", default=None,
-        help="process-pool worker counts (default: 1 2 cpu_count)")
-    scaling_opts.add_argument("--out", default="BENCH_scaling.json",
-                              help="artifact path for `scaling`")
+        help="process-pool worker counts for `scaling` "
+             "(default: 1 2 cpu_count)")
+    wall_opts.add_argument(
+        "--out", default=None,
+        help="artifact path (defaults to BENCH_<experiment>.json)")
     args = parser.parse_args(argv)
 
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -40,7 +43,11 @@ def main(argv=None) -> int:
         kwargs = {}
         if name == "scaling":
             kwargs = dict(agents=args.agents, iterations=args.iterations,
-                          workers=args.workers, out=args.out)
+                          workers=args.workers,
+                          out=args.out or "BENCH_scaling.json")
+        elif name == "neighbor_cache":
+            kwargs = dict(agents=args.agents, iterations=args.iterations,
+                          out=args.out or "BENCH_neighbor_cache.json")
         t0 = time.perf_counter()
         report = mod.run(scale=args.scale, **kwargs)
         elapsed = time.perf_counter() - t0

@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     fig11_neighbor,
     fig12_sorting,
     fig13_allocator,
+    neighbor_cache,
     scaling,
     sec610_numa,
     table1_characteristics,
@@ -35,6 +36,7 @@ ALL_EXPERIMENTS = {
     "fig11": fig11_neighbor,
     "fig12": fig12_sorting,
     "fig13": fig13_allocator,
+    "neighbor_cache": neighbor_cache,
     "scaling": scaling,
     "sec610": sec610_numa,
     "ext_distributed": ext_distributed,

@@ -103,6 +103,11 @@ def run_scaling(scale: str = "small", model: str = DEFAULT_MODEL,
     checksums_match = all(r["final_checksum"] == serial["final_checksum"]
                           for r in runs)
     best = min(runs[1:], key=lambda r: r["wall_seconds"])
+    # Process-pool overhead: wall time of the lowest process worker count
+    # over serial.  With 1 worker this isolates pure orchestration cost
+    # (shm copies, message round-trips) from any parallel win — the seed
+    # artifact showed ~1.7x; this field makes the trajectory trackable.
+    overhead_run = min(runs[1:], key=lambda r: r["workers"])
     artifact = {
         "experiment": "scaling",
         "model": model,
@@ -114,6 +119,10 @@ def run_scaling(scale: str = "small", model: str = DEFAULT_MODEL,
         "checksums_match": checksums_match,
         "best_speedup": serial["wall_seconds"] / best["wall_seconds"],
         "best_workers": best["workers"],
+        "process_overhead_ratio": (
+            overhead_run["wall_seconds"] / serial["wall_seconds"]
+        ),
+        "process_overhead_workers": overhead_run["workers"],
     }
     if out is not None:
         Path(out).write_text(json.dumps(artifact, indent=2) + "\n")
@@ -140,6 +149,8 @@ def run(scale: str = "small", **overrides) -> ExperimentReport:
         "checksums "
         + ("all bitwise-identical to serial"
            if artifact["checksums_match"] else "DIVERGE — backend bug"),
+        f"process overhead at {artifact['process_overhead_workers']} "
+        f"worker(s): {artifact['process_overhead_ratio']:.2f}x serial wall",
     ]
     if "path" in artifact:
         notes.append(f"artifact written to {artifact['path']}")

@@ -71,6 +71,20 @@ class Param:
     #: nor the interaction radius changed.  Code that mutates positions
     #: directly must call ``sim.invalidate_neighbor_cache()``.
     skip_unchanged_environment: bool = True
+    #: Displacement-bounded neighbor caching (Verlet-skin CSR reuse): build
+    #: the uniform grid with an inflated radius ``interaction_radius +
+    #: skin`` and, while no agent has consumed the skin budget, reuse the
+    #: cached superset CSR with a cheap order-preserving re-filter instead
+    #: of rebuilding.  Results are bitwise identical to rebuilding every
+    #: step (enforced by ``verify.replay.neighbor_cache_equivalence``).
+    #: Only engages for environments that support it (the uniform grid)
+    #: and never during virtual-machine cost-model runs.
+    neighbor_cache: bool = True
+    #: Skin width added to the build radius.  0 (the default) auto-tunes
+    #: the skin from the recently observed per-step displacement and
+    #: interaction-radius growth; a positive value fixes it.  Negative
+    #: values are invalid.
+    neighbor_skin: float = 0.0
 
     # --- Memory layout (O4, O5) --------------------------------------------
     agent_sort_frequency: int = 10         # 0 disables sorting; 1 = every iter
@@ -259,6 +273,10 @@ class Param:
             raise ParamError("backend_workers must be >= 0 (0 = cpu count)")
         if self.backend_chunk_size < 1:
             raise ParamError("backend_chunk_size must be >= 1")
+        if self.neighbor_skin < 0:
+            raise ParamError(
+                "neighbor_skin must be >= 0 (0 = auto-tune)"
+            )
         if self.simulation_time_step <= 0:
             raise ParamError("simulation_time_step must be positive")
         if self.bound_space is not None:

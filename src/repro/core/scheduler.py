@@ -22,11 +22,13 @@ charge one thread.  Region names match the paper's Fig. 5 breakdown:
 
 from __future__ import annotations
 
+import math
 import warnings
 
 import numpy as np
 
 from repro.core.force import InteractionForce
+from repro.env.environment import csr_row_index, refilter_csr
 from repro.core.sorting import sort_and_balance
 from repro.core.static_detection import (
     DETECTION_OPS_PER_AGENT,
@@ -77,10 +79,43 @@ class Scheduler:
             "scheduler:env_rebuild_skips"
         )
         self._iterations_done = self._obs.registry.counter("scheduler:iterations")
-        #: (radius, structure_version, n) of the last environment build.
+        #: (radius, structure_version, n) the current exact neighbor CSR
+        #: answers for — set by full rebuilds *and* cache re-filters, so a
+        #: static scene full-skips either way.
         self._env_key = None
         #: Whether any agent moved or grew since the last build.
         self._moved_since_build = True
+        # --- Displacement-bounded neighbor cache (Verlet-skin CSR reuse).
+        self._cache_hits = self._obs.registry.counter("neighbor_cache:hits")
+        self._cache_misses = self._obs.registry.counter("neighbor_cache:misses")
+        self._cache_refilters = self._obs.registry.counter(
+            "neighbor_cache:refilters"
+        )
+        #: Superset CSR built at ``interaction_radius + skin``:
+        #: ``(indptr, indices, qi)`` or None.
+        self._cache_csr = None
+        #: Build radius including the skin — the displacement budget B.
+        self._cache_budget = 0.0
+        #: ``rm.structure_version`` at build time; any structural change
+        #: (commit, sort/reorder, checkpoint restore) bumps it and thereby
+        #: invalidates the cache.
+        self._cache_struct = None
+        #: Positions snapshot at build time (displacement reference).
+        self._pos_at_build = None
+        #: Interaction radius at build time (radius growth eats budget).
+        self._build_radius = 0.0
+        #: Iteration of the last superset build (rebuild-interval stat).
+        self._build_iteration = 0
+        #: Estimated skin consumption per step (displacement + radius
+        #: growth), updated on every cache miss; None until first measured.
+        self._consumption = None
+        #: EMA of "the last miss was structural and came quickly" — under
+        #: sustained churn (e.g. a division wave) the skin drops to 0.
+        self._churn = 0.0
+        #: ``(indices, counts, qi)`` of the CSR last expanded for the agent
+        #: loop, keyed by the identity of ``indices`` (strong ref kept, so
+        #: the id cannot be reused while cached).
+        self._qi_cache = None
 
     # Registry-backed views of the scheduler's former bespoke tallies. -- #
 
@@ -255,15 +290,19 @@ class Scheduler:
                 and self._env_key == env_key
                 and sim._csr_cache is not None
             )
+            work = None
             if skip:
                 self._env_rebuild_skips.inc()
+            elif self._cache_enabled():
+                self._build_or_refilter(radius, env_key)
             else:
+                self._drop_neighbor_cache()
                 work = sim.env.update(rm.positions, radius)
                 sim.invalidate_neighbor_cache()
                 self._env_rebuilds.inc()
                 self._env_key = env_key
                 self._moved_since_build = False
-            if m is not None and not skip:
+            if m is not None and work is not None:
                 if work.parallelizable and work.per_item_cycles is not None:
                     cycles = work.per_item_cycles
                     if work.random_access_spread_bytes:
@@ -343,6 +382,182 @@ class Scheduler:
                 check_simulation_invariants(sim, raise_on_violation=True)
 
     # ------------------------------------------------------------------ #
+    # Displacement-bounded neighbor cache (Verlet-skin CSR reuse)
+    # ------------------------------------------------------------------ #
+
+    def _needs_neighbors(self) -> bool:
+        """Whether this iteration's agent loop consumes neighbor lists."""
+        sim = self.sim
+        return (
+            sim.mechanics_enabled
+            or any(b.uses_neighbors for b, _ in sim.behaviors)
+            or any(
+                isinstance(op, AgentOperation) and op.uses_neighbors
+                for op in sim.operations
+            )
+        )
+
+    def _cache_enabled(self) -> bool:
+        """Whether the displacement-bounded cache may manage this build.
+
+        Off under a virtual machine (cost-model figures must keep the
+        paper's rebuild-every-step accounting), for environments that do
+        not guarantee canonically ordered CSR rows (kd-tree, octree), and
+        for models that never read neighbor lists (no CSR worth caching).
+        """
+        sim = self.sim
+        return (
+            sim.param.neighbor_cache
+            and sim.machine is None
+            and sim.env.supports_neighbor_cache
+            and self._needs_neighbors()
+        )
+
+    def _drop_neighbor_cache(self) -> None:
+        """Forget the superset CSR and its displacement bookkeeping."""
+        self._cache_csr = None
+        self._cache_struct = None
+        self._pos_at_build = None
+        self._cache_budget = 0.0
+
+    def _max_displacement(self) -> float:
+        """Max Euclidean distance any agent moved since the last build."""
+        rm = self.sim.rm
+        if rm.n == 0 or self._pos_at_build is None:
+            return 0.0
+        delta = rm.positions - self._pos_at_build
+        d2 = np.einsum("ij,ij->i", delta, delta)
+        return math.sqrt(float(d2.max()))
+
+    def _choose_skin(self, radius: float) -> float:
+        """Skin width for the next superset build.
+
+        ``Param.neighbor_skin > 0`` fixes it.  Otherwise auto-tune: size
+        the skin so the measured per-step consumption (displacement +
+        radius growth) lasts ~10 steps, clamped to ``[0.05, 0.3] *
+        radius``; fall back to 0 (plain exact builds, no re-filter cost)
+        when the scene moves too fast for even the largest skin to buy two
+        cached steps, or while structural churn keeps killing the cache.
+        """
+        p = self.sim.param
+        if p.neighbor_skin > 0:
+            return float(p.neighbor_skin)
+        if self._churn > 0.7:
+            return 0.0
+        c = self._consumption
+        if c is None or c <= 0.0:
+            return 0.1 * radius
+        skin = min(max(10.0 * c, 0.05 * radius), 0.3 * radius)
+        if skin < 10.0 * c and skin / c < 2.0:
+            return 0.0
+        return skin
+
+    def _build_or_refilter(self, radius: float, env_key) -> None:
+        """The cache-managed build stage: re-filter if the budget holds,
+        else measure, retune the skin, and rebuild the superset.
+
+        A cached superset built at positions ``P0`` with radius ``B``
+        contains every pair within ``B`` of ``P0``; for a current pair
+        ``|xi - xj| <= r`` the triangle inequality gives ``|x0i - x0j| <=
+        r + 2*Dmax``, so while ``r + 2*Dmax <= B`` the superset covers the
+        exact CSR and one order-preserving distance pass reproduces it
+        bit for bit.  Any structural change (commit, reorder, restore)
+        bumps ``rm.structure_version`` and forces the rebuild path.
+        """
+        sim = self.sim
+        rm = sim.rm
+        obs = self._obs
+        struct = rm.structure_version
+        same_struct = (
+            self._cache_struct is not None
+            and struct == self._cache_struct
+            and self._pos_at_build is not None
+            and len(self._pos_at_build) == rm.n
+        )
+        dmax = self._max_displacement() if same_struct else 0.0
+        if self._cache_csr is not None and same_struct:
+            slack = self._cache_budget - radius
+            if slack > 0.0 and 2.0 * dmax <= slack:
+                sup_ip, sup_ix, sup_qi = self._cache_csr
+                with obs.tracer.span(
+                    "neighbor_refilter", cat="cache", iteration=self.iteration
+                ):
+                    ip, ix, qi = refilter_csr(
+                        sup_ip, sup_ix, sup_qi, rm.positions, radius
+                    )
+                sim._csr_cache = (ip, ix)
+                self._qi_cache = (ix, np.diff(ip), qi)
+                self._cache_hits.inc()
+                self._cache_refilters.inc()
+                self._env_key = env_key
+                self._moved_since_build = False
+                return
+        # Miss: measure how fast the budget was consumed, update the churn
+        # estimate, pick a skin, and rebuild.
+        self._cache_misses.inc()
+        interval = max(self.iteration - self._build_iteration, 1)
+        struct_changed = (
+            self._cache_struct is not None and struct != self._cache_struct
+        )
+        if same_struct:
+            c = (2.0 * dmax + max(radius - self._build_radius, 0.0)) / interval
+            old = self._consumption
+            self._consumption = c if old is None else max(c, 0.7 * old)
+        self._churn = 0.5 * self._churn + (
+            0.5 if struct_changed and interval <= 2 else 0.0
+        )
+        skin = self._choose_skin(radius)
+        if skin > 0.0:
+            # Tiny relative pad so float rounding in ``radius + skin``
+            # cannot shave a boundary pair off the superset; extra pairs
+            # are harmless (the re-filter removes them).
+            sim.env.update(rm.positions, (radius + skin) * (1.0 + 1e-9))
+            # Materialize eagerly: ``env._positions`` aliases the live
+            # position columns, so a lazily built CSR after agents move
+            # would no longer describe the build-time snapshot.
+            sup_ip, sup_ix = sim.env.neighbor_csr()
+            sup_qi = csr_row_index(sup_ip, sup_ix)
+            self._cache_csr = (sup_ip, sup_ix, sup_qi)
+            self._cache_budget = radius + skin
+            ip, ix, qi = refilter_csr(sup_ip, sup_ix, sup_qi,
+                                      rm.positions, radius)
+            sim._csr_cache = (ip, ix)
+            self._qi_cache = (ix, np.diff(ip), qi)
+        else:
+            self._drop_neighbor_cache()
+            sim.env.update(rm.positions, radius)
+            sim.invalidate_neighbor_cache()
+        self._cache_struct = struct
+        self._pos_at_build = rm.positions.copy()
+        self._build_radius = radius
+        self._build_iteration = self.iteration
+        self._env_rebuilds.inc()
+        self._env_key = env_key
+        self._moved_since_build = False
+
+    def _expand_csr(self, indptr, indices):
+        """``(counts, row-ids)`` of a CSR, cached by ``indices`` identity.
+
+        The ``np.repeat(arange(n), counts)`` expansion is O(#pairs) and a
+        pure function of the CSR, so recomputing it while the CSR object
+        is unchanged (skipped rebuilds, multi-consumer iterations) is
+        waste.  The cache keeps a strong reference to ``indices``, so its
+        id cannot be recycled while the entry lives; cache re-filters
+        pre-populate it with the row ids the filter already produced.
+        """
+        cached = self._qi_cache
+        if (
+            cached is not None
+            and cached[0] is indices
+            and len(cached[1]) == len(indptr) - 1
+        ):
+            return cached[1], cached[2]
+        counts = np.diff(indptr)
+        qi = np.repeat(np.arange(len(indptr) - 1, dtype=np.int64), counts)
+        self._qi_cache = (indices, counts, qi)
+        return counts, qi
+
+    # ------------------------------------------------------------------ #
 
     def _neighbor_memory_profile(self, qi, qj, n):
         """Per-agent memory cycles + per-domain access counts for CSR pairs.
@@ -417,18 +632,10 @@ class Scheduler:
 
         # Neighbor relations are needed by forces and neighbor-using
         # behaviors; fetch once (cached).
-        need_neighbors = (
-            sim.mechanics_enabled
-            or any(b.uses_neighbors for b, _ in sim.behaviors)
-            or any(
-                isinstance(op, AgentOperation) and op.uses_neighbors
-                for op in sim.operations
-            )
-        )
+        need_neighbors = self._needs_neighbors()
         if need_neighbors:
             indptr, indices = sim.neighbors()
-            counts_arr = np.diff(indptr)
-            qi_all = np.repeat(np.arange(n, dtype=np.int64), counts_arr)
+            counts_arr, qi_all = self._expand_csr(indptr, indices)
             if charge:
                 nbr_mem, nbr_dom = self._neighbor_memory_profile(qi_all, indices, n)
                 self._charge_transient_buffers(len(indices) * 16)

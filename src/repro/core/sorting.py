@@ -88,8 +88,12 @@ def sort_and_balance(sim) -> SortResult | None:
     if n == 0 or not isinstance(env, UniformGridEnvironment):
         return None
 
-    dims = env.dims
-    box = env.box_of_agent
+    # Bin the *current* positions at the *exact* interaction radius.  The
+    # environment's own build may be stale (skipped rebuilds) or use a
+    # skin-inflated radius (the scheduler's displacement-bounded neighbor
+    # cache); the sort keys must not depend on either, or runs with the
+    # cache on and off would reorder agents differently and diverge.
+    box, dims = env.bin_positions(rm.positions, sim.interaction_radius())
     nxy = int(dims[0]) * int(dims[1])
     cz, rem = np.divmod(box, nxy)
     cy, cx = np.divmod(rem, int(dims[0]))

@@ -25,6 +25,8 @@ from repro.env.environment import (
     BuildWork,
     Environment,
     brute_force_csr,
+    csr_row_index,
+    refilter_csr,
 )
 from repro.env.uniform_grid import UniformGridEnvironment
 from repro.env.kdtree import KDTreeEnvironment
@@ -38,6 +40,8 @@ __all__ = [
     "OctreeEnvironment",
     "BruteForceEnvironment",
     "brute_force_csr",
+    "csr_row_index",
+    "refilter_csr",
 ]
 
 

@@ -7,7 +7,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BuildWork", "Environment", "BruteForceEnvironment", "brute_force_csr"]
+__all__ = [
+    "BuildWork",
+    "Environment",
+    "BruteForceEnvironment",
+    "brute_force_csr",
+    "csr_row_index",
+    "refilter_csr",
+]
 
 
 @dataclass
@@ -41,6 +48,15 @@ class Environment(ABC):
     """
 
     name: str = "environment"
+
+    #: Whether this environment may serve as the backing index of the
+    #: scheduler's displacement-bounded neighbor cache (Verlet-skin CSR
+    #: reuse).  Requires :meth:`neighbor_csr` to emit rows in canonical
+    #: ascending-index order, so a re-filtered superset CSR is *bitwise*
+    #: identical to a fresh exact build.  Environments that do not give
+    #: that guarantee (kd-tree, octree) leave this ``False`` and the
+    #: scheduler rebuilds them every step, exactly as before.
+    supports_neighbor_cache: bool = False
 
     def __init__(self):
         self.last_build_work: BuildWork | None = None
@@ -141,6 +157,60 @@ class Environment(ABC):
             np.sort(indices[indptr[i] : indptr[i + 1]])
             for i in range(len(indptr) - 1)
         ]
+
+
+def csr_row_index(indptr: np.ndarray,
+                  indices: np.ndarray) -> np.ndarray:
+    """Per-entry row ids of a CSR: ``qi[k]`` is the row of ``indices[k]``.
+
+    The ``np.repeat(arange(n), diff(indptr))`` expansion every CSR
+    consumer needs (forces, refilter, memory profiling), factored out so
+    it can be computed once per CSR and cached alongside it.
+    """
+    n = len(indptr) - 1
+    return np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+
+
+def refilter_csr(indptr: np.ndarray, indices: np.ndarray, qi: np.ndarray,
+                 positions: np.ndarray, radius: float,
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Filter a superset CSR down to pairs within ``radius``, preserving order.
+
+    ``(indptr, indices)`` is a neighbor CSR built with an *inflated*
+    radius (interaction radius + skin) at some earlier positions; ``qi``
+    is its row expansion (:func:`csr_row_index`).  One vectorized
+    distance pass over the stored pairs — evaluated at the *current*
+    ``positions`` — keeps exactly the pairs within ``radius`` now.
+
+    Order preservation is the bitwise-identity argument: the superset's
+    rows are in canonical ascending-index order (required by
+    ``Environment.supports_neighbor_cache``), a boolean mask keeps a
+    subsequence of each row, and a subsequence of an ascending run is
+    ascending — so the result equals, element for element, the CSR a
+    fresh exact-radius build would produce.  The distance arithmetic
+    (componentwise ``dx*dx; += dy*dy; += dz*dz`` in float64) matches the
+    grid build's filter, so the boundary cases round identically too.
+
+    Returns ``(indptr, indices, qi)`` of the filtered CSR; the returned
+    ``qi`` is the row expansion of the *result*, handed back so callers
+    never recompute it.
+    """
+    n = len(indptr) - 1
+    if len(indices) == 0:
+        return indptr, indices, qi
+    px, py, pz = positions[:, 0], positions[:, 1], positions[:, 2]
+    dx = px[qi] - px[indices]
+    dy = py[qi] - py[indices]
+    dz = pz[qi] - pz[indices]
+    d2 = dx * dx
+    d2 += dy * dy
+    d2 += dz * dz
+    keep = d2 <= radius * radius
+    qi_kept = qi[keep]
+    counts = np.bincount(qi_kept, minlength=n)
+    new_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=new_indptr[1:])
+    return new_indptr, indices[keep], qi_kept
 
 
 def brute_force_csr(positions: np.ndarray, radius: float) -> tuple[np.ndarray, np.ndarray]:

@@ -38,9 +38,20 @@ _NO_AGENT = -1
 
 
 class UniformGridEnvironment(Environment):
-    """Uniform grid with timestamped boxes and array-based linked lists."""
+    """Uniform grid with timestamped boxes and array-based linked lists.
+
+    :meth:`neighbor_csr` emits every row in canonical ascending-index
+    order, which is what qualifies the grid for the scheduler's
+    displacement-bounded neighbor cache (``supports_neighbor_cache``):
+    an order-preserving re-filter of a skin-inflated build reproduces a
+    fresh exact build bit for bit.
+    """
 
     name = "uniform_grid"
+
+    #: Rows are canonically ordered, so skin-inflated builds can be
+    #: re-filtered bitwise-identically (see repro.core.scheduler).
+    supports_neighbor_cache = True
 
     def __init__(self, box_length_factor: float = 1.0, max_boxes: int = 1 << 26):
         super().__init__()
@@ -85,6 +96,28 @@ class UniformGridEnvironment(Environment):
             )
         return mins, dims, box_len
 
+    @staticmethod
+    def _box_ids(positions, mins, dims, box_len):
+        # x-fastest linearization of the box coordinates (shared by the
+        # batch build and bin_positions so the two can never drift apart).
+        coords = ((positions - mins) / box_len).astype(np.int64)
+        coords = np.minimum(coords, dims - 1)
+        return (coords[:, 2] * dims[1] + coords[:, 1]) * dims[0] + coords[:, 0]
+
+    def bin_positions(self, positions: np.ndarray,
+                      radius: float) -> tuple[np.ndarray, np.ndarray]:
+        """Box id per position and grid dims for a hypothetical build.
+
+        Pure query: bins ``positions`` with exact-``radius`` geometry
+        without touching the current build.  Agent sorting (§4.2) uses
+        this so its Morton keys always reflect the *current* positions at
+        the *exact* interaction radius — independent of whether the live
+        build is skin-inflated or several steps old (the neighbor cache).
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        mins, dims, box_len = self._grid_geometry(positions, radius)
+        return self._box_ids(positions, mins, dims, box_len), dims
+
     def update(self, positions: np.ndarray, radius: float) -> BuildWork:
         positions = np.asarray(positions, dtype=np.float64)
         if positions.ndim != 2 or positions.shape[1] != 3:
@@ -112,9 +145,7 @@ class UniformGridEnvironment(Environment):
             self._box_count = np.empty(num_boxes, dtype=np.int64)
             self._box_stamp = np.zeros(num_boxes, dtype=np.int64)  # one-time
 
-        coords = ((positions - self._mins) / self._box_len).astype(np.int64)
-        coords = np.minimum(coords, self._dims - 1)
-        box_id = (coords[:, 2] * self._dims[1] + coords[:, 1]) * self._dims[0] + coords[:, 0]
+        box_id = self._box_ids(positions, self._mins, self._dims, self._box_len)
         self._box_of_agent = box_id
 
         # Counting-sort equivalent of the parallel linked-list build: touch
@@ -315,7 +346,18 @@ class UniformGridEnvironment(Environment):
         keep = (d2 <= r2) & (qi != cand)
         qi, cand = qi[keep], cand[keep]
 
-        # qi is already sorted (agents emitted in index order) -> CSR.
+        # Canonical row order: ascending neighbor index within each row.
+        # The box-scan emits candidates in storage order, which depends on
+        # the build's geometry; sorting makes the CSR a pure function of
+        # (positions, radius), which is what lets a re-filtered superset
+        # build reproduce a fresh exact build bitwise (forces sum each
+        # row's pairs in CSR order via np.bincount, so row order decides
+        # the float bits of the net force).
+        if len(cand):
+            order = np.argsort(qi * np.int64(n) + cand)
+            qi, cand = qi[order], cand[order]
+
+        # qi is sorted (ascending rows) -> CSR.
         counts = np.bincount(qi, minlength=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])

@@ -224,6 +224,7 @@ class ProcessBackend(ExecutionBackend):
         reg = sim.obs.registry
         self._phases = reg.counter("backend:phases")
         self._chunks = reg.counter("backend:chunks")
+        self._csr_copies = reg.counter("backend:csr_copies")
         self._steals_same = reg.counter("backend:steals_same_domain")
         self._steals_cross = reg.counter("backend:steals_cross_domain")
 
@@ -409,13 +410,20 @@ class ProcessBackend(ExecutionBackend):
                                    np.int64)
         # Copy the CSR unless this exact CSR already sits in the arena
         # (repeat steps with a skipped environment rebuild, see the
-        # scheduler) and no block was replaced since.
+        # scheduler) and no block was replaced since.  Under the
+        # displacement-bounded neighbor cache, re-filtered steps hand over
+        # *fresh* exact-CSR arrays every iteration — those must (and do)
+        # recopy, since the ids differ; only full-skip steps reuse the
+        # arena copy.  The refilter itself runs in the parent: workers
+        # always receive the exact CSR, bitwise identical to a fresh
+        # build, so the kernel needs no cache awareness.
         state = (id(indptr), id(indices), arena.layout_version)
         if self._csr_state != state:
             ip[...] = indptr
             ix[...] = indices
             self._csr_refs = (indptr, indices)
             self._csr_state = (id(indptr), id(indices), arena.layout_version)
+            self._csr_copies.inc()
 
         shapes = self._column_shapes()
         shapes.update({

@@ -10,7 +10,10 @@ Runs, in order and as selected by flags:
 - **replay**: the determinism harness (same seed → byte-identical state,
   different seed → different trajectory), plus the tracing-inertness
   check (``Param(tracing=True)`` must leave per-step checksums bitwise
-  identical).
+  identical) and the neighbor-cache equivalence check (the
+  displacement-bounded Verlet-skin CSR cache must leave per-step
+  checksums bitwise identical to rebuilding every step, on the serial
+  and the process backend).
 
 With no flags everything runs at smoke-test sizes.  ``--fuzz N``,
 ``--oracle`` and ``--replay MODEL`` select individual sections (and
@@ -114,7 +117,11 @@ def _run_fuzz(args, num_cases: int) -> bool:
 
 
 def _run_replay(args, model: str) -> bool:
-    from repro.verify.replay import replay_model, tracing_equivalence
+    from repro.verify.replay import (
+        neighbor_cache_equivalence,
+        replay_model,
+        tracing_equivalence,
+    )
 
     report = replay_model(model, num_agents=args.agents, steps=args.steps,
                           seed=4357 + args.seed)
@@ -122,7 +129,10 @@ def _run_replay(args, model: str) -> bool:
     traced = tracing_equivalence(model, num_agents=args.agents,
                                  steps=args.steps, seed=4357 + args.seed)
     print(traced.render())
-    return report.ok and traced.ok
+    cached = neighbor_cache_equivalence(model, num_agents=args.agents,
+                                        steps=args.steps)
+    print(cached.render())
+    return report.ok and traced.ok and cached.ok
 
 
 def run_verify(args) -> int:

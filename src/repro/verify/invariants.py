@@ -158,11 +158,14 @@ def check_uniform_grid(env: UniformGridEnvironment) -> list[Violation]:
 
     # Completeness: per live box, the [start, start+count) segment holds
     # exactly that box's agents, and the segments partition [0, n).
+    # Stale boxes are effectively empty under the grid's timestamp
+    # discipline — their start/count entries are dead memory and must not
+    # be dereferenced (the arrays are reused across builds).
     boxes = np.unique(box)
     segs = []
     covered = 0
     for b in boxes:
-        s, c = int(start[b]), int(count[b])
+        s, c = (int(start[b]), int(count[b])) if stamp[b] == ts else (0, 0)
         if c != int(np.sum(box == b)):
             bad(f"box {int(b)} count {c} != {int(np.sum(box == b))} agents")
             continue
@@ -185,7 +188,7 @@ def check_uniform_grid(env: UniformGridEnvironment) -> list[Violation]:
     # its segment, with no cycle (bounded walk).
     succ = state["successor"]
     for b in boxes:
-        s, c = int(start[b]), int(count[b])
+        s, c = (int(start[b]), int(count[b])) if stamp[b] == ts else (0, 0)
         seg = set(order[s : s + c].tolist())
         cur = int(order[s]) if c else -1
         seen = set()

@@ -23,6 +23,13 @@ equal.
 ``Param(tracing=True)`` must be provably inert — the tracer observes
 timestamps, never simulation state — so per-step checksums with the
 tracer on and off must also be bitwise identical.
+
+:func:`neighbor_cache_equivalence` applies it to the displacement-bounded
+neighbor cache (Verlet-skin CSR reuse): reusing + re-filtering the cached
+superset CSR promises *bitwise* identity with rebuilding every step, on
+the serial and the process backend alike — so per-step checksums with
+``Param(neighbor_cache=...)`` on and off must be equal at every step, for
+every seed, on both backends.
 """
 
 from __future__ import annotations
@@ -39,6 +46,8 @@ __all__ = [
     "BackendEquivalenceReport",
     "backend_equivalence",
     "tracing_equivalence",
+    "NeighborCacheEquivalenceReport",
+    "neighbor_cache_equivalence",
 ]
 
 
@@ -222,6 +231,99 @@ def backend_equivalence(name: str, num_agents: int = 300, steps: int = 8,
              if a != b),
             None,
         )
+    return report
+
+
+# --------------------------------------------------------------------- #
+# Neighbor cache (Verlet-skin CSR reuse) equivalence
+# --------------------------------------------------------------------- #
+
+@dataclass
+class NeighborCacheEquivalenceReport:
+    """Cache-on vs cache-off checksum comparison across backends and seeds."""
+
+    model: str
+    steps: int
+    workers: int
+    #: ``{(backend, seed): first diverging step or None}`` — step 0 is the
+    #: initial state, step k the state after iteration k.
+    divergences: dict[tuple[str, int], int | None] = field(
+        default_factory=dict
+    )
+    #: Cache hits observed across the cache-on runs; a zero here would
+    #: make a green comparison vacuous (the cache never engaged).
+    cache_hits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(d is None for d in self.divergences.values())
+            and self.cache_hits > 0
+        )
+
+    def render(self) -> str:
+        """One line per (backend, seed): byte-identical or first divergence."""
+        lines = [
+            f"neighbor cache equivalence {self.model}: cache on vs off, "
+            f"{self.steps} steps, {self.cache_hits} cache hits"
+        ]
+        if self.cache_hits == 0:
+            lines.append("  VACUOUS: the cache never produced a hit")
+        for (backend, seed), div in sorted(self.divergences.items()):
+            if div is None:
+                lines.append(f"  {backend} seed {seed}: byte-identical")
+            else:
+                lines.append(
+                    f"  {backend} seed {seed}: DIVERGES at step {div}"
+                )
+        return "\n".join(lines)
+
+
+def neighbor_cache_equivalence(name: str, num_agents: int = 300,
+                               steps: int = 8, seeds=(1, 2, 3),
+                               workers: int = 2, param=None,
+                               ) -> NeighborCacheEquivalenceReport:
+    """Assert the neighbor cache reproduces fresh builds bitwise.
+
+    For every seed and for both execution backends, runs the registry
+    model once with ``Param.neighbor_cache`` on and once off, diffing the
+    full per-step :func:`~repro.verify.snapshot.state_checksum` trace.
+    The cache's whole contract is that re-filtering the superset CSR is
+    indistinguishable from rebuilding — any ordering change in the CSR
+    rows, a stale pair surviving a structural change, or a boundary pair
+    rounding differently in the re-filter shows up as a diverging
+    checksum at the first affected step.  The report also counts cache
+    hits so a configuration where the cache never engages cannot pass
+    vacuously.
+    """
+    from repro.core.param import Param
+    from repro.simulations import get_simulation
+
+    bench = get_simulation(name)
+    base = param if param is not None else Param()
+    report = NeighborCacheEquivalenceReport(
+        model=name, steps=steps, workers=workers
+    )
+
+    def trace(backend, seed, cache):
+        p = base.with_(execution_backend=backend, backend_workers=workers,
+                       neighbor_cache=cache)
+        with bench.build(num_agents, param=p, seed=seed) as sim:
+            out = [state_checksum(sim)]
+            for _ in range(steps):
+                sim.simulate(1)
+                out.append(state_checksum(sim))
+            hits = int(sim.obs.registry.counter("neighbor_cache:hits").value)
+        return out, hits
+
+    for backend in ("serial", "process"):
+        for seed in seeds:
+            on, hits = trace(backend, seed, True)
+            off, _ = trace(backend, seed, False)
+            report.cache_hits += hits
+            report.divergences[(backend, seed)] = next(
+                (i for i, (a, b) in enumerate(zip(on, off)) if a != b), None
+            )
     return report
 
 
