@@ -172,6 +172,12 @@ def _cmd_trace(args) -> int:
               f"{int(reg.counter('neighbor_cache:misses').value)} misses, "
               f"{int(reg.counter('neighbor_cache:refilters').value)} "
               "refilters")
+        print("  agent ops: "
+              f"{int(reg.counter('commit:fast_appends').value)} "
+              "fast appends, "
+              f"{int(reg.counter('commit:staged_rows').value)} staged rows, "
+              f"{int(reg.counter('agent_ops:mask_cache_hits').value)} "
+              "mask-cache hits")
         if workers:
             print(f"  worker threads: {len(workers)}")
         if args.metrics:
@@ -202,7 +208,12 @@ def main(argv=None) -> int:
     bench.add_argument("--workers", type=int, nargs="+",
                        help="worker counts for the `scaling` experiment")
     bench.add_argument("--out", help="artifact path for the wall-clock "
-                                     "experiments (scaling, neighbor_cache)")
+                                     "experiments (scaling, neighbor_cache, "
+                                     "agent_ops)")
+    bench.add_argument("--profile", nargs="?", const="profiles",
+                       metavar="DIR",
+                       help="run under cProfile; write top cumulative "
+                            "functions to DIR/<experiment>.prof.txt")
     from repro.verify.cli import add_verify_parser
 
     add_verify_parser(sub)
@@ -236,6 +247,8 @@ def main(argv=None) -> int:
             forwarded += ["--workers", *map(str, args.workers)]
         if args.out:
             forwarded += ["--out", args.out]
+        if args.profile is not None:
+            forwarded += ["--profile", args.profile]
         return bench_main(forwarded)
     return 2
 

@@ -24,8 +24,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--scale", default="small", choices=["small", "medium"])
     wall_opts = parser.add_argument_group(
-        "wall-clock", "options for the `scaling` and `neighbor_cache` "
-                      "experiments")
+        "wall-clock", "options for the `scaling`, `neighbor_cache` and "
+                      "`agent_ops` experiments")
     wall_opts.add_argument("--agents", type=int, default=None)
     wall_opts.add_argument("--iterations", type=int, default=None)
     wall_opts.add_argument(
@@ -35,6 +35,12 @@ def main(argv=None) -> int:
     wall_opts.add_argument(
         "--out", default=None,
         help="artifact path (defaults to BENCH_<experiment>.json)")
+    parser.add_argument(
+        "--profile", nargs="?", const="profiles", default=None,
+        metavar="DIR",
+        help="run each experiment under cProfile and write the top "
+             "cumulative-time functions to DIR/<experiment>.prof.txt "
+             "(default DIR: profiles)")
     args = parser.parse_args(argv)
 
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -45,15 +51,46 @@ def main(argv=None) -> int:
             kwargs = dict(agents=args.agents, iterations=args.iterations,
                           workers=args.workers,
                           out=args.out or "BENCH_scaling.json")
-        elif name == "neighbor_cache":
+        elif name in ("neighbor_cache", "agent_ops"):
             kwargs = dict(agents=args.agents, iterations=args.iterations,
-                          out=args.out or "BENCH_neighbor_cache.json")
+                          out=args.out or f"BENCH_{name}.json")
         t0 = time.perf_counter()
-        report = mod.run(scale=args.scale, **kwargs)
+        if args.profile is not None:
+            report = _profiled_run(name, mod, args, kwargs)
+        else:
+            report = mod.run(scale=args.scale, **kwargs)
         elapsed = time.perf_counter() - t0
         print(report.render())
         print(f"[{name} completed in {elapsed:.1f}s]\n")
     return 0
+
+
+#: Functions kept in the ``--profile`` dump (sorted by cumulative time).
+PROFILE_TOP_N = 40
+
+
+def _profiled_run(name, mod, args, kwargs):
+    """Run one experiment under cProfile; dump top functions to a file."""
+    import cProfile
+    import io
+    import pstats
+    from pathlib import Path
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        report = mod.run(scale=args.scale, **kwargs)
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+    out_dir = Path(args.profile)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}.prof.txt"
+    path.write_text(buf.getvalue())
+    print(f"[profile: top {PROFILE_TOP_N} cumulative functions -> {path}]")
+    return report
 
 
 if __name__ == "__main__":

@@ -7,6 +7,7 @@ not expected to match — the substrate is a simulated machine).
 """
 
 from repro.bench.experiments import (
+    agent_ops,
     ext_ablations,
     ext_distributed,
     ext_gpu,
@@ -26,6 +27,7 @@ from repro.bench.experiments import (
 )
 
 ALL_EXPERIMENTS = {
+    "agent_ops": agent_ops,
     "table1": table1_characteristics,
     "fig05": fig05_breakdown,
     "fig06": fig06_complexity,

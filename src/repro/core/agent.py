@@ -102,6 +102,8 @@ class Agent:
     def set(self, column: str, value) -> None:
         """Write any registered attribute column."""
         self._sim.rm.data[column][self.index] = value
+        if column == "behavior_mask":
+            self._sim.rm.note_behavior_mask_changed()
 
     def neighbors(self) -> np.ndarray:
         """Storage indices of the agent's current neighbors."""

@@ -69,17 +69,18 @@ class GrowDivide(Behavior):
         direction = rng.normal(size=(len(ready), 3))
         direction /= np.linalg.norm(direction, axis=1)[:, None]
         child_pos = rm.positions[ready] + direction * (new_d[:, None] / 2.0)
-        doms = rm.domain_of_index(ready)
-        for dom in np.unique(doms):
-            sel = doms == dom
-            rm.queue_new_agents(
-                {
-                    "position": child_pos[sel],
-                    "diameter": new_d[sel],
-                    "behavior_mask": rm.data["behavior_mask"][ready[sel]],
-                },
-                domain=int(dom),
-            )
+        # One batched call with a per-row domain vector.  ``ready`` is
+        # ascending, so ``doms`` is non-decreasing and the commit assigns
+        # the daughters' uids in exactly the order the old per-unique-
+        # domain loop did.
+        rm.queue_new_agents(
+            {
+                "position": child_pos,
+                "diameter": new_d,
+                "behavior_mask": rm.data["behavior_mask"][ready],
+            },
+            domain=rm.domain_of_index(ready),
+        )
 
 
 class RandomWalk(Behavior):

@@ -85,6 +85,16 @@ class Param:
     #: interaction-radius growth; a positive value fixes it.  Negative
     #: values are invalid.
     neighbor_skin: float = 0.0
+    #: Batched agent-ops pipeline: ``queue_new_agents`` writes into
+    #: preallocated columnar staging arenas and ``commit`` appends the
+    #: staged rows with one fancy-indexed copy per column (additions-only
+    #: commits skip the per-step UID rescan entirely); the scheduler
+    #: additionally caches per-behavior index lists until the population
+    #: structure or a behavior mask changes.  Bitwise identical to the
+    #: legacy dict-of-lists queue-merge path (enforced by
+    #: ``verify.replay.commit_pipeline_equivalence``); turning it off
+    #: selects that legacy path, e.g. for A/B benchmarking.
+    batched_agent_ops: bool = True
 
     # --- Memory layout (O4, O5) --------------------------------------------
     agent_sort_frequency: int = 10         # 0 disables sorting; 1 = every iter

@@ -88,37 +88,31 @@ def plan_removal(n: int, removed, num_threads: int = 4) -> RemovalPlan:
     new_size = n - r
 
     # Step 2: fill the auxiliary arrays.  Both have exactly `removed`
-    # entries; no O(n) state is touched.
-    to_right_aux = np.full(r, _UINT_MAX, dtype=np.int64)
+    # entries; no O(n) state is touched.  (The paper's ``to_right`` aux
+    # array holds the holes in its first ``len(holes)`` slots and UINT_MAX
+    # after; ``holes`` below *is* its compacted content.)
     not_to_left = np.zeros(r, dtype=np.int64)
     left_mask = removed < new_size
     holes = removed[left_mask]
-    to_right_aux[: len(holes)] = holes  # per-thread writes, modeled compactly
     not_to_left[removed[~left_mask] - new_size] = 1
 
-    # Step 3: per-block compaction.  Blocks correspond to threads.
+    # Step 3: per-block compaction, vectorized over all thread blocks at
+    # once.  ``to_right_aux`` holds the holes in its first ``len(holes)``
+    # slots and UINT_MAX after, so block t keeps ``min(hi, len(holes)) -
+    # min(lo, len(holes))`` entries and their concatenation is ``holes``
+    # itself; the surviving tail elements are the zero positions of
+    # ``not_to_left``, and a searchsorted over the block bounds yields the
+    # per-block counts — bit-identical to the per-thread loop it replaces.
     bounds = np.linspace(0, r, num_threads + 1, dtype=np.int64)
-    swaps_right = np.zeros(num_threads, dtype=np.int64)
-    swaps_left = np.zeros(num_threads, dtype=np.int64)
-    right_blocks: list[np.ndarray] = []
-    left_blocks: list[np.ndarray] = []
-    for t in range(num_threads):
-        lo, hi = bounds[t], bounds[t + 1]
-        blk = to_right_aux[lo:hi]
-        kept = blk[blk != _UINT_MAX]
-        right_blocks.append(kept)
-        swaps_right[t] = len(kept)
-        # not_to_left flips meaning: zeros mark surviving tail elements.
-        zeros = np.flatnonzero(not_to_left[lo:hi] == 0) + lo
-        survivors = zeros + new_size
-        left_blocks.append(survivors)
-        swaps_left[t] = len(survivors)
+    swaps_right = np.diff(np.minimum(bounds, len(holes)))
+    zeros = np.flatnonzero(not_to_left == 0)
+    swaps_left = np.diff(np.searchsorted(zeros, bounds, side="left"))
+    to_right = holes.astype(np.int64, copy=True)
+    to_left = zeros + new_size
 
     # Step 4: prefix sums pair holes with survivors globally.
     prefix_right = exclusive_prefix_sum(swaps_right)
     prefix_left = exclusive_prefix_sum(swaps_left)
-    to_right = np.concatenate(right_blocks) if right_blocks else np.empty(0, np.int64)
-    to_left = np.concatenate(left_blocks) if left_blocks else np.empty(0, np.int64)
     assert len(to_right) == len(to_left), "holes must equal tail survivors"
     return RemovalPlan(
         new_size, to_right, to_left, swaps_right, swaps_left, prefix_right, prefix_left

@@ -8,10 +8,28 @@ segments, the moral equivalent of the per-domain pointer vectors), and a
 simulated allocator assigns each agent payload an address whose locality
 and NUMA placement the cost model prices.
 
-Additions and removals requested during an iteration are buffered in
-thread-local queues and committed at the end of the iteration — additions
-by growing the columns once and writing in parallel, removals with the
-five-step swap algorithm of §3.2 (see :mod:`repro.core.removal`).
+Additions and removals requested during an iteration are buffered and
+committed at the end of the iteration.  Two buffering strategies exist:
+
+- **Staged (default, ``batched=True``)** — additions are written directly
+  into preallocated columnar *staging arenas* (amortized doubling growth,
+  one contiguous row-range per :meth:`queue_new_agents` call).  ``commit``
+  then has fast paths: an additions-only commit on a single domain
+  *appends* the staged rows to capacity-backed columns in place (no full
+  reallocation, no ``np.unique``/``np.isin`` uid rescan — the new agents'
+  indices are known positionally), and removals are applied with one
+  fancy-indexed gather per column built from the §3.2 swap plans.
+- **Legacy (``batched=False``)** — the original dict-of-lists queues whose
+  commit re-merges attribute arrays with ``np.concatenate`` and locates
+  the inserted rows with an ``np.isin`` uid scan.  Kept as the measured
+  baseline for ``python -m repro bench agent_ops`` and as the reference
+  implementation for ``verify.replay.commit_pipeline_equivalence``, which
+  asserts the two pipelines produce bitwise-identical per-step state.
+
+Commit ordering is identical in both modes: queued entries are drained
+per thread in thread-key insertion order, then call order, and uids are
+assigned contiguously in that merged order — so the staged pipeline
+reproduces the legacy uid/layout byte for byte.
 """
 
 from __future__ import annotations
@@ -20,7 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.removal import apply_removal, plan_removal
+from repro.core.removal import plan_removal
 
 __all__ = ["ResourceManager", "CommitStats"]
 
@@ -37,6 +55,11 @@ class CommitStats:
     new_agent_indices: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64)
     )
+    #: Whether the additions took the in-place segment-append fast path
+    #: (no column reallocation, no uid rescan).
+    fast_append: bool = False
+    #: Rows that went through the columnar staging arenas this commit.
+    staged_rows: int = 0
 
 
 class ResourceManager:
@@ -54,25 +77,47 @@ class ResourceManager:
         ("grew", np.bool_, (), True),
     )
 
+    #: Smallest staging/column capacity ever allocated.
+    _MIN_CAPACITY = 8
+
     def __init__(
         self,
         num_domains: int = 1,
         agent_allocator=None,
         agent_size_bytes: int = 136,
+        batched: bool = True,
     ):
         self.num_domains = num_domains
         self.allocator = agent_allocator
         self.agent_size_bytes = agent_size_bytes
+        self.batched = batched
         self._columns: dict[str, tuple[np.dtype, tuple, object]] = {}
         self.data: dict[str, np.ndarray] = {}
         self.n = 0
         #: Incremented on every structural change (insert/remove/reorder);
         #: consumers such as the uid index invalidate their caches on it.
         self.structure_version = 0
+        #: Incremented whenever ``behavior_mask`` is written outside a
+        #: commit (attach/detach, generic Agent.set); the scheduler's
+        #: behavior-dispatch cache keys on it together with
+        #: ``structure_version``.
+        self.mask_version = 0
         self.domain_starts = np.zeros(num_domains + 1, dtype=np.int64)
         self._next_uid = 0
+        # Legacy dict-of-lists addition queues (used when batched=False).
         self._add_queues: dict[int, list[dict]] = {}
         self._remove_queues: dict[int, list[np.ndarray]] = {}
+        # Columnar staging arenas (used when batched=True): one capacity
+        # buffer per column touched this round, plus per-thread call
+        # records (start row, count, domain spec) that reproduce the
+        # legacy commit order.
+        self._staging: dict[str, np.ndarray] = {}
+        self._staged = 0
+        self._stage_capacity = 0
+        self._staged_entries: dict[int, list[tuple[int, int, object]]] = {}
+        #: Capacity buffers backing ``data`` columns after a fast append;
+        #: ``data[name]`` is an exact-size prefix view of the entry here.
+        self._col_caps: dict[str, np.ndarray] = {}
         for name, dtype, shape, fill in self.CORE_COLUMNS:
             self.register_column(name, dtype, shape, fill)
         from repro.core.agent import UidIndex
@@ -103,7 +148,35 @@ class ResourceManager:
         :mod:`repro.parallel.shm`) override it to place the data where
         worker processes can map it.
         """
+        # A freshly allocated array replaces any capacity buffer the fast
+        # append path was extending; drop it so the next append revalidates.
+        self._col_caps.pop(name, None)
         self.data[name] = arr
+
+    def _grow_column(self, name: str, new_n: int) -> np.ndarray:
+        """Extend column ``name`` to ``new_n`` rows, reusing capacity.
+
+        The returned array is the live ``data[name]`` view; rows
+        ``[0, self.n)`` hold the current values, rows ``[self.n, new_n)``
+        are uninitialized and must be filled by the caller.  Capacity
+        grows by amortized doubling; reallocation only copies when the
+        capacity buffer is exhausted or no longer backs the live column
+        (e.g. after a checkpoint restore wrote ``data`` directly).
+        Storage subclasses override this to grow shared-memory blocks.
+        """
+        dtype, shape, _fill = self._columns[name]
+        cur = self.data[name]
+        buf = self._col_caps.get(name)
+        if buf is not None and (cur is buf or cur.base is buf) and len(buf) >= new_n:
+            grown = buf[:new_n]
+        else:
+            cap = max(new_n, 2 * len(cur), self._MIN_CAPACITY)
+            fresh = np.empty((cap, *shape), dtype=dtype)
+            fresh[: self.n] = cur
+            self._col_caps[name] = fresh
+            grown = fresh[:new_n]
+        self.data[name] = grown
+        return grown
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self.data[name]
@@ -111,6 +184,11 @@ class ResourceManager:
     @property
     def positions(self) -> np.ndarray:
         return self.data["position"]
+
+    def note_behavior_mask_changed(self) -> None:
+        """Record an out-of-commit ``behavior_mask`` write (attach/detach);
+        invalidates the scheduler's cached behavior index lists."""
+        self.mask_version += 1
 
     def domain_slice(self, d: int) -> slice:
         """Storage slice of NUMA domain ``d``."""
@@ -161,37 +239,64 @@ class ResourceManager:
                     )
         return addrs
 
-    def _insert(self, attributes: dict[str, np.ndarray], dom: np.ndarray) -> None:
-        """Insert rows keeping the sorted-by-domain invariant."""
+    def _insert(self, attributes: dict[str, np.ndarray], dom: np.ndarray) -> np.ndarray:
+        """Insert rows keeping the sorted-by-domain invariant.
+
+        One reallocation and at most two fancy-indexed copies per column
+        (old rows to their shifted positions, inserted rows to the tail of
+        their domain segment) — no per-domain inner loop.  Returns the
+        inserted rows' indices in the new layout (ascending), computed
+        positionally so callers never need a uid rescan.
+        """
         count = len(dom)
         if "addr" not in attributes:
             attributes["addr"] = self._alloc_addrs(dom)
-        order = np.argsort(dom, kind="stable")
         insert_per_domain = np.bincount(dom, minlength=self.num_domains)
-
         new_n = self.n + count
         new_starts = self.domain_starts + np.concatenate(
             ([0], np.cumsum(insert_per_domain))
         )
+        if self.num_domains == 1:
+            # Single domain: stable sort is the identity, old rows stay put.
+            order = None
+            old_dst = None
+            new_dst = np.arange(self.n, new_n, dtype=np.int64)
+        else:
+            order = np.argsort(dom, kind="stable")
+            shift = new_starts[:-1] - self.domain_starts[:-1]
+            old_dom = np.repeat(
+                np.arange(self.num_domains), np.diff(self.domain_starts)
+            )
+            old_dst = np.arange(self.n, dtype=np.int64) + shift[old_dom]
+            dom_sorted = dom[order]
+            seg_old = (
+                self.domain_starts[dom_sorted + 1]
+                - self.domain_starts[dom_sorted]
+            )
+            before_dom = np.cumsum(insert_per_domain) - insert_per_domain
+            within = np.arange(count, dtype=np.int64) - before_dom[dom_sorted]
+            new_dst = new_starts[dom_sorted] + seg_old + within
         for name, (dtype, shape, fill) in self._columns.items():
             old = self.data[name]
             new = np.empty((new_n, *shape), dtype=dtype)
             src = attributes.get(name)
-            for d in range(self.num_domains):
-                o_lo, o_hi = self.domain_starts[d], self.domain_starts[d + 1]
-                n_lo = new_starts[d]
-                seg = o_hi - o_lo
-                new[n_lo : n_lo + seg] = old[o_lo:o_hi]
-                ins = order[np.flatnonzero(dom[order] == d)]
-                dst = slice(n_lo + seg, n_lo + seg + len(ins))
+            if old_dst is None:
+                new[: self.n] = old
                 if src is not None:
-                    new[dst] = np.asarray(src)[ins]
+                    new[self.n :] = np.asarray(src)
                 else:
-                    new[dst] = fill
+                    new[self.n :] = fill
+            else:
+                new[old_dst] = old
+                if src is not None:
+                    new[new_dst] = np.asarray(src)[order]
+                else:
+                    new[new_dst] = fill
             self._store(name, new)
         self.n = new_n
         self.structure_version += 1
         self.domain_starts = new_starts
+        return new_dst
 
     # ------------------------------------------------------------------ #
     # Thread-local queues (during-iteration modifications)
@@ -199,11 +304,63 @@ class ResourceManager:
 
     def queue_new_agents(self, attributes: dict[str, np.ndarray], thread: int = 0,
                          domain=None) -> None:
-        """Buffer new agents in a thread-local list (committed later)."""
+        """Buffer new agents for the end-of-iteration commit.
+
+        ``domain`` may be ``None`` (round-robin placement at commit), an
+        int (pin all rows), or an int array with one domain per row
+        (batched behaviors queue all their divisions in one call).
+
+        In staged mode the attribute arrays are copied into the columnar
+        staging arenas immediately (one contiguous row-range per call);
+        in legacy mode the call is recorded in a thread-local list and
+        merged at commit.
+        """
         count = len(next(iter(attributes.values())))
-        self._add_queues.setdefault(thread, []).append(
-            {"attributes": attributes, "domain": domain, "count": count}
+        if not self.batched:
+            self._add_queues.setdefault(thread, []).append(
+                {"attributes": attributes, "domain": domain, "count": count}
+            )
+            return
+        start = self._staged
+        new_total = start + count
+        if new_total > self._stage_capacity:
+            self._grow_staging(new_total)
+        for name, value in attributes.items():
+            spec = self._columns.get(name)
+            if spec is None:
+                continue  # unregistered attributes ride along silently
+            buf = self._staging.get(name)
+            if buf is None:
+                buf = self._new_staging_buffer(name, backfill=start)
+            buf[start:new_total] = np.asarray(value)
+        # Columns staged by earlier calls but absent from this one get
+        # their fill value for this range (legacy merge would reject such
+        # heterogeneous rounds; staging handles them).
+        for name, buf in self._staging.items():
+            if name not in attributes:
+                buf[start:new_total] = self._columns[name][2]
+        self._staged = new_total
+        self._staged_entries.setdefault(thread, []).append(
+            (start, count, domain)
         )
+
+    def _new_staging_buffer(self, name: str, backfill: int) -> np.ndarray:
+        dtype, shape, fill = self._columns[name]
+        buf = np.empty((self._stage_capacity, *shape), dtype=dtype)
+        if backfill:
+            buf[:backfill] = fill
+        self._staging[name] = buf
+        return buf
+
+    def _grow_staging(self, needed: int) -> None:
+        """Amortized-doubling growth of every staging buffer."""
+        cap = max(needed, 2 * self._stage_capacity, self._MIN_CAPACITY)
+        self._stage_capacity = cap
+        for name, old in self._staging.items():
+            dtype, shape, _fill = self._columns[name]
+            fresh = np.empty((cap, *shape), dtype=dtype)
+            fresh[: self._staged] = old[: self._staged]
+            self._staging[name] = fresh
 
     def queue_removals(self, indices, thread: int = 0) -> None:
         """Buffer removals (storage indices) in a thread-local list."""
@@ -213,7 +370,8 @@ class ResourceManager:
 
     @property
     def pending_additions(self) -> int:
-        return sum(e["count"] for q in self._add_queues.values() for e in q)
+        legacy = sum(e["count"] for q in self._add_queues.values() for e in q)
+        return legacy + self._staged
 
     @property
     def pending_removals(self) -> int:
@@ -250,64 +408,188 @@ class ResourceManager:
             self._remove_indices(removed, parallel, num_threads, stats)
 
         # --- Additions.
+        if self._staged:
+            self._commit_staged(stats)
         entries = [e for q in self._add_queues.values() for e in q]
         self._add_queues.clear()
         if entries:
-            total = sum(e["count"] for e in entries)
-            stats.added = total
-            dom = np.empty(total, dtype=np.int64)
-            merged: dict[str, list] = {}
-            pos = 0
-            rr = 0
-            for e in entries:
-                c = e["count"]
-                if e["domain"] is None:
-                    dom[pos : pos + c] = (np.arange(c) + rr) % self.num_domains
-                    rr += c
-                else:
-                    dom[pos : pos + c] = e["domain"]
-                for k, v in e["attributes"].items():
-                    merged.setdefault(k, []).append(np.asarray(v))
-                pos += c
-            attributes = {k: np.concatenate(v) for k, v in merged.items()}
-            uids = np.arange(self._next_uid, self._next_uid + total, dtype=np.int64)
-            self._next_uid += total
-            attributes["uid"] = uids
-            before = self.n
-            self._insert(attributes, dom)
-            # Indices of the inserted agents in the *new* layout.
-            new_idx = np.flatnonzero(np.isin(self.data["uid"], uids))
-            stats.new_agent_indices = new_idx
-            assert self.n == before + total
+            self._commit_legacy(entries, stats)
         return stats
 
-    def _remove_indices(self, removed, parallel, num_threads, stats) -> None:
-        doms = self.domain_of_index(removed)
-        kept_segments = []
-        plans = []
-        for d in range(self.num_domains):
-            lo, hi = self.domain_starts[d], self.domain_starts[d + 1]
-            local = removed[doms == d] - lo
-            seg_len = int(hi - lo)
-            if parallel:
-                plan = plan_removal(seg_len, local, num_threads=num_threads)
-            else:
-                plan = plan_removal(seg_len, local, num_threads=1)
-                stats.serial_scan_items += seg_len
-            plans.append((lo, plan))
-            kept_segments.append(plan.new_size)
+    def _commit_order(self) -> tuple[list[tuple[int, int, object]], np.ndarray | None]:
+        """Staged calls in legacy commit order, plus the storage->commit
+        gather (``None`` when storage order already is commit order)."""
+        ranges = [e for q in self._staged_entries.values() for e in q]
+        if len(self._staged_entries) <= 1:
+            return ranges, None  # single thread: call order == storage order
+        order = np.concatenate(
+            [np.arange(s, s + c, dtype=np.int64) for s, c, _ in ranges]
+        ) if ranges else np.empty(0, dtype=np.int64)
+        return ranges, order
 
+    def _staged_domains(self, ranges, total: int) -> np.ndarray:
+        """Per-row target domain in commit order (legacy ``rr`` semantics:
+        the round-robin cursor advances only over ``domain=None`` calls)."""
+        dom = np.empty(total, dtype=np.int64)
+        pos = 0
+        rr = 0
+        for _start, c, d in ranges:
+            if d is None:
+                dom[pos : pos + c] = (np.arange(c) + rr) % self.num_domains
+                rr += c
+            else:
+                dom[pos : pos + c] = d
+            pos += c
+        return dom
+
+    def _commit_staged(self, stats: CommitStats) -> None:
+        """Drain the staging arenas into the columns.
+
+        Single-domain storage takes the append fast path: every column is
+        extended in place over its capacity buffer and the staged rows are
+        copied once — no full-column reallocation, and the new agents'
+        indices are ``arange(n_before, n_after)`` by construction (no
+        ``np.isin`` uid scan).  Multi-domain storage falls back to the
+        vectorized :meth:`_insert`, whose return value is positional too.
+        """
+        total = self._staged
+        ranges, order = self._commit_order()
+        dom = self._staged_domains(ranges, total)
+        uids = np.arange(self._next_uid, self._next_uid + total, dtype=np.int64)
+        self._next_uid += total
+        stats.added += total
+        stats.staged_rows += total
+        if self.num_domains == 1:
+            addr = self._alloc_addrs(dom)
+            old_n = self.n
+            new_n = old_n + total
+            for name, (dtype, shape, fill) in self._columns.items():
+                col = self._grow_column(name, new_n)
+                if name == "uid":
+                    col[old_n:] = uids
+                elif name == "addr":
+                    col[old_n:] = addr
+                else:
+                    buf = self._staging.get(name)
+                    if buf is None:
+                        col[old_n:] = fill
+                    elif order is None:
+                        col[old_n:] = buf[:total]
+                    else:
+                        col[old_n:] = buf[order]
+            self.n = new_n
+            new_starts = self.domain_starts.copy()
+            new_starts[-1] = new_n
+            self.domain_starts = new_starts
+            self.structure_version += 1
+            stats.new_agent_indices = np.arange(old_n, new_n, dtype=np.int64)
+            stats.fast_append = True
+        else:
+            attributes = {
+                name: (buf[:total] if order is None else buf[order])
+                for name, buf in self._staging.items()
+            }
+            attributes["uid"] = uids
+            stats.new_agent_indices = self._insert(attributes, dom)
+        self._staged = 0
+        self._staged_entries.clear()
+
+    def _commit_legacy(self, entries: list[dict], stats: CommitStats) -> None:
+        """The original queue-merge commit (``batched=False`` baseline):
+        concatenate per-entry attribute arrays, insert, then locate the
+        inserted rows with a uid rescan."""
+        total = sum(e["count"] for e in entries)
+        stats.added += total
+        dom = np.empty(total, dtype=np.int64)
+        merged: dict[str, list] = {}
+        pos = 0
+        rr = 0
+        for e in entries:
+            c = e["count"]
+            if e["domain"] is None:
+                dom[pos : pos + c] = (np.arange(c) + rr) % self.num_domains
+                rr += c
+            else:
+                dom[pos : pos + c] = e["domain"]
+            for k, v in e["attributes"].items():
+                merged.setdefault(k, []).append(np.asarray(v))
+            pos += c
+        attributes = {k: np.concatenate(v) for k, v in merged.items()}
+        uids = np.arange(self._next_uid, self._next_uid + total, dtype=np.int64)
+        self._next_uid += total
+        attributes["uid"] = uids
+        before = self.n
+        self._insert_legacy(attributes, dom)
+        # Indices of the inserted agents in the *new* layout (the legacy
+        # uid rescan the staged pipeline exists to avoid).
+        new_idx = np.flatnonzero(np.isin(self.data["uid"], uids))
+        stats.new_agent_indices = new_idx
+        assert self.n == before + total
+
+    def _insert_legacy(self, attributes: dict[str, np.ndarray],
+                       dom: np.ndarray) -> None:
+        """The original per-domain insert loop, kept verbatim as the
+        ``batched=False`` baseline: every column is reallocated and its
+        domain segments and inserted rows copied one domain at a time
+        (with a per-column per-domain ``flatnonzero`` gather).  Produces
+        the exact layout of :meth:`_insert`."""
+        count = len(dom)
+        if "addr" not in attributes:
+            attributes["addr"] = self._alloc_addrs(dom)
+        order = np.argsort(dom, kind="stable")
+        insert_per_domain = np.bincount(dom, minlength=self.num_domains)
+
+        new_n = self.n + count
+        new_starts = self.domain_starts + np.concatenate(
+            ([0], np.cumsum(insert_per_domain))
+        )
+        for name, (dtype, shape, fill) in self._columns.items():
+            old = self.data[name]
+            new = np.empty((new_n, *shape), dtype=dtype)
+            src = attributes.get(name)
+            for d in range(self.num_domains):
+                o_lo, o_hi = self.domain_starts[d], self.domain_starts[d + 1]
+                n_lo = new_starts[d]
+                seg = o_hi - o_lo
+                new[n_lo : n_lo + seg] = old[o_lo:o_hi]
+                ins = order[np.flatnonzero(dom[order] == d)]
+                dst = slice(n_lo + seg, n_lo + seg + len(ins))
+                if src is not None:
+                    new[dst] = np.asarray(src)[ins]
+                else:
+                    new[dst] = fill
+            self._store(name, new)
+        self.n = new_n
+        self.structure_version += 1
+        self.domain_starts = new_starts
+
+    def _remove_indices(self, removed, parallel, num_threads, stats) -> None:
+        """Apply the §3.2 swap plans with one gather per column.
+
+        Each domain's plan maps its segment to ``new_size`` survivors; the
+        per-domain results are fused into a single index vector so every
+        column is rebuilt by one fancy-indexed copy (no per-column
+        per-domain loop, no list-of-pieces concatenation).
+        """
+        doms = self.domain_of_index(removed)
         new_starts = np.zeros(self.num_domains + 1, dtype=np.int64)
-        np.cumsum(kept_segments, out=new_starts[1:])
+        keep = np.empty(self.n - len(removed), dtype=np.int64)
+        threads = num_threads if parallel else 1
+        for d in range(self.num_domains):
+            lo, hi = int(self.domain_starts[d]), int(self.domain_starts[d + 1])
+            local = removed[doms == d] - lo
+            seg_len = hi - lo
+            plan = plan_removal(seg_len, local, num_threads=threads)
+            if not parallel:
+                stats.serial_scan_items += seg_len
+            src, dst = plan.moves
+            out = int(new_starts[d])
+            g = keep[out : out + plan.new_size]
+            g[:] = np.arange(lo, lo + plan.new_size, dtype=np.int64)
+            g[dst] = src + lo
+            new_starts[d + 1] = out + plan.new_size
         for name in self._columns:
-            arr = self.data[name]
-            pieces = []
-            for lo, plan in plans:
-                # Apply the swaps on the domain segment, then keep the head.
-                src, dst = plan.moves
-                arr[lo:][dst] = arr[lo:][src]
-                pieces.append(arr[lo : lo + plan.new_size].copy())
-            self._store(name, np.concatenate(pieces) if pieces else arr[:0])
+            self._store(name, self.data[name][keep])
         self.n = int(new_starts[-1])
         self.structure_version += 1
         self.domain_starts = new_starts

@@ -23,6 +23,7 @@ charge one thread.  Region names match the paper's Fig. 5 breakdown:
 from __future__ import annotations
 
 import math
+import time
 import warnings
 
 import numpy as np
@@ -116,6 +117,26 @@ class Scheduler:
         #: loop, keyed by the identity of ``indices`` (strong ref kept, so
         #: the id cannot be reused while cached).
         self._qi_cache = None
+        # --- Batched agent-ops pipeline (staged commits + cached dispatch).
+        self._commit_fast_appends = self._obs.registry.counter(
+            "commit:fast_appends"
+        )
+        self._commit_staged_rows = self._obs.registry.counter(
+            "commit:staged_rows"
+        )
+        self._mask_cache_hits = self._obs.registry.counter(
+            "agent_ops:mask_cache_hits"
+        )
+        self._dispatch_seconds = self._obs.registry.counter(
+            "agent_ops:dispatch_seconds"
+        )
+        #: Behavior-dispatch cache: ``{bit: flatnonzero(mask & bit)}``
+        #: valid for ``_mask_cache_key`` — any structural change or
+        #: out-of-commit mask write (``rm.mask_version``) starts a fresh
+        #: dict, so a behavior that re-masks agents mid-iteration is still
+        #: dispatched exactly like the uncached per-behavior scan.
+        self._mask_cache: dict[int, np.ndarray] = {}
+        self._mask_cache_key = None
 
     # Registry-backed views of the scheduler's former bespoke tallies. -- #
 
@@ -600,12 +621,46 @@ class Scheduler:
 
         mem = np.bincount(qis, weights=lat, minlength=n)
         misses = lat >= cm.spec.dram_latency
-        dom_j = rm.domain_of_index(qjs)
-        counts = np.zeros((n, rm.num_domains))
-        for d in range(rm.num_domains):
-            sel = misses & (dom_j == d)
-            counts[:, d] = np.bincount(qis[sel], minlength=n)
+        # 2-D bincount: one pass over the missing accesses keyed by
+        # ``reader * num_domains + target_domain`` replaces the per-domain
+        # loop (identical counts; see the cost-model regression test).
+        num_dom = rm.num_domains
+        dom_j = rm.domain_of_index(qjs[misses])
+        counts = np.bincount(
+            qis[misses] * num_dom + dom_j, minlength=n * num_dom
+        ).reshape(n, num_dom).astype(np.float64)
         return mem, counts
+
+    def _behavior_indices(self, rm, bit) -> np.ndarray:
+        """Storage indices of agents carrying behavior ``bit``.
+
+        With the batched pipeline the ``flatnonzero`` scan runs once per
+        structural/mask change instead of once per behavior per step: the
+        index lists are cached keyed on ``(structure_version,
+        mask_version, n)``, and any commit, reorder, restore, or
+        out-of-commit mask write starts a fresh cache — so a behavior that
+        attaches or detaches bits mid-iteration still sees exactly what
+        the uncached scan would.
+        """
+        mask = rm.data["behavior_mask"]
+        if not self.sim.param.batched_agent_ops:
+            t0 = time.perf_counter()
+            idx = np.flatnonzero(mask & np.uint64(bit))
+            self._dispatch_seconds.inc(time.perf_counter() - t0)
+            return idx
+        key = (rm.structure_version, rm.mask_version, rm.n)
+        if self._mask_cache_key != key:
+            self._mask_cache_key = key
+            self._mask_cache = {}
+        idx = self._mask_cache.get(bit)
+        if idx is None:
+            t0 = time.perf_counter()
+            idx = np.flatnonzero(mask & np.uint64(bit))
+            self._dispatch_seconds.inc(time.perf_counter() - t0)
+            self._mask_cache[bit] = idx
+        else:
+            self._mask_cache_hits.inc()
+        return idx
 
     def _run_agent_ops(self) -> None:
         sim = self.sim
@@ -641,20 +696,21 @@ class Scheduler:
                 self._charge_transient_buffers(len(indices) * 16)
 
         # --- Behaviors.
-        for behavior, bit in sim.behaviors:
-            idx = np.flatnonzero(rm.data["behavior_mask"] & np.uint64(bit))
-            if len(idx) == 0:
-                continue
-            behavior.run(sim, idx)
-            if charge:
-                cycles[idx] += cm.compute_cycles(behavior.compute_ops_per_agent) + own_stream
-                mem[idx] += own_stream
-                if behavior.uses_neighbors and need_neighbors:
-                    cycles[idx] += nbr_mem[idx] + cm.compute_cycles(
-                        8.0 * counts_arr[idx]
-                    )
-                    mem[idx] += nbr_mem[idx]
-                    dom_counts[idx] += nbr_dom[idx]
+        with self._obs.stage("behaviors"):
+            for behavior, bit in sim.behaviors:
+                idx = self._behavior_indices(rm, bit)
+                if len(idx) == 0:
+                    continue
+                behavior.run(sim, idx)
+                if charge:
+                    cycles[idx] += cm.compute_cycles(behavior.compute_ops_per_agent) + own_stream
+                    mem[idx] += own_stream
+                    if behavior.uses_neighbors and need_neighbors:
+                        cycles[idx] += nbr_mem[idx] + cm.compute_cycles(
+                            8.0 * counts_arr[idx]
+                        )
+                        mem[idx] += nbr_mem[idx]
+                        dom_counts[idx] += nbr_dom[idx]
 
         # --- User-defined agent operations.
         if any(isinstance(op, AgentOperation) for op in sim.operations):
@@ -712,23 +768,34 @@ class Scheduler:
                 if charge:
                     det = cm.compute_cycles(DETECTION_OPS_PER_AGENT)
                     cycles += det
-        # Closed simulation space: clamp all movements (bound_space).
-        if p.bound_space is not None:
-            lo, hi = p.bound_space
-            np.clip(rm.positions, lo, hi, out=rm.positions)
-
         if charge:
             self._charge_agent_region("agent_ops", cycles, mem, dom_counts)
         self._drain_allocator_cycles("agent_ops")
+        self._finish_agent_ops(rm, p)
 
-        # Reset per-iteration flags; agents committed later this iteration
-        # are inserted with moved=True, preserving condition (iii) of §5.
-        # Movement/growth is remembered first so the next iteration knows
-        # whether the environment must be rebuilt.
-        if bool(rm.data["moved"].any()) or bool(rm.data["grew"].any()):
+    def _finish_agent_ops(self, rm, p) -> None:
+        """Fused end-of-loop pass: bound_space clamp + flag capture/reset.
+
+        Clamps movements into the closed simulation space, remembers
+        whether anything moved or grew (so the next iteration knows the
+        environment must be rebuilt), and resets the per-iteration flags —
+        skipping the column writes entirely when a flag array is already
+        all-False (static scenes).  Agents committed later this iteration
+        are inserted with moved=True, preserving condition (iii) of §5.
+        """
+        if p.bound_space is not None:
+            lo, hi = p.bound_space
+            np.clip(rm.positions, lo, hi, out=rm.positions)
+        moved = rm.data["moved"]
+        grew = rm.data["grew"]
+        moved_any = bool(moved.any())
+        grew_any = bool(grew.any())
+        if moved_any or grew_any:
             self._moved_since_build = True
-        rm.data["moved"][:] = False
-        rm.data["grew"][:] = False
+            if moved_any:
+                moved[:] = False
+            if grew_any:
+                grew[:] = False
 
     def _run_standalone_ops(self, kind: OpKind) -> None:
         """Execute user operations of the given kind that are due."""
@@ -797,6 +864,10 @@ class Scheduler:
         stats = rm.commit(
             parallel=p.parallel_agent_modifications, num_threads=num_threads
         )
+        if stats.fast_append:
+            self._commit_fast_appends.inc()
+        if stats.staged_rows:
+            self._commit_staged_rows.inc(stats.staged_rows)
         if m is not None:
             # Fixed per-iteration teardown cost (queue scans, barriers).
             m.run_serial("setup_teardown", 300.0)

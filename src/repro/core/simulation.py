@@ -83,11 +83,13 @@ class Simulation:
             from repro.parallel.shm import SharedMemoryResourceManager
 
             self.rm = SharedMemoryResourceManager(
-                num_domains, self.agent_allocator, self.param.agent_size_bytes
+                num_domains, self.agent_allocator, self.param.agent_size_bytes,
+                batched=self.param.batched_agent_ops,
             )
         else:
             self.rm = ResourceManager(
-                num_domains, self.agent_allocator, self.param.agent_size_bytes
+                num_domains, self.agent_allocator, self.param.agent_size_bytes,
+                batched=self.param.batched_agent_ops,
             )
         for i in range(MAX_TRACKED_BEHAVIORS):
             self.rm.register_column(f"behavior_addr{i}", np.int64, (), 0)
@@ -172,6 +174,8 @@ class Simulation:
         mask = self.rm.data["behavior_mask"]
         fresh = idx[(mask[idx] & np.uint64(bit)) == 0]
         mask[fresh] |= np.uint64(bit)
+        if len(fresh):
+            self.rm.note_behavior_mask_changed()
         if len(fresh) and self.agent_allocator is not None:
             doms = self.rm.domain_of_index(fresh)
             size = self.param.behavior_size_bytes
@@ -198,6 +202,7 @@ class Simulation:
         if bit is None:
             return
         self.rm.data["behavior_mask"][idx] &= ~np.uint64(bit)
+        self.rm.note_behavior_mask_changed()
 
     def add_diffusion_grid(self, grid: DiffusionGrid) -> DiffusionGrid:
         """Register a substance grid (stepped once per iteration)."""

@@ -129,23 +129,23 @@ class NeuriteExtension(Behavior):
         rm = sim.rm
         positions = rm.positions[parents] + axes * 0.5
         count = len(parents)
-        doms = rm.domain_of_index(parents)
-        for dom in np.unique(doms):
-            sel = doms == dom
-            attributes = {
-                "position": positions[sel],
-                "diameter": rm.data["diameter"][parents[sel]],
-                "behavior_mask": rm.data["behavior_mask"][parents[sel]],
-                "kind": np.full(sel.sum(), KIND_NEURITE, dtype=np.int8),
-                "parent_uid": rm.data["uid"][parents[sel]],
-                "axis": axes[sel],
-                "length": np.full(sel.sum(), 0.5),
-                "is_terminal": np.ones(sel.sum(), dtype=bool),
-                "branch_order": rm.data["branch_order"][parents[sel]] + order_bump,
-            }
-            if "neuron_id" in rm.data:  # synapse-formation tagging
-                attributes["neuron_id"] = rm.data["neuron_id"][parents[sel]]
-            rm.queue_new_agents(attributes, domain=int(dom))
+        # One batched call with a per-row domain vector; ``parents`` is
+        # ascending, so the uid assignment order matches the old
+        # per-unique-domain loop.
+        attributes = {
+            "position": positions,
+            "diameter": rm.data["diameter"][parents],
+            "behavior_mask": rm.data["behavior_mask"][parents],
+            "kind": np.full(count, KIND_NEURITE, dtype=np.int8),
+            "parent_uid": rm.data["uid"][parents],
+            "axis": axes,
+            "length": np.full(count, 0.5),
+            "is_terminal": np.ones(count, dtype=bool),
+            "branch_order": rm.data["branch_order"][parents] + order_bump,
+        }
+        if "neuron_id" in rm.data:  # synapse-formation tagging
+            attributes["neuron_id"] = rm.data["neuron_id"][parents]
+        rm.queue_new_agents(attributes, domain=rm.domain_of_index(parents))
         return count
 
     def _bifurcate(self, sim, forked, rng):

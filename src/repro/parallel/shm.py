@@ -237,3 +237,27 @@ class SharedMemoryResourceManager(ResourceManager):
         if view.size:
             view[...] = arr
         self.data[name] = view
+
+    def _grow_column(self, name: str, new_n: int) -> np.ndarray:
+        # The fast-append commit path extends a column in place and fills
+        # only the new tail.  Here the column must stay arena-backed, so
+        # instead of the base class's private capacity buffers, ask the
+        # arena for a longer view over the same block.  Existing rows are
+        # only copied when they are not already the block prefix: either
+        # the arena replaced the block on growth (``ensure`` never carries
+        # contents over), or ``self.data[name]`` was re-bound to private
+        # memory behind the arena's back (e.g. checkpoint restore).
+        old = self.data[name]
+        before = self.arena.layout_version
+        view = self.arena.ensure(
+            COLUMN_PREFIX + name, (new_n, *old.shape[1:]), old.dtype
+        )
+        replaced = self.arena.layout_version != before
+        if self.n and (
+            replaced
+            or old.__array_interface__["data"][0]
+            != view.__array_interface__["data"][0]
+        ):
+            view[: self.n] = old[: self.n]
+        self.data[name] = view
+        return view

@@ -13,7 +13,12 @@ Runs, in order and as selected by flags:
   identical) and the neighbor-cache equivalence check (the
   displacement-bounded Verlet-skin CSR cache must leave per-step
   checksums bitwise identical to rebuilding every step, on the serial
-  and the process backend).
+  and the process backend);
+- **commit pipeline**: the batched agent-ops equivalence check — staged
+  columnar commits and cached behavior dispatch
+  (``Param(batched_agent_ops=True)``) must leave per-step checksums
+  bitwise identical to the legacy queue-merge path, on both backends,
+  under population-churning models (divisions and deaths).
 
 With no flags everything runs at smoke-test sizes.  ``--fuzz N``,
 ``--oracle`` and ``--replay MODEL`` select individual sections (and
@@ -36,6 +41,11 @@ __all__ = ["add_verify_parser", "run_verify"]
 #: Registry models the invariant smoke check steps (one grows+moves, one
 #: also deletes agents — together they hit every structural path).
 INVARIANT_SMOKE_MODELS = ("cell_clustering", "oncology")
+
+#: Churn models the commit-pipeline equivalence check runs: one with
+#: additions only (divisions → the fast-append path) and one that mixes
+#: additions with removals (divisions + stochastic deaths).
+COMMIT_PIPELINE_MODELS = ("cell_proliferation", "oncology")
 
 
 def _positive_int(text: str) -> int:
@@ -135,6 +145,19 @@ def _run_replay(args, model: str) -> bool:
     return report.ok and traced.ok and cached.ok
 
 
+def _run_commit_pipeline(args) -> bool:
+    from repro.verify.replay import commit_pipeline_equivalence
+
+    ok = True
+    for name in COMMIT_PIPELINE_MODELS:
+        t0 = time.perf_counter()
+        report = commit_pipeline_equivalence(name)
+        dt = time.perf_counter() - t0
+        print(report.render() + f" ({dt:.1f}s)")
+        ok &= report.ok
+    return ok
+
+
 def run_verify(args) -> int:
     """Execute the selected (or, with no flags, all) verification sections."""
     selected = (args.fuzz is not None) or args.oracle or (args.replay
@@ -152,5 +175,7 @@ def run_verify(args) -> int:
     if not selected or args.replay is not None:
         _section("determinism replay")
         ok &= _run_replay(args, args.replay or "cell_clustering")
+        _section("commit pipeline equivalence")
+        ok &= _run_commit_pipeline(args)
     print("verify: " + ("PASS" if ok else "FAIL"))
     return 0 if ok else 1

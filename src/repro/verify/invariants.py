@@ -111,6 +111,28 @@ def check_resource_manager(rm) -> list[Violation]:
             if len(np.unique(addrs)) != rm.n:
                 bad("payload addresses are double-assigned "
                     f"({rm.n - len(np.unique(addrs))} collisions)")
+
+    # Staging arenas (batched agent-ops pipeline): every staged row must
+    # be accounted for by exactly one (start, count) entry, the arenas
+    # must be large enough to hold the staged rows, and entries may only
+    # reference rows that were actually staged.
+    staged = getattr(rm, "_staged", 0)
+    entries = getattr(rm, "_staged_entries", {})
+    entry_rows = sum(c for ranges in entries.values() for _, c, _ in ranges)
+    if entry_rows != staged:
+        bad(f"staging entries cover {entry_rows} rows but {staged} "
+            "rows are staged")
+    for thread, ranges in entries.items():
+        for start, count, _dom in ranges:
+            if start < 0 or count <= 0 or start + count > staged:
+                bad(f"staging entry ({start}, {count}) of thread {thread} "
+                    f"is outside the staged range [0, {staged})")
+    for name, buf in getattr(rm, "_staging", {}).items():
+        if name not in rm.data:
+            bad(f"staging buffer {name!r} has no registered column")
+        if len(buf) < staged:
+            bad(f"staging buffer {name!r} holds {len(buf)} rows but "
+                f"{staged} are staged")
     return out
 
 

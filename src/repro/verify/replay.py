@@ -30,6 +30,15 @@ superset CSR promises *bitwise* identity with rebuilding every step, on
 the serial and the process backend alike — so per-step checksums with
 ``Param(neighbor_cache=...)`` on and off must be equal at every step, for
 every seed, on both backends.
+
+:func:`commit_pipeline_equivalence` applies it to the batched agent-ops
+pipeline (staged columnar commits + cached behavior dispatch): staging
+queued additions in preallocated arenas, appending them without the
+per-step UID rescan, and caching behavior index lists all promise
+bitwise identity with the legacy dict-of-lists queue-merge path — so
+per-step checksums with ``Param(batched_agent_ops=...)`` on and off must
+be equal at every step, for every seed, on both backends, under models
+that actually churn the population (divisions and deaths).
 """
 
 from __future__ import annotations
@@ -48,6 +57,8 @@ __all__ = [
     "tracing_equivalence",
     "NeighborCacheEquivalenceReport",
     "neighbor_cache_equivalence",
+    "CommitPipelineEquivalenceReport",
+    "commit_pipeline_equivalence",
 ]
 
 
@@ -321,6 +332,119 @@ def neighbor_cache_equivalence(name: str, num_agents: int = 300,
             on, hits = trace(backend, seed, True)
             off, _ = trace(backend, seed, False)
             report.cache_hits += hits
+            report.divergences[(backend, seed)] = next(
+                (i for i, (a, b) in enumerate(zip(on, off)) if a != b), None
+            )
+    return report
+
+
+# --------------------------------------------------------------------- #
+# Batched agent-ops pipeline (staged commits + dispatch cache) equivalence
+# --------------------------------------------------------------------- #
+
+@dataclass
+class CommitPipelineEquivalenceReport:
+    """Batched vs legacy agent-ops checksum comparison across backends."""
+
+    model: str
+    steps: int
+    workers: int
+    #: ``{(backend, seed): first diverging step or None}`` — step 0 is the
+    #: initial state, step k the state after iteration k.
+    divergences: dict[tuple[str, int], int | None] = field(
+        default_factory=dict
+    )
+    #: Fast-path (additions-only, no UID rescan) commits observed across
+    #: the batched runs; zero would make a green comparison vacuous.
+    fast_appends: int = 0
+    #: Rows that went through the staging arenas across the batched runs.
+    staged_rows: int = 0
+    #: Behavior-dispatch mask-cache hits across the batched runs.
+    mask_cache_hits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(d is None for d in self.divergences.values())
+            and self.fast_appends > 0
+            and self.staged_rows > 0
+        )
+
+    def render(self) -> str:
+        """One line per (backend, seed): byte-identical or first divergence."""
+        lines = [
+            f"commit pipeline equivalence {self.model}: batched vs legacy, "
+            f"{self.steps} steps, {self.fast_appends} fast appends, "
+            f"{self.staged_rows} staged rows, "
+            f"{self.mask_cache_hits} mask-cache hits"
+        ]
+        if self.fast_appends == 0 or self.staged_rows == 0:
+            lines.append(
+                "  VACUOUS: the staged commit path never engaged"
+            )
+        for (backend, seed), div in sorted(self.divergences.items()):
+            if div is None:
+                lines.append(f"  {backend} seed {seed}: byte-identical")
+            else:
+                lines.append(
+                    f"  {backend} seed {seed}: DIVERGES at step {div}"
+                )
+        return "\n".join(lines)
+
+
+def commit_pipeline_equivalence(name: str, num_agents: int = 250,
+                                steps: int = 6, seeds=(1, 2, 3),
+                                workers: int = 2, param=None,
+                                ) -> CommitPipelineEquivalenceReport:
+    """Assert the batched agent-ops pipeline reproduces the legacy path.
+
+    For every seed and for both execution backends, runs the registry
+    model once with ``Param.batched_agent_ops`` on and once off, diffing
+    the full per-step :func:`~repro.verify.snapshot.state_checksum`
+    trace.  The pipeline's whole contract is that staging queued
+    additions in columnar arenas, appending them without the per-step
+    UID rescan, vectorizing the §3.2 removal plan, and caching behavior
+    index lists are all invisible to the model — any commit-order change,
+    a stale dispatch list after an attach/detach, a dropped column fill,
+    or a staging buffer surviving a reallocation with torn rows shows up
+    as a diverging checksum at the first affected step.  The report also
+    counts fast-path commits and staged rows so a configuration where
+    the staged path never engages cannot pass vacuously.  Run it on
+    models that churn the population (divisions *and* deaths) so both
+    the additions-only fast path and the mixed add+remove path execute.
+    """
+    from repro.core.param import Param
+    from repro.simulations import get_simulation
+
+    bench = get_simulation(name)
+    base = param if param is not None else Param()
+    report = CommitPipelineEquivalenceReport(
+        model=name, steps=steps, workers=workers
+    )
+
+    def trace(backend, seed, batched):
+        p = base.with_(execution_backend=backend, backend_workers=workers,
+                       batched_agent_ops=batched)
+        with bench.build(num_agents, param=p, seed=seed) as sim:
+            out = [state_checksum(sim)]
+            for _ in range(steps):
+                sim.simulate(1)
+                out.append(state_checksum(sim))
+            reg = sim.obs.registry
+            stats = (
+                int(reg.counter("commit:fast_appends").value),
+                int(reg.counter("commit:staged_rows").value),
+                int(reg.counter("agent_ops:mask_cache_hits").value),
+            )
+        return out, stats
+
+    for backend in ("serial", "process"):
+        for seed in seeds:
+            on, (fast, staged, hits) = trace(backend, seed, True)
+            off, _ = trace(backend, seed, False)
+            report.fast_appends += fast
+            report.staged_rows += staged
+            report.mask_cache_hits += hits
             report.divergences[(backend, seed)] = next(
                 (i for i, (a, b) in enumerate(zip(on, off)) if a != b), None
             )

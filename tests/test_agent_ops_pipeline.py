@@ -1,0 +1,387 @@
+"""Batched agent-ops pipeline: commit fast paths, staging arenas,
+dispatch cache, shm remap, and the 2-D bincount memory profile.
+
+The pipeline's contract is bitwise identity with the legacy
+dict-of-lists queue-merge path (``batched=False``), so most tests here
+are differential: drive a batched and a legacy ResourceManager through
+the same operations and require byte-equal columns, domain layout, and
+CommitStats.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.core.behaviors_lib import GrowDivide, RandomWalk
+from repro.core.resource_manager import ResourceManager
+from repro.verify.snapshot import state_checksum
+
+
+def lattice(n_side, spacing=12.0):
+    g = np.arange(n_side) * spacing
+    x, y, z = np.meshgrid(g, g, g, indexing="ij")
+    return np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+
+
+def make_pair(num_domains=1):
+    """A batched and a legacy RM seeded with the same agents."""
+    rms = []
+    for batched in (True, False):
+        rm = ResourceManager(num_domains=num_domains, batched=batched)
+        rng = np.random.default_rng(42)
+        rm.add_agents_now({
+            "position": rng.uniform(0, 50, (40, 3)),
+            "diameter": rng.uniform(8, 12, 40),
+        })
+        rms.append(rm)
+    return rms
+
+
+def assert_identical(a: ResourceManager, b: ResourceManager):
+    assert a.n == b.n
+    assert np.array_equal(a.domain_starts, b.domain_starts)
+    assert set(a.data) == set(b.data)
+    for name in a.data:
+        assert np.array_equal(a.data[name], b.data[name]), name
+
+
+class TestCommitFastPaths:
+    def test_additions_only_bitwise_identical(self):
+        batched, legacy = make_pair()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            add = {"position": rng.uniform(0, 50, (7, 3)),
+                   "diameter": rng.uniform(8, 12, 7)}
+            for rm in (batched, legacy):
+                rm.queue_new_agents(dict(add))
+            sa = batched.commit()
+            sb = legacy.commit()
+            assert_identical(batched, legacy)
+            assert np.array_equal(sa.new_agent_indices, sb.new_agent_indices)
+            assert sa.added == sb.added == 7
+            assert sa.fast_append and sa.staged_rows == 7
+            assert not sb.fast_append and sb.staged_rows == 0
+
+    def test_additions_only_skips_uid_rescan(self, monkeypatch):
+        """The acceptance criterion: no np.unique/np.isin on the
+        additions-only batched commit path (the legacy path keeps it)."""
+        batched, legacy = make_pair()
+
+        def boom(*a, **kw):
+            raise AssertionError("UID rescan on the fast-append path")
+
+        add = {"position": np.zeros((3, 3)), "diameter": np.full(3, 9.0)}
+        batched.queue_new_agents(dict(add))
+        monkeypatch.setattr(np, "isin", boom)
+        monkeypatch.setattr(np, "unique", boom)
+        stats = batched.commit()  # must not touch np.isin / np.unique
+        assert stats.fast_append
+        monkeypatch.undo()
+        legacy.queue_new_agents(dict(add))
+        monkeypatch.setattr(np, "isin", boom)
+        with pytest.raises(AssertionError, match="UID rescan"):
+            legacy.commit()
+
+    def test_removals_only_bitwise_identical(self):
+        batched, legacy = make_pair()
+        for rm in (batched, legacy):
+            rm.queue_removals([3, 17, 0, 39, 21])
+        sa = batched.commit()
+        sb = legacy.commit()
+        assert sa.removed == sb.removed == 5
+        assert not sa.fast_append
+        assert_identical(batched, legacy)
+
+    def test_mixed_add_remove_one_commit(self):
+        batched, legacy = make_pair()
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            add = {"position": rng.uniform(0, 50, (6, 3)),
+                   "diameter": rng.uniform(8, 12, 6)}
+            gone = rng.choice(batched.n, 4, replace=False)
+            for rm in (batched, legacy):
+                rm.queue_new_agents(dict(add))
+                rm.queue_removals(gone)
+            sa = batched.commit()
+            sb = legacy.commit()
+            assert (sa.added, sa.removed) == (sb.added, sb.removed) == (6, 4)
+            assert np.array_equal(sa.new_agent_indices, sb.new_agent_indices)
+            assert_identical(batched, legacy)
+
+    def test_multi_domain_multi_thread_commit_order(self):
+        batched, legacy = make_pair(num_domains=3)
+        rng = np.random.default_rng(2)
+        for step in range(3):
+            for thread in (2, 0, 1):
+                add = {"position": rng.uniform(0, 50, (5, 3)),
+                       "diameter": rng.uniform(8, 12, 5)}
+                domain = (None, 1, np.array([0, 2, 2, 1, 0]))[thread]
+                for rm in (batched, legacy):
+                    rm.queue_new_agents(dict(add), thread=thread,
+                                        domain=domain)
+            sa = batched.commit()
+            sb = legacy.commit()
+            assert np.array_equal(sa.new_agent_indices, sb.new_agent_indices)
+            assert_identical(batched, legacy)
+
+
+class TestStagingArena:
+    def test_growth_across_reallocation(self):
+        """Staged rows survive the amortized-doubling reallocation."""
+        batched, legacy = make_pair()
+        rng = np.random.default_rng(3)
+        # Many small queue calls force repeated staging-buffer growth
+        # (initial capacity is _MIN_CAPACITY rows).
+        for _ in range(60):
+            add = {"position": rng.uniform(0, 50, (3, 3)),
+                   "diameter": rng.uniform(8, 12, 3)}
+            for rm in (batched, legacy):
+                rm.queue_new_agents(dict(add))
+        assert batched.pending_additions == legacy.pending_additions == 180
+        assert len(batched._staging["position"]) >= 180
+        sa = batched.commit()
+        legacy.commit()
+        assert sa.staged_rows == 180
+        assert_identical(batched, legacy)
+        assert batched._staged == 0 and not batched._staged_entries
+
+    def test_late_column_backfilled_with_fill(self):
+        """A column first staged mid-round backfills earlier rows.
+
+        Batched-only: the legacy queue merge concatenates per-column
+        lists and cannot represent calls with differing column sets
+        (no real caller does this — GrowDivide queues every column).
+        """
+        batched, _legacy = make_pair()
+        batched.queue_new_agents({"position": np.ones((4, 3))})
+        batched.queue_new_agents({"position": 2 * np.ones((4, 3)),
+                                  "diameter": np.full(4, 11.5)})
+        batched.commit()
+        # Rows from the first call carry the column's fill value.
+        assert np.all(batched.data["diameter"][-8:-4] == 10.0)
+        assert np.all(batched.data["diameter"][-4:] == 11.5)
+        assert np.all(batched.data["position"][-8:-4] == 1.0)
+        assert np.all(batched.data["position"][-4:] == 2.0)
+
+    def test_unregistered_keys_are_ignored(self):
+        batched, legacy = make_pair()
+        add = {"position": np.zeros((2, 3)), "no_such_column": np.arange(2)}
+        for rm in (batched, legacy):
+            rm.queue_new_agents(dict(add))
+            rm.commit()
+        assert_identical(batched, legacy)
+        assert "no_such_column" not in batched.data
+
+    def test_column_capacity_reused_between_commits(self):
+        """Consecutive fast appends reuse the capacity buffer in place."""
+        rm = ResourceManager(batched=True)
+        rm.add_agents_now({"position": np.zeros((10, 3))})
+        rm.queue_new_agents({"position": np.ones((5, 3))})
+        rm.commit()
+        buf_before = rm._col_caps["position"]
+        rm.queue_new_agents({"position": 2 * np.ones((2, 3))})
+        rm.commit()
+        # 10 + 5 doubled to 30 capacity: the second commit must not
+        # reallocate.
+        assert rm._col_caps["position"] is buf_before
+        assert rm.data["position"].base is buf_before
+
+
+class TestShmRemap:
+    def test_fast_append_stays_arena_backed(self):
+        from repro.parallel.shm import (
+            COLUMN_PREFIX,
+            SharedMemoryResourceManager,
+            WorkerArena,
+        )
+
+        rm = SharedMemoryResourceManager(batched=True)
+        plain = ResourceManager(batched=True)
+        try:
+            rng = np.random.default_rng(5)
+            init = {"position": rng.uniform(0, 50, (20, 3)),
+                    "diameter": rng.uniform(8, 12, 20)}
+            rm.add_agents_now({k: v.copy() for k, v in init.items()})
+            plain.add_agents_now(init)
+            for _ in range(4):
+                add = {"position": rng.uniform(0, 50, (30, 3))}
+                rm.queue_new_agents({k: v.copy() for k, v in add.items()})
+                plain.queue_new_agents(add)
+                stats = rm.commit()
+                plain.commit()
+                assert stats.fast_append
+                assert_identical(rm, plain)
+                for name in rm.data:
+                    view = rm.arena.ensure(
+                        COLUMN_PREFIX + name, rm.data[name].shape,
+                        rm.data[name].dtype,
+                    )
+                    assert np.shares_memory(rm.data[name], view), name
+            # A worker attaching the final layout sees the same bytes,
+            # including rows written after block replacements.
+            worker = WorkerArena()
+            try:
+                worker.sync(rm.arena.layout())
+                for name in rm.data:
+                    mirror = worker.view(COLUMN_PREFIX + name,
+                                         rm.data[name].shape,
+                                         rm.data[name].dtype)
+                    assert np.array_equal(mirror, rm.data[name]), name
+            finally:
+                worker.close()
+        finally:
+            rm.arena.close()
+
+    def test_grow_column_copies_after_external_rebind(self):
+        """Checkpoint-restore style rebinding must not lose rows."""
+        from repro.parallel.shm import SharedMemoryResourceManager
+
+        rm = SharedMemoryResourceManager(batched=True)
+        try:
+            rm.add_agents_now({"position": np.zeros((8, 3))})
+            # Simulate checkpoint restore: rebind to private memory.
+            private = rm.data["position"].copy()
+            private[:] = 7.0
+            rm.data["position"] = private
+            rm.queue_new_agents({"position": np.ones((2, 3))})
+            rm.commit()
+            assert np.all(rm.data["position"][:8] == 7.0)
+            assert np.all(rm.data["position"][8:] == 1.0)
+        finally:
+            rm.arena.close()
+
+
+class TestDispatchMaskCache:
+    def _sim(self, batched, n_side=4):
+        p = Param(batched_agent_ops=batched, agent_sort_frequency=0)
+        sim = Simulation("mask-cache", p, seed=11)
+        idx = sim.add_cells(lattice(n_side, spacing=25.0), diameters=9.0)
+        sim.attach_behavior(idx, RandomWalk(0.5))
+        return sim
+
+    def test_cache_hits_on_static_structure(self):
+        sim = self._sim(batched=True)
+        sim.simulate(5)
+        hits = sim.obs.registry.counter("agent_ops:mask_cache_hits").value
+        assert hits >= 4  # first step scans, the rest hit
+
+    def test_attach_detach_invalidate_cache(self):
+        """Mid-run mask edits must be visible next step, exactly as in
+        legacy mode."""
+        walk2 = RandomWalk(2.0)
+        sims = [self._sim(batched=True), self._sim(batched=False)]
+        for sim in sims:
+            sim.simulate(2)
+            sim.attach_behavior(np.arange(10), walk2)
+            sim.simulate(2)
+            sim.detach_behavior(np.arange(5), walk2)
+            sim.simulate(2)
+        assert state_checksum(sims[0]) == state_checksum(sims[1])
+
+    def test_agent_set_mask_bumps_version(self):
+        sim = self._sim(batched=True)
+        before = sim.rm.mask_version
+        sim.get_agent(int(sim.rm.data["uid"][0])).set(
+            "behavior_mask", np.uint64(0))
+        assert sim.rm.mask_version == before + 1
+        # Unrelated columns do not invalidate.
+        sim.get_agent(int(sim.rm.data["uid"][1])).set("diameter", 9.5)
+        assert sim.rm.mask_version == before + 1
+
+
+class TestSchedulerCounters:
+    def test_commit_counters_reach_registry(self):
+        p = Param(batched_agent_ops=True, agent_sort_frequency=0)
+        sim = Simulation("counters", p, seed=13)
+        idx = sim.add_cells(lattice(3), diameters=13.5)
+        sim.attach_behavior(idx, GrowDivide(growth_rate=120.0,
+                                            division_diameter=14.0))
+        reg = sim.obs.registry
+        assert reg.counter("commit:fast_appends").value == 0
+        assert reg.counter("commit:staged_rows").value == 0
+        sim.simulate(3)
+        assert reg.counter("commit:fast_appends").value >= 1
+        assert reg.counter("commit:staged_rows").value == 27
+
+    def test_legacy_mode_never_uses_staged_path(self):
+        p = Param(batched_agent_ops=False, agent_sort_frequency=0)
+        sim = Simulation("counters-off", p, seed=13)
+        idx = sim.add_cells(lattice(3), diameters=13.5)
+        sim.attach_behavior(idx, GrowDivide(growth_rate=120.0,
+                                            division_diameter=14.0))
+        sim.simulate(3)
+        reg = sim.obs.registry
+        assert reg.counter("commit:fast_appends").value == 0
+        assert reg.counter("commit:staged_rows").value == 0
+        assert reg.counter("agent_ops:mask_cache_hits").value == 0
+
+
+class TestNeighborMemoryProfileRegression:
+    def test_2d_bincount_matches_reference_loop(self):
+        """The vectorized per-domain miss counts are bit-identical to the
+        per-domain bincount loop they replaced."""
+        from repro import Machine, SYSTEM_A
+
+        m = Machine(SYSTEM_A, num_threads=4)
+        p = Param(agent_sort_frequency=0)
+        sim = Simulation("profile", p, machine=m, seed=17)
+        rng = np.random.default_rng(17)
+        sim.add_cells(rng.uniform(0, 40, (120, 3)), diameters=10.0,
+                      behaviors=[RandomWalk(0.5)])
+        sim.simulate(1)
+        indptr, indices = sim.neighbors()
+        sched = sim.scheduler
+        counts_arr, qi = sched._expand_csr(indptr, indices)
+        assert len(indices) > 0, "workload produced no neighbor pairs"
+        mem, counts = sched._neighbor_memory_profile(qi, indices, sim.rm.n)
+
+        # Reference: the pre-vectorization per-domain loop, verbatim.
+        rm = sim.rm
+        cm = m.cost_model
+        n = rm.n
+        addr = rm.data["addr"]
+        spatial = cm.latency_for_deltas(addr[qi] - addr[indices])
+        order = np.lexsort((qi, indices))
+        qis = qi[order]
+        qjs = indices[order]
+        footprint = rm.agent_size_bytes * 1.5
+        gap_bytes = np.full(len(qis), np.inf)
+        if len(qis) > 1:
+            same = qjs[1:] == qjs[:-1]
+            gap_bytes[1:] = np.where(
+                same, np.abs(qis[1:] - qis[:-1]) * footprint, np.inf
+            )
+        reuse = cm.latency_for_deltas(
+            np.where(np.isfinite(gap_bytes), gap_bytes, 1e18))
+        lat = np.minimum(spatial[order], reuse)
+        ref_mem = np.bincount(qis, weights=lat, minlength=n)
+        misses = lat >= cm.spec.dram_latency
+        dom_j = rm.domain_of_index(qjs)
+        ref_counts = np.zeros((n, rm.num_domains))
+        for d in range(rm.num_domains):
+            sel = misses & (dom_j == d)
+            ref_counts[:, d] = np.bincount(qis[sel], minlength=n)
+
+        assert rm.num_domains > 1, "regression needs multiple domains"
+        assert np.array_equal(mem, ref_mem)
+        assert np.array_equal(counts, ref_counts)
+
+
+class TestEndToEndEquivalence:
+    def test_churn_model_checksums_match(self):
+        """Division-wave churn: batched on/off trajectories identical."""
+        def run(batched):
+            p = Param(batched_agent_ops=batched, agent_sort_frequency=0)
+            sim = Simulation("churn", p, seed=23)
+            rng = np.random.default_rng(23)
+            idx = sim.add_cells(lattice(4), diameters=rng.uniform(10, 13.9, 64))
+            sim.attach_behavior(idx, GrowDivide(growth_rate=120.0,
+                                                division_diameter=14.0,
+                                                max_agents=512))
+            out = []
+            for _ in range(6):
+                sim.simulate(1)
+                out.append(state_checksum(sim))
+            return out
+
+        assert run(True) == run(False)
