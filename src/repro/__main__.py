@@ -207,9 +207,11 @@ def main(argv=None) -> int:
     bench.add_argument("--iterations", type=int)
     bench.add_argument("--workers", type=int, nargs="+",
                        help="worker counts for the `scaling` experiment")
+    bench.add_argument("--backends", nargs="+", metavar="NAME",
+                       help="kernel backends for the `kernels` experiment")
     bench.add_argument("--out", help="artifact path for the wall-clock "
                                      "experiments (scaling, neighbor_cache, "
-                                     "agent_ops)")
+                                     "agent_ops, kernels)")
     bench.add_argument("--profile", nargs="?", const="profiles",
                        metavar="DIR",
                        help="run under cProfile; write top cumulative "
@@ -245,6 +247,8 @@ def main(argv=None) -> int:
             forwarded += ["--iterations", str(args.iterations)]
         if args.workers:
             forwarded += ["--workers", *map(str, args.workers)]
+        if args.backends:
+            forwarded += ["--backends", *args.backends]
         if args.out:
             forwarded += ["--out", args.out]
         if args.profile is not None:

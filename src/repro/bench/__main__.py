@@ -24,14 +24,18 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--scale", default="small", choices=["small", "medium"])
     wall_opts = parser.add_argument_group(
-        "wall-clock", "options for the `scaling`, `neighbor_cache` and "
-                      "`agent_ops` experiments")
+        "wall-clock", "options for the `scaling`, `neighbor_cache`, "
+                      "`agent_ops` and `kernels` experiments")
     wall_opts.add_argument("--agents", type=int, default=None)
     wall_opts.add_argument("--iterations", type=int, default=None)
     wall_opts.add_argument(
         "--workers", type=int, nargs="+", default=None,
         help="process-pool worker counts for `scaling` "
              "(default: 1 2 cpu_count)")
+    wall_opts.add_argument(
+        "--backends", nargs="+", default=None, metavar="NAME",
+        help="kernel backends for `kernels` (e.g. numpy numba; default: "
+             "numpy plus every available compiled backend)")
     wall_opts.add_argument(
         "--out", default=None,
         help="artifact path (defaults to BENCH_<experiment>.json)")
@@ -54,6 +58,10 @@ def main(argv=None) -> int:
         elif name in ("neighbor_cache", "agent_ops"):
             kwargs = dict(agents=args.agents, iterations=args.iterations,
                           out=args.out or f"BENCH_{name}.json")
+        elif name == "kernels":
+            kwargs = dict(agents=args.agents, iterations=args.iterations,
+                          backends=args.backends,
+                          out=args.out or "BENCH_kernels.json")
         t0 = time.perf_counter()
         if args.profile is not None:
             report = _profiled_run(name, mod, args, kwargs)

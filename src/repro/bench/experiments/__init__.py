@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     fig11_neighbor,
     fig12_sorting,
     fig13_allocator,
+    kernels,
     neighbor_cache,
     scaling,
     sec610_numa,
@@ -38,6 +39,7 @@ ALL_EXPERIMENTS = {
     "fig11": fig11_neighbor,
     "fig12": fig12_sorting,
     "fig13": fig13_allocator,
+    "kernels": kernels,
     "neighbor_cache": neighbor_cache,
     "scaling": scaling,
     "sec610": sec610_numa,

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import numpy_ref
+
 __all__ = ["DiffusionGrid"]
 
 #: Arithmetic ops per voxel per stencil update (7-point Laplacian + decay).
@@ -70,22 +72,29 @@ class DiffusionGrid:
             return np.inf
         return self.voxel_size**2 / (6.0 * self.diffusion_coefficient)
 
-    def step(self, dt: float) -> None:
-        """One explicit diffusion-decay update with Neumann boundaries."""
+    def step(self, dt: float, kernels=None) -> None:
+        """One explicit diffusion-decay update with Neumann boundaries.
+
+        ``kernels`` is an optional
+        :class:`repro.kernels.api.KernelBackend`; when omitted the
+        stencil runs through the bitwise NumPy reference
+        (:func:`repro.kernels.numpy_ref.diffuse`).  The scheduler passes
+        the simulation's selected backend.
+        """
         if dt > self.stable_time_step() * (1 + 1e-9):
             raise ValueError(
                 f"dt={dt} exceeds the stable step {self.stable_time_step():.3g}"
             )
-        c = self.concentration
-        # Neumann (zero-flux) boundaries via edge replication.
-        p = np.pad(c, 1, mode="edge")
-        lap = (
-            p[2:, 1:-1, 1:-1] + p[:-2, 1:-1, 1:-1]
-            + p[1:-1, 2:, 1:-1] + p[1:-1, :-2, 1:-1]
-            + p[1:-1, 1:-1, 2:] + p[1:-1, 1:-1, :-2]
-            - 6.0 * c
-        ) / self.voxel_size**2
-        self.concentration = c + dt * (self.diffusion_coefficient * lap - self.decay * c)
+        if kernels is None:
+            self.concentration = numpy_ref.diffuse(
+                self.concentration, self.voxel_size,
+                self.diffusion_coefficient, self.decay, dt,
+            )
+        else:
+            self.concentration = kernels.diffuse(
+                self.concentration, self.voxel_size,
+                self.diffusion_coefficient, self.decay, dt,
+            )
 
     # ------------------------------------------------------------------ #
 

@@ -17,11 +17,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["InteractionForce", "ForceResult"]
+from repro.kernels import numpy_ref
+from repro.kernels.api import FORCE_EPSILON  # noqa: F401  (canonical home)
 
-#: Relative force magnitudes below this are treated as zero (condition iv
-#: of the static-detection mechanism counts non-zero neighbor forces).
-FORCE_EPSILON = 1e-12
+__all__ = ["InteractionForce", "ForceResult"]
 
 
 @dataclass
@@ -71,30 +70,14 @@ class InteractionForce:
     ) -> np.ndarray:
         """Force exerted by agent ``qj`` on agent ``qi`` for each pair.
 
-        Returns an ``(npairs, 3)`` array.
+        Returns an ``(npairs, 3)`` array.  The math lives in
+        :func:`repro.kernels.numpy_ref.pair_forces` (the bitwise kernel
+        reference); override this method to change the force law —
+        compiled kernel backends detect the override and fall back to
+        this NumPy path.
         """
-        delta = positions[qi] - positions[qj]
-        dist = np.linalg.norm(delta, axis=1)
-        r_sum = (diameters[qi] + diameters[qj]) / 2.0
-        overlap = r_sum - dist
-        # Coincident centers: push apart along the x axis, oriented by the
-        # pair's index order so the force stays antisymmetric.
-        degenerate = dist < 1e-12
-        safe_dist = np.where(degenerate, 1.0, dist)
-        direction = delta / safe_dist[:, None]
-        if np.any(degenerate):
-            sign = np.where(qi < qj, 1.0, -1.0)[degenerate]
-            direction[degenerate] = 0.0
-            direction[degenerate, 0] = sign
-
-        r_eff = (diameters[qi] * diameters[qj]) / (2.0 * np.maximum(r_sum, 1e-12))
-        pos_overlap = np.maximum(overlap, 0.0)
-        magnitude = (
-            self.repulsion * pos_overlap
-            - self.attraction * np.sqrt(r_eff * pos_overlap)
-        )
-        magnitude = np.where(overlap > 0, magnitude, 0.0)
-        return magnitude[:, None] * direction
+        return numpy_ref.pair_forces(positions, diameters, qi, qj,
+                                     self.repulsion, self.attraction)
 
     def compute(
         self,
@@ -108,31 +91,12 @@ class InteractionForce:
 
         ``active`` masks the agents whose forces are computed (static
         agents are excluded by the caller when §5 detection is enabled;
-        inactive agents receive zero net force).
+        inactive agents receive zero net force).  Delegates to
+        :func:`repro.kernels.numpy_ref.force_csr`, the bitwise reference
+        implementation shared with the kernel-backend dispatch.
         """
-        n = len(positions)
-        net = np.zeros((n, 3))
-        nonzero = np.zeros(n, dtype=np.int64)
-        if n == 0 or len(indices) == 0:
-            return ForceResult(net, nonzero, 0)
-
-        counts = np.diff(indptr)
-        qi_all = np.repeat(np.arange(n, dtype=np.int64), counts)
-        if active is not None:
-            keep = active[qi_all]
-            qi, qj = qi_all[keep], indices[keep]
-        else:
-            qi, qj = qi_all, indices
-        if len(qi) == 0:
-            return ForceResult(net, nonzero, 0)
-
-        f = self.pair_forces(positions, diameters, qi, qj)
-        # Accumulate with bincount per component (much faster than the
-        # unbuffered np.add.at).
-        for c in range(3):
-            net[:, c] = np.bincount(qi, weights=f[:, c], minlength=n)
-        mag_nonzero = (
-            np.abs(f[:, 0]) + np.abs(f[:, 1]) + np.abs(f[:, 2])
-        ) > FORCE_EPSILON
-        nonzero = np.bincount(qi, weights=mag_nonzero, minlength=n).astype(np.int64)
-        return ForceResult(net, nonzero, len(qi))
+        net, nonzero, pairs = numpy_ref.force_csr(
+            positions, diameters, indptr, indices, active,
+            pair_fn=self.pair_forces,
+        )
+        return ForceResult(net, nonzero, pairs)

@@ -66,6 +66,15 @@ class Param:
     execution_backend: str = "serial"
     backend_workers: int = 0               # 0 = os.cpu_count()
     backend_chunk_size: int = 4096         # agent rows per process-kernel chunk
+    #: Array-kernel implementation for the three hot kernels (CSR force,
+    #: displacement integration, diffusion stencil): "numpy" (the bitwise
+    #: reference and default), "numba" (JIT-compiled CPU), "cupy" (GPU),
+    #: or "auto" (best available, probed at Simulation construction,
+    #: falling back to NumPy with a warning — never an ImportError).
+    #: Compiled backends match the reference within the tolerances
+    #: declared in :data:`repro.kernels.api.KERNEL_TOLERANCES`, gated by
+    #: ``verify.replay.kernel_equivalence``.
+    kernel_backend: str = "numpy"
     #: Skip the environment rebuild (and neighbor-CSR invalidation) when no
     #: agent moved or grew since the last build and neither the population
     #: nor the interaction radius changed.  Code that mutates positions
@@ -283,6 +292,16 @@ class Param:
             raise ParamError("backend_workers must be >= 0 (0 = cpu count)")
         if self.backend_chunk_size < 1:
             raise ParamError("backend_chunk_size must be >= 1")
+        kernel_backends = ("numpy", "numba", "cupy", "auto")
+        if self.kernel_backend not in kernel_backends:
+            close = difflib.get_close_matches(
+                str(self.kernel_backend), kernel_backends, n=1
+            )
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            raise ParamError(
+                f"unknown kernel backend {self.kernel_backend!r}{hint}; "
+                f"choose one of {', '.join(kernel_backends)}"
+            )
         if self.neighbor_skin < 0:
             raise ParamError(
                 "neighbor_skin must be >= 0 (0 = auto-tune)"

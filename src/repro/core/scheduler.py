@@ -841,13 +841,14 @@ class Scheduler:
         sim = self.sim
         m = sim.machine
         dt = sim.param.simulation_time_step
+        kernels = getattr(sim, "kernels", None)
         total_voxels = 0
         for grid in sim.diffusion_grids.values():
             stable = grid.stable_time_step()
             steps = max(1, int(np.ceil(dt / stable)))
             sub_dt = dt / steps
             for _ in range(steps):
-                grid.step(sub_dt)
+                grid.step(sub_dt, kernels=kernels)
             total_voxels += grid.num_volumes * steps
         if m is not None and total_voxels:
             cm = m.cost_model

@@ -99,6 +99,15 @@ class Simulation:
         )
         self.random = SimulationRandom(seed)
         self.force = InteractionForce()
+        from repro.kernels import make_kernels
+
+        #: Array-kernel backend for the hot loops (CSR force, displacement,
+        #: diffusion stencil), resolved from ``Param.kernel_backend`` at
+        #: construction ("auto" probes numba/cupy availability and falls
+        #: back to NumPy with a warning).  Surfaces ``kernel:{backend,
+        #: calls,compile_seconds,fallbacks}`` metrics in ``self.obs``.
+        self.kernels = make_kernels(self.param.kernel_backend,
+                                    registry=self.obs.registry)
         self.scheduler = Scheduler(self)
         from repro.parallel.backend import make_backend
 

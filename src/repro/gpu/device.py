@@ -57,6 +57,23 @@ class GpuSpec:
         engine can simulate far more agents)."""
         return int(self.mem_gb * 1e9 * 0.9 / DEVICE_BYTES_PER_AGENT)
 
+    def force_pairs_per_second(self) -> float:
+        """Asymptotic roofline throughput of the CSR force kernel.
+
+        Pairs/second in the large-``num_pairs`` limit (launch overhead
+        amortized away), using the same per-pair work estimates the
+        offload accounting charges.  ``BENCH_kernels.json`` measures the
+        host backends in the same unit, so the test suite can anchor
+        this model against real numbers: a device roofline that predicts
+        *less* throughput than a measured interpreter loop would make
+        the paper's offload-wins-at-scale argument vacuous.
+        """
+        per_pair_s = max(
+            FORCE_FLOPS_PER_PAIR / self.peak_flops,
+            FORCE_BYTES_PER_PAIR / (self.mem_bandwidth_gb_s * 1e9),
+        )
+        return 1.0 / per_pair_s
+
 
 #: NVIDIA A100 40 GB (the paper's §2 comparison point).
 A100 = GpuSpec(

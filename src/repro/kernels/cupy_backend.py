@@ -1,0 +1,215 @@
+"""CuPy GPU kernels: device-side backend for the three hot loops.
+
+Implements the executable counterpart of the :mod:`repro.gpu.device`
+roofline model, following *GPU Acceleration of 3D Agent-Based Biological
+Simulations* (PAPERS.md): the CSR force kernel is a one-thread-per-agent
+``cupy.RawKernel`` (each thread walks its row's neighbor list, so the
+per-row accumulation order matches the NumPy reference bincount), and
+displacement / diffusion are expressed with CuPy array ops.
+
+Host arrays in, host arrays out: the engine's columns live in host (or
+POSIX shared) memory, so every call pays an H2D/D2H transfer.  That is
+the paper's hybrid-offload trade-off — worthwhile for large dense
+populations, counterproductive for small ones (see
+``docs/performance_model.md``).  Under the *process* backend's chunked
+row kernels, the GPU would be re-launched per chunk; chunking is a CPU
+work-distribution concept, so ``force_rows``/``displace_rows`` here
+simply fall back to the NumPy reference (documented in
+``docs/kernels.md``).
+
+This module imports cleanly without cupy (or without a visible device):
+:class:`CupyKernelBackend` raises ``ImportError`` from its constructor
+and :func:`repro.kernels.dispatch.make_kernels` falls back to NumPy with
+a warning.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.kernels import numpy_ref
+from repro.kernels.api import KernelBackend, _is_plain_cortex3d
+
+__all__ = ["CUPY_AVAILABLE", "cuda_usable", "CupyKernelBackend"]
+
+try:
+    import cupy
+
+    CUPY_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised via dispatch tests
+    cupy = None
+    CUPY_AVAILABLE = False
+
+
+def cuda_usable() -> bool:
+    """Whether cupy is importable *and* a CUDA device is reachable."""
+    if not CUPY_AVAILABLE:
+        return False
+    try:  # pragma: no cover - requires a GPU
+        return int(cupy.cuda.runtime.getDeviceCount()) > 0
+    except Exception:  # pragma: no cover - driver/runtime missing
+        return False
+
+
+#: One thread per agent row: walk the CSR neighbor list sequentially (the
+#: reference accumulation order), Cortex3D pair math in double precision.
+_FORCE_KERNEL_SRC = r"""
+extern "C" __global__
+void csr_force(const double* pos, const double* dia,
+               const long long* indptr, const long long* indices,
+               const bool* active, const int use_active,
+               const double repulsion, const double attraction,
+               const int n, double* net, long long* nz,
+               unsigned long long* pairs) {
+    int i = blockDim.x * blockIdx.x + threadIdx.x;
+    if (i >= n) return;
+    double fx = 0.0, fy = 0.0, fz = 0.0;
+    long long count = 0;
+    unsigned long long row_pairs = 0;
+    if (!use_active || active[i]) {
+        for (long long k = indptr[i]; k < indptr[i + 1]; ++k) {
+            long long j = indices[k];
+            double dx = pos[3 * i] - pos[3 * j];
+            double dy = pos[3 * i + 1] - pos[3 * j + 1];
+            double dz = pos[3 * i + 2] - pos[3 * j + 2];
+            double dist = sqrt(dx * dx + dy * dy + dz * dz);
+            double r_sum = (dia[i] + dia[j]) / 2.0;
+            double overlap = r_sum - dist;
+            row_pairs += 1;
+            if (overlap > 0.0) {
+                double ux, uy, uz;
+                if (dist < 1e-12) {
+                    ux = (i < j) ? 1.0 : -1.0; uy = 0.0; uz = 0.0;
+                } else {
+                    ux = dx / dist; uy = dy / dist; uz = dz / dist;
+                }
+                double r_eff = (dia[i] * dia[j]) / (2.0 * max(r_sum, 1e-12));
+                double mag = repulsion * overlap
+                           - attraction * sqrt(r_eff * overlap);
+                double gx = mag * ux, gy = mag * uy, gz = mag * uz;
+                fx += gx; fy += gy; fz += gz;
+                if (fabs(gx) + fabs(gy) + fabs(gz) > 1e-12) count += 1;
+            }
+        }
+    }
+    net[3 * i] = fx; net[3 * i + 1] = fy; net[3 * i + 2] = fz;
+    nz[i] = count;
+    if (row_pairs) atomicAdd(pairs, row_pairs);
+}
+"""
+
+
+class CupyKernelBackend(KernelBackend):
+    """GPU backend (CuPy raw kernel + array ops), host arrays in/out.
+
+    Like the Numba backend it hard-codes the stock Cortex3D force law and
+    falls back to the NumPy reference for force-model subclasses.
+    """
+
+    name = "cupy"
+    compiled = True
+
+    def __init__(self):
+        if not cuda_usable():
+            raise ImportError("cupy is not installed or no CUDA device is "
+                              "reachable")
+        super().__init__()
+        self._kernel = None
+
+    def warm_up(self) -> None:  # pragma: no cover - requires a GPU
+        """Compile the raw CSR force kernel; time goes to
+        ``compile_seconds``.  Idempotent."""
+        if self._kernel is not None:
+            return
+        t0 = time.perf_counter()
+        self._kernel = cupy.RawKernel(_FORCE_KERNEL_SRC, "csr_force")
+        self._kernel.compile()
+        self.compile_seconds += time.perf_counter() - t0
+
+    # -- mechanics ------------------------------------------------------- #
+
+    def force(self, force_model, positions, diameters, indptr, indices,
+              active=None):  # pragma: no cover - requires a GPU
+        """Full-array CSR force on the device; returns host arrays."""
+        self._count()
+        n = len(positions)
+        if n == 0 or len(indices) == 0:
+            return np.zeros((n, 3)), np.zeros(n, dtype=np.int64), 0
+        if not _is_plain_cortex3d(force_model):
+            self.fallbacks += 1
+            return numpy_ref.force_csr(
+                positions, diameters, indptr, indices, active,
+                pair_fn=force_model.pair_forces,
+            )
+        self.warm_up()
+        use_active = active is not None
+        d_pos = cupy.asarray(np.ascontiguousarray(positions))
+        d_dia = cupy.asarray(diameters)
+        d_ip = cupy.asarray(indptr)
+        d_ix = cupy.asarray(indices)
+        d_act = cupy.asarray(active if use_active
+                             else np.zeros(1, dtype=np.bool_))
+        d_net = cupy.zeros((n, 3), dtype=cupy.float64)
+        d_nz = cupy.zeros(n, dtype=cupy.int64)
+        d_pairs = cupy.zeros(1, dtype=cupy.uint64)
+        block = 128
+        grid = (n + block - 1) // block
+        self._kernel(
+            (grid,), (block,),
+            (d_pos, d_dia, d_ip, d_ix, d_act, np.int32(use_active),
+             np.float64(force_model.repulsion),
+             np.float64(force_model.attraction),
+             np.int32(n), d_net, d_nz, d_pairs),
+        )
+        return (cupy.asnumpy(d_net), cupy.asnumpy(d_nz),
+                int(cupy.asnumpy(d_pairs)[0]))
+
+    def force_rows(self, force_model, positions, diameters, indptr, indices,
+                   active, net_out, nz_out, lo, hi) -> int:
+        """Chunk path: delegates to the NumPy reference (see module doc —
+        per-chunk GPU launches would be pure overhead)."""
+        self._count()
+        return numpy_ref.force_rows(positions, diameters, indptr, indices,
+                                    active, net_out, nz_out, lo, hi,
+                                    pair_fn=force_model.pair_forces)
+
+    def displace(self, positions, moved_flags, net_force, dt,
+                 max_displacement):  # pragma: no cover - requires a GPU
+        """Clamped Euler displacement with CuPy array ops, in place on the
+        host arrays."""
+        self._count()
+        d_net = cupy.asarray(net_force)
+        disp = d_net * dt
+        norm = cupy.linalg.norm(disp, axis=1)
+        too_far = norm > max_displacement
+        disp[too_far] *= (max_displacement / norm[too_far])[:, None]
+        moved_now = cupy.asnumpy(norm > numpy_ref.MOVE_EPSILON)
+        positions[moved_now] += cupy.asnumpy(disp)[moved_now]
+        moved_flags |= moved_now
+
+    def displace_rows(self, positions, moved_flags, net_force, dt,
+                      max_displacement, lo, hi) -> None:
+        """Chunk path: NumPy reference (see module doc)."""
+        self._count()
+        numpy_ref.displace(positions[lo:hi], moved_flags[lo:hi],
+                           net_force[lo:hi], dt, max_displacement)
+
+    # -- diffusion ------------------------------------------------------- #
+
+    def diffuse(self, concentration, voxel_size, diffusion_coefficient,
+                decay, dt):  # pragma: no cover - requires a GPU
+        """Stencil update on the device; returns a host array."""
+        self._count()
+        c = cupy.asarray(concentration)
+        p = cupy.pad(c, 1, mode="edge")
+        lap = (
+            p[2:, 1:-1, 1:-1] + p[:-2, 1:-1, 1:-1]
+            + p[1:-1, 2:, 1:-1] + p[1:-1, :-2, 1:-1]
+            + p[1:-1, 1:-1, 2:] + p[1:-1, 1:-1, :-2]
+            - 6.0 * c
+        ) / voxel_size**2
+        return cupy.asnumpy(
+            c + dt * (diffusion_coefficient * lap - decay * c)
+        )

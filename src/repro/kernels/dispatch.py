@@ -1,0 +1,161 @@
+"""Backend selection: probe availability, resolve, fall back with warnings.
+
+``Param.kernel_backend`` names a backend ("numpy" | "numba" | "cupy") or
+asks for the best available one ("auto").  Resolution happens once, at
+:class:`~repro.core.simulation.Simulation` construction, through
+:func:`make_kernels`:
+
+- an explicitly requested backend that is unavailable **never raises an
+  ImportError** — it warns (:class:`KernelBackendWarning`) and falls
+  back to the NumPy reference, so a model parameterized for a machine
+  with numba/cupy still runs anywhere;
+- ``"auto"`` probes cupy (with a reachable device) first, then numba,
+  then settles on NumPy — with a warning when no compiled backend is
+  available, so silent slow runs are visible.
+
+Workers of the process backend call :func:`worker_kernels` with the
+parent's *resolved* backend name and cache the instance at module level,
+so each worker owns one dispatch table (and one JIT compilation) for the
+life of the pool.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+
+from repro.kernels.api import KernelBackend
+
+__all__ = [
+    "KNOWN_BACKENDS",
+    "KernelBackendWarning",
+    "available_backends",
+    "make_kernels",
+    "worker_kernels",
+]
+
+#: Backend names accepted by ``Param.kernel_backend`` (plus "auto").
+KNOWN_BACKENDS = ("numpy", "numba", "cupy")
+
+
+class KernelBackendWarning(UserWarning):
+    """A requested compiled kernel backend is unavailable; NumPy runs."""
+
+
+def _probe(name: str) -> bool:
+    """Whether backend ``name`` can actually be constructed here.
+
+    Monkeypatch point for the dispatch tests (simulating absent numba /
+    cupy); results are not cached so a patched probe takes effect
+    immediately.
+    """
+    if name == "numpy":
+        return True
+    if name == "numba":
+        try:
+            importlib.import_module("numba")
+            return True
+        except ImportError:
+            return False
+    if name == "cupy":
+        from repro.kernels.cupy_backend import cuda_usable
+
+        return cuda_usable()
+    return False
+
+
+def available_backends() -> dict[str, bool]:
+    """Availability of every known backend on this machine."""
+    return {name: _probe(name) for name in KNOWN_BACKENDS}
+
+
+def _construct(name: str) -> KernelBackend:
+    if name == "numba":
+        from repro.kernels.numba_jit import NumbaKernelBackend
+
+        return NumbaKernelBackend()
+    if name == "cupy":
+        from repro.kernels.cupy_backend import CupyKernelBackend
+
+        return CupyKernelBackend()
+    from repro.kernels.numpy_ref import NumpyKernelBackend
+
+    return NumpyKernelBackend()
+
+
+def _resolve(requested: str) -> tuple[str, str | None]:
+    """Map a requested backend to an available one.
+
+    Returns ``(name, warning)`` where ``warning`` is a message to emit
+    (None when the request was satisfied silently).
+    """
+    if requested == "auto":
+        if _probe("cupy"):
+            return "cupy", None
+        if _probe("numba"):
+            return "numba", None
+        return "numpy", (
+            "kernel_backend='auto': no compiled backend is available "
+            "(numba and cupy are not importable/usable); using the NumPy "
+            "reference kernels"
+        )
+    if requested in KNOWN_BACKENDS and not _probe(requested):
+        return "numpy", (
+            f"kernel_backend='{requested}' is not available on this "
+            "machine; falling back to the NumPy reference kernels"
+        )
+    return requested, None
+
+
+def make_kernels(requested: str, registry=None, warn: bool = True
+                 ) -> KernelBackend:
+    """Resolve + construct the kernel backend for a simulation.
+
+    ``registry`` (a :class:`repro.obs.core.MetricsRegistry`) gets the
+    ``kernel:backend`` gauge and ``kernel:{calls,compile_seconds}``
+    callback metrics bound to the returned instance.  ``warn=False``
+    silences the fallback warning (used by workers, which inherit the
+    parent's already-warned resolution).
+    """
+    name, message = _resolve(requested)
+    if message and warn:
+        warnings.warn(message, KernelBackendWarning, stacklevel=2)
+    try:
+        backend = _construct(name)
+    except ImportError:
+        # The probe raced reality (e.g. numba imports but is broken);
+        # honor the no-ImportError contract.
+        if warn:
+            warnings.warn(
+                f"kernel backend '{name}' failed to construct; falling "
+                "back to the NumPy reference kernels",
+                KernelBackendWarning, stacklevel=2,
+            )
+        backend = _construct("numpy")
+    if registry is not None:
+        registry.gauge("kernel:backend").set(backend.name)
+        registry.register_callback("kernel:calls", lambda: backend.calls)
+        registry.register_callback("kernel:compile_seconds",
+                                   lambda: backend.compile_seconds)
+        registry.register_callback("kernel:fallbacks",
+                                   lambda: backend.fallbacks)
+    return backend
+
+
+#: Per-process cache for worker-side dispatch tables (one instance — and
+#: one JIT compilation — per worker process, keyed by resolved name).
+_WORKER_CACHE: dict[str, KernelBackend] = {}
+
+
+def worker_kernels(name: str) -> KernelBackend:
+    """The worker-side kernel backend for the parent's resolved ``name``.
+
+    Cached at module level so persistent pool workers construct (and JIT)
+    once; resolution re-runs quietly, so a worker missing the parent's
+    backend degrades to NumPy instead of crashing the pool.
+    """
+    backend = _WORKER_CACHE.get(name)
+    if backend is None:
+        backend = make_kernels(name, registry=None, warn=False)
+        _WORKER_CACHE[name] = backend
+    return backend

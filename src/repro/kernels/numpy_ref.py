@@ -1,0 +1,242 @@
+"""NumPy reference kernels — the bitwise source of truth.
+
+These functions hold the *actual array math* that used to live inline in
+:meth:`repro.core.force.InteractionForce.pair_forces` /
+:meth:`~repro.core.force.InteractionForce.compute`,
+:func:`repro.parallel.backend.apply_displacement`, the process backend's
+``k_force`` chunk kernel, and :meth:`repro.core.diffusion.DiffusionGrid
+.step`.  Those call sites now delegate here, so "the NumPy kernel
+backend is bitwise identical to mainline" holds *by construction*: there
+is exactly one NumPy implementation of each kernel, and the replay
+checksums of ``repro.verify`` are computed over its outputs.
+
+Compiled backends (:mod:`repro.kernels.numba_jit`,
+:mod:`repro.kernels.cupy_backend`) re-express this math and are compared
+against these functions by ``verify.replay.kernel_equivalence`` and
+``tests/test_kernel_equivalence.py`` within the tolerances declared in
+:data:`repro.kernels.api.KERNEL_TOLERANCES`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.api import FORCE_EPSILON, MOVE_EPSILON, KernelBackend
+
+__all__ = [
+    "pair_forces",
+    "force_csr",
+    "force_rows",
+    "displace",
+    "diffuse",
+    "NumpyKernelBackend",
+]
+
+
+def pair_forces(positions, diameters, qi, qj, repulsion, attraction):
+    """Cortex3D force exerted by agent ``qj`` on agent ``qi`` per pair.
+
+    Returns an ``(npairs, 3)`` array.  Overlapping spheres repel with a
+    linear elastic term (``repulsion``) and adhere with a sqrt-overlap
+    term (``attraction``); coincident centers are pushed apart along the
+    x axis, oriented by the pair's index order so the force stays
+    antisymmetric.
+    """
+    delta = positions[qi] - positions[qj]
+    dist = np.linalg.norm(delta, axis=1)
+    r_sum = (diameters[qi] + diameters[qj]) / 2.0
+    overlap = r_sum - dist
+    # Coincident centers: push apart along the x axis, oriented by the
+    # pair's index order so the force stays antisymmetric.
+    degenerate = dist < 1e-12
+    safe_dist = np.where(degenerate, 1.0, dist)
+    direction = delta / safe_dist[:, None]
+    if np.any(degenerate):
+        sign = np.where(qi < qj, 1.0, -1.0)[degenerate]
+        direction[degenerate] = 0.0
+        direction[degenerate, 0] = sign
+
+    r_eff = (diameters[qi] * diameters[qj]) / (2.0 * np.maximum(r_sum, 1e-12))
+    pos_overlap = np.maximum(overlap, 0.0)
+    magnitude = (
+        repulsion * pos_overlap
+        - attraction * np.sqrt(r_eff * pos_overlap)
+    )
+    magnitude = np.where(overlap > 0, magnitude, 0.0)
+    return magnitude[:, None] * direction
+
+
+def force_csr(positions, diameters, indptr, indices, active=None,
+              pair_fn=None, repulsion=2.0, attraction=0.4):
+    """Net force on every agent from its CSR neighbors (full-array path).
+
+    ``active`` masks the agents whose forces are computed (static agents
+    are excluded by the caller when §5 detection is enabled; inactive
+    agents receive zero net force).  ``pair_fn`` lets
+    :class:`~repro.core.force.InteractionForce` subclasses inject their
+    overridden pairwise law; when ``None`` the stock :func:`pair_forces`
+    runs with ``repulsion``/``attraction``.
+
+    Returns ``(net_force (n,3), nonzero_counts (n,), pairs_evaluated)``.
+    """
+    n = len(positions)
+    net = np.zeros((n, 3))
+    nonzero = np.zeros(n, dtype=np.int64)
+    if n == 0 or len(indices) == 0:
+        return net, nonzero, 0
+
+    counts = np.diff(indptr)
+    qi_all = np.repeat(np.arange(n, dtype=np.int64), counts)
+    if active is not None:
+        keep = active[qi_all]
+        qi, qj = qi_all[keep], indices[keep]
+    else:
+        qi, qj = qi_all, indices
+    if len(qi) == 0:
+        return net, nonzero, 0
+
+    if pair_fn is not None:
+        f = pair_fn(positions, diameters, qi, qj)
+    else:
+        f = pair_forces(positions, diameters, qi, qj, repulsion, attraction)
+    # Accumulate with bincount per component (much faster than the
+    # unbuffered np.add.at).
+    for c in range(3):
+        net[:, c] = np.bincount(qi, weights=f[:, c], minlength=n)
+    mag_nonzero = (
+        np.abs(f[:, 0]) + np.abs(f[:, 1]) + np.abs(f[:, 2])
+    ) > FORCE_EPSILON
+    nonzero = np.bincount(qi, weights=mag_nonzero, minlength=n).astype(np.int64)
+    return net, nonzero, len(qi)
+
+
+def _chunk_pairs(indptr, indices, lo, hi):
+    """CSR pair lists restricted to rows [lo, hi)."""
+    start, stop = int(indptr[lo]), int(indptr[hi])
+    counts = np.diff(indptr[lo : hi + 1])
+    qi = np.repeat(np.arange(lo, hi, dtype=np.int64), counts)
+    return qi, indices[start:stop]
+
+
+def force_rows(positions, diameters, indptr, indices, active,
+               net_out, nz_out, lo, hi, pair_fn=None,
+               repulsion=2.0, attraction=0.4) -> int:
+    """Net force + nonzero counts for rows ``[lo, hi)`` (chunk path).
+
+    Writes into preallocated ``net_out[lo:hi]`` / ``nz_out[lo:hi]``
+    (shared-memory views under the process backend) and returns the
+    number of pairs evaluated.  Pairs of one row are summed in the same
+    sequential order as the full-array bincount of :func:`force_csr`, and
+    rows are written to disjoint slices, so chunked execution is bitwise
+    identical to the full-array call.
+    """
+    qi, qj = _chunk_pairs(indptr, indices, lo, hi)
+    if active is not None:
+        keep = active[qi]
+        qi, qj = qi[keep], qj[keep]
+    rows = hi - lo
+    if len(qi) == 0:
+        net_out[lo:hi] = 0.0
+        nz_out[lo:hi] = 0
+        return 0
+    if pair_fn is not None:
+        f = pair_fn(positions, diameters, qi, qj)
+    else:
+        f = pair_forces(positions, diameters, qi, qj, repulsion, attraction)
+    local = qi - lo
+    for c in range(3):
+        net_out[lo:hi, c] = np.bincount(local, weights=f[:, c],
+                                        minlength=rows)
+    mag_nonzero = (
+        np.abs(f[:, 0]) + np.abs(f[:, 1]) + np.abs(f[:, 2])
+    ) > FORCE_EPSILON
+    nz_out[lo:hi] = np.bincount(local, weights=mag_nonzero,
+                                minlength=rows).astype(np.int64)
+    return len(qi)
+
+
+def displace(positions, moved_flags, net_force, dt,
+             max_displacement) -> np.ndarray:
+    """Forward-Euler displacement with clamping; returns the moved mask.
+
+    Shared by the serial backend (full arrays) and the process backend's
+    chunk kernel (row slices): every operation here is row-elementwise,
+    so chunked execution is bitwise identical to the full-array call.
+    """
+    disp = net_force * dt
+    norm = np.linalg.norm(disp, axis=1)
+    too_far = norm > max_displacement
+    if np.any(too_far):
+        disp[too_far] *= (max_displacement / norm[too_far])[:, None]
+    moved_now = norm > MOVE_EPSILON
+    positions[moved_now] += disp[moved_now]
+    moved_flags |= moved_now
+    return moved_now
+
+
+def diffuse(concentration, voxel_size, diffusion_coefficient, decay, dt):
+    """One explicit diffusion-decay stencil update (Neumann boundaries).
+
+    Returns the new concentration array; the input is not modified.
+    Zero-flux boundaries are realized by edge replication, equivalent to
+    clamping the 7-point stencil's neighbor indices at the faces.
+    """
+    c = concentration
+    # Neumann (zero-flux) boundaries via edge replication.
+    p = np.pad(c, 1, mode="edge")
+    lap = (
+        p[2:, 1:-1, 1:-1] + p[:-2, 1:-1, 1:-1]
+        + p[1:-1, 2:, 1:-1] + p[1:-1, :-2, 1:-1]
+        + p[1:-1, 1:-1, 2:] + p[1:-1, 1:-1, :-2]
+        - 6.0 * c
+    ) / voxel_size**2
+    return c + dt * (diffusion_coefficient * lap - decay * c)
+
+
+class NumpyKernelBackend(KernelBackend):
+    """The reference backend: dispatches straight to this module.
+
+    Always available, never compiles, and — because the core call sites
+    delegate to the very same functions — bitwise identical to running
+    without any kernel dispatch at all.
+    """
+
+    name = "numpy"
+    compiled = False
+
+    def force(self, force_model, positions, diameters, indptr, indices,
+              active=None):
+        """Full-array CSR force via :func:`force_csr` (honors overridden
+        ``pair_forces`` on force-model subclasses)."""
+        self._count()
+        return force_csr(positions, diameters, indptr, indices, active,
+                         pair_fn=force_model.pair_forces)
+
+    def force_rows(self, force_model, positions, diameters, indptr, indices,
+                   active, net_out, nz_out, lo, hi) -> int:
+        """Chunked CSR force via :func:`force_rows`."""
+        self._count()
+        return force_rows(positions, diameters, indptr, indices, active,
+                          net_out, nz_out, lo, hi,
+                          pair_fn=force_model.pair_forces)
+
+    def displace(self, positions, moved_flags, net_force, dt,
+                 max_displacement):
+        """Full-array displacement via :func:`displace`."""
+        self._count()
+        return displace(positions, moved_flags, net_force, dt,
+                        max_displacement)
+
+    def displace_rows(self, positions, moved_flags, net_force, dt,
+                      max_displacement, lo, hi) -> None:
+        """Row-range displacement (row-elementwise, so slicing is exact)."""
+        self._count()
+        displace(positions[lo:hi], moved_flags[lo:hi], net_force[lo:hi],
+                 dt, max_displacement)
+
+    def diffuse(self, concentration, voxel_size, diffusion_coefficient,
+                decay, dt):
+        """Stencil update via :func:`diffuse`."""
+        self._count()
+        return diffuse(concentration, voxel_size, diffusion_coefficient,
+                       decay, dt)

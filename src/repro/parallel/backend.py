@@ -21,6 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.force import ForceResult
+from repro.kernels import numpy_ref
+from repro.kernels.api import MOVE_EPSILON  # noqa: F401  (canonical home)
 
 __all__ = [
     "MOVE_EPSILON",
@@ -30,29 +32,19 @@ __all__ = [
     "make_backend",
 ]
 
-#: Movement below this threshold does not count as "moved" (condition i of
-#: the §5 static-detection mechanism).  Canonical definition; re-exported
-#: by :mod:`repro.core.scheduler` for its historical importers.
-MOVE_EPSILON = 1e-9
-
 
 def apply_displacement(positions, moved_flags, net_force, dt,
                        max_displacement) -> np.ndarray:
     """Forward-Euler displacement with clamping; returns the moved mask.
 
+    Delegates to :func:`repro.kernels.numpy_ref.displace`, the bitwise
+    reference implementation shared with the kernel-backend dispatch.
     Shared by the serial backend (full arrays) and the process backend's
-    chunk kernel (row slices): every operation here is row-elementwise,
-    so chunked execution is bitwise identical to the full-array call.
+    chunk kernel (row slices): every operation is row-elementwise, so
+    chunked execution is bitwise identical to the full-array call.
     """
-    disp = net_force * dt
-    norm = np.linalg.norm(disp, axis=1)
-    too_far = norm > max_displacement
-    if np.any(too_far):
-        disp[too_far] *= (max_displacement / norm[too_far])[:, None]
-    moved_now = norm > MOVE_EPSILON
-    positions[moved_now] += disp[moved_now]
-    moved_flags |= moved_now
-    return moved_now
+    return numpy_ref.displace(positions, moved_flags, net_force, dt,
+                              max_displacement)
 
 
 class ExecutionBackend:
@@ -82,7 +74,9 @@ class ExecutionBackend:
 
 
 class SerialBackend(ExecutionBackend):
-    """The original in-process NumPy path."""
+    """The original in-process path, now routed through the kernel
+    backend selected by ``Param.kernel_backend`` (NumPy by default —
+    bitwise identical to the historical inline implementation)."""
 
     name = "serial"
 
@@ -90,14 +84,21 @@ class SerialBackend(ExecutionBackend):
         rm = sim.rm
         p = sim.param
         active = ~rm.data["static"] if detect else None
-        res = sim.force.compute(
-            rm.positions, rm.data["diameter"], indptr, indices, active
+        kb = getattr(sim, "kernels", None)
+        if kb is None:
+            # Bare scheduler harnesses without a full Simulation.
+            from repro.kernels.numpy_ref import NumpyKernelBackend
+
+            kb = sim.kernels = NumpyKernelBackend()
+        net, nonzero, pairs = kb.force(
+            sim.force, rm.positions, rm.data["diameter"], indptr, indices,
+            active,
         )
-        apply_displacement(
-            rm.positions, rm.data["moved"], res.net_force,
+        kb.displace(
+            rm.positions, rm.data["moved"], net,
             p.simulation_time_step, p.simulation_max_displacement,
         )
-        return res
+        return ForceResult(net, nonzero, pairs)
 
 
 def make_backend(sim) -> ExecutionBackend:

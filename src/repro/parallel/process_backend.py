@@ -31,8 +31,9 @@ import traceback
 
 import numpy as np
 
-from repro.core.force import FORCE_EPSILON, ForceResult
-from repro.parallel.backend import ExecutionBackend, apply_displacement
+from repro.core.force import ForceResult
+from repro.kernels.dispatch import worker_kernels
+from repro.parallel.backend import ExecutionBackend
 from repro.parallel.shm import COLUMN_PREFIX, WorkerArena
 from repro.parallel.steal import StealQueues
 
@@ -51,53 +52,43 @@ class BackendError(RuntimeError):
 # Kernels — run inside workers, over shared-memory views.
 # --------------------------------------------------------------------- #
 
-def _chunk_pairs(indptr, indices, lo, hi):
-    """CSR pair lists restricted to rows [lo, hi)."""
-    start, stop = int(indptr[lo]), int(indptr[hi])
-    counts = np.diff(indptr[lo : hi + 1])
-    qi = np.repeat(np.arange(lo, hi, dtype=np.int64), counts)
-    return qi, indices[start:stop]
-
-
 def k_force(views, cid, lo, hi, args):
-    """Net force + nonzero-force counts for rows [lo, hi)."""
+    """Net force + nonzero-force counts for rows [lo, hi).
+
+    Dispatches to the worker's kernel backend (``args["_kb"]``, resolved
+    by :func:`worker_main` from the parent's ``kernel_backend``): shm
+    column views feed the kernel zero-copy and rows land in disjoint
+    ``net``/``nz`` slices, so the NumPy backend remains bitwise identical
+    to the serial full-array call (see the module docstring).
+    """
     net = views["mech:net_force"]
     nz = views["mech:nonzero"]
     pairs = views["mech:chunk_pairs"]
-    qi, qj = _chunk_pairs(views["csr:indptr"], views["csr:indices"], lo, hi)
+    active = None
     if args["detect"]:
-        keep = ~views[COLUMN_PREFIX + "static"][qi]
-        qi, qj = qi[keep], qj[keep]
-    rows = hi - lo
-    if len(qi) == 0:
-        net[lo:hi] = 0.0
-        nz[lo:hi] = 0
-        pairs[cid] = 0
-        return
-    f = args["force"].pair_forces(
+        # Negate once per phase (args is per-phase, per-worker).
+        active = args.get("_active")
+        if active is None:
+            active = args["_active"] = ~views[COLUMN_PREFIX + "static"]
+    pairs[cid] = args["_kb"].force_rows(
+        args["force"],
         views[COLUMN_PREFIX + "position"],
         views[COLUMN_PREFIX + "diameter"],
-        qi, qj,
+        views["csr:indptr"],
+        views["csr:indices"],
+        active, net, nz, lo, hi,
     )
-    local = qi - lo
-    for c in range(3):
-        net[lo:hi, c] = np.bincount(local, weights=f[:, c], minlength=rows)
-    mag_nonzero = (
-        np.abs(f[:, 0]) + np.abs(f[:, 1]) + np.abs(f[:, 2])
-    ) > FORCE_EPSILON
-    nz[lo:hi] = np.bincount(local, weights=mag_nonzero,
-                            minlength=rows).astype(np.int64)
-    pairs[cid] = len(qi)
 
 
 def k_displace(views, cid, lo, hi, args):
     """Clamped Euler displacement for rows [lo, hi) (row-elementwise)."""
-    apply_displacement(
-        views[COLUMN_PREFIX + "position"][lo:hi],
-        views[COLUMN_PREFIX + "moved"][lo:hi],
-        views["mech:net_force"][lo:hi],
+    args["_kb"].displace_rows(
+        views[COLUMN_PREFIX + "position"],
+        views[COLUMN_PREFIX + "moved"],
+        views["mech:net_force"],
         args["dt"],
         args["max_displacement"],
+        lo, hi,
     )
 
 
@@ -137,7 +128,15 @@ def worker_main(worker_id, inbox, ack, queues):
         done = same_steals = cross_steals = 0
         error = None
         events = [] if trace else None
+        kb = None
         try:
+            if kernel in ("mech_force", "mech_displace"):
+                # Worker-side dispatch table: resolved once per process
+                # from the parent's already-resolved backend name and
+                # cached at module level (one JIT compile per worker).
+                kb = worker_kernels(args.get("kernel_backend", "numpy"))
+                args["_kb"] = kb
+                kb_calls_before = kb.calls
             arena.sync(layout)
             views = {
                 name: arena.view(name, shape, dtype)
@@ -173,8 +172,13 @@ def worker_main(worker_id, inbox, ack, queues):
             error = traceback.format_exc()
         # Drop view references so the next sync() can close replaced blocks.
         views = chunks = None
+        # (backend name, kernel calls this phase) — lets the host assert
+        # workers resolved the same backend as the parent and keep the
+        # kernel:worker_calls counter honest (anti-vacuous equivalence).
+        kinfo = ((kb.name, kb.calls - kb_calls_before)
+                 if kb is not None else None)
         ack.put((worker_id, gen, done, same_steals, cross_steals, error,
-                 events))
+                 events, kinfo))
     arena.close()
 
 
@@ -227,6 +231,11 @@ class ProcessBackend(ExecutionBackend):
         self._csr_copies = reg.counter("backend:csr_copies")
         self._steals_same = reg.counter("backend:steals_same_domain")
         self._steals_cross = reg.counter("backend:steals_cross_domain")
+        self._worker_kernel_calls = reg.counter("kernel:worker_calls")
+        #: Kernel backend name each worker reported in its last mechanics
+        #: acknowledgment ({worker_id: name}); the regression tests assert
+        #: this matches the parent's resolved ``sim.kernels.name``.
+        self.worker_kernel_backends: dict[int, str] = {}
 
     @property
     def phase_stats(self) -> dict:
@@ -350,9 +359,8 @@ class ProcessBackend(ExecutionBackend):
             errors = []
             for _ in range(self.num_workers):
                 try:
-                    wid, gen, d, same, cross, error, events = self._ack.get(
-                        timeout=ACK_TIMEOUT_S
-                    )
+                    (wid, gen, d, same, cross, error, events,
+                     kinfo) = self._ack.get(timeout=ACK_TIMEOUT_S)
                 except queue_mod.Empty:
                     self._dead = True
                     self.shutdown()
@@ -368,6 +376,9 @@ class ProcessBackend(ExecutionBackend):
                 done += d
                 self._steals_same.inc(same)
                 self._steals_cross.inc(cross)
+                if kinfo is not None:
+                    self.worker_kernel_backends[wid] = kinfo[0]
+                    self._worker_kernel_calls.inc(kinfo[1])
                 if events:
                     # Worker trace events ride the existing ack channel;
                     # adopt them onto this worker's trace thread.
@@ -435,12 +446,18 @@ class ProcessBackend(ExecutionBackend):
             "mech:chunk_pairs": ((len(chunks),), np.dtype(np.int64).str),
         })
         per_worker = self._distribute(chunks)
-        self._run_phase("mech_force", {"detect": detect, "force": sim.force},
-                        shapes, len(chunks), per_worker)
+        kb_name = sim.kernels.name
+        self._run_phase(
+            "mech_force",
+            {"detect": detect, "force": sim.force,
+             "kernel_backend": kb_name},
+            shapes, len(chunks), per_worker,
+        )
         self._run_phase(
             "mech_displace",
             {"dt": p.simulation_time_step,
-             "max_displacement": p.simulation_max_displacement},
+             "max_displacement": p.simulation_max_displacement,
+             "kernel_backend": kb_name},
             shapes, len(chunks), per_worker,
         )
         # Fixed chunk order: sum of int64 pair counts is order-insensitive,

@@ -18,15 +18,22 @@ Runs, in order and as selected by flags:
   columnar commits and cached behavior dispatch
   (``Param(batched_agent_ops=True)``) must leave per-step checksums
   bitwise identical to the legacy queue-merge path, on both backends,
-  under population-churning models (divisions and deaths).
+  under population-churning models (divisions and deaths);
+- **kernel equivalence**: the kernel-dispatch check — the NumPy kernel
+  backend must be bitwise identical to mainline per-step checksums
+  (serial and process), and every available compiled backend (numba,
+  cupy) must match the NumPy trace within the declared
+  ``KERNEL_TOLERANCES``, with anti-vacuous proof that compiled kernels
+  actually executed.
 
 With no flags everything runs at smoke-test sizes.  ``--fuzz N``,
-``--oracle`` and ``--replay MODEL`` select individual sections (and
-scale them), which is what CI uses::
+``--oracle``, ``--replay MODEL`` and ``--kernels`` select individual
+sections (and scale them), which is what CI uses::
 
     python -m repro verify --fuzz 200
     python -m repro verify --oracle --configs 100
     python -m repro verify --replay oncology --steps 10
+    python -m repro verify --kernels
 
 Exit status is 0 only when every selected check passes.
 """
@@ -46,6 +53,10 @@ INVARIANT_SMOKE_MODELS = ("cell_clustering", "oncology")
 #: additions only (divisions → the fast-append path) and one that mixes
 #: additions with removals (divisions + stochastic deaths).
 COMMIT_PIPELINE_MODELS = ("cell_proliferation", "oncology")
+
+#: Models the kernel-equivalence check runs (same pair as the commit
+#: pipeline: population churn + mechanics + diffusion coverage).
+KERNEL_EQUIVALENCE_MODELS = ("cell_proliferation", "oncology")
 
 
 def _positive_int(text: str) -> int:
@@ -72,6 +83,9 @@ def add_verify_parser(sub):
     p.add_argument("--replay", metavar="SIM", default=None,
                    help="replay a registry model twice and diff state "
                         "checksums per step")
+    p.add_argument("--kernels", action="store_true",
+                   help="run the kernel-backend equivalence section "
+                        "(bitwise numpy, toleranced numba/cupy)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--configs", type=_positive_int, default=50,
                    help="oracle configurations (default 50)")
@@ -145,6 +159,16 @@ def _run_replay(args, model: str) -> bool:
     return report.ok and traced.ok and cached.ok
 
 
+def _run_kernel_equivalence(args) -> bool:
+    from repro.verify.replay import kernel_equivalence
+
+    t0 = time.perf_counter()
+    report = kernel_equivalence(models=KERNEL_EQUIVALENCE_MODELS)
+    dt = time.perf_counter() - t0
+    print(report.render() + f" ({dt:.1f}s)")
+    return report.ok
+
+
 def _run_commit_pipeline(args) -> bool:
     from repro.verify.replay import commit_pipeline_equivalence
 
@@ -160,8 +184,8 @@ def _run_commit_pipeline(args) -> bool:
 
 def run_verify(args) -> int:
     """Execute the selected (or, with no flags, all) verification sections."""
-    selected = (args.fuzz is not None) or args.oracle or (args.replay
-                                                          is not None)
+    selected = ((args.fuzz is not None) or args.oracle
+                or (args.replay is not None) or args.kernels)
     ok = True
     if not selected or args.oracle:
         _section("differential oracle")
@@ -177,5 +201,8 @@ def run_verify(args) -> int:
         ok &= _run_replay(args, args.replay or "cell_clustering")
         _section("commit pipeline equivalence")
         ok &= _run_commit_pipeline(args)
+    if not selected or args.kernels:
+        _section("kernel equivalence")
+        ok &= _run_kernel_equivalence(args)
     print("verify: " + ("PASS" if ok else "FAIL"))
     return 0 if ok else 1

@@ -59,6 +59,8 @@ __all__ = [
     "neighbor_cache_equivalence",
     "CommitPipelineEquivalenceReport",
     "commit_pipeline_equivalence",
+    "KernelEquivalenceReport",
+    "kernel_equivalence",
 ]
 
 
@@ -448,6 +450,252 @@ def commit_pipeline_equivalence(name: str, num_agents: int = 250,
             report.divergences[(backend, seed)] = next(
                 (i for i, (a, b) in enumerate(zip(on, off)) if a != b), None
             )
+    return report
+
+
+# --------------------------------------------------------------------- #
+# Kernel backend (numpy / numba / cupy dispatch) equivalence
+# --------------------------------------------------------------------- #
+
+@dataclass
+class KernelEquivalenceReport:
+    """Kernel-dispatch equivalence: bitwise for NumPy, toleranced for
+    compiled backends, across models, seeds, and execution backends."""
+
+    models: tuple
+    steps: int
+    workers: int
+    #: Compiled kernel backends that were actually compared.
+    compiled_checked: list[str] = field(default_factory=list)
+    #: Compiled backends requested but unavailable here (skipped legs).
+    compiled_skipped: list[str] = field(default_factory=list)
+    #: ``{(model, exec_backend, seed): first diverging step or None}`` for
+    #: the bitwise NumPy legs (explicit "numpy" serial vs process, and
+    #: serial "numpy" vs serial "auto" when auto resolves to numpy).
+    bitwise_divergences: dict[tuple[str, str, int], int | None] = field(
+        default_factory=dict
+    )
+    #: ``{(model, kernel_backend, exec_backend, seed): max exceedance}`` —
+    #: largest ``|got-ref| / (atol + rtol|ref|)`` over the whole per-step
+    #: state trace; values <= 1.0 are within the declared tolerance.
+    deviations: dict[tuple[str, str, str, int], float] = field(
+        default_factory=dict
+    )
+    #: Compiled-kernel invocations observed (anti-vacuous: a green
+    #: toleranced comparison where the compiled kernels never ran —
+    #: silent fallback to NumPy on both sides — must not pass).
+    compiled_calls: int = 0
+    #: Runs whose resolved backend differed from the requested one.
+    backend_mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Green iff every bitwise leg is byte-identical, every compiled
+        deviation is within tolerance, nothing silently fell back, and —
+        when a compiled backend was checked — its kernels actually ran."""
+        bitwise_ok = all(d is None for d in self.bitwise_divergences.values())
+        tol_ok = all(d <= 1.0 for d in self.deviations.values())
+        vacuous = bool(self.compiled_checked) and self.compiled_calls == 0
+        return (bitwise_ok and tol_ok and not vacuous
+                and not self.backend_mismatches)
+
+    def render(self) -> str:
+        """One line per leg: byte-identical / within tolerance / failing."""
+        lines = [
+            f"kernel equivalence: models {', '.join(self.models)}, "
+            f"{self.steps} steps, process workers {self.workers}"
+        ]
+        if self.compiled_checked:
+            lines.append(
+                f"  compiled backends checked: "
+                f"{', '.join(self.compiled_checked)} "
+                f"({self.compiled_calls} compiled kernel calls)"
+            )
+            if self.compiled_calls == 0:
+                lines.append("  VACUOUS: compiled kernels never executed")
+        if self.compiled_skipped:
+            lines.append(
+                "  unavailable (skipped): "
+                + ", ".join(self.compiled_skipped)
+            )
+        for mismatch in self.backend_mismatches:
+            lines.append(f"  BACKEND MISMATCH: {mismatch}")
+        for (model, backend, seed), div in sorted(
+            self.bitwise_divergences.items()
+        ):
+            if div is None:
+                lines.append(
+                    f"  numpy {model} {backend} seed {seed}: byte-identical"
+                )
+            else:
+                lines.append(
+                    f"  numpy {model} {backend} seed {seed}: DIVERGES at "
+                    f"step {div}"
+                )
+        for (model, kb, backend, seed), dev in sorted(
+            self.deviations.items()
+        ):
+            verdict = "within tolerance" if dev <= 1.0 else "EXCEEDS tolerance"
+            lines.append(
+                f"  {kb} {model} {backend} seed {seed}: {verdict} "
+                f"(max exceedance {dev:.3g})"
+            )
+        return "\n".join(lines)
+
+
+def _state_trace(bench, num_agents, param, seed, steps):
+    """Per-step float state (positions + substance grids) plus the sim's
+    kernel accounting, for toleranced cross-backend comparison."""
+    import numpy as np
+
+    with bench.build(num_agents, param=param, seed=seed) as sim:
+        states = []
+        for _ in range(steps):
+            sim.simulate(1)
+            arrays = [np.array(sim.rm.positions, copy=True)]
+            arrays.extend(
+                np.array(g.concentration, copy=True)
+                for g in sim.diffusion_grids.values()
+            )
+            states.append(arrays)
+        calls = sim.kernels.calls
+        resolved = sim.kernels.name
+        worker_calls = int(
+            sim.obs.registry.counter("kernel:worker_calls").value
+        )
+        worker_backends = set(
+            getattr(sim.backend, "worker_kernel_backends", {}).values()
+        )
+    return states, calls, resolved, worker_calls, worker_backends
+
+
+def kernel_equivalence(models=("cell_proliferation", "oncology"),
+                       num_agents: int = 250, steps: int = 6,
+                       seeds=(1, 2, 3), workers: int = 2,
+                       compiled_backends=None, param=None,
+                       ) -> KernelEquivalenceReport:
+    """Assert the kernel dispatch layer preserves the engine's semantics.
+
+    Two layers of guarantee, mirroring the tolerance policy of
+    :mod:`repro.kernels.api`:
+
+    - **NumPy is bitwise.**  With ``kernel_backend="numpy"`` the per-step
+      :func:`~repro.verify.snapshot.state_checksum` trace must be
+      byte-identical between the serial and the process execution backend
+      (the dispatch layer adds no reordering), and a serial ``"auto"``
+      run that resolves to numpy must be byte-identical to an explicit
+      ``"numpy"`` run (the fallback path *is* the mainline path).
+    - **Compiled backends are toleranced.**  For every available compiled
+      backend, per-step positions and substance grids must match the
+      NumPy trace within the ``replay_state`` tolerance of
+      :data:`repro.kernels.api.KERNEL_TOLERANCES`, on both execution
+      backends — with the anti-vacuous requirements that the compiled
+      kernels actually executed (call counters > 0, worker-reported
+      backends match) and that the resolution did not silently fall back.
+
+    ``compiled_backends=None`` probes availability; unavailable backends
+    are recorded as skipped, never failed (CI without numba still gets
+    the bitwise legs).
+    """
+    from repro.core.param import Param
+    from repro.kernels.api import tolerance_for
+    from repro.kernels.dispatch import _probe
+    from repro.simulations import get_simulation
+
+    base = param if param is not None else Param()
+    if compiled_backends is None:
+        compiled_backends = [b for b in ("numba", "cupy") if _probe(b)]
+        skipped = [b for b in ("numba", "cupy") if not _probe(b)]
+    else:
+        compiled_backends = list(compiled_backends)
+        skipped = []
+    report = KernelEquivalenceReport(
+        models=tuple(models), steps=steps, workers=workers,
+        compiled_checked=list(compiled_backends), compiled_skipped=skipped,
+    )
+    tol = tolerance_for("replay_state", "compiled")
+    auto_is_numpy = not compiled_backends or (
+        skipped and set(skipped) >= {"numba", "cupy"}
+    )
+
+    def checksum_trace(bench, p, seed):
+        with bench.build(num_agents, param=p, seed=seed) as sim:
+            out = [state_checksum(sim)]
+            for _ in range(steps):
+                sim.simulate(1)
+                out.append(state_checksum(sim))
+        return out
+
+    for model in models:
+        bench = get_simulation(model)
+        for seed in seeds:
+            # -- bitwise NumPy legs -------------------------------------- #
+            p_np = base.with_(kernel_backend="numpy",
+                              execution_backend="serial")
+            serial_np = checksum_trace(bench, p_np, seed)
+            proc_np = checksum_trace(
+                bench,
+                base.with_(kernel_backend="numpy",
+                           execution_backend="process",
+                           backend_workers=workers),
+                seed,
+            )
+            report.bitwise_divergences[(model, "process", seed)] = next(
+                (i for i, (a, b) in enumerate(zip(serial_np, proc_np))
+                 if a != b), None,
+            )
+            if auto_is_numpy:
+                auto_np = checksum_trace(
+                    bench, base.with_(kernel_backend="auto",
+                                      execution_backend="serial"), seed,
+                )
+                report.bitwise_divergences[(model, "auto", seed)] = next(
+                    (i for i, (a, b) in enumerate(zip(serial_np, auto_np))
+                     if a != b), None,
+                )
+
+            if not compiled_backends:
+                continue
+            # -- toleranced compiled legs -------------------------------- #
+            ref_states, _, _, _, _ = _state_trace(
+                bench, num_agents, p_np, seed, steps
+            )
+            for kb in compiled_backends:
+                for backend in ("serial", "process"):
+                    p = base.with_(kernel_backend=kb,
+                                   execution_backend=backend,
+                                   backend_workers=workers)
+                    (states, calls, resolved, worker_calls,
+                     worker_backends) = _state_trace(
+                        bench, num_agents, p, seed, steps
+                    )
+                    if resolved != kb:
+                        report.backend_mismatches.append(
+                            f"{model} {backend} seed {seed}: requested "
+                            f"{kb}, resolved {resolved}"
+                        )
+                    if backend == "process":
+                        report.compiled_calls += worker_calls
+                        bad = worker_backends - {kb}
+                        if bad:
+                            report.backend_mismatches.append(
+                                f"{model} process seed {seed}: workers "
+                                f"reported {sorted(bad)}, expected {kb}"
+                            )
+                    else:
+                        report.compiled_calls += calls
+                    dev = 0.0
+                    for got_arrays, ref_arrays in zip(states, ref_states):
+                        for got, ref in zip(got_arrays, ref_arrays):
+                            if got.shape != ref.shape:
+                                # Populations diverged structurally — a
+                                # numeric deviation crossed a division
+                                # threshold.  Unconditionally out of
+                                # tolerance.
+                                dev = float("inf")
+                                continue
+                            dev = max(dev, tol.max_exceedance(got, ref))
+                    report.deviations[(model, kb, backend, seed)] = dev
     return report
 
 

@@ -1,10 +1,16 @@
 """Tests for the simulated GPU offload (paper §2)."""
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro import Machine, Param, Simulation, SYSTEM_A
 from repro.gpu import A100, GpuDevice, GpuSpec, V100
+
+#: Measured kernel-backend throughput (``python -m repro bench kernels``).
+BENCH_KERNELS = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
 
 class TestSpec:
@@ -53,6 +59,70 @@ class TestDevice:
         small = dev.mechanics_offload(1000, 10_000)
         big = dev.mechanics_offload(1000, 10_000_000)
         assert big.force_s > small.force_s
+
+
+@pytest.mark.skipif(not BENCH_KERNELS.exists(),
+                    reason="BENCH_kernels.json not generated "
+                           "(run `python -m repro bench kernels`)")
+class TestMeasuredRoofline:
+    """Anchor the roofline model against measured kernel throughput.
+
+    The model-only assertions in :class:`TestSpec` check internal
+    consistency; these check the model against reality — the measured
+    host backends from ``BENCH_kernels.json``.  The paper's §2 argument
+    (offload wins at scale) only holds if the device roofline predicts
+    more force-pair throughput than any *measured* host backend.
+    """
+
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return json.loads(BENCH_KERNELS.read_text())
+
+    def _measured_pairs_per_s(self, artifact):
+        return {
+            name: rec["warm"]["force_pairs_per_s"]
+            for name, rec in artifact["backends"].items()
+            if rec.get("available")
+        }
+
+    def test_artifact_is_trustworthy(self, artifact):
+        # A benchmark whose backends disagree numerically measures
+        # nothing; the agreement gate must have passed.
+        assert artifact["outputs_match"]
+        measured = self._measured_pairs_per_s(artifact)
+        assert "numpy" in measured  # the reference always runs
+        assert all(v > 0 for v in measured.values())
+
+    def test_device_roofline_exceeds_every_measured_host_backend(
+            self, artifact):
+        measured = self._measured_pairs_per_s(artifact)
+        for spec in (A100, V100):
+            predicted = spec.force_pairs_per_second()
+            for name, pairs_per_s in measured.items():
+                assert predicted > pairs_per_s, (
+                    f"{spec.name} roofline predicts {predicted:.3g} "
+                    f"pairs/s but measured host backend '{name}' does "
+                    f"{pairs_per_s:.3g} — the offload argument collapses"
+                )
+
+    def test_roofline_headroom_is_physical(self, artifact):
+        # The A100 model should beat the measured NumPy loop by a wide
+        # margin (it is a ~TFLOP device vs an interpreter), but not by
+        # an absurd one (> 6 orders of magnitude would indicate a unit
+        # error in either the model or the bench).
+        numpy_measured = self._measured_pairs_per_s(artifact)["numpy"]
+        ratio = A100.force_pairs_per_second() / numpy_measured
+        assert 10.0 < ratio < 1e6
+
+    def test_warm_at_least_as_fast_as_cold(self, artifact):
+        for name, rec in artifact["backends"].items():
+            if not rec.get("available"):
+                continue
+            assert (rec["warm"]["force_s"]
+                    <= rec["cold"]["force_s"] * 1.25), (
+                f"backend '{name}' got slower after warm-up — the "
+                "bench's cold/warm split is mislabeled"
+            )
 
 
 class TestEngineIntegration:

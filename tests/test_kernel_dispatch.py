@@ -1,0 +1,165 @@
+"""Dispatch and wiring tests for ``Param.kernel_backend``.
+
+Covers the selection contract (docs/kernels.md):
+
+- ``Param.kernel_backend`` is validated like every other enum param —
+  an unknown name raises a typed :class:`ParamError` with a
+  did-you-mean suggestion, never a late ``ImportError``;
+- ``"auto"`` probes at :class:`Simulation` construction and silently
+  uses the best available backend, falling back to NumPy with a
+  :class:`KernelBackendWarning` when no compiled backend imports;
+- an *explicitly requested* but unavailable backend also warns and
+  falls back — the simulation still runs;
+- process-backend workers instantiate their own dispatch table and
+  must report the **same** backend the parent resolved (a worker
+  silently falling back to a different kernel would poison bitwise
+  reproducibility across worker counts);
+- the observability registry surfaces ``kernel:backend`` and
+  ``kernel:calls`` after stepping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.param import Param, ParamError
+from repro.core.simulation import Simulation
+from repro.kernels import (
+    KNOWN_BACKENDS,
+    KernelBackendWarning,
+    available_backends,
+    make_kernels,
+    worker_kernels,
+)
+from repro.kernels import dispatch as dispatch_mod
+
+
+class TestParamValidation:
+    def test_default_is_numpy(self):
+        assert Param().kernel_backend == "numpy"
+
+    @pytest.mark.parametrize("name", ["numpy", "numba", "cupy", "auto"])
+    def test_known_names_validate(self, name):
+        Param(kernel_backend=name).validate()
+
+    def test_typo_gets_suggestion(self):
+        with pytest.raises(ParamError, match=r"did you mean 'numpy'"):
+            Param(kernel_backend="numpa").validate()
+        with pytest.raises(ParamError, match=r"did you mean 'numba'"):
+            Param(kernel_backend="nmba").validate()
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ParamError, match="numpy, numba, cupy, auto"):
+            Param(kernel_backend="fortran").validate()
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ParamError):
+            Param(kernel_backend=7).validate()
+
+
+class TestDispatch:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+        kb = make_kernels("numpy", warn=False)
+        assert kb.name == "numpy" and not kb.compiled
+
+    def test_auto_falls_back_to_numpy_when_compiled_absent(self, monkeypatch):
+        monkeypatch.setattr(dispatch_mod, "_probe",
+                            lambda name: name == "numpy")
+        # The fallback must warn (so silent slow runs are visible) but
+        # never raise.
+        with pytest.warns(KernelBackendWarning, match="auto"):
+            kb = make_kernels("auto")
+        assert kb.name == "numpy"
+
+    def test_explicit_unavailable_warns_never_raises(self, monkeypatch):
+        monkeypatch.setattr(dispatch_mod, "_probe",
+                            lambda name: name == "numpy")
+        with pytest.warns(KernelBackendWarning, match="numba"):
+            kb = make_kernels("numba")
+        assert kb.name == "numpy"  # degraded, but functional
+
+    def test_auto_prefers_compiled_when_probe_says_available(self,
+                                                             monkeypatch):
+        # Simulate "numba importable": auto must pick it over numpy.  The
+        # constructor is also patched so the test runs without a wheel.
+        sentinel = make_kernels("numpy", warn=False)
+        sentinel.name = "numba"
+        monkeypatch.setattr(dispatch_mod, "_probe",
+                            lambda name: name in ("numpy", "numba"))
+        monkeypatch.setattr(dispatch_mod, "_construct",
+                            lambda name: sentinel)
+        kb = make_kernels("auto", warn=False)
+        assert kb.name == "numba"
+
+    def test_worker_kernels_caches_per_name(self):
+        dispatch_mod._WORKER_CACHE.clear()
+        kb1 = worker_kernels("numpy")
+        kb2 = worker_kernels("numpy")
+        assert kb1 is kb2
+
+    def test_known_backends_tuple(self):
+        assert KNOWN_BACKENDS == ("numpy", "numba", "cupy")
+
+
+def _clustered_sim(**overrides) -> Simulation:
+    """A sim whose agents overlap, so the CSR (and kernels) do work."""
+    param = Param(**overrides)
+    sim = Simulation("kdisp", param, seed=9)
+    rng = np.random.default_rng(9)
+    sim.add_cells(rng.uniform(0, 30, (120, 3)), diameters=10.0)
+    return sim
+
+
+class TestSimulationWiring:
+    def test_simulation_resolves_backend_at_construction(self):
+        sim = _clustered_sim(kernel_backend="numpy")
+        assert sim.kernels.name == "numpy"
+
+    def test_unavailable_request_warns_and_still_runs(self, monkeypatch):
+        monkeypatch.setattr(dispatch_mod, "_probe",
+                            lambda name: name == "numpy")
+        with pytest.warns(KernelBackendWarning):
+            sim = _clustered_sim(kernel_backend="numba")
+        assert sim.kernels.name == "numpy"
+        sim.simulate(2)  # degraded mode must remain functional
+        assert sim.kernels.calls > 0
+
+    def test_obs_counters_after_serial_step(self):
+        sim = _clustered_sim(kernel_backend="numpy")
+        sim.simulate(2)
+        snap = sim.obs.registry.snapshot()
+        assert snap["kernel:backend"] == "numpy"
+        assert snap["kernel:calls"] > 0
+        assert snap["kernel:fallbacks"] == 0
+
+    def test_process_workers_report_parent_backend(self):
+        sim = _clustered_sim(kernel_backend="numpy",
+                             execution_backend="process",
+                             backend_workers=2, backend_chunk_size=32)
+        try:
+            sim.simulate(2)
+            reported = sim.backend.worker_kernel_backends
+            assert reported, "no worker ever reported a kernel backend"
+            assert set(reported.values()) == {sim.kernels.name}
+            snap = sim.obs.registry.snapshot()
+            assert snap["kernel:worker_calls"] > 0
+        finally:
+            sim.close()
+
+    def test_serial_and_process_bitwise_identical_positions(self):
+        def positions(backend_overrides):
+            sim = _clustered_sim(kernel_backend="numpy",
+                                 **backend_overrides)
+            try:
+                sim.simulate(3)
+                return sim.rm.positions.copy()
+            finally:
+                sim.close()
+
+        serial = positions({})
+        process = positions({"execution_backend": "process",
+                             "backend_workers": 2,
+                             "backend_chunk_size": 32})
+        assert serial.tobytes() == process.tobytes()
