@@ -55,9 +55,10 @@ def _add_trace_parser(sub):
     p.add_argument("--iterations", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--param", help="TOML/JSON parameter file (bdm.toml)")
-    p.add_argument("--backend", choices=["serial", "process"],
+    p.add_argument("--backend", choices=["serial", "process", "auto"],
                    help="override the execution backend (process-pool runs "
-                        "add per-worker phase spans and steal markers)")
+                        "add per-worker phase spans and steal markers; auto "
+                        "picks serial/process from the measured cost model)")
     p.add_argument("--workers", type=int,
                    help="worker count for --backend process")
     p.add_argument("--out", default="trace.json",
@@ -178,6 +179,21 @@ def _cmd_trace(args) -> int:
               f"{int(reg.counter('commit:staged_rows').value)} staged rows, "
               f"{int(reg.counter('agent_ops:mask_cache_hits').value)} "
               "mask-cache hits")
+        if sim.rm.soa is not None:
+            soa = sim.rm.soa
+            print(f"  arena: {soa.nbytes} bytes, "
+                  f"{soa.reallocations} reallocations, "
+                  f"{soa.adopts} adopts, "
+                  f"attach {soa.attach_seconds * 1e3:.2f} ms")
+        stats = sim.backend.stats() if sim.backend is not None else {}
+        if "auto_decisions" in stats:
+            model = sim.backend.model
+            print("  auto backend: "
+                  f"{stats['auto_decisions']} decisions, "
+                  f"{stats['auto_switches']} switches, "
+                  f"active {stats['active']}, "
+                  "process_overhead_ratio "
+                  f"{model.process_overhead_ratio(sim.num_agents):.2f}")
         if workers:
             print(f"  worker threads: {len(workers)}")
         if args.metrics:

@@ -25,7 +25,7 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default="small", choices=["small", "medium"])
     wall_opts = parser.add_argument_group(
         "wall-clock", "options for the `scaling`, `neighbor_cache`, "
-                      "`agent_ops` and `kernels` experiments")
+                      "`agent_ops`, `arena` and `kernels` experiments")
     wall_opts.add_argument("--agents", type=int, default=None)
     wall_opts.add_argument("--iterations", type=int, default=None)
     wall_opts.add_argument(
@@ -55,7 +55,7 @@ def main(argv=None) -> int:
             kwargs = dict(agents=args.agents, iterations=args.iterations,
                           workers=args.workers,
                           out=args.out or "BENCH_scaling.json")
-        elif name in ("neighbor_cache", "agent_ops"):
+        elif name in ("neighbor_cache", "agent_ops", "arena"):
             kwargs = dict(agents=args.agents, iterations=args.iterations,
                           out=args.out or f"BENCH_{name}.json")
         elif name == "kernels":

@@ -8,6 +8,7 @@ not expected to match — the substrate is a simulated machine).
 
 from repro.bench.experiments import (
     agent_ops,
+    arena,
     ext_ablations,
     ext_distributed,
     ext_gpu,
@@ -29,6 +30,7 @@ from repro.bench.experiments import (
 
 ALL_EXPERIMENTS = {
     "agent_ops": agent_ops,
+    "arena": arena,
     "table1": table1_characteristics,
     "fig05": fig05_breakdown,
     "fig06": fig06_complexity,

@@ -1,0 +1,205 @@
+"""Single-arena SoA consolidation: bulk state movement A/B.
+
+The arena (``Param.soa_arena``, :class:`repro.core.arena.SoAArena`)
+consolidates every agent column into one contiguous block per domain so
+that bulk state movements — checkpoint save, checkpoint restore (the
+single-copy *adopt* fast path), shared-memory attach — become O(blocks)
+instead of O(columns).  This experiment measures exactly those paths,
+arena layout against the per-column baseline, same model/seed/steps:
+
+- **step wall**: steady-state stepping must not regress (the views are
+  zero-copy; elementwise engine code is identical);
+- **save**: one block write vs a per-column ``savez`` loop;
+- **restore**: one contiguous adopt copy vs per-column re-registration;
+- **equivalence**: final and restored checksums must be bitwise equal
+  across layouts — a speedup from a diverged state is meaningless;
+- **engagement**: arena byte size / reallocation / adopt counters prove
+  the arena path actually ran (anti-vacuity, mirroring
+  ``verify.replay.arena_equivalence``).
+
+``python -m repro bench arena`` writes ``BENCH_arena.json``; timings are
+the minimum over ``repetitions`` save/restore repetitions (bulk copies
+are microsecond-scale at smoke sizes, so single samples are noise).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.tables import ExperimentReport
+from repro.verify.snapshot import state_checksum
+
+__all__ = ["run", "main", "run_arena", "DEFAULT_MODEL"]
+
+DEFAULT_MODEL = "cell_proliferation"
+
+SCALES = {
+    "small": dict(agents=3000, iterations=5),
+    "medium": dict(agents=12_000, iterations=10),
+}
+
+#: Save/restore timing repetitions (minimum is reported).
+REPETITIONS = 5
+
+
+def _measure_layout(model: str, agents: int, iterations: int, seed: int,
+                    soa_arena: bool, repetitions: int, tmpdir: str) -> dict:
+    """Step + checkpoint round-trip timings for one column layout."""
+    from repro.core.checkpoint import restore_checkpoint, save_checkpoint
+    from repro.core.param import Param
+    from repro.simulations import get_simulation
+
+    bench = get_simulation(model)
+    param = bench.default_param().with_(soa_arena=soa_arena)
+    path = Path(tmpdir) / f"arena_{int(soa_arena)}.npz"
+
+    sim = bench.build(agents, param=param, seed=seed)
+    try:
+        t0 = time.perf_counter()
+        sim.simulate(iterations)
+        step_wall = time.perf_counter() - t0
+        final_checksum = state_checksum(sim)
+
+        save_seconds = min(
+            _timed(lambda: save_checkpoint(sim, path))
+            for _ in range(repetitions)
+        )
+        record = {
+            "soa_arena": soa_arena,
+            "final_agents": sim.num_agents,
+            "step_wall_seconds": step_wall,
+            "save_seconds": save_seconds,
+            "checkpoint_bytes": path.stat().st_size,
+            "final_checksum": final_checksum,
+        }
+    finally:
+        sim.close()
+
+    target = bench.build(agents, param=param, seed=seed + 1)
+    try:
+        restore_seconds = []
+        adopts_used = 0
+        for _ in range(repetitions):
+            before = target.rm.soa.adopts if target.rm.soa is not None else 0
+            restore_seconds.append(
+                _timed(lambda: restore_checkpoint(target, path)))
+            after = target.rm.soa.adopts if target.rm.soa is not None else 0
+            adopts_used = after - before
+        record["restore_seconds"] = min(restore_seconds)
+        record["restore_adopts"] = adopts_used
+        record["restored_checksum"] = state_checksum(target)
+        if target.rm.soa is not None:
+            record["arena_bytes"] = target.rm.soa.nbytes
+            record["arena_reallocations"] = target.rm.soa.reallocations
+        else:
+            record["arena_bytes"] = 0
+            record["arena_reallocations"] = 0
+    finally:
+        target.close()
+    return record
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def run_arena(scale: str = "small", model: str = DEFAULT_MODEL,
+              agents: int | None = None, iterations: int | None = None,
+              seed: int = 0, repetitions: int = REPETITIONS,
+              out: str | os.PathLike | None = "BENCH_arena.json") -> dict:
+    """Run the arena vs per-column comparison; return the artifact dict."""
+    cfg = SCALES[scale]
+    agents = agents if agents is not None else cfg["agents"]
+    iterations = iterations if iterations is not None else cfg["iterations"]
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        per_column = _measure_layout(model, agents, iterations, seed,
+                                     False, repetitions, tmpdir)
+        arena = _measure_layout(model, agents, iterations, seed,
+                                True, repetitions, tmpdir)
+
+    artifact = {
+        "experiment": "arena",
+        "model": model,
+        "agents": agents,
+        "iterations": iterations,
+        "seed": seed,
+        "repetitions": repetitions,
+        "layouts": {"per_column": per_column, "arena": arena},
+        # Bitwise equivalence across layouts and across the round-trip.
+        "checksums_match": (
+            per_column["final_checksum"] == arena["final_checksum"]
+        ),
+        "restore_matches": (
+            per_column["restored_checksum"] == per_column["final_checksum"]
+            and arena["restored_checksum"] == arena["final_checksum"]
+        ),
+        # The adopt fast path must be a single block copy (and must not
+        # exist at all in the per-column baseline).
+        "arena_single_copy": (arena["restore_adopts"] == 1
+                              and per_column["restore_adopts"] == 0),
+        "arena_engaged": (arena["arena_bytes"] > 0
+                          and arena["arena_reallocations"] > 0),
+        "save_speedup": per_column["save_seconds"] / arena["save_seconds"],
+        "restore_speedup": (per_column["restore_seconds"]
+                            / arena["restore_seconds"]),
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(artifact, indent=2) + "\n")
+        artifact["path"] = str(out)
+    return artifact
+
+
+def run(scale: str = "small", **overrides) -> ExperimentReport:
+    """Execute the experiment at the given scale; returns its report."""
+    artifact = run_arena(scale=scale, **overrides)
+    rows = []
+    for name in ("per_column", "arena"):
+        r = artifact["layouts"][name]
+        rows.append([
+            name,
+            round(r["step_wall_seconds"], 3),
+            round(r["save_seconds"] * 1e3, 3),
+            round(r["restore_seconds"] * 1e3, 3),
+            r["restore_adopts"],
+            r["final_checksum"][:12],
+        ])
+    notes = [
+        f"model {artifact['model']}, {artifact['agents']} agents, "
+        f"{artifact['iterations']} iterations, min of "
+        f"{artifact['repetitions']} save/restore repetitions",
+        "layout checksums "
+        + ("bitwise-identical" if artifact["checksums_match"]
+           else "DIVERGE — arena bug"),
+        "round-trip checksums "
+        + ("restored exactly" if artifact["restore_matches"]
+           else "DIVERGE — checkpoint bug"),
+        f"restore speedup {artifact['restore_speedup']:.2f}x, "
+        f"save speedup {artifact['save_speedup']:.2f}x "
+        f"(adopt fast path: {artifact['arena_single_copy']})",
+    ]
+    if "path" in artifact:
+        notes.append(f"artifact written to {artifact['path']}")
+    return ExperimentReport(
+        experiment="Arena",
+        title="Single-arena SoA vs per-column bulk state movement",
+        headers=["layout", "step_wall_s", "save_ms", "restore_ms",
+                 "adopts", "checksum"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def main() -> None:
+    """Print the rendered report to stdout."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -2,11 +2,13 @@
 
 Unlike the other experiments, which measure *virtual* time on a simulated
 machine, this one measures **wall-clock** time of actual execution: the
-same model runs once on the serial backend and once per worker count on
+same model runs once on the serial backend, once per worker count on
 the process-pool backend (``Param.execution_backend = "process"``), and
-the JSON artifact records agents/second, the scheduler's per-stage
-wall-time breakdown, steal counters, and the final state checksum of
-every run.
+once in adaptive mode (``"auto"``, which picks serial/process from the
+measured cost model); the JSON artifact records agents/second, the
+scheduler's per-stage wall-time breakdown, steal counters, the final
+state checksum of every run, and whether the auto run landed within 5%
+of the best static configuration.
 
 The checksum column is the point: the process backend promises *bitwise*
 identity with serial execution (fixed chunk order in every reduction), so
@@ -60,7 +62,7 @@ def _measure(model: str, agents: int, iterations: int, seed: int,
         wall = time.perf_counter() - t0
         record = {
             "backend": backend,
-            "workers": workers if backend == "process" else 1,
+            "workers": workers if backend != "serial" else 1,
             "wall_seconds": wall,
             "agents_per_second": agent_steps / wall if wall > 0 else 0.0,
             "agent_steps": agent_steps,
@@ -98,16 +100,25 @@ def run_scaling(scale: str = "small", model: str = DEFAULT_MODEL,
     runs = [_measure(model, agents, iterations, seed, "serial", 1)]
     for w in workers:
         runs.append(_measure(model, agents, iterations, seed, "process", w))
+    # The adaptive backend runs alongside the static grid: the acceptance
+    # bar is auto within 5% of the best *static* choice (and never slower
+    # than serial at small populations, where it must stay serial).
+    auto = _measure(model, agents, iterations, seed, "auto", max(workers))
+    runs.append(auto)
 
     serial = runs[0]
+    process_runs = [r for r in runs if r["backend"] == "process"]
     checksums_match = all(r["final_checksum"] == serial["final_checksum"]
                           for r in runs)
-    best = min(runs[1:], key=lambda r: r["wall_seconds"])
+    best = min(process_runs, key=lambda r: r["wall_seconds"])
     # Process-pool overhead: wall time of the lowest process worker count
     # over serial.  With 1 worker this isolates pure orchestration cost
     # (shm copies, message round-trips) from any parallel win — the seed
     # artifact showed ~1.7x; this field makes the trajectory trackable.
-    overhead_run = min(runs[1:], key=lambda r: r["workers"])
+    overhead_run = min(process_runs, key=lambda r: r["workers"])
+    best_static = min([serial] + process_runs,
+                      key=lambda r: r["wall_seconds"])
+    auto_stats = auto.get("backend_stats", {})
     artifact = {
         "experiment": "scaling",
         "model": model,
@@ -123,6 +134,18 @@ def run_scaling(scale: str = "small", model: str = DEFAULT_MODEL,
             overhead_run["wall_seconds"] / serial["wall_seconds"]
         ),
         "process_overhead_workers": overhead_run["workers"],
+        "best_static_backend": best_static["backend"],
+        "best_static_workers": best_static["workers"],
+        "best_static_wall_seconds": best_static["wall_seconds"],
+        "auto_wall_seconds": auto["wall_seconds"],
+        "auto_vs_best_static": (
+            auto["wall_seconds"] / best_static["wall_seconds"]
+        ),
+        "auto_within_5pct": (
+            auto["wall_seconds"] <= 1.05 * best_static["wall_seconds"]
+        ),
+        "auto_decisions": auto_stats.get("auto_decisions", 0),
+        "auto_final_backend": auto_stats.get("active", "serial"),
     }
     if out is not None:
         Path(out).write_text(json.dumps(artifact, indent=2) + "\n")
@@ -151,6 +174,14 @@ def run(scale: str = "small", **overrides) -> ExperimentReport:
            if artifact["checksums_match"] else "DIVERGE — backend bug"),
         f"process overhead at {artifact['process_overhead_workers']} "
         f"worker(s): {artifact['process_overhead_ratio']:.2f}x serial wall",
+        f"auto backend: {artifact['auto_wall_seconds']:.3f}s wall, "
+        f"{artifact['auto_vs_best_static']:.2f}x the best static run "
+        f"({artifact['best_static_backend']}"
+        f"/{artifact['best_static_workers']}w), "
+        f"{artifact['auto_decisions']} decisions, final backend "
+        f"{artifact['auto_final_backend']}"
+        + ("" if artifact["auto_within_5pct"]
+           else " — NOT within 5% of best static"),
     ]
     if "path" in artifact:
         notes.append(f"artifact written to {artifact['path']}")

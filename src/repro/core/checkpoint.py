@@ -9,6 +9,16 @@ run deterministically-enough for analysis workflows:
 - diffusion grid concentrations,
 - iteration counter and simulated time.
 
+Format v2 (``Param.soa_arena``): when the simulation uses the
+single-arena SoA layout (:mod:`repro.core.arena`), the checkpoint stores
+the arena's **whole backing block** plus its layout descriptor instead of
+one array per column, and restore into a matching arena is a **single
+contiguous copy** (:meth:`SoAArena.adopt`) — O(domains) instead of
+O(columns).  Per-column (v1) checkpoints remain readable, and either
+format restores into either layout: a layout/column mismatch just falls
+back to the per-column placement funnel
+(:meth:`ResourceManager.restore_columns`).
+
 Not persisted (documented limitations, as in BioDynaMo's ROOT backup):
 behavior *instances* are code — the caller re-attaches the same behavior
 objects to the restored simulation in registration order; virtual-machine
@@ -17,17 +27,26 @@ accounting restarts at zero.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
 
 __all__ = ["save_checkpoint", "restore_checkpoint"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Oldest format this module still restores.
+_MIN_FORMAT_VERSION = 1
 
 
 def save_checkpoint(sim, path) -> Path:
-    """Write the simulation state to an ``.npz`` checkpoint."""
+    """Write the simulation state to an ``.npz`` checkpoint.
+
+    Arena-backed simulations save the consolidated block verbatim (one
+    contiguous array per domain block) plus a JSON layout descriptor;
+    per-column simulations save one array per column, as in format v1.
+    """
     path = Path(path)
     rm = sim.rm
     payload = {
@@ -37,25 +56,60 @@ def save_checkpoint(sim, path) -> Path:
         "__meta_iteration__": np.array([sim.scheduler.iteration]),
         "__meta_time__": np.array([sim.time]),
         "__domain_starts__": rm.domain_starts,
+        "__columns__": np.array(json.dumps(list(rm.data))),
+        "__rng__": np.array(json.dumps(sim.random.get_state())),
     }
-    for name, arr in rm.data.items():
-        payload[f"col__{name}"] = arr
+    soa = getattr(rm, "soa", None)
+    if soa is not None and soa.block is not None:
+        payload["arena__block"] = np.asarray(soa.block[: soa.nbytes])
+        payload["arena__meta"] = np.array(json.dumps(soa.layout_meta()))
+    else:
+        for name, arr in rm.data.items():
+            payload[f"col__{name}"] = arr
     for gname, grid in sim.diffusion_grids.items():
         payload[f"grid__{gname}"] = grid.concentration
     np.savez(path, **payload)
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
+def _checkpoint_columns(data) -> tuple[dict, dict | None]:
+    """``({name: array}, arena_meta_or_None)`` from an open ``.npz``.
+
+    For arena checkpoints the column arrays are zero-copy views over the
+    loaded block (materialized only if the per-column fallback needs
+    them).
+    """
+    if "arena__meta" in data.files:
+        meta = json.loads(str(data["arena__meta"]))
+        block = np.ascontiguousarray(data["arena__block"], dtype=np.uint8)
+        cols = {}
+        for name, dt, shape in meta["columns"]:
+            rows = int(meta["capacity"])
+            cols[name] = np.ndarray(
+                (rows, *[int(s) for s in shape]), dtype=np.dtype(dt),
+                buffer=block, offset=int(meta["offsets"][name]),
+            )
+        return cols, meta
+    return ({k[5:]: data[k] for k in data.files if k.startswith("col__")},
+            None)
+
+
 def restore_checkpoint(sim, path) -> None:
     """Load a checkpoint into ``sim`` (which must have the same columns
-    registered and the same diffusion grids added)."""
+    registered and the same diffusion grids added).
+
+    When both the checkpoint and ``sim`` use the arena layout with the
+    same column set, the whole agent state lands with one contiguous
+    block copy; any mismatch falls back to per-column placement through
+    :meth:`ResourceManager.restore_columns`.
+    """
     with np.load(Path(path)) as data:
         version = int(data["__format__"][0])
-        if version != _FORMAT_VERSION:
+        if not _MIN_FORMAT_VERSION <= version <= _FORMAT_VERSION:
             raise ValueError(f"unsupported checkpoint format {version}")
         rm = sim.rm
         n = int(data["__meta_n__"][0])
-        cols = {k[5:]: data[k] for k in data.files if k.startswith("col__")}
+        cols, meta = _checkpoint_columns(data)
         missing = set(rm.data) - set(cols)
         if missing:
             raise ValueError(f"checkpoint lacks columns {sorted(missing)}")
@@ -65,14 +119,22 @@ def restore_checkpoint(sim, path) -> None:
                 f"checkpoint has columns {sorted(extra)}; register them "
                 "on the target simulation before restoring"
             )
-        for name, arr in cols.items():
-            rm.data[name] = arr.copy()
-        rm.n = n
+        adopted = (
+            meta is not None
+            and rm.adopt_arena(data["arena__block"], meta, n)
+        )
+        if not adopted:
+            rm.restore_columns(
+                {name: arr[:n] for name, arr in cols.items()}, n)
         rm.domain_starts = data["__domain_starts__"].copy()
         rm._next_uid = int(data["__meta_next_uid__"][0])
-        rm.structure_version += 1
         sim.scheduler.iteration = int(data["__meta_iteration__"][0])
         sim.time = float(data["__meta_time__"][0])
+        if "__rng__" in data.files:
+            # v1 checkpoints predate RNG persistence; restoring it makes
+            # the continuation draw the exact sequence the saving run
+            # would have (bitwise-identical per-step checksums).
+            sim.random.set_state(json.loads(str(data["__rng__"])))
         for k in data.files:
             if not k.startswith("grid__"):
                 continue

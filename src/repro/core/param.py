@@ -62,7 +62,11 @@ class Param:
     #: "serial" keeps the original in-process NumPy path; "process" runs
     #: mechanics (and vectorizable agent operations) on a pool of worker
     #: processes over shared-memory columns (:mod:`repro.parallel.shm`),
-    #: bitwise identical to serial.
+    #: bitwise identical to serial.  "auto" measures both and picks per
+    #: run: a cost model (:class:`repro.parallel.costmodel.BackendCostModel`)
+    #: fed by population, churn, and the measured process-overhead /
+    #: arena-attach counters re-decides at environment-rebuild
+    #: boundaries; decisions surface as ``backend:auto_decisions``.
     execution_backend: str = "serial"
     backend_workers: int = 0               # 0 = os.cpu_count()
     backend_chunk_size: int = 4096         # agent rows per process-kernel chunk
@@ -104,6 +108,15 @@ class Param:
     #: ``verify.replay.commit_pipeline_equivalence``); turning it off
     #: selects that legacy path, e.g. for A/B benchmarking.
     batched_agent_ops: bool = True
+    #: Single-arena SoA layout (:mod:`repro.core.arena`): every agent
+    #: column lives in one contiguous dtype-packed block per domain with
+    #: columns as zero-copy views, so shared-memory attach, checkpoint
+    #: save/restore, and worker remap are a single contiguous copy
+    #: instead of a per-column loop.  Bitwise identical to the historical
+    #: per-column layout (enforced by
+    #: ``verify.replay.arena_equivalence``); turning it off selects that
+    #: per-column path as the A/B baseline.
+    soa_arena: bool = True
 
     # --- Memory layout (O4, O5) --------------------------------------------
     agent_sort_frequency: int = 10         # 0 disables sorting; 1 = every iter
@@ -284,7 +297,7 @@ class Param:
             raise ParamError("check_invariants_frequency must be >= 0")
         if self.block_size < 1:
             raise ParamError("block_size must be >= 1")
-        if self.execution_backend not in ("serial", "process"):
+        if self.execution_backend not in ("serial", "process", "auto"):
             raise ParamError(
                 f"unknown execution backend {self.execution_backend!r}"
             )

@@ -33,6 +33,27 @@ class SimulationRandom:
             )
         return self._thread_rngs[thread]
 
+    def get_state(self) -> dict:
+        """JSON-serializable exact state of every generator (checkpoint)."""
+        return {
+            "seed": self.seed,
+            "root": self.rng.bit_generator.state,
+            "threads": {
+                str(t): g.bit_generator.state
+                for t, g in self._thread_rngs.items()
+            },
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot; continuation draws the
+        exact sequence the saving simulation would have drawn."""
+        self.seed = state["seed"]
+        self._root = np.random.SeedSequence(self.seed)
+        self.rng.bit_generator.state = state["root"]
+        self._thread_rngs = {}
+        for t, s in state.get("threads", {}).items():
+            self.thread_rng(int(t)).bit_generator.state = s
+
     def state_checksum(self) -> str:
         """Hex digest over the exact state of every generator.
 

@@ -86,11 +86,17 @@ class ResourceManager:
         agent_allocator=None,
         agent_size_bytes: int = 136,
         batched: bool = True,
+        soa_arena: bool = False,
     ):
         self.num_domains = num_domains
         self.allocator = agent_allocator
         self.agent_size_bytes = agent_size_bytes
         self.batched = batched
+        #: Single-arena SoA block (:mod:`repro.core.arena`) holding every
+        #: column when ``soa_arena=True``; ``None`` selects the historical
+        #: per-column layout (the A/B baseline).  ``Simulation`` passes
+        #: ``Param.soa_arena`` through, so the arena is the engine default.
+        self.soa = self._make_soa_arena() if soa_arena else None
         self._columns: dict[str, tuple[np.dtype, tuple, object]] = {}
         self.data: dict[str, np.ndarray] = {}
         self.n = 0
@@ -129,12 +135,25 @@ class ResourceManager:
     # Columns
     # ------------------------------------------------------------------ #
 
+    def _make_soa_arena(self):
+        """Construct the SoA arena backing store (subclass hook: the
+        shared-memory ResourceManager allocates the block from its
+        :class:`~repro.parallel.shm.HostArena` instead of private memory)."""
+        from repro.core.arena import SoAArena
+
+        return SoAArena()
+
     def register_column(self, name, dtype, row_shape=(), fill=0) -> None:
         """Add a named per-agent attribute column (extensibility hook used
         by the neuroscience specialization)."""
         if name in self._columns:
             raise ValueError(f"column {name!r} already registered")
         self._columns[name] = (np.dtype(dtype), tuple(row_shape), fill)
+        if self.soa is not None:
+            self.soa.add_column(name, dtype, row_shape, live_rows=self.n)
+            # Offsets moved: re-fetch every live column's prefix view.
+            for other in self.data:
+                self.data[other] = self.soa.view(other, self.n)
         arr = np.empty((self.n, *row_shape), dtype=dtype)
         if self.n:
             arr[:] = fill
@@ -146,8 +165,24 @@ class ResourceManager:
         Every structural operation funnels its final per-column array
         through this hook; storage subclasses (the shared-memory columns of
         :mod:`repro.parallel.shm`) override it to place the data where
-        worker processes can map it.
+        worker processes can map it.  In arena mode the array is copied
+        into the column's region of the single SoA block and ``data``
+        gets the zero-copy prefix view.
         """
+        if self.soa is not None:
+            arr = np.asarray(arr)
+            replaced = self.soa.reserve(len(arr), self.n)
+            view = self.soa.view(name, len(arr))
+            if view.size:
+                view[...] = arr
+            if replaced:
+                # The block moved: every other column's view is stale too.
+                for other in self.data:
+                    if other != name:
+                        self.data[other] = self.soa.view(
+                            other, len(self.data[other]))
+            self.data[name] = view
+            return
         # A freshly allocated array replaces any capacity buffer the fast
         # append path was extending; drop it so the next append revalidates.
         self._col_caps.pop(name, None)
@@ -166,6 +201,23 @@ class ResourceManager:
         """
         dtype, shape, _fill = self._columns[name]
         cur = self.data[name]
+        if self.soa is not None:
+            # One arena reservation grows *all* columns at once (the first
+            # per-column call of a commit pays it; the rest are free).
+            external = self.n > 0 and not self.soa.owns(name, cur)
+            replaced = self.soa.reserve(new_n, self.n)
+            view = self.soa.view(name, new_n)
+            if external:
+                # ``data[name]`` was re-bound to private memory behind the
+                # arena's back; carry those rows, not the stale arena ones.
+                view[: self.n] = cur[: self.n]
+            if replaced:
+                for other in self.data:
+                    if other != name:
+                        self.data[other] = self.soa.view(
+                            other, len(self.data[other]))
+            self.data[name] = view
+            return view
         buf = self._col_caps.get(name)
         if buf is not None and (cur is buf or cur.base is buf) and len(buf) >= new_n:
             grown = buf[:new_n]
@@ -615,6 +667,53 @@ class ResourceManager:
             self._store("addr", np.asarray(new_addrs, dtype=np.int64))
         self.structure_version += 1
         self.domain_starts = np.asarray(new_domain_starts, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Bulk state restore (checkpoint / attach)
+    # ------------------------------------------------------------------ #
+
+    def restore_columns(self, columns: dict[str, np.ndarray], n: int) -> None:
+        """Rebind every column to restored data through the ``_store``
+        placement funnel (per-column path).
+
+        This is the generic restore: it works across layouts (per-column
+        checkpoint into an arena ResourceManager and vice versa) and
+        keeps storage subclasses correct — shared-memory columns are
+        re-placed where workers can map them instead of being re-bound to
+        private arrays.  Callers set ``domain_starts``/``_next_uid``
+        themselves.
+        """
+        # Stale rows must not be carried over by arena growth during the
+        # per-column stores: the restored arrays are the only truth.
+        self.n = 0
+        for name, arr in columns.items():
+            arr = np.asarray(arr)
+            if self.soa is None:
+                arr = arr.copy()
+            self._store(name, arr)
+        self.n = int(n)
+        self.structure_version += 1
+
+    def adopt_arena(self, raw: np.ndarray, meta: dict, n: int) -> bool:
+        """Single-copy state restore: adopt a saved arena block verbatim.
+
+        ``raw``/``meta`` come from :meth:`SoAArena.layout_meta
+        <repro.core.arena.SoAArena.layout_meta>` + the block bytes of the
+        saving ResourceManager.  Returns ``False`` (caller falls back to
+        :meth:`restore_columns`) when this manager has no arena or its
+        column set differs from the snapshot's; on success the whole
+        agent state lands with one contiguous copy per block.
+        """
+        if self.soa is None or not self.soa.matches(meta):
+            return False
+        self.soa.adopt(meta, raw)
+        n = int(n)
+        for name in self._columns:
+            self.data[name] = self.soa.view(name, n)
+        self._col_caps.clear()
+        self.n = n
+        self.structure_version += 1
+        return True
 
     # ------------------------------------------------------------------ #
 

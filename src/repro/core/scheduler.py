@@ -323,6 +323,7 @@ class Scheduler:
                 self._env_rebuilds.inc()
                 self._env_key = env_key
                 self._moved_since_build = False
+                self._notify_rebuild(sim)
             if m is not None and work is not None:
                 if work.parallelizable and work.per_item_cycles is not None:
                     cycles = work.per_item_cycles
@@ -441,6 +442,13 @@ class Scheduler:
         self._pos_at_build = None
         self._cache_budget = 0.0
 
+    def _notify_rebuild(self, sim) -> None:
+        """Tell adaptive backends the environment was just rebuilt (the
+        boundary where ``execution_backend="auto"`` re-decides)."""
+        backend = getattr(sim, "backend", None)
+        if backend is not None:
+            backend.on_environment_rebuild(sim)
+
     def _max_displacement(self) -> float:
         """Max Euclidean distance any agent moved since the last build."""
         rm = self.sim.rm
@@ -555,6 +563,7 @@ class Scheduler:
         self._env_rebuilds.inc()
         self._env_key = env_key
         self._moved_since_build = False
+        self._notify_rebuild(sim)
 
     def _expand_csr(self, indptr, indices):
         """``(counts, row-ids)`` of a CSR, cached by ``indices`` identity.

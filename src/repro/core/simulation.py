@@ -79,18 +79,37 @@ class Simulation:
         if self.other_allocator is not self.agent_allocator:
             self.obs.register_allocator("other", self.other_allocator)
 
-        if self.param.execution_backend == "process":
+        # "auto" may switch to the process pool mid-run, so its storage
+        # must be shared-memory-backed from the start (serial over shm
+        # columns is bitwise identical to serial over private ones).
+        # With a virtual machine attached, auto resolves to serial and
+        # private storage suffices.
+        wants_shm = self.param.execution_backend == "process" or (
+            self.param.execution_backend == "auto" and machine is None
+        )
+        if wants_shm:
             from repro.parallel.shm import SharedMemoryResourceManager
 
             self.rm = SharedMemoryResourceManager(
                 num_domains, self.agent_allocator, self.param.agent_size_bytes,
                 batched=self.param.batched_agent_ops,
+                soa_arena=self.param.soa_arena,
             )
         else:
             self.rm = ResourceManager(
                 num_domains, self.agent_allocator, self.param.agent_size_bytes,
                 batched=self.param.batched_agent_ops,
+                soa_arena=self.param.soa_arena,
             )
+        if self.rm.soa is not None:
+            soa = self.rm.soa
+            reg = self.obs.registry
+            reg.register_callback("arena:bytes", lambda s=soa: s.nbytes)
+            reg.register_callback(
+                "arena:reallocations", lambda s=soa: s.reallocations)
+            reg.register_callback("arena:adopts", lambda s=soa: s.adopts)
+            reg.register_callback(
+                "arena:attach_seconds", lambda s=soa: s.attach_seconds)
         for i in range(MAX_TRACKED_BEHAVIORS):
             self.rm.register_column(f"behavior_addr{i}", np.int64, (), 0)
 

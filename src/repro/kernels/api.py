@@ -175,6 +175,15 @@ class KernelBackend:
         #: Invocations that fell back to the NumPy reference because the
         #: force model is a subclass the compiled kernel cannot express.
         self.fallbacks = 0
+        #: Invocations that fell back to the NumPy reference because the
+        #: device ran out of memory (GPU backends; see
+        #: :class:`repro.kernels.cupy_backend.DeviceBufferCache`).
+        self.oom_fallbacks = 0
+        #: The ResourceManager ``structure_version`` the last kernel call
+        #: ran against.  The execution backends refresh it before every
+        #: call; backends holding persistent device state key their
+        #: buffer invalidation on it.
+        self.structure_version = -1
 
     # -- mechanics ------------------------------------------------------- #
 

@@ -8,14 +8,23 @@ per-row accumulation order matches the NumPy reference bincount), and
 displacement / diffusion are expressed with CuPy array ops.
 
 Host arrays in, host arrays out: the engine's columns live in host (or
-POSIX shared) memory, so every call pays an H2D/D2H transfer.  That is
-the paper's hybrid-offload trade-off — worthwhile for large dense
+POSIX shared) memory, so calls pay H2D/D2H transfers.  That is the
+paper's hybrid-offload trade-off — worthwhile for large dense
 populations, counterproductive for small ones (see
-``docs/performance_model.md``).  Under the *process* backend's chunked
-row kernels, the GPU would be re-launched per chunk; chunking is a CPU
-work-distribution concept, so ``force_rows``/``displace_rows`` here
-simply fall back to the NumPy reference (documented in
-``docs/kernels.md``).
+``docs/performance_model.md``).  Device *allocations*, however, are
+persistent: :class:`DeviceBufferCache` keeps every device buffer alive
+across calls keyed on the ResourceManager's ``structure_version``
+(refreshed by the execution backend before each call), so steady-state
+steps re-fill existing device memory instead of allocating, and arrays
+that are stable between environment rebuilds (the CSR neighbor lists)
+skip the upload entirely.  When the device runs out of memory the cache
+evicts everything and retries once; if that also fails the call falls
+back to the NumPy reference and ``oom_fallbacks`` counts it.
+
+Under the *process* backend's chunked row kernels, the GPU would be
+re-launched per chunk; chunking is a CPU work-distribution concept, so
+``force_rows``/``displace_rows`` here simply fall back to the NumPy
+reference (documented in ``docs/kernels.md``).
 
 This module imports cleanly without cupy (or without a visible device):
 :class:`CupyKernelBackend` raises ``ImportError`` from its constructor
@@ -32,7 +41,8 @@ import numpy as np
 from repro.kernels import numpy_ref
 from repro.kernels.api import KernelBackend, _is_plain_cortex3d
 
-__all__ = ["CUPY_AVAILABLE", "cuda_usable", "CupyKernelBackend"]
+__all__ = ["CUPY_AVAILABLE", "cuda_usable", "DeviceBufferCache",
+           "CupyKernelBackend"]
 
 try:
     import cupy
@@ -51,6 +61,147 @@ def cuda_usable() -> bool:
         return int(cupy.cuda.runtime.getDeviceCount()) > 0
     except Exception:  # pragma: no cover - driver/runtime missing
         return False
+
+
+def _default_oom_errors() -> tuple:
+    """The exception types a device allocation raises when memory runs
+    out (empty without cupy — the cache is then only usable with an
+    explicit ``oom_errors`` argument, which the tests inject)."""
+    if not CUPY_AVAILABLE:
+        return ()
+    errors = [cupy.cuda.memory.OutOfMemoryError]  # pragma: no cover - GPU
+    return tuple(errors)  # pragma: no cover - GPU
+
+
+class DeviceBufferCache:
+    """Persistent device buffers keyed on the host ``structure_version``.
+
+    The naive hybrid-offload loop allocates fresh device arrays on every
+    kernel call (the ROADMAP open item this closes: "today it
+    round-trips host<->device on every call").  This cache makes device
+    state persistent along three tiers:
+
+    - :meth:`upload` — a named buffer whose *allocation* survives across
+      calls; the data is re-copied each call (host columns mutate every
+      step) but steady-state steps never touch the device allocator;
+    - :meth:`upload_stable` — additionally skips the H2D copy while the
+      host array is the *same object* as last time (the CSR neighbor
+      lists, which the scheduler reuses between environment rebuilds);
+    - :meth:`scratch` — a device-only output buffer (net forces,
+      nonzero counts), optionally zero-filled.
+
+    :meth:`sync` must be called with the ResourceManager's
+    ``structure_version`` before each kernel call: a version change
+    (agents added/removed/re-sorted) invalidates every buffer.
+
+    Out-of-memory handling: an allocation that raises one of
+    ``oom_errors`` evicts the whole cache and retries once
+    (``oom_evictions`` counts it); a second failure propagates so the
+    caller can fall back to the host kernel.  ``xp`` is injectable
+    (defaults to cupy) so the cache logic is testable with numpy and a
+    fake OOM error on machines without a GPU.
+    """
+
+    def __init__(self, xp=None, oom_errors=None):
+        if xp is None:  # pragma: no cover - requires a GPU
+            xp = cupy
+        self.xp = xp
+        self.oom_errors = tuple(
+            oom_errors if oom_errors is not None else _default_oom_errors()
+        )
+        #: The ``structure_version`` the cached buffers belong to.
+        self.version: int | None = None
+        self._buffers: dict[str, object] = {}
+        #: name -> (host array, device buffer); holding the host reference
+        #: keeps the identity check safe against id() reuse after gc.
+        self._stable: dict[str, tuple] = {}
+        # --- instrumentation ------------------------------------------- #
+        self.allocations = 0
+        self.reuses = 0
+        #: H2D copies skipped because the stable host array was unchanged.
+        self.stable_hits = 0
+        #: Whole-cache evictions triggered by device OOM.
+        self.oom_evictions = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held in persistent device buffers."""
+        held = list(self._buffers.values())
+        held += [buf for _host, buf in self._stable.values()]
+        return int(sum(int(b.nbytes) for b in held))
+
+    def sync(self, structure_version: int) -> None:
+        """Invalidate every buffer when the host structure changed."""
+        if structure_version != self.version:
+            self.clear()
+            self.version = structure_version
+
+    def clear(self) -> None:
+        """Drop every cached device buffer."""
+        self._buffers.clear()
+        self._stable.clear()
+
+    def _alloc(self, shape, dtype):
+        """Allocate a device array; on OOM evict everything and retry
+        once (a second failure propagates to the caller)."""
+        try:
+            out = self.xp.empty(shape, dtype=dtype)
+        except self.oom_errors:
+            self.clear()
+            self.oom_evictions += 1
+            out = self.xp.empty(shape, dtype=dtype)
+        self.allocations += 1
+        return out
+
+    @staticmethod
+    def _copy_in(buf, host) -> None:
+        # cupy device arrays take host data via .set(); plain ndarrays
+        # (the numpy-injected test configuration) via assignment.
+        setter = getattr(buf, "set", None)
+        if setter is not None:  # pragma: no cover - requires a GPU
+            setter(host)
+        else:
+            buf[...] = host
+
+    def upload(self, name: str, host) -> object:
+        """Device copy of ``host``, reusing the persistent allocation."""
+        host = np.ascontiguousarray(host)
+        buf = self._buffers.get(name)
+        if (buf is None or buf.shape != host.shape
+                or buf.dtype != host.dtype):
+            buf = self._alloc(host.shape, host.dtype)
+            self._buffers[name] = buf
+        else:
+            self.reuses += 1
+        self._copy_in(buf, host)
+        return buf
+
+    def upload_stable(self, name: str, host) -> object:
+        """Like :meth:`upload`, but skip the copy entirely while ``host``
+        is the same array object as the previous call (CSR lists)."""
+        cached = self._stable.get(name)
+        if cached is not None and cached[0] is host:
+            self.stable_hits += 1
+            return cached[1]
+        contiguous = np.ascontiguousarray(host)
+        buf = self._alloc(contiguous.shape, contiguous.dtype)
+        self._copy_in(buf, contiguous)
+        self._stable[name] = (host, buf)
+        return buf
+
+    def scratch(self, name: str, shape, dtype, zero: bool = True) -> object:
+        """Persistent device-only output buffer of ``shape``/``dtype``."""
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = self._alloc(shape, dtype)
+            self._buffers[name] = buf
+        else:
+            self.reuses += 1
+        if zero:
+            buf[...] = 0
+        return buf
 
 
 #: One thread per agent row: walk the CSR neighbor list sequentially (the
@@ -105,7 +256,10 @@ class CupyKernelBackend(KernelBackend):
     """GPU backend (CuPy raw kernel + array ops), host arrays in/out.
 
     Like the Numba backend it hard-codes the stock Cortex3D force law and
-    falls back to the NumPy reference for force-model subclasses.
+    falls back to the NumPy reference for force-model subclasses.  Device
+    buffers persist across calls in :attr:`buffers` (see
+    :class:`DeviceBufferCache`); device OOM falls back to the NumPy
+    reference and is counted in ``oom_fallbacks``.
     """
 
     name = "cupy"
@@ -117,6 +271,7 @@ class CupyKernelBackend(KernelBackend):
                               "reachable")
         super().__init__()
         self._kernel = None
+        self.buffers = DeviceBufferCache()
 
     def warm_up(self) -> None:  # pragma: no cover - requires a GPU
         """Compile the raw CSR force kernel; time goes to
@@ -145,26 +300,37 @@ class CupyKernelBackend(KernelBackend):
             )
         self.warm_up()
         use_active = active is not None
-        d_pos = cupy.asarray(np.ascontiguousarray(positions))
-        d_dia = cupy.asarray(diameters)
-        d_ip = cupy.asarray(indptr)
-        d_ix = cupy.asarray(indices)
-        d_act = cupy.asarray(active if use_active
-                             else np.zeros(1, dtype=np.bool_))
-        d_net = cupy.zeros((n, 3), dtype=cupy.float64)
-        d_nz = cupy.zeros(n, dtype=cupy.int64)
-        d_pairs = cupy.zeros(1, dtype=cupy.uint64)
-        block = 128
-        grid = (n + block - 1) // block
-        self._kernel(
-            (grid,), (block,),
-            (d_pos, d_dia, d_ip, d_ix, d_act, np.int32(use_active),
-             np.float64(force_model.repulsion),
-             np.float64(force_model.attraction),
-             np.int32(n), d_net, d_nz, d_pairs),
-        )
-        return (cupy.asnumpy(d_net), cupy.asnumpy(d_nz),
-                int(cupy.asnumpy(d_pairs)[0]))
+        try:
+            cache = self.buffers
+            cache.sync(self.structure_version)
+            d_pos = cache.upload("position", positions)
+            d_dia = cache.upload("diameter", diameters)
+            d_ip = cache.upload_stable("csr:indptr", indptr)
+            d_ix = cache.upload_stable("csr:indices", indices)
+            d_act = cache.upload(
+                "active", active if use_active
+                else np.zeros(1, dtype=np.bool_))
+            d_net = cache.scratch("net", (n, 3), np.float64)
+            d_nz = cache.scratch("nz", (n,), np.int64)
+            d_pairs = cache.scratch("pairs", (1,), np.uint64)
+            block = 128
+            grid = (n + block - 1) // block
+            self._kernel(
+                (grid,), (block,),
+                (d_pos, d_dia, d_ip, d_ix, d_act, np.int32(use_active),
+                 np.float64(force_model.repulsion),
+                 np.float64(force_model.attraction),
+                 np.int32(n), d_net, d_nz, d_pairs),
+            )
+            return (cupy.asnumpy(d_net), cupy.asnumpy(d_nz),
+                    int(cupy.asnumpy(d_pairs)[0]))
+        except self.buffers.oom_errors:
+            self.oom_fallbacks += 1
+            self.buffers.clear()
+            return numpy_ref.force_csr(
+                positions, diameters, indptr, indices, active,
+                pair_fn=force_model.pair_forces,
+            )
 
     def force_rows(self, force_model, positions, diameters, indptr, indices,
                    active, net_out, nz_out, lo, hi) -> int:
@@ -180,14 +346,22 @@ class CupyKernelBackend(KernelBackend):
         """Clamped Euler displacement with CuPy array ops, in place on the
         host arrays."""
         self._count()
-        d_net = cupy.asarray(net_force)
-        disp = d_net * dt
-        norm = cupy.linalg.norm(disp, axis=1)
-        too_far = norm > max_displacement
-        disp[too_far] *= (max_displacement / norm[too_far])[:, None]
-        moved_now = cupy.asnumpy(norm > numpy_ref.MOVE_EPSILON)
-        positions[moved_now] += cupy.asnumpy(disp)[moved_now]
-        moved_flags |= moved_now
+        try:
+            cache = self.buffers
+            cache.sync(self.structure_version)
+            d_net = cache.upload("net_force", net_force)
+            disp = d_net * dt
+            norm = cupy.linalg.norm(disp, axis=1)
+            too_far = norm > max_displacement
+            disp[too_far] *= (max_displacement / norm[too_far])[:, None]
+            moved_now = cupy.asnumpy(norm > numpy_ref.MOVE_EPSILON)
+            positions[moved_now] += cupy.asnumpy(disp)[moved_now]
+            moved_flags |= moved_now
+        except self.buffers.oom_errors:
+            self.oom_fallbacks += 1
+            self.buffers.clear()
+            numpy_ref.displace(positions, moved_flags, net_force, dt,
+                               max_displacement)
 
     def displace_rows(self, positions, moved_flags, net_force, dt,
                       max_displacement, lo, hi) -> None:
@@ -200,16 +374,27 @@ class CupyKernelBackend(KernelBackend):
 
     def diffuse(self, concentration, voxel_size, diffusion_coefficient,
                 decay, dt):  # pragma: no cover - requires a GPU
-        """Stencil update on the device; returns a host array."""
+        """Stencil update on the device; returns a host array.
+
+        Grid shape is independent of the agent structure, so the
+        concentration buffer is *not* keyed on ``structure_version`` —
+        no :meth:`DeviceBufferCache.sync` here, just the persistent
+        allocation."""
         self._count()
-        c = cupy.asarray(concentration)
-        p = cupy.pad(c, 1, mode="edge")
-        lap = (
-            p[2:, 1:-1, 1:-1] + p[:-2, 1:-1, 1:-1]
-            + p[1:-1, 2:, 1:-1] + p[1:-1, :-2, 1:-1]
-            + p[1:-1, 1:-1, 2:] + p[1:-1, 1:-1, :-2]
-            - 6.0 * c
-        ) / voxel_size**2
-        return cupy.asnumpy(
-            c + dt * (diffusion_coefficient * lap - decay * c)
-        )
+        try:
+            c = self.buffers.upload("diffusion:concentration", concentration)
+            p = cupy.pad(c, 1, mode="edge")
+            lap = (
+                p[2:, 1:-1, 1:-1] + p[:-2, 1:-1, 1:-1]
+                + p[1:-1, 2:, 1:-1] + p[1:-1, :-2, 1:-1]
+                + p[1:-1, 1:-1, 2:] + p[1:-1, 1:-1, :-2]
+                - 6.0 * c
+            ) / voxel_size**2
+            return cupy.asnumpy(
+                c + dt * (diffusion_coefficient * lap - decay * c)
+            )
+        except self.buffers.oom_errors:
+            self.oom_fallbacks += 1
+            self.buffers.clear()
+            return numpy_ref.diffuse(concentration, voxel_size,
+                                     diffusion_coefficient, decay, dt)

@@ -139,6 +139,8 @@ def make_kernels(requested: str, registry=None, warn: bool = True
                                    lambda: backend.compile_seconds)
         registry.register_callback("kernel:fallbacks",
                                    lambda: backend.fallbacks)
+        registry.register_callback("kernel:oom_fallbacks",
+                                   lambda: backend.oom_fallbacks)
     return backend
 
 

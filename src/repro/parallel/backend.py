@@ -10,13 +10,23 @@ Algorithm 1 — mechanical forces + displacement, and vectorizable
   a pool of persistent worker processes operating on shared-memory
   columns (:mod:`repro.parallel.shm`) with the paper's two-level work
   stealing — real multicore parallelism, outside the GIL.
+- ``"auto"`` (:class:`AutoBackend`): measures and picks.  Starts serial,
+  feeds every mechanics timing to a
+  :class:`~repro.parallel.costmodel.BackendCostModel`, and re-decides at
+  every environment-rebuild boundary (the scheduler calls
+  :meth:`ExecutionBackend.on_environment_rebuild`), so small populations
+  never pay the pool's orchestration tax and large ones get the cores.
 
-Both backends are *bitwise equivalent*: chunked reductions accumulate in
+All backends are *bitwise equivalent*: chunked reductions accumulate in
 the same per-row order as the serial ``np.bincount``, so per-step
-:func:`repro.verify.snapshot.state_checksum` values match exactly.
+:func:`repro.verify.snapshot.state_checksum` values match exactly —
+which is also why auto may switch mid-run without perturbing results.
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 import numpy as np
 
@@ -28,6 +38,7 @@ __all__ = [
     "MOVE_EPSILON",
     "ExecutionBackend",
     "SerialBackend",
+    "AutoBackend",
     "apply_displacement",
     "make_backend",
 ]
@@ -68,6 +79,11 @@ class ExecutionBackend:
     def shutdown(self) -> None:
         """Release pools/queues; idempotent."""
 
+    def on_environment_rebuild(self, sim) -> None:
+        """Hook called by the scheduler after every environment rebuild —
+        the natural boundary for adaptive re-decisions (population and
+        structure just changed).  No-op for fixed backends."""
+
     def stats(self) -> dict:
         """Backend-specific counters (steals, phases) for reporting."""
         return {}
@@ -90,6 +106,9 @@ class SerialBackend(ExecutionBackend):
             from repro.kernels.numpy_ref import NumpyKernelBackend
 
             kb = sim.kernels = NumpyKernelBackend()
+        # Device-resident backends (CuPy) key persistent buffers on this:
+        # a changed structure version invalidates cached device columns.
+        kb.structure_version = rm.structure_version
         net, nonzero, pairs = kb.force(
             sim.force, rm.positions, rm.data["diameter"], indptr, indices,
             active,
@@ -101,10 +120,108 @@ class SerialBackend(ExecutionBackend):
         return ForceResult(net, nonzero, pairs)
 
 
+class AutoBackend(ExecutionBackend):
+    """Adaptive backend: measured serial-vs-process decision per run.
+
+    Starts on the serial path (correct and cheap at any size), times
+    every mechanics call into a
+    :class:`~repro.parallel.costmodel.BackendCostModel`, and re-decides
+    at environment-rebuild boundaries.  The process pool is constructed
+    lazily on the first switch — a run the model keeps serial never forks
+    a worker.  Because serial and process execution are bitwise
+    identical, switching mid-run does not perturb per-step checksums.
+
+    Surfaced metrics: ``backend:auto_decisions`` / ``backend:auto_switches``
+    counters, and ``backend:auto_process`` / ``backend:process_overhead_ratio``
+    gauges (the latter is the measured per-step process/serial wall-cost
+    ratio the bench-scaling artifact reports).
+    """
+
+    name = "auto"
+
+    def __init__(self, sim):
+        from repro.parallel.costmodel import BackendCostModel
+
+        self.sim = sim
+        self._serial = SerialBackend()
+        self._process = None  # built lazily on first switch
+        workers = int(sim.param.backend_workers) or (os.cpu_count() or 1)
+        self.model = BackendCostModel(
+            workers, min_agents=int(sim.param.backend_chunk_size))
+        self.active: ExecutionBackend = self._serial
+        self.last_decision = None
+        self._last_n = 0
+        reg = sim.obs.registry
+        self._decisions = reg.counter("backend:auto_decisions")
+        self._switches = reg.counter("backend:auto_switches")
+        reg.register_callback(
+            "backend:auto_process",
+            lambda: 0.0 if self.active is self._serial else 1.0)
+        reg.register_callback(
+            "backend:process_overhead_ratio",
+            lambda: self.model.process_overhead_ratio(self._last_n))
+
+    # -- delegation ------------------------------------------------------ #
+
+    def force_and_displace(self, sim, indptr, indices, detect):
+        t0 = time.perf_counter()
+        result = self.active.force_and_displace(sim, indptr, indices, detect)
+        seconds = time.perf_counter() - t0
+        if self.active is self._serial:
+            self.model.observe_serial(sim.rm.n, seconds)
+        else:
+            self.model.observe_process(sim.rm.n, seconds)
+        return result
+
+    def run_agent_operation(self, sim, op) -> None:
+        self.active.run_agent_operation(sim, op)
+
+    def on_environment_rebuild(self, sim) -> None:
+        n = sim.rm.n
+        churn = abs(n - self._last_n) / max(1, n)
+        self._last_n = n
+        decision = self.model.decide(n, self.active.name, churn_rate=churn)
+        self.last_decision = decision
+        self._decisions.inc()
+        if decision.backend != self.active.name:
+            self._activate(decision.backend)
+
+    def _activate(self, backend_name: str) -> None:
+        if backend_name == "process" and self._process is None:
+            from repro.parallel.process_backend import ProcessBackend
+
+            self._process = ProcessBackend(self.sim)
+        self.active = self._serial if backend_name == "serial" else self._process
+        self._switches.inc()
+
+    def shutdown(self) -> None:
+        if self._process is not None:
+            self._process.shutdown()
+
+    def stats(self) -> dict:
+        out = {
+            "auto_decisions": int(self._decisions.value),
+            "auto_switches": int(self._switches.value),
+            "active": self.active.name,
+        }
+        if self.last_decision is not None:
+            out["last_decision"] = self.last_decision.as_dict()
+        if self._process is not None:
+            out["process"] = self._process.stats()
+        return out
+
+
 def make_backend(sim) -> ExecutionBackend:
     """Instantiate the backend selected by ``sim.param.execution_backend``."""
-    if sim.param.execution_backend == "process":
+    choice = sim.param.execution_backend
+    if choice == "process":
         from repro.parallel.process_backend import ProcessBackend
 
         return ProcessBackend(sim)
+    if choice == "auto":
+        if sim.machine is not None:
+            # Virtual-machine cost-model runs are always serial: wall
+            # time is meaningless there, so there is nothing to adapt.
+            return SerialBackend()
+        return AutoBackend(sim)
     return SerialBackend()

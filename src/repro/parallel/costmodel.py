@@ -29,12 +29,14 @@ distances, which is exactly the effect the paper's Fig. 12 measures.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.parallel.topology import MachineSpec
 
-__all__ = ["MemoryCostModel", "CacheSim"]
+__all__ = ["MemoryCostModel", "CacheSim", "BackendCostModel",
+           "BackendDecision"]
 
 
 class MemoryCostModel:
@@ -147,3 +149,156 @@ class CacheSim:
         """Zero the hit/miss counters (cache contents are kept)."""
         self.hits = 0
         self.misses = 0
+
+
+# --------------------------------------------------------------------- #
+# Execution-backend cost model (Param.execution_backend = "auto")
+# --------------------------------------------------------------------- #
+
+@dataclass
+class BackendDecision:
+    """One auto-mode backend choice and the estimates that produced it."""
+
+    backend: str                 #: "serial" or "process"
+    num_agents: int
+    serial_seconds: float        #: estimated serial mechanics seconds/step
+    process_seconds: float       #: estimated process mechanics seconds/step
+    reason: str
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (bench artifacts, backend stats)."""
+        return {
+            "backend": self.backend,
+            "num_agents": self.num_agents,
+            "serial_seconds": self.serial_seconds,
+            "process_seconds": self.process_seconds,
+            "reason": self.reason,
+        }
+
+
+class BackendCostModel:
+    """Measured cost model deciding serial vs process execution per run.
+
+    BENCH_scaling.json shows the process pool *losing* to serial at small
+    populations (``process_overhead_ratio`` > 1): per-step orchestration
+    — phase messages, shm scratch fills, CSR copies, arena attach — is a
+    fixed tax that only amortizes once the parallelizable work is large.
+    This model turns that measurement into a runtime decision:
+
+    - the **serial** estimate is an EMA of measured per-agent mechanics
+      seconds (observed whenever the serial side runs);
+    - the **process** estimate is ``serial / workers + overhead``, where
+      ``overhead`` starts at an optimistic prior and is corrected by
+      measurement as soon as the process side actually runs (plus a churn
+      term: population churn forces commit-path copies whose host-side
+      cost the pool cannot parallelize);
+    - populations smaller than one backend chunk
+      (``Param.backend_chunk_size``) are **always serial** — there is
+      nothing to parallelize over, and the seed artifact showed exactly
+      this regime losing;
+    - switching requires beating the incumbent by ``HYSTERESIS`` (10%),
+      so noisy measurements cannot make the backend flap.
+
+    :class:`repro.parallel.backend.AutoBackend` feeds it timings and asks
+    for a :class:`BackendDecision` at every environment-rebuild boundary.
+    """
+
+    #: EMA smoothing for measured timings.
+    EMA_ALPHA = 0.3
+    #: Optimistic per-step process-overhead prior (seconds); corrected by
+    #: the first real process measurement.
+    OVERHEAD_PRIOR_S = 3e-3
+    #: Fractional advantage required to switch away from the incumbent.
+    HYSTERESIS = 0.10
+    #: Extra process cost per unit churn rate, as a fraction of the
+    #: serial estimate (commit copies are host-side and serialized).
+    CHURN_PENALTY = 0.25
+
+    def __init__(self, workers: int, min_agents: int = 4096):
+        self.workers = max(1, int(workers))
+        #: Populations below this never use the pool (one chunk or less).
+        self.min_agents = int(min_agents)
+        #: EMA of measured serial seconds per agent-step (None = unmeasured).
+        self.serial_per_agent: float | None = None
+        #: EMA of measured process overhead seconds per step.
+        self.overhead_seconds = self.OVERHEAD_PRIOR_S
+        self.serial_samples = 0
+        self.process_samples = 0
+
+    # -- measurement ---------------------------------------------------- #
+
+    def observe_serial(self, num_agents: int, seconds: float) -> None:
+        """Feed one measured serial mechanics step."""
+        if num_agents <= 0 or seconds <= 0:
+            return
+        per_agent = seconds / num_agents
+        if self.serial_per_agent is None:
+            self.serial_per_agent = per_agent
+        else:
+            a = self.EMA_ALPHA
+            self.serial_per_agent = (1 - a) * self.serial_per_agent + a * per_agent
+        self.serial_samples += 1
+
+    def observe_process(self, num_agents: int, seconds: float) -> None:
+        """Feed one measured process mechanics step; isolates overhead."""
+        if num_agents <= 0 or seconds <= 0:
+            return
+        parallel_part = self.serial_estimate(num_agents) / self.workers
+        overhead = max(0.0, seconds - parallel_part)
+        a = self.EMA_ALPHA
+        self.overhead_seconds = (1 - a) * self.overhead_seconds + a * overhead
+        self.process_samples += 1
+
+    # -- estimates ------------------------------------------------------ #
+
+    def serial_estimate(self, num_agents: int) -> float:
+        """Estimated serial mechanics seconds for one step."""
+        if self.serial_per_agent is None:
+            return 0.0
+        return self.serial_per_agent * max(0, num_agents)
+
+    def process_estimate(self, num_agents: int, churn_rate: float = 0.0) -> float:
+        """Estimated process-pool mechanics seconds for one step."""
+        serial = self.serial_estimate(num_agents)
+        return (serial / self.workers + self.overhead_seconds
+                + self.CHURN_PENALTY * churn_rate * serial)
+
+    def process_overhead_ratio(self, num_agents: int) -> float:
+        """Estimated process/serial wall ratio (the bench-scaling metric);
+        0.0 while serial is still unmeasured."""
+        serial = self.serial_estimate(num_agents)
+        if serial <= 0:
+            return 0.0
+        return self.process_estimate(num_agents) / serial
+
+    # -- decision ------------------------------------------------------- #
+
+    def decide(self, num_agents: int, current: str,
+               churn_rate: float = 0.0) -> BackendDecision:
+        """Pick the backend for the coming stretch of steps."""
+        serial = self.serial_estimate(num_agents)
+        process = self.process_estimate(num_agents, churn_rate)
+        if num_agents < self.min_agents:
+            return BackendDecision(
+                "serial", num_agents, serial, process,
+                f"population {num_agents} below one chunk "
+                f"({self.min_agents}); nothing to parallelize",
+            )
+        if self.serial_per_agent is None:
+            return BackendDecision(
+                "serial", num_agents, serial, process,
+                "serial cost unmeasured; measure before paying pool startup",
+            )
+        estimates = {"serial": serial, "process": process}
+        incumbent = current if current in estimates else "serial"
+        challenger = "process" if incumbent == "serial" else "serial"
+        if estimates[challenger] < (1 - self.HYSTERESIS) * estimates[incumbent]:
+            gain = 1 - estimates[challenger] / max(estimates[incumbent], 1e-12)
+            return BackendDecision(
+                challenger, num_agents, serial, process,
+                f"{challenger} estimated {gain:.0%} faster than {incumbent}",
+            )
+        return BackendDecision(
+            incumbent, num_agents, serial, process,
+            f"keeping {incumbent} (challenger within hysteresis)",
+        )

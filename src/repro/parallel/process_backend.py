@@ -138,9 +138,16 @@ def worker_main(worker_id, inbox, ack, queues):
                 args["_kb"] = kb
                 kb_calls_before = kb.calls
             arena.sync(layout)
+            # A spec is (shape, dtype) for a whole block, or (shape,
+            # dtype, block, offset) for a column region inside a
+            # consolidated SoA block (Param.soa_arena): one mmap serves
+            # every agent column.
             views = {
-                name: arena.view(name, shape, dtype)
-                for name, (shape, dtype) in shapes.items()
+                name: (arena.view(name, spec[0], spec[1])
+                       if len(spec) == 2
+                       else arena.view(spec[2], spec[0], spec[1],
+                                       offset=spec[3]))
+                for name, spec in shapes.items()
             }
             chunks = views["mech:chunks"]
             fn = KERNELS[kernel]
@@ -335,9 +342,22 @@ class ProcessBackend(ExecutionBackend):
     # -- phase execution ------------------------------------------------ #
 
     def _column_shapes(self) -> dict:
+        rm = self.sim.rm
+        soa = rm.soa
+        if soa is not None:
+            # Single-arena mode: every column is a region of one block.
+            from repro.parallel.shm import SOA_BLOCK
+
+            return {
+                COLUMN_PREFIX + name: (
+                    arr.shape, arr.dtype.str, SOA_BLOCK,
+                    int(soa.offsets[name]),
+                )
+                for name, arr in rm.data.items()
+            }
         return {
             COLUMN_PREFIX + name: (arr.shape, arr.dtype.str)
-            for name, arr in self.sim.rm.data.items()
+            for name, arr in rm.data.items()
         }
 
     def _run_phase(self, kernel, args, shapes, num_chunks, per_worker) -> None:

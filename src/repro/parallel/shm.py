@@ -193,10 +193,14 @@ class WorkerArena:
         except BufferError:
             self._graveyard.append(block)
 
-    def view(self, name: str, shape, dtype) -> np.ndarray:
-        """NumPy view over the attached block ``name``."""
+    def view(self, name: str, shape, dtype, offset: int = 0) -> np.ndarray:
+        """NumPy view over the attached block ``name``.
+
+        ``offset`` addresses a column region inside a consolidated SoA
+        block (:mod:`repro.core.arena`); 0 views the whole block.
+        """
         return np.ndarray(tuple(shape), dtype=np.dtype(dtype),
-                          buffer=self._blocks[name].buf)
+                          buffer=self._blocks[name].buf, offset=int(offset))
 
     def close(self) -> None:
         """Drop all mappings (best effort; pinned buffers are skipped)."""
@@ -213,6 +217,11 @@ class WorkerArena:
 #: "col:diameter", ...).  The process backend adds scratch blocks under
 #: other prefixes ("csr:", "mech:") in the same arena.
 COLUMN_PREFIX = "col:"
+
+#: Block name of the consolidated SoA arena (``Param.soa_arena=True``):
+#: every agent column is a region inside this one segment, so workers
+#: attach the whole agent state with a single ``mmap``.
+SOA_BLOCK = "soa:block"
 
 
 class SharedMemoryResourceManager(ResourceManager):
@@ -231,7 +240,25 @@ class SharedMemoryResourceManager(ResourceManager):
         self.arena = arena if arena is not None else HostArena()
         super().__init__(*args, **kwargs)
 
+    def _make_soa_arena(self):
+        # Single-block mode (``Param.soa_arena``): the SoA arena's backing
+        # buffer is one named shared-memory segment, so workers attach the
+        # entire agent state with a single mmap and the base class's arena
+        # paths (one contiguous region per column, shared capacity) apply
+        # unchanged.  ``HostArena.ensure`` may hand back the same segment
+        # when its capacity suffices — the arena snapshots live rows
+        # before repacking, so aliasing reallocation is safe.
+        from repro.core.arena import SoAArena
+
+        return SoAArena(
+            allocate=lambda nbytes: self.arena.ensure(
+                SOA_BLOCK, (int(nbytes),), np.uint8)
+        )
+
     def _store(self, name: str, arr: np.ndarray) -> None:
+        if self.soa is not None:
+            super()._store(name, arr)
+            return
         arr = np.asarray(arr)
         view = self.arena.ensure(COLUMN_PREFIX + name, arr.shape, arr.dtype)
         if view.size:
@@ -239,6 +266,8 @@ class SharedMemoryResourceManager(ResourceManager):
         self.data[name] = view
 
     def _grow_column(self, name: str, new_n: int) -> np.ndarray:
+        if self.soa is not None:
+            return super()._grow_column(name, new_n)
         # The fast-append commit path extends a column in place and fills
         # only the new tail.  Here the column must stay arena-backed, so
         # instead of the base class's private capacity buffers, ask the

@@ -19,6 +19,12 @@ Runs, in order and as selected by flags:
   (``Param(batched_agent_ops=True)``) must leave per-step checksums
   bitwise identical to the legacy queue-merge path, on both backends,
   under population-churning models (divisions and deaths);
+- **arena equivalence**: the single-arena SoA layout check —
+  consolidating every column into one contiguous block per domain
+  (``Param(soa_arena=True)``) must leave per-step checksums bitwise
+  identical to the per-column layout, on both backends, with
+  anti-vacuous proof that the arena actually backed the columns and
+  grew;
 - **kernel equivalence**: the kernel-dispatch check — the NumPy kernel
   backend must be bitwise identical to mainline per-step checksums
   (serial and process), and every available compiled backend (numba,
@@ -53,6 +59,10 @@ INVARIANT_SMOKE_MODELS = ("cell_clustering", "oncology")
 #: additions only (divisions → the fast-append path) and one that mixes
 #: additions with removals (divisions + stochastic deaths).
 COMMIT_PIPELINE_MODELS = ("cell_proliferation", "oncology")
+
+#: Models the single-arena SoA equivalence check runs (same churn pair:
+#: growth repacks must actually happen for the check to be non-vacuous).
+ARENA_MODELS = ("cell_proliferation", "oncology")
 
 #: Models the kernel-equivalence check runs (same pair as the commit
 #: pipeline: population churn + mechanics + diffusion coverage).
@@ -182,6 +192,19 @@ def _run_commit_pipeline(args) -> bool:
     return ok
 
 
+def _run_arena(args) -> bool:
+    from repro.verify.replay import arena_equivalence
+
+    ok = True
+    for name in ARENA_MODELS:
+        t0 = time.perf_counter()
+        report = arena_equivalence(name)
+        dt = time.perf_counter() - t0
+        print(report.render() + f" ({dt:.1f}s)")
+        ok &= report.ok
+    return ok
+
+
 def run_verify(args) -> int:
     """Execute the selected (or, with no flags, all) verification sections."""
     selected = ((args.fuzz is not None) or args.oracle
@@ -201,6 +224,8 @@ def run_verify(args) -> int:
         ok &= _run_replay(args, args.replay or "cell_clustering")
         _section("commit pipeline equivalence")
         ok &= _run_commit_pipeline(args)
+        _section("arena equivalence")
+        ok &= _run_arena(args)
     if not selected or args.kernels:
         _section("kernel equivalence")
         ok &= _run_kernel_equivalence(args)

@@ -59,6 +59,8 @@ __all__ = [
     "neighbor_cache_equivalence",
     "CommitPipelineEquivalenceReport",
     "commit_pipeline_equivalence",
+    "ArenaEquivalenceReport",
+    "arena_equivalence",
     "KernelEquivalenceReport",
     "kernel_equivalence",
 ]
@@ -447,6 +449,121 @@ def commit_pipeline_equivalence(name: str, num_agents: int = 250,
             report.fast_appends += fast
             report.staged_rows += staged
             report.mask_cache_hits += hits
+            report.divergences[(backend, seed)] = next(
+                (i for i, (a, b) in enumerate(zip(on, off)) if a != b), None
+            )
+    return report
+
+
+# --------------------------------------------------------------------- #
+# Single-arena SoA layout equivalence
+# --------------------------------------------------------------------- #
+
+@dataclass
+class ArenaEquivalenceReport:
+    """Arena vs per-column layout checksum comparison across backends."""
+
+    model: str
+    steps: int
+    workers: int
+    #: ``{(backend, seed): first diverging step or None}`` — step 0 is the
+    #: initial state, step k the state after iteration k.
+    divergences: dict[tuple[str, int], int | None] = field(
+        default_factory=dict
+    )
+    #: Bytes held in consolidated arena blocks across the arena-on runs;
+    #: zero would mean the arena never actually backed the columns.
+    arena_bytes: int = 0
+    #: Block reallocations (growth repacks) observed across the arena-on
+    #: runs; churn models must trigger growth or the test is too gentle.
+    reallocations: int = 0
+    #: Fast-append commits observed across the arena-on runs — proves the
+    #: batched commit pipeline ran *through* the arena placement funnel.
+    fast_appends: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(d is None for d in self.divergences.values())
+            and self.arena_bytes > 0
+            and self.reallocations > 0
+        )
+
+    def render(self) -> str:
+        """One line per (backend, seed): byte-identical or first divergence."""
+        lines = [
+            f"arena equivalence {self.model}: single-arena vs per-column, "
+            f"{self.steps} steps, {self.arena_bytes} arena bytes, "
+            f"{self.reallocations} reallocations, "
+            f"{self.fast_appends} fast appends"
+        ]
+        if self.arena_bytes == 0 or self.reallocations == 0:
+            lines.append(
+                "  VACUOUS: the arena never backed columns or never grew"
+            )
+        for (backend, seed), div in sorted(self.divergences.items()):
+            if div is None:
+                lines.append(f"  {backend} seed {seed}: byte-identical")
+            else:
+                lines.append(
+                    f"  {backend} seed {seed}: DIVERGES at step {div}"
+                )
+        return "\n".join(lines)
+
+
+def arena_equivalence(name: str, num_agents: int = 250, steps: int = 6,
+                      seeds=(1, 2, 3), workers: int = 2, param=None,
+                      ) -> ArenaEquivalenceReport:
+    """Assert the single-arena SoA layout reproduces per-column storage.
+
+    For every seed and for both execution backends, runs the registry
+    model once with ``Param.soa_arena`` on and once off, diffing the full
+    per-step :func:`~repro.verify.snapshot.state_checksum` trace.  The
+    arena's whole contract is that packing every column into one
+    contiguous block — shared capacity, amortized-doubling growth,
+    zero-copy prefix views, single-segment worker attach — is invisible
+    to the model: a view left stale after a block reallocation, a row
+    lost in a growth repack, a wrong column offset in a worker mapping,
+    or an alignment bug overlapping two columns shows up as a diverging
+    checksum at the first affected step.  The report also records arena
+    bytes, block reallocations, and fast-append commits from the
+    arena-on runs so a configuration where the arena never engaged (or
+    never grew) cannot pass vacuously.  Run it on models that churn the
+    population so growth repacks actually happen.
+    """
+    from repro.core.param import Param
+    from repro.simulations import get_simulation
+
+    bench = get_simulation(name)
+    base = param if param is not None else Param()
+    report = ArenaEquivalenceReport(model=name, steps=steps, workers=workers)
+
+    def trace(backend, seed, arena):
+        p = base.with_(execution_backend=backend, backend_workers=workers,
+                       soa_arena=arena)
+        with bench.build(num_agents, param=p, seed=seed) as sim:
+            out = [state_checksum(sim)]
+            for _ in range(steps):
+                sim.simulate(1)
+                out.append(state_checksum(sim))
+            soa = sim.rm.soa
+            stats = (
+                (soa.nbytes, soa.reallocations) if soa is not None else (0, 0)
+            )
+            fast = int(
+                sim.obs.registry.counter("commit:fast_appends").value)
+        return out, stats, fast
+
+    for backend in ("serial", "process"):
+        for seed in seeds:
+            on, (nbytes, reallocs), fast = trace(backend, seed, True)
+            off, off_stats, _ = trace(backend, seed, False)
+            assert off_stats == (0, 0), (
+                "soa_arena=False run still had an arena — the A/B "
+                "baseline is not actually per-column")
+            report.arena_bytes += nbytes
+            report.reallocations += reallocs
+            report.fast_appends += fast
             report.divergences[(backend, seed)] = next(
                 (i for i, (a, b) in enumerate(zip(on, off)) if a != b), None
             )

@@ -1,0 +1,125 @@
+"""Checkpoint round-trips across memory layouts and backends.
+
+The arena consolidation must not change what a checkpoint *means*: a
+run saved mid-flight and restored — under either column layout, in any
+combination, and under the shared-memory process backend — must
+continue producing bitwise-identical per-step state checksums to the
+uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import restore_checkpoint, save_checkpoint
+from repro.simulations import get_simulation
+from repro.verify.snapshot import state_checksum
+
+MODEL = "cell_proliferation"
+AGENTS = 120
+PRE_STEPS = 3
+POST_STEPS = 3
+
+
+def _param(bench, **overrides):
+    return bench.default_param().with_(**overrides)
+
+
+def _continuous_trace(bench, param, seed):
+    """Per-step checksums of an uninterrupted PRE+POST run."""
+    with bench.build(AGENTS, param=param, seed=seed) as sim:
+        sim.simulate(PRE_STEPS)
+        trace = []
+        for _ in range(POST_STEPS):
+            sim.simulate(1)
+            trace.append(state_checksum(sim))
+    return trace
+
+
+@pytest.mark.parametrize("save_arena", [False, True])
+@pytest.mark.parametrize("load_arena", [False, True])
+def test_round_trip_continues_bitwise(tmp_path, save_arena, load_arena):
+    """Save mid-run under one layout, restore under another (all four
+    combinations): the continuation is bitwise identical."""
+    bench = get_simulation(MODEL)
+    ref = _continuous_trace(bench, _param(bench, soa_arena=save_arena),
+                            seed=7)
+
+    path = tmp_path / "mid.npz"
+    with bench.build(AGENTS, param=_param(bench, soa_arena=save_arena),
+                     seed=7) as sim:
+        sim.simulate(PRE_STEPS)
+        save_checkpoint(sim, path)
+
+    with bench.build(AGENTS, param=_param(bench, soa_arena=load_arena),
+                     seed=99) as sim2:
+        restore_checkpoint(sim2, path)
+        adopts = sim2.rm.soa.adopts if sim2.rm.soa is not None else 0
+        got = []
+        for _ in range(POST_STEPS):
+            sim2.simulate(1)
+            got.append(state_checksum(sim2))
+
+    assert got == ref
+    # The single-copy fast path engages exactly when both sides are
+    # arena-backed; every other combination takes the per-column funnel.
+    assert adopts == (1 if save_arena and load_arena else 0)
+
+
+def test_round_trip_under_process_backend(tmp_path):
+    """Mid-run save/restore with the shm process backend on both sides
+    continues bitwise-identically (shm arena block attach included)."""
+    bench = get_simulation(MODEL)
+    param = _param(bench, execution_backend="process", backend_workers=2)
+    ref = _continuous_trace(bench, param, seed=5)
+
+    path = tmp_path / "mid_shm.npz"
+    with bench.build(AGENTS, param=param, seed=5) as sim:
+        sim.simulate(PRE_STEPS)
+        save_checkpoint(sim, path)
+
+    with bench.build(AGENTS, param=param, seed=31) as sim2:
+        restore_checkpoint(sim2, path)
+        got = []
+        for _ in range(POST_STEPS):
+            sim2.simulate(1)
+            got.append(state_checksum(sim2))
+
+    assert got == ref
+
+
+def test_serial_checkpoint_restores_into_process_backend(tmp_path):
+    """Cross-backend restore: a serial save continues identically under
+    the process backend (and its shm-backed arena)."""
+    bench = get_simulation(MODEL)
+    serial = _param(bench)
+    process = _param(bench, execution_backend="process", backend_workers=2)
+    ref = _continuous_trace(bench, serial, seed=13)
+
+    path = tmp_path / "serial.npz"
+    with bench.build(AGENTS, param=serial, seed=13) as sim:
+        sim.simulate(PRE_STEPS)
+        save_checkpoint(sim, path)
+
+    with bench.build(AGENTS, param=process, seed=77) as sim2:
+        restore_checkpoint(sim2, path)
+        got = []
+        for _ in range(POST_STEPS):
+            sim2.simulate(1)
+            got.append(state_checksum(sim2))
+
+    assert got == ref
+
+
+def test_rng_state_survives_round_trip(tmp_path):
+    """The checkpoint carries the RNG state: a restored sim draws the
+    same random stream the saved sim would have."""
+    bench = get_simulation(MODEL)
+    path = tmp_path / "rng.npz"
+    with bench.build(AGENTS, param=_param(bench), seed=21) as sim:
+        sim.simulate(PRE_STEPS)
+        save_checkpoint(sim, path)
+        expected = sim.random.rng.uniform(size=4)
+
+    with bench.build(AGENTS, param=_param(bench), seed=22) as sim2:
+        restore_checkpoint(sim2, path)
+        assert np.array_equal(sim2.random.rng.uniform(size=4), expected)

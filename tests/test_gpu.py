@@ -181,3 +181,124 @@ class TestEngineIntegration:
         large = times(4000, 110.0)
         assert small[True] > small[False]      # offload overhead dominates
         assert large[True] < large[False]      # device throughput wins
+
+
+class _FakeOOM(Exception):
+    """Stand-in for cupy's OutOfMemoryError in cache tests."""
+
+
+class _FlakyXp:
+    """numpy facade whose allocator fails the first ``fail_times`` calls."""
+
+    def __init__(self, fail_times=0):
+        self.fail_times = fail_times
+        self.empty_calls = 0
+
+    def empty(self, shape, dtype=None):
+        self.empty_calls += 1
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise _FakeOOM("device out of memory")
+        return np.empty(shape, dtype=dtype)
+
+
+class TestDeviceBufferCache:
+    """The persistent device-buffer cache of the CuPy kernel backend,
+    exercised with an injected numpy allocator (no GPU needed)."""
+
+    def _cache(self, xp=None):
+        from repro.kernels.cupy_backend import DeviceBufferCache
+
+        return DeviceBufferCache(xp=xp if xp is not None else np,
+                                 oom_errors=(_FakeOOM,))
+
+    def test_upload_reuses_allocation_and_refreshes_data(self):
+        cache = self._cache()
+        host = np.arange(6.0)
+        buf1 = cache.upload("x", host)
+        buf2 = cache.upload("x", host + 1)
+        assert buf2 is buf1
+        assert np.array_equal(buf2, host + 1)
+        assert cache.allocations == 1
+        assert cache.reuses == 1
+
+    def test_upload_reallocates_on_shape_or_dtype_change(self):
+        cache = self._cache()
+        buf1 = cache.upload("x", np.zeros(4))
+        buf2 = cache.upload("x", np.zeros(8))
+        buf3 = cache.upload("x", np.zeros(8, dtype=np.int64))
+        assert buf2 is not buf1 and buf3 is not buf2
+        assert cache.allocations == 3
+        assert cache.reuses == 0
+
+    def test_stable_upload_skips_copy_for_same_object(self):
+        cache = self._cache()
+        indptr = np.arange(5, dtype=np.int64)
+        buf1 = cache.upload_stable("csr:indptr", indptr)
+        buf2 = cache.upload_stable("csr:indptr", indptr)
+        assert buf2 is buf1
+        assert cache.stable_hits == 1
+        # A different host object (a rebuilt CSR) re-uploads.
+        buf3 = cache.upload_stable("csr:indptr", indptr.copy())
+        assert buf3 is not buf1
+        assert cache.allocations == 2
+
+    def test_sync_invalidates_on_structure_version_change(self):
+        cache = self._cache()
+        cache.sync(1)
+        buf1 = cache.upload("x", np.ones(3))
+        csr = np.arange(4, dtype=np.int64)
+        cache.upload_stable("csr", csr)
+        cache.sync(1)  # same version: buffers survive
+        assert cache.upload("x", np.ones(3)) is buf1
+        assert cache.upload_stable("csr", csr) is not None
+        cache.sync(2)  # structure changed: everything is dropped
+        assert cache.upload("x", np.ones(3)) is not buf1
+        assert cache.upload_stable("csr", csr) is not None
+        assert cache.stable_hits == 1  # only the pre-sync repeat hit
+
+    def test_scratch_is_persistent_and_zero_filled(self):
+        cache = self._cache()
+        buf = cache.scratch("net", (4, 3), np.float64)
+        buf[...] = 7.0
+        again = cache.scratch("net", (4, 3), np.float64)
+        assert again is buf
+        assert np.array_equal(again, np.zeros((4, 3)))
+        kept = cache.scratch("net", (4, 3), np.float64, zero=False)
+        assert kept is buf
+
+    def test_oom_evicts_everything_and_retries_once(self):
+        cache = self._cache()
+        cache.upload("old", np.ones(4))
+        cache.xp = _FlakyXp(fail_times=1)
+        buf = cache.upload("new", np.full(3, 2.0))
+        assert np.array_equal(buf, np.full(3, 2.0))
+        assert cache.oom_evictions == 1
+        # The eviction dropped the pre-OOM buffer.
+        assert "old" not in cache._buffers
+
+    def test_oom_twice_propagates_to_caller(self):
+        cache = self._cache(xp=_FlakyXp(fail_times=2))
+        with pytest.raises(_FakeOOM):
+            cache.upload("x", np.ones(4))
+        assert cache.oom_evictions == 1
+
+    def test_nbytes_sums_all_tiers(self):
+        cache = self._cache()
+        cache.upload("a", np.zeros(8))            # 64 bytes
+        cache.upload_stable("b", np.zeros(4))     # 32 bytes
+        cache.scratch("c", (2,), np.float64)      # 16 bytes
+        assert cache.nbytes == 64 + 32 + 16
+
+    def test_backend_counters_exist_on_base(self):
+        from repro.kernels.api import KernelBackend
+
+        kb = KernelBackend()
+        assert kb.oom_fallbacks == 0
+        assert kb.structure_version == -1
+
+    def test_oom_fallback_metric_registered(self):
+        with Simulation("m", Param()) as sim:
+            snap = sim.obs.registry.snapshot()
+            assert "kernel:oom_fallbacks" in snap
+            assert snap["kernel:oom_fallbacks"] == 0

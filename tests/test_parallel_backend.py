@@ -143,32 +143,51 @@ class TestStealQueues:
 
 
 class TestSharedMemoryResourceManager:
-    def _sim(self, n=30, seed=2):
+    def _sim(self, n=30, seed=2, soa_arena=True):
         sim = Simulation("shm", Param(execution_backend="process",
-                                      backend_workers=2), seed=seed)
+                                      backend_workers=2,
+                                      soa_arena=soa_arena), seed=seed)
         rng = np.random.default_rng(seed)
         sim.add_cells(rng.uniform(0, 40, (n, 3)), diameters=8.0)
         return sim
 
-    def test_columns_are_arena_views(self):
+    def test_columns_live_in_single_soa_block(self):
+        # Default layout: every column is a region of one shared block.
+        from repro.parallel.shm import SOA_BLOCK
+
         with self._sim() as sim:
             assert isinstance(sim.rm, SharedMemoryResourceManager)
+            layout = sim.rm.arena.layout()
+            assert SOA_BLOCK in layout
+            for name, arr in sim.rm.data.items():
+                assert sim.rm.soa.owns(name, arr)
+
+    def test_columns_are_arena_views(self):
+        # A/B baseline (soa_arena=False): one named block per column.
+        with self._sim(soa_arena=False) as sim:
+            assert isinstance(sim.rm, SharedMemoryResourceManager)
+            assert sim.rm.soa is None
             layout = sim.rm.arena.layout()
             for name in sim.rm.data:
                 assert COLUMN_PREFIX + name in layout
 
     def test_columns_survive_insert(self):
-        with self._sim(n=10) as sim:
-            rm = sim.rm
-            pos0 = rm.positions.copy()
-            sim.add_cells(np.array([[99.0, 99.0, 99.0]]), diameters=8.0)
-            assert rm.n == 11
-            assert any(np.allclose(row, 99.0) for row in rm.positions)
-            # The original ten cells are still present (order may differ
-            # after domain-major re-sorting); the new cell sorts last on x.
-            assert np.allclose(np.sort(rm.positions[:, 0])[:-1],
-                               np.sort(pos0[:, 0]))
-            assert COLUMN_PREFIX + "position" in rm.arena.layout()
+        for soa_arena in (False, True):
+            with self._sim(n=10, soa_arena=soa_arena) as sim:
+                rm = sim.rm
+                pos0 = rm.positions.copy()
+                sim.add_cells(np.array([[99.0, 99.0, 99.0]]), diameters=8.0)
+                assert rm.n == 11
+                assert any(np.allclose(row, 99.0) for row in rm.positions)
+                # The original ten cells are still present (order may
+                # differ after domain-major re-sorting); the new cell
+                # sorts last on x.
+                assert np.allclose(np.sort(rm.positions[:, 0])[:-1],
+                                   np.sort(pos0[:, 0]))
+                if soa_arena:
+                    assert rm.soa.owns("position", rm.positions)
+                else:
+                    assert COLUMN_PREFIX + "position" in rm.arena.layout()
 
 
 class _ShrinkDiameter(AgentOperation):
