@@ -112,6 +112,20 @@ __all__ = [
     # Checkpointing
     "save_checkpoint",
     "restore_checkpoint",
+    "read_checkpoint_meta",
+    # Lifecycle
+    "SimulationState",
+    "LifecycleError",
+    # Session server (lazy: importing repro must not pay for asyncio/mp)
+    "SessionClient",
+    "SessionHandle",
+    "SessionPool",
+    "ServerThread",
+    "ServeError",
+    "StateView",
+    "serve_forever",
+    "PROTO_VERSION",
+    "ProtocolError",
     # Virtual machines
     "Machine",
     "SYSTEM_A",
@@ -119,6 +133,24 @@ __all__ = [
     "SYSTEM_C",
     "__version__",
 ]
+
+#: PEP 562 lazy exports: resolved on first attribute access, cached in
+#: the module dict.  Keeps ``import repro`` free of the serve stack
+#: (multiprocessing, asyncio) while presenting one curated namespace.
+_LAZY_EXPORTS = {
+    "SimulationState": ("repro.core", "SimulationState"),
+    "LifecycleError": ("repro.core", "LifecycleError"),
+    "read_checkpoint_meta": ("repro.core", "read_checkpoint_meta"),
+    "SessionClient": ("repro.serve", "SessionClient"),
+    "SessionHandle": ("repro.serve", "SessionHandle"),
+    "SessionPool": ("repro.serve", "SessionPool"),
+    "ServerThread": ("repro.serve", "ServerThread"),
+    "ServeError": ("repro.serve", "ServeError"),
+    "StateView": ("repro.serve", "StateView"),
+    "serve_forever": ("repro.serve", "serve_forever"),
+    "PROTO_VERSION": ("repro.serve", "PROTO_VERSION"),
+    "ProtocolError": ("repro.serve", "ProtocolError"),
+}
 
 #: Old import paths kept alive one release: ``repro.<old>`` resolves to
 #: the current home with a DeprecationWarning.
@@ -133,7 +165,19 @@ _DEPRECATED_ALIASES = {
 }
 
 
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS) | set(_DEPRECATED_ALIASES))
+
+
 def __getattr__(name: str):
+    lazy = _LAZY_EXPORTS.get(name)
+    if lazy is not None:
+        import importlib
+
+        module, attr = lazy
+        value = getattr(importlib.import_module(module), attr)
+        globals()[name] = value  # cache: next access skips __getattr__
+        return value
     target = _DEPRECATED_ALIASES.get(name)
     if target is not None:
         module, attr = target

@@ -7,68 +7,175 @@
     python -m repro run epidemiology --agents 5000 --iterations 200 \\
         --series sir.csv --export out --export-every 20
     python -m repro run cell_sorting --machine A --threads 72 --agents 3000
+    python -m repro run oncology --param bdm.toml --param agent_sort_frequency=0
     python -m repro bench fig09 --scale small
+    python -m repro bench serve --tenants 8 --steps 20
     python -m repro verify --fuzz 200
     python -m repro trace oncology --out trace.json
+    python -m repro serve --port 7464 --workers 2
 
-``trace`` runs a model with tracing enabled and writes a Chrome
-trace-event JSON (load it at https://ui.perfetto.dev) plus, with
-``--metrics``, a flat dump of the metrics registry.
+Subcommands are rows in one declarative registry (:data:`SUBCOMMANDS`):
+each entry names its shared flag groups (``model``, ``seed``, ``param``)
+and its own extras, so flags stay consistent across commands instead of
+drifting per copy-pasted parser block.  ``--param`` everywhere accepts
+either a TOML/JSON parameter file or a repeatable ``key=value`` override
+(coerced to the :class:`~repro.core.param.Param` field's type); a file
+and overrides compose, overrides winning.
 
-``run`` executes a registry model, optionally on a virtual machine (for
-the per-operation breakdown), with time-series and VTK/CSV export.
-``bench`` forwards to :mod:`repro.bench.__main__`.  ``verify`` runs the
-correctness suite (:mod:`repro.verify`): differential oracle, engine
-invariants, determinism replay, structure fuzzing.
+``serve`` starts the multi-tenant session server (see ``docs/serve.md``);
+``bench serve`` measures it.  ``trace`` runs a model with tracing enabled
+and writes a Chrome trace-event JSON (load it at
+https://ui.perfetto.dev).  ``verify`` runs the correctness suite
+(:mod:`repro.verify`), including the served-session equivalence check.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 import time
 
-
-def _add_run_parser(sub):
-    p = sub.add_parser("run", help="run a benchmark model")
-    p.add_argument("model", help="registry model name (see `list`)")
-    p.add_argument("--agents", type=int, default=1000)
-    p.add_argument("--iterations", type=int, default=50)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--param", help="TOML/JSON parameter file (bdm.toml)")
-    p.add_argument("--machine", choices=["A", "B", "C"],
-                   help="attach a virtual machine (Table 2 system)")
-    p.add_argument("--threads", type=int, help="virtual thread count")
-    p.add_argument("--series", help="write a time-series CSV to this path")
-    p.add_argument("--series-every", type=int, default=1)
-    p.add_argument("--export", help="write simulation snapshots to this dir")
-    p.add_argument("--export-format", choices=["vtk", "csv"], default="vtk")
-    p.add_argument("--export-every", type=int, default=10)
-    return p
+__all__ = ["main", "build_parser", "SUBCOMMANDS", "build_param"]
 
 
-def _add_trace_parser(sub):
-    p = sub.add_parser("trace", help="run a model with tracing enabled and "
-                                     "write a Chrome trace (Perfetto)")
-    p.add_argument("model", help="registry model name (see `list`)")
-    p.add_argument("--agents", type=int, default=1000)
-    p.add_argument("--iterations", type=int, default=20)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--param", help="TOML/JSON parameter file (bdm.toml)")
-    p.add_argument("--backend", choices=["serial", "process", "auto"],
-                   help="override the execution backend (process-pool runs "
-                        "add per-worker phase spans and steal markers; auto "
-                        "picks serial/process from the measured cost model)")
-    p.add_argument("--workers", type=int,
-                   help="worker count for --backend process")
-    p.add_argument("--out", default="trace.json",
-                   help="Chrome trace JSON output path (default trace.json)")
-    p.add_argument("--metrics",
-                   help="also write the metrics-registry snapshot as JSON")
-    return p
+# --------------------------------------------------------------------- #
+# Declarative subcommand registry
+# --------------------------------------------------------------------- #
+
+@dataclasses.dataclass(frozen=True)
+class Arg:
+    """One argparse argument: ``add_argument(*flags, **options)``."""
+
+    flags: tuple
+    options: dict
 
 
-def _cmd_list() -> int:
+def arg(*flags, **options) -> Arg:
+    return Arg(flags, options)
+
+
+#: Flag groups shared across subcommands — defined once, referenced by
+#: name from :data:`SUBCOMMANDS` rows.
+SHARED_GROUPS: dict[str, tuple] = {
+    "model": (
+        arg("model", help="registry model name (see `list`)"),
+        arg("--agents", type=int, default=1000,
+            help="initial population / population cap"),
+    ),
+    "seed": (
+        arg("--seed", type=int, default=0, help="simulation seed"),
+    ),
+    "param": (
+        arg("--param", action="append", default=None,
+            metavar="FILE|key=value",
+            help="TOML/JSON parameter file, or a key=value override "
+                 "(repeatable; overrides win over the file)"),
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Subcommand:
+    """One CLI subcommand: shared flag groups + own args + runner."""
+
+    name: str
+    help: str
+    run: object
+    shared: tuple = ()
+    args: tuple = ()
+    #: Optional imperative hook for parsers owned by other modules
+    #: (``verify`` keeps its flags next to the verify implementation).
+    configure: object = None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="BioDynaMo PPoPP'23 reproduction: run models, "
+                    "regenerate paper figures, serve sessions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for sc in SUBCOMMANDS:
+        if sc.configure is not None:
+            p = sc.configure(sub)
+        else:
+            p = sub.add_parser(sc.name, help=sc.help)
+        for group in sc.shared:
+            for a in SHARED_GROUPS[group]:
+                p.add_argument(*a.flags, **a.options)
+        for a in sc.args:
+            p.add_argument(*a.flags, **a.options)
+        p.set_defaults(_run=sc.run)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args._run(args)
+
+
+# --------------------------------------------------------------------- #
+# Shared --param handling
+# --------------------------------------------------------------------- #
+
+def _coerce_param_value(field_type: str, raw: str):
+    """``key=value`` strings → the Param field's declared type."""
+    if field_type == "bool":
+        lowered = raw.lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"expected a boolean, got {raw!r}")
+    if field_type == "int":
+        return int(raw)
+    if field_type == "float":
+        return float(raw)
+    if field_type == "str":
+        return raw
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw
+
+
+def build_param(values, default_factory=None):
+    """Resolve the shared ``--param`` flag into a Param (or None).
+
+    ``values`` is the appended list: at most one file path, any number
+    of ``key=value`` overrides.  Overrides apply on top of the file (or,
+    absent a file, on ``default_factory()``).  Returns None when nothing
+    was given, so callers fall back to their own default.
+    """
+    from repro.core.param import Param
+
+    if not values:
+        return None
+    files = [v for v in values if "=" not in v]
+    pairs = [v for v in values if "=" in v]
+    if len(files) > 1:
+        raise ValueError(f"at most one --param file, got {files}")
+    param = (Param.from_file(files[0]) if files
+             else (default_factory() if default_factory else Param()))
+    if not pairs:
+        return param
+    field_types = {f.name: f.type for f in dataclasses.fields(Param)}
+    overrides = {}
+    for item in pairs:
+        key, _, raw = item.partition("=")
+        if key not in field_types:
+            raise ValueError(f"unknown Param field {key!r} in --param {item!r}")
+        overrides[key] = _coerce_param_value(field_types[key], raw)
+    return param.with_(**overrides)
+
+
+# --------------------------------------------------------------------- #
+# Runners
+# --------------------------------------------------------------------- #
+
+def _cmd_list(args) -> int:
     from repro.simulations import all_simulations
 
     print("available models:")
@@ -89,11 +196,18 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    from repro.parallel.validation import validate_model
+
+    report = validate_model()
+    print(report.render())
+    return 0 if report.kendall_tau >= 0.8 else 1
+
+
 def _cmd_run(args) -> int:
     from repro import (
         ExportOperation,
         Machine,
-        Param,
         SYSTEM_A,
         SYSTEM_B,
         SYSTEM_C,
@@ -103,7 +217,7 @@ def _cmd_run(args) -> int:
     from repro.simulations import get_simulation
 
     bench = get_simulation(args.model)
-    param = Param.from_file(args.param) if args.param else None
+    param = build_param(args.param, bench.default_param)
     machine = None
     if args.machine:
         spec = {"A": SYSTEM_A, "B": SYSTEM_B, "C": SYSTEM_C}[args.machine]
@@ -144,11 +258,13 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from repro import Param, write_chrome_trace, write_metrics
+    from repro import write_chrome_trace, write_metrics
     from repro.simulations import get_simulation
 
     bench = get_simulation(args.model)
-    param = Param.from_file(args.param) if args.param else bench.default_param()
+    param = build_param(args.param, bench.default_param)
+    if param is None:
+        param = bench.default_param()
     overrides = {"tracing": True}
     if args.backend:
         overrides["execution_backend"] = args.backend
@@ -202,75 +318,152 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="BioDynaMo PPoPP'23 reproduction: run models, "
-                    "regenerate paper figures.",
+def _cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    forwarded = [args.experiment, "--scale", args.scale]
+    if args.agents is not None:
+        forwarded += ["--agents", str(args.agents)]
+    if args.iterations is not None:
+        forwarded += ["--iterations", str(args.iterations)]
+    if args.workers:
+        forwarded += ["--workers", *map(str, args.workers)]
+    if args.backends:
+        forwarded += ["--backends", *args.backends]
+    if args.tenants is not None:
+        forwarded += ["--tenants", str(args.tenants)]
+    if args.steps is not None:
+        forwarded += ["--steps", str(args.steps)]
+    if args.out:
+        forwarded += ["--out", args.out]
+    if args.profile is not None:
+        forwarded += ["--profile", args.profile]
+    return bench_main(forwarded)
+
+
+def _cmd_verify(args) -> int:
+    from repro.verify.cli import run_verify
+
+    return run_verify(args)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import serve_forever
+
+    serve_forever(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_resident=args.max_resident,
+        spool_dir=args.spool,
     )
-    sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available models")
-    sub.add_parser("validate",
-                   help="check the fast memory cost model against the "
-                        "exact LRU cache simulator")
-    _add_run_parser(sub)
-    _add_trace_parser(sub)
-    bench = sub.add_parser("bench", help="regenerate a paper figure "
-                                         "(see `python -m repro.bench -h`)")
-    bench.add_argument("experiment")
-    bench.add_argument("--scale", default="small", choices=["small", "medium"])
-    bench.add_argument("--agents", type=int)
-    bench.add_argument("--iterations", type=int)
-    bench.add_argument("--workers", type=int, nargs="+",
-                       help="worker counts for the `scaling` experiment")
-    bench.add_argument("--backends", nargs="+", metavar="NAME",
-                       help="kernel backends for the `kernels` experiment")
-    bench.add_argument("--out", help="artifact path for the wall-clock "
-                                     "experiments (scaling, neighbor_cache, "
-                                     "agent_ops, kernels)")
-    bench.add_argument("--profile", nargs="?", const="profiles",
-                       metavar="DIR",
-                       help="run under cProfile; write top cumulative "
-                            "functions to DIR/<experiment>.prof.txt")
+    return 0
+
+
+def _verify_configure(sub):
     from repro.verify.cli import add_verify_parser
 
-    add_verify_parser(sub)
+    return add_verify_parser(sub)
 
-    args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "validate":
-        from repro.parallel.validation import validate_model
 
-        report = validate_model()
-        print(report.render())
-        return 0 if report.kendall_tau >= 0.8 else 1
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "verify":
-        from repro.verify.cli import run_verify
+# --------------------------------------------------------------------- #
+# The registry
+# --------------------------------------------------------------------- #
 
-        return run_verify(args)
-    if args.command == "bench":
-        from repro.bench.__main__ import main as bench_main
-
-        forwarded = [args.experiment, "--scale", args.scale]
-        if args.agents is not None:
-            forwarded += ["--agents", str(args.agents)]
-        if args.iterations is not None:
-            forwarded += ["--iterations", str(args.iterations)]
-        if args.workers:
-            forwarded += ["--workers", *map(str, args.workers)]
-        if args.backends:
-            forwarded += ["--backends", *args.backends]
-        if args.out:
-            forwarded += ["--out", args.out]
-        if args.profile is not None:
-            forwarded += ["--profile", args.profile]
-        return bench_main(forwarded)
-    return 2
+SUBCOMMANDS: tuple[Subcommand, ...] = (
+    Subcommand("list", "list available models", _cmd_list),
+    Subcommand(
+        "validate",
+        "check the fast memory cost model against the exact LRU cache "
+        "simulator",
+        _cmd_validate,
+    ),
+    Subcommand(
+        "run", "run a benchmark model", _cmd_run,
+        shared=("model", "seed", "param"),
+        args=(
+            arg("--iterations", type=int, default=50),
+            arg("--machine", choices=["A", "B", "C"],
+                help="attach a virtual machine (Table 2 system)"),
+            arg("--threads", type=int, help="virtual thread count"),
+            arg("--series", help="write a time-series CSV to this path"),
+            arg("--series-every", type=int, default=1),
+            arg("--export", help="write simulation snapshots to this dir"),
+            arg("--export-format", choices=["vtk", "csv"], default="vtk"),
+            arg("--export-every", type=int, default=10),
+        ),
+    ),
+    Subcommand(
+        "trace",
+        "run a model with tracing enabled and write a Chrome trace "
+        "(Perfetto)",
+        _cmd_trace,
+        shared=("model", "seed", "param"),
+        args=(
+            arg("--iterations", type=int, default=20),
+            arg("--backend", choices=["serial", "process", "auto"],
+                help="override the execution backend (process-pool runs "
+                     "add per-worker phase spans and steal markers; auto "
+                     "picks serial/process from the measured cost model)"),
+            arg("--workers", type=int,
+                help="worker count for --backend process"),
+            arg("--out", default="trace.json",
+                help="Chrome trace JSON output path (default trace.json)"),
+            arg("--metrics",
+                help="also write the metrics-registry snapshot as JSON"),
+        ),
+    ),
+    Subcommand(
+        "bench",
+        "regenerate a paper figure or measure the serve stack "
+        "(see `python -m repro.bench -h`)",
+        _cmd_bench,
+        args=(
+            arg("experiment"),
+            arg("--scale", default="small", choices=["small", "medium"]),
+            arg("--agents", type=int),
+            arg("--iterations", type=int),
+            arg("--workers", type=int, nargs="+",
+                help="worker counts for the `scaling` experiment"),
+            arg("--backends", nargs="+", metavar="NAME",
+                help="kernel backends for the `kernels` experiment"),
+            arg("--tenants", type=int,
+                help="concurrent tenants for the `serve` experiment"),
+            arg("--steps", type=int,
+                help="steps per tenant for the `serve` experiment"),
+            arg("--out", help="artifact path for the wall-clock "
+                              "experiments (scaling, neighbor_cache, "
+                              "agent_ops, kernels, serve)"),
+            arg("--profile", nargs="?", const="profiles", metavar="DIR",
+                help="run under cProfile; write top cumulative "
+                     "functions to DIR/<experiment>.prof.txt"),
+        ),
+    ),
+    Subcommand(
+        "verify",
+        "run the correctness suite",
+        _cmd_verify,
+        configure=_verify_configure,
+    ),
+    Subcommand(
+        "serve",
+        "start the multi-tenant session server (ndjson over TCP)",
+        _cmd_serve,
+        args=(
+            arg("--host", default="127.0.0.1"),
+            arg("--port", type=int, default=7464,
+                help="TCP port (0 picks an ephemeral port)"),
+            arg("--workers", type=int, default=2,
+                help="warm pool worker processes"),
+            arg("--max-resident", type=int, default=8,
+                help="sessions kept in memory before LRU eviction "
+                     "checkpoints the coldest to disk"),
+            arg("--spool", default=None,
+                help="eviction checkpoint directory (default: a "
+                     "temporary directory removed on exit)"),
+        ),
+    ),
+)
 
 
 if __name__ == "__main__":

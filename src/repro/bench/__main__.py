@@ -39,6 +39,14 @@ def main(argv=None) -> int:
     wall_opts.add_argument(
         "--out", default=None,
         help="artifact path (defaults to BENCH_<experiment>.json)")
+    serve_opts = parser.add_argument_group(
+        "serve", "options for the `serve` experiment")
+    serve_opts.add_argument(
+        "--tenants", type=int, default=None,
+        help="concurrent socket tenants for `serve` (default: scale preset)")
+    serve_opts.add_argument(
+        "--steps", type=int, default=None,
+        help="steps per tenant for `serve` (default: scale preset)")
     parser.add_argument(
         "--profile", nargs="?", const="profiles", default=None,
         metavar="DIR",
@@ -62,6 +70,10 @@ def main(argv=None) -> int:
             kwargs = dict(agents=args.agents, iterations=args.iterations,
                           backends=args.backends,
                           out=args.out or "BENCH_kernels.json")
+        elif name == "serve":
+            kwargs = dict(tenants=args.tenants, steps=args.steps,
+                          agents=args.agents,
+                          out=args.out or "BENCH_serve.json")
         t0 = time.perf_counter()
         if args.profile is not None:
             report = _profiled_run(name, mod, args, kwargs)

@@ -25,6 +25,7 @@ from repro.bench.experiments import (
     neighbor_cache,
     scaling,
     sec610_numa,
+    serve,
     table1_characteristics,
 )
 
@@ -45,6 +46,7 @@ ALL_EXPERIMENTS = {
     "neighbor_cache": neighbor_cache,
     "scaling": scaling,
     "sec610": sec610_numa,
+    "serve": serve,
     "ext_distributed": ext_distributed,
     "ext_ablations": ext_ablations,
     "ext_gpu": ext_gpu,

@@ -1,0 +1,223 @@
+"""Session-server throughput and latency (``python -m repro bench serve``).
+
+Three wall-clock phases over the real serve stack (not a simulated
+machine):
+
+1. **Session churn** — create+delete round-trips through an in-process
+   pool: sessions/second, the "how fast can tenants come and go" number.
+2. **Concurrent step latency** — a real socket server
+   (:class:`~repro.serve.server.ServerThread`) with ``tenants``
+   client threads, each owning one session on its own connection and
+   stepping it ``steps`` times; per-request wall latencies aggregate to
+   p50/p99 and total steps/second.  This is the multi-tenant number the
+   ROADMAP's "heavy traffic" north star cares about.
+3. **Evict/resume round-trip** — two sessions ping-ponging through a
+   ``max_resident=1`` pool, so *every* touch checkpoints one session
+   out and restores the other: the measured step cost is the full
+   evict→spool→rebuild→restore cycle, reported next to the resident
+   step cost from phase 2 for interpretation.
+
+``BENCH_serve.json`` records all three plus the pool's final ``serve:*``
+counters (CI asserts their presence).  Latencies on a loaded CI box are
+upper bounds; the ratio between resident and evicted step cost is the
+robust signal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.tables import ExperimentReport
+
+__all__ = ["run", "SCALES", "DEFAULT_MODEL"]
+
+DEFAULT_MODEL = "cell_proliferation"
+
+SCALES = {
+    "small": dict(tenants=8, steps=20, agents=120, churn_sessions=12),
+    "medium": dict(tenants=16, steps=40, agents=400, churn_sessions=30),
+}
+
+
+def _phase_churn(model: str, agents: int, churn_sessions: int,
+                 pool_workers: int) -> dict:
+    """Create+delete throughput through an in-process pool."""
+    from repro.serve import SessionClient
+
+    with SessionClient.in_process(
+        workers=pool_workers, max_resident=max(4, churn_sessions)
+    ) as client:
+        t0 = time.perf_counter()
+        for i in range(churn_sessions):
+            handle = client.create_session(model, agents=agents, seed=i)
+            handle.delete()
+        wall = time.perf_counter() - t0
+    return {
+        "sessions": churn_sessions,
+        "wall_seconds": wall,
+        "sessions_per_second": churn_sessions / wall if wall > 0 else 0.0,
+    }
+
+
+def _phase_latency(model: str, agents: int, tenants: int, steps: int,
+                   pool_workers: int) -> tuple[dict, dict]:
+    """Concurrent socket tenants; returns (record, serve metrics)."""
+    from repro.serve import ServerThread, SessionClient
+    from repro.serve.pool import SessionPool
+
+    pool = SessionPool(workers=pool_workers, max_resident=tenants)
+    latencies: list[list[float]] = [[] for _ in range(tenants)]
+    errors: list[str] = []
+    barrier = threading.Barrier(tenants)
+
+    def tenant(idx: int) -> None:
+        try:
+            with SessionClient.connect(port=server.port) as client:
+                handle = client.create_session(
+                    model, agents=agents, seed=idx, name=f"tenant-{idx}"
+                )
+                barrier.wait(timeout=120)
+                lat = latencies[idx]
+                for _ in range(steps):
+                    t0 = time.perf_counter()
+                    handle.step(1)
+                    lat.append(time.perf_counter() - t0)
+                handle.delete()
+        except Exception as exc:  # noqa: BLE001 - surfaced in the artifact
+            errors.append(f"tenant {idx}: {type(exc).__name__}: {exc}")
+
+    with ServerThread(pool) as server:
+        threads = [
+            threading.Thread(target=tenant, args=(i,), daemon=True)
+            for i in range(tenants)
+        ]
+        wall0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600)
+        wall = time.perf_counter() - wall0
+    metrics = {
+        k: v for k, v in pool.obs.registry.snapshot().items()
+        if k.startswith("serve:")
+    }
+    pool.shutdown()
+    flat = np.array([x for lat in latencies for x in lat], dtype=float)
+    record = {
+        "tenants": tenants,
+        "steps_per_tenant": steps,
+        "total_steps": int(flat.size),
+        "wall_seconds": wall,
+        "steps_per_second": float(flat.size / wall) if wall > 0 else 0.0,
+        "p50_ms": float(np.percentile(flat, 50) * 1e3) if flat.size else 0.0,
+        "p99_ms": float(np.percentile(flat, 99) * 1e3) if flat.size else 0.0,
+        "mean_ms": float(flat.mean() * 1e3) if flat.size else 0.0,
+        "errors": errors,
+    }
+    return record, metrics
+
+
+def _phase_evict_resume(model: str, agents: int, rounds: int) -> dict:
+    """Step cost when every touch is an evict→resume round trip."""
+    from repro.serve import SessionClient
+
+    with SessionClient.in_process(workers=1, max_resident=1) as client:
+        a = client.create_session(model, agents=agents, seed=0, name="a")
+        b = client.create_session(model, agents=agents, seed=1, name="b")
+        # b is resident now, a was evicted to make room; from here on
+        # every alternating step pays checkpoint(victim)+restore(target).
+        costs = []
+        resumed = 0
+        for i in range(rounds):
+            handle = a if i % 2 == 0 else b
+            t0 = time.perf_counter()
+            reply = handle.step(1)
+            costs.append(time.perf_counter() - t0)
+            resumed += bool(reply.resumed)
+        metrics = {
+            k: v for k, v in client.pool.obs.registry.snapshot().items()
+            if k.startswith("serve:")
+        }
+        a.delete()
+        b.delete()
+    arr = np.array(costs, dtype=float)
+    return {
+        "rounds": rounds,
+        "resumed_steps": resumed,
+        "evictions": metrics.get("serve:evictions", 0),
+        "resume_count": metrics.get("serve:resume_count", 0),
+        "mean_round_trip_ms": float(arr.mean() * 1e3),
+        "p50_round_trip_ms": float(np.percentile(arr, 50) * 1e3),
+    }
+
+
+def run(
+    scale: str = "small",
+    model: str = DEFAULT_MODEL,
+    tenants: int | None = None,
+    steps: int | None = None,
+    agents: int | None = None,
+    out: str | os.PathLike | None = "BENCH_serve.json",
+) -> ExperimentReport:
+    """Run all three phases; write the JSON artifact unless ``out=None``."""
+    cfg = SCALES[scale]
+    tenants = int(tenants) if tenants is not None else cfg["tenants"]
+    steps = int(steps) if steps is not None else cfg["steps"]
+    agents = int(agents) if agents is not None else cfg["agents"]
+    pool_workers = max(2, min(4, (os.cpu_count() or 2) - 1))
+
+    churn = _phase_churn(model, agents, cfg["churn_sessions"], pool_workers)
+    latency, serve_metrics = _phase_latency(
+        model, agents, tenants, steps, pool_workers
+    )
+    evict = _phase_evict_resume(model, agents, rounds=10)
+
+    artifact = {
+        "experiment": "serve",
+        "model": model,
+        "agents": agents,
+        "scale": scale,
+        "cpu_count": os.cpu_count(),
+        "pool_workers": pool_workers,
+        "session_churn": churn,
+        "step_latency": latency,
+        "evict_resume": evict,
+        "metrics": serve_metrics,
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(artifact, indent=2, sort_keys=True))
+
+    rows = [
+        ["sessions/sec (create+delete)",
+         round(churn["sessions_per_second"], 2)],
+        [f"steps/sec ({tenants} tenants)",
+         round(latency["steps_per_second"], 2)],
+        ["step p50 (ms)", round(latency["p50_ms"], 3)],
+        ["step p99 (ms)", round(latency["p99_ms"], 3)],
+        ["evict+resume round trip p50 (ms)",
+         round(evict["p50_round_trip_ms"], 3)],
+        ["evictions observed", evict["evictions"]],
+    ]
+    notes = [
+        f"{tenants} concurrent socket tenants x {steps} steps, "
+        f"{pool_workers} pool workers, model={model}, agents={agents}",
+        "evict/resume phase: max_resident=1, alternating sessions — every "
+        "step pays a full checkpoint+restore cycle",
+    ]
+    if latency["errors"]:
+        notes.append(f"TENANT ERRORS: {latency['errors']}")
+    if out is not None:
+        notes.append(f"artifact -> {out}")
+    return ExperimentReport(
+        experiment="serve",
+        title="multi-tenant session server throughput/latency",
+        headers=["metric", "value"],
+        rows=rows,
+        notes=notes,
+    )

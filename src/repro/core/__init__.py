@@ -24,13 +24,17 @@ The engine mirrors BioDynaMo's architecture:
 
 from repro.core.param import Param, ParamError
 from repro.core.scheduler import Scheduler
-from repro.core.simulation import Simulation
+from repro.core.simulation import LifecycleError, Simulation, SimulationState
 from repro.core.behavior import Behavior
 from repro.core.resource_manager import ResourceManager
 from repro.core.agent import Agent
 from repro.core.operation import AgentOperation, Operation, OpKind, StandaloneOperation
 from repro.core.timeseries import TimeSeriesOperation
-from repro.core.checkpoint import restore_checkpoint, save_checkpoint
+from repro.core.checkpoint import (
+    read_checkpoint_meta,
+    restore_checkpoint,
+    save_checkpoint,
+)
 from repro.core.exporter import ExportOperation
 from repro.core.gene_regulation import GeneRegulation
 
@@ -39,6 +43,8 @@ __all__ = [
     "ParamError",
     "Scheduler",
     "Simulation",
+    "SimulationState",
+    "LifecycleError",
     "Behavior",
     "ResourceManager",
     "Agent",
@@ -51,4 +57,5 @@ __all__ = [
     "GeneRegulation",
     "save_checkpoint",
     "restore_checkpoint",
+    "read_checkpoint_meta",
 ]

@@ -32,7 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["save_checkpoint", "restore_checkpoint"]
+__all__ = ["save_checkpoint", "restore_checkpoint", "read_checkpoint_meta"]
 
 _FORMAT_VERSION = 2
 
@@ -40,13 +40,38 @@ _FORMAT_VERSION = 2
 _MIN_FORMAT_VERSION = 1
 
 
-def save_checkpoint(sim, path) -> Path:
+def _require_checkpointable(sim, verb: str) -> None:
+    """Checkpointing is only legal on a quiescent, open simulation: a
+    RUNNING sim is mid-step (columns half-written), and a CLOSED sim may
+    already have unlinked its shared-memory segments."""
+    from repro.core.simulation import LifecycleError, SimulationState
+
+    state = getattr(sim, "state", None)
+    if state is SimulationState.RUNNING:
+        raise LifecycleError(
+            f"cannot {verb} simulation {sim.name!r} mid-step "
+            "(state is RUNNING)"
+        )
+    if state is SimulationState.CLOSED:
+        raise LifecycleError(
+            f"cannot {verb} simulation {sim.name!r}: it is closed"
+        )
+
+
+def save_checkpoint(sim, path, extra_meta: dict | None = None) -> Path:
     """Write the simulation state to an ``.npz`` checkpoint.
 
     Arena-backed simulations save the consolidated block verbatim (one
     contiguous array per domain block) plus a JSON layout descriptor;
     per-column simulations save one array per column, as in format v1.
+
+    ``extra_meta`` is an optional JSON-serializable dict stored verbatim
+    alongside the state (``read_checkpoint_meta`` returns it without
+    loading any arrays).  The session server uses it to record how to
+    rebuild an evicted session (model, population, seed, parameter
+    overrides) so any worker can resume it.
     """
+    _require_checkpointable(sim, "checkpoint")
     path = Path(path)
     rm = sim.rm
     payload = {
@@ -59,6 +84,8 @@ def save_checkpoint(sim, path) -> Path:
         "__columns__": np.array(json.dumps(list(rm.data))),
         "__rng__": np.array(json.dumps(sim.random.get_state())),
     }
+    if extra_meta is not None:
+        payload["__extra__"] = np.array(json.dumps(extra_meta))
     soa = getattr(rm, "soa", None)
     if soa is not None and soa.block is not None:
         payload["arena__block"] = np.asarray(soa.block[: soa.nbytes])
@@ -94,6 +121,21 @@ def _checkpoint_columns(data) -> tuple[dict, dict | None]:
             None)
 
 
+def read_checkpoint_meta(path) -> dict:
+    """Cheap metadata peek: format version, agent count, iteration, and
+    the ``extra_meta`` dict passed to :func:`save_checkpoint` (empty dict
+    when none was stored).  No column arrays are materialized."""
+    with np.load(Path(path)) as data:
+        return {
+            "format": int(data["__format__"][0]),
+            "n": int(data["__meta_n__"][0]),
+            "iteration": int(data["__meta_iteration__"][0]),
+            "time": float(data["__meta_time__"][0]),
+            "extra": (json.loads(str(data["__extra__"]))
+                      if "__extra__" in data.files else {}),
+        }
+
+
 def restore_checkpoint(sim, path) -> None:
     """Load a checkpoint into ``sim`` (which must have the same columns
     registered and the same diffusion grids added).
@@ -103,6 +145,7 @@ def restore_checkpoint(sim, path) -> None:
     block copy; any mismatch falls back to per-column placement through
     :meth:`ResourceManager.restore_columns`.
     """
+    _require_checkpointable(sim, "restore into")
     with np.load(Path(path)) as data:
         version = int(data["__format__"][0])
         if not _MIN_FORMAT_VERSION <= version <= _FORMAT_VERSION:

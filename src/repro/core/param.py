@@ -68,6 +68,15 @@ class Param:
     #: arena-attach counters re-decides at environment-rebuild
     #: boundaries; decisions surface as ``backend:auto_decisions``.
     execution_backend: str = "serial"
+    #: Force the agent storage into shared memory even when the execution
+    #: backend is serial: columns (and, with ``soa_arena``, the whole
+    #: consolidated block) live in ``multiprocessing.shared_memory``
+    #: segments that other processes can attach zero-copy.  This is what
+    #: the session server (:mod:`repro.serve`) uses — each session's
+    #: agent state is one attachable SoA block — and it is bitwise
+    #: identical to private storage (same arrays, different backing
+    #: buffer).  Implied by ``execution_backend="process"``.
+    shared_storage: bool = False
     backend_workers: int = 0               # 0 = os.cpu_count()
     backend_chunk_size: int = 4096         # agent rows per process-kernel chunk
     #: Array-kernel implementation for the three hot kernels (CSR force,

@@ -17,6 +17,8 @@ Typical use::
 
 from __future__ import annotations
 
+import enum
+
 import numpy as np
 
 from repro.core.behavior import Behavior
@@ -29,11 +31,40 @@ from repro.core.diffusion import DiffusionGrid
 from repro.env import make_environment
 from repro.mem import AddressSpace, make_allocator
 
-__all__ = ["Simulation"]
+__all__ = ["Simulation", "SimulationState", "LifecycleError"]
 
 #: Number of per-agent behavior payload addresses tracked exactly; further
 #: attachments still count allocator traffic but are freed in bulk.
 MAX_TRACKED_BEHAVIORS = 2
+
+
+class SimulationState(enum.Enum):
+    """Explicit lifecycle of a :class:`Simulation`.
+
+    ::
+
+        CREATED --simulate()--> RUNNING --(returns)--> PAUSED
+        PAUSED  --simulate()--> RUNNING
+        any     --close()-----> CLOSED          (idempotent)
+
+    The state machine exists so external drivers (the session server in
+    :mod:`repro.serve`, checkpointing) can reason about what is legal
+    *right now*: a simulation that is mid-step cannot be stepped again
+    (no re-entrant ``simulate``) and cannot be checkpointed, and a closed
+    simulation — whose shared-memory segments may already be unlinked —
+    can never be stepped or saved again.
+    """
+
+    CREATED = "created"
+    RUNNING = "running"
+    PAUSED = "paused"
+    CLOSED = "closed"
+
+
+class LifecycleError(RuntimeError):
+    """An operation was attempted in a :class:`SimulationState` that
+    forbids it (stepping a closed simulation, re-entrant ``simulate``,
+    checkpointing mid-step)."""
 
 
 class Simulation:
@@ -83,9 +114,13 @@ class Simulation:
         # must be shared-memory-backed from the start (serial over shm
         # columns is bitwise identical to serial over private ones).
         # With a virtual machine attached, auto resolves to serial and
-        # private storage suffices.
-        wants_shm = self.param.execution_backend == "process" or (
-            self.param.execution_backend == "auto" and machine is None
+        # private storage suffices.  ``shared_storage`` forces shm even
+        # for serial execution (session server: the host process attaches
+        # each session's arena block zero-copy).
+        wants_shm = (
+            self.param.shared_storage
+            or self.param.execution_backend == "process"
+            or (self.param.execution_backend == "auto" and machine is None)
         )
         if wants_shm:
             from repro.parallel.shm import SharedMemoryResourceManager
@@ -147,6 +182,7 @@ class Simulation:
         self.visualize_callback = None
         self.time = 0.0
         self._csr_cache = None
+        self._state = SimulationState.CREATED
 
     # ------------------------------------------------------------------ #
     # Model construction
@@ -303,21 +339,50 @@ class Simulation:
     # Execution
     # ------------------------------------------------------------------ #
 
+    @property
+    def state(self) -> SimulationState:
+        """Current lifecycle state (see :class:`SimulationState`)."""
+        return self._state
+
     def simulate(self, iterations: int) -> None:
-        """Run the model for ``iterations`` time steps (Algorithm 1)."""
+        """Run the model for ``iterations`` time steps (Algorithm 1).
+
+        Legal only in ``CREATED`` or ``PAUSED``; the simulation is
+        ``RUNNING`` for the duration of the call and ``PAUSED`` after it
+        returns (even on error).  Re-entrant stepping and stepping a
+        closed simulation raise :class:`LifecycleError`.
+        """
         if iterations < 0:
             raise ValueError("iterations must be non-negative")
-        self.scheduler.simulate(iterations)
+        if self._state is SimulationState.CLOSED:
+            raise LifecycleError(
+                f"cannot step simulation {self.name!r}: it is closed"
+            )
+        if self._state is SimulationState.RUNNING:
+            raise LifecycleError(
+                f"cannot step simulation {self.name!r}: a simulate() call "
+                "is already in progress (re-entrant stepping is forbidden)"
+            )
+        self._state = SimulationState.RUNNING
+        try:
+            self.scheduler.simulate(iterations)
+        finally:
+            self._state = SimulationState.PAUSED
 
     def close(self) -> None:
         """Release execution-backend resources (worker processes, shared
-        memory).  A no-op for the serial backend; idempotent.  Simulations
-        using the process backend should be closed (or used as a context
-        manager) — an atexit hook reclaims leaked segments otherwise."""
+        memory) and transition to ``CLOSED``.  Idempotent — closing twice
+        is a no-op; a closed simulation can no longer be stepped or
+        checkpointed.  Simulations using the process backend should be
+        closed (or used as a context manager) — a finalizer and an atexit
+        hook reclaim leaked segments otherwise."""
+        if self._state is SimulationState.CLOSED:
+            return
         self.backend.shutdown()
         arena = getattr(self.rm, "arena", None)
         if arena is not None:
             arena.close()
+        self._state = SimulationState.CLOSED
 
     def __enter__(self) -> "Simulation":
         return self

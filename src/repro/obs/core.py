@@ -27,6 +27,7 @@ with the tracer on and off (enforced by
 
 from __future__ import annotations
 
+import contextlib
 import time
 
 __all__ = [
@@ -318,6 +319,39 @@ class Observability:
         self.registry = MetricsRegistry()
         self.tracer: Tracer | NullTracer = Tracer() if tracing else NULL_TRACER
         self._stage_counters: dict[str, Counter] = {}
+        #: Attributes injected into every span/instant/stage recorded
+        #: through this bundle while a :meth:`scope` is active.
+        self._scope_attrs: dict = {}
+
+    @contextlib.contextmanager
+    def scope(self, **attrs):
+        """Attribute scope: while the context is active, every event
+        recorded through :meth:`span`, :meth:`instant`, or :meth:`stage`
+        carries ``attrs`` (explicit per-event args win on key clashes).
+        Scopes nest — inner scopes merge over outer ones and restore the
+        previous attribute set on exit.  The session server wraps each
+        request in ``obs.scope(session=sid)`` so one shared trace can be
+        filtered per tenant.
+        """
+        prev = self._scope_attrs
+        self._scope_attrs = {**prev, **attrs}
+        try:
+            yield self
+        finally:
+            self._scope_attrs = prev
+
+    def span(self, name: str, cat: str = "sim", tid: int = 0, **args):
+        """Context manager timing a region on the bundle's tracer, with
+        any active :meth:`scope` attributes merged into ``args``."""
+        if self._scope_attrs:
+            args = {**self._scope_attrs, **args}
+        return self.tracer.span(name, cat=cat, tid=tid, **args)
+
+    def instant(self, name: str, cat: str = "sim", tid: int = 0, **args):
+        """Record an instant event with scope attributes merged in."""
+        if self._scope_attrs:
+            args = {**self._scope_attrs, **args}
+        self.tracer.instant(name, cat=cat, tid=tid, **args)
 
     @property
     def tracing(self) -> bool:
@@ -338,6 +372,8 @@ class Observability:
         if counter is None:
             counter = self.registry.counter(STAGE_PREFIX + name)
             self._stage_counters[name] = counter
+        if self._scope_attrs:
+            args = {**self._scope_attrs, **args}
         return _StageTimer(counter, self.tracer, name, args)
 
     def stage_seconds(self) -> dict[str, float]:

@@ -258,6 +258,16 @@ class ProcessBackend(ExecutionBackend):
     # -- pool lifecycle ------------------------------------------------- #
 
     def _start(self) -> None:
+        if mp.current_process().daemon:
+            # Daemonic processes (serve-pool workers, this backend's own
+            # workers) may not have children; mp.Process.start() would raise
+            # an opaque AssertionError deep in _bootstrap.  Fail with an
+            # actionable message instead — sessions hosted inside a worker
+            # must run execution_backend='serial'.
+            raise BackendError(
+                "process backend cannot start inside a daemonic process "
+                "(e.g. a serve-pool worker); use execution_backend='serial'"
+            )
         ctx = self._ctx
         self._queues = StealQueues(ctx, self.worker_domains)
         self._ack = ctx.Queue()

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import atexit
 import sys
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -237,7 +238,23 @@ class SharedMemoryResourceManager(ResourceManager):
     """
 
     def __init__(self, *args, arena: HostArena | None = None, **kwargs):
+        owns_arena = arena is None
         self.arena = arena if arena is not None else HostArena()
+        if owns_arena:
+            # A session that dies mid-step (worker crash, exception during
+            # ``simulate``) may never reach ``Simulation.close()``; without
+            # this, the named segments survive in /dev/shm until interpreter
+            # exit (``_LIVE_ARENAS``) — or forever, if the process is
+            # SIGKILLed after fork.  Finalize on *this* manager being
+            # collected, not on the arena: an externally-owned arena may be
+            # shared across managers and must outlive any one of them.
+            # ``HostArena.close`` is idempotent, so an orderly
+            # ``Simulation.close()`` first is harmless.
+            self._arena_finalizer = weakref.finalize(
+                self, HostArena.close, self.arena
+            )
+        else:
+            self._arena_finalizer = None
         super().__init__(*args, **kwargs)
 
     def _make_soa_arena(self):

@@ -1,0 +1,35 @@
+"""Simulation-as-a-service: the multi-tenant session layer.
+
+``repro.serve`` turns the single-simulation engine into a service: many
+small-to-medium simulations ("sessions") hosted concurrently on a warm
+pool of forked workers, exposed through one typed request/reply
+protocol over two transports (in-process and ndjson sockets).  See
+``docs/serve.md`` for the protocol spec, lifecycle diagram, and
+eviction semantics.
+
+- :mod:`repro.serve.protocol` — the frozen-dataclass wire schema.
+- :mod:`repro.serve.session` — worker-side simulation hosting.
+- :mod:`repro.serve.pool` — host-side pool: affinity, LRU eviction,
+  transparent checkpoint/resume, ``serve:*`` metrics.
+- :mod:`repro.serve.server` — asyncio socket transport,
+  :func:`serve_forever`.
+- :mod:`repro.serve.client` — :class:`SessionClient` facade.
+"""
+
+from repro.serve.client import ServeError, SessionClient, SessionHandle
+from repro.serve.pool import SessionPool, StateView
+from repro.serve.protocol import PROTO_VERSION, ProtocolError
+from repro.serve.server import ServerThread, SessionServer, serve_forever
+
+__all__ = [
+    "PROTO_VERSION",
+    "ProtocolError",
+    "ServeError",
+    "ServerThread",
+    "SessionClient",
+    "SessionHandle",
+    "SessionPool",
+    "SessionServer",
+    "StateView",
+    "serve_forever",
+]

@@ -1,0 +1,217 @@
+"""Client facade: one API, two transports.
+
+:class:`SessionClient` speaks the typed protocol of
+:mod:`repro.serve.protocol` either **in-process** (directly into a
+:class:`~repro.serve.pool.SessionPool` — no sockets, same replies) or
+over the **socket** transport (blocking ndjson client of a running
+``python -m repro serve``).  Because both paths share the same frozen
+dataclasses and the same pool dispatcher, behavior cannot diverge
+between them; the equivalence suite exercises both.
+
+Quickstart::
+
+    from repro import SessionClient
+
+    with SessionClient.in_process(workers=2) as client:
+        h = client.create_session("cell_proliferation", agents=500, seed=1)
+        h.step(10)
+        snap = h.snapshot()
+        h.detach()            # checkpoint + free memory; id stays valid
+        h.step(1)             # transparent resume, bitwise-continuous
+        h.delete()
+
+Errors come back as :class:`ServeError` carrying the protocol error
+code (``unknown_session``, ``unsupported_param``, ...).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.serve import protocol as P
+
+__all__ = ["ServeError", "SessionClient", "SessionHandle"]
+
+
+class ServeError(RuntimeError):
+    """A request was answered with a :class:`~repro.serve.protocol.
+    SessionError`; ``code`` and ``session`` carry its fields."""
+
+    def __init__(self, error: P.SessionError):
+        super().__init__(f"[{error.code}] {error.message}")
+        self.code = error.code
+        self.session = error.session
+
+
+class _InProcessTransport:
+    def __init__(self, pool, owns_pool: bool):
+        self.pool = pool
+        self._owns_pool = owns_pool
+
+    def request(self, msg):
+        return self.pool.handle(msg)
+
+    def close(self) -> None:
+        """Close the transport (and shut down an owned pool)."""
+        if self._owns_pool:
+            self.pool.shutdown()
+
+
+class _SocketTransport:
+    def __init__(self, host: str, port: int, timeout: float):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def request(self, msg):
+        self._sock.sendall(P.encode(msg))
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return P.decode(line)
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+
+class SessionHandle:
+    """Convenience wrapper bound to one session id."""
+
+    def __init__(self, client: "SessionClient", session: str):
+        self.client = client
+        self.session = session
+
+    def step(self, steps: int = 1, checksum: bool = False) -> P.StepReply:
+        """Advance ``steps`` iterations; ``checksum=True`` adds the
+        post-step state checksum to the reply."""
+        return self.client.request(
+            P.StepRequest(session=self.session, steps=steps,
+                          checksum=checksum)
+        )
+
+    def run_to(self, tick: int, checksum: bool = False) -> P.StepReply:
+        """Advance until the iteration counter reaches ``tick``
+        (no-op if already past it)."""
+        return self.client.request(
+            P.RunToRequest(session=self.session, tick=tick,
+                           checksum=checksum)
+        )
+
+    def advance(self, steps: int) -> P.Ack:
+        """Start a background advance; returns immediately."""
+        return self.client.request(
+            P.AdvanceRequest(session=self.session, steps=steps)
+        )
+
+    def snapshot(self, include_timeseries: bool = False) -> P.StateSnapshot:
+        """Read state without stepping: status, metrics, and —
+        on request — collected time series."""
+        return self.client.request(
+            P.SnapshotRequest(session=self.session,
+                              include_timeseries=include_timeseries)
+        )
+
+    def checkpoint(self) -> P.CheckpointReply:
+        """Checkpoint to the server spool; session stays resident."""
+        return self.client.request(
+            P.CheckpointRequest(session=self.session))
+
+    def detach(self) -> P.CheckpointReply:
+        """Checkpoint and free worker memory; the id stays valid
+        and any later touch resumes transparently."""
+        return self.client.request(P.DetachRequest(session=self.session))
+
+    def resume(self) -> P.StepReply:
+        """Explicitly resume a detached/evicted session."""
+        return self.client.request(P.ResumeRequest(session=self.session))
+
+    def delete(self) -> P.Ack:
+        """Destroy the session (worker state, spooled checkpoint, id)."""
+        return self.client.request(P.DeleteRequest(session=self.session))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SessionHandle({self.session!r})"
+
+
+class SessionClient:
+    """Typed session-protocol client; construct via
+    :meth:`in_process` or :meth:`connect`."""
+
+    def __init__(self, transport):
+        self._transport = transport
+
+    @classmethod
+    def in_process(cls, pool=None, **pool_kwargs) -> "SessionClient":
+        """Client over a pool in this process (created from
+        ``pool_kwargs`` and owned by the client unless ``pool`` is
+        given)."""
+        from repro.serve.pool import SessionPool
+
+        owns = pool is None
+        if pool is None:
+            pool = SessionPool(**pool_kwargs)
+        return cls(_InProcessTransport(pool, owns))
+
+    @classmethod
+    def connect(cls, host: str = "127.0.0.1", port: int = 7464,
+                timeout: float = 300.0) -> "SessionClient":
+        """Client over a socket to a running server."""
+        return cls(_SocketTransport(host, port, timeout))
+
+    @property
+    def pool(self):
+        """The underlying pool (in-process transport only, else None)."""
+        return getattr(self._transport, "pool", None)
+
+    def request(self, msg):
+        """Send one typed request; return the typed reply.  A
+        ``SessionError`` reply raises :class:`ServeError`."""
+        reply = self._transport.request(msg)
+        if isinstance(reply, P.SessionError):
+            raise ServeError(reply)
+        return reply
+
+    # -- conveniences --------------------------------------------------- #
+
+    def create_session(
+        self,
+        model: str,
+        agents: int,
+        seed: int = 0,
+        params: dict | None = None,
+        name: str = "",
+    ) -> SessionHandle:
+        """Create a session and return its handle."""
+        reply = self.request(P.CreateSession(
+            model=model, agents=int(agents), seed=int(seed),
+            params=dict(params or {}), name=name,
+        ))
+        return SessionHandle(self, reply.session)
+
+    def session(self, session_id: str) -> SessionHandle:
+        """Handle for an existing session id (e.g. after reconnecting)."""
+        return SessionHandle(self, session_id)
+
+    def sessions(self) -> list:
+        """Summaries of every live session on the server."""
+        return self.request(P.ListSessionsRequest()).sessions
+
+    def models(self) -> list:
+        """Creatable model names (the simulation registry)."""
+        return self.request(P.ListModelsRequest()).models
+
+    def shutdown_server(self) -> P.Ack:
+        """Ask a socket server to stop accepting and exit."""
+        return self.request(P.ShutdownRequest())
+
+    def close(self) -> None:
+        """Close the transport (and shut down an owned in-process pool)."""
+        self._transport.close()
+
+    def __enter__(self) -> "SessionClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,391 @@
+"""Typed wire schema for the session server.
+
+Every message crossing the session boundary — in-process
+:class:`~repro.serve.client.SessionClient` calls and socket frames alike
+— is one of the frozen dataclasses below.  No ad-hoc dicts: the
+in-process client, the socket client, and the server all speak
+:func:`to_wire`/:func:`from_wire`, so the two transports cannot drift.
+
+Wire format: one JSON object per newline-terminated UTF-8 line
+(ndjson).  Each object carries two envelope fields injected by
+:func:`to_wire`:
+
+- ``"type"`` — the message's registered tag (``"create_session"``, ...),
+- ``"proto_version"`` — currently :data:`PROTO_VERSION`; a mismatch is
+  rejected before any field is looked at, so incompatible clients fail
+  loudly instead of mis-parsing.
+
+Anything malformed — bad JSON, a non-object, an unknown type tag, a
+missing required field, an unexpected field, a wrong field type —
+raises :class:`ProtocolError`; the server converts that to a
+:class:`SessionError` reply (code ``"protocol"``) and keeps the
+connection alive.  The fuzz smoke test feeds garbage frames and asserts
+exactly this: an error frame, never a crash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PROTO_VERSION",
+    "ProtocolError",
+    "to_wire",
+    "from_wire",
+    "encode",
+    "decode",
+    "MESSAGE_TYPES",
+    "REQUEST_TYPES",
+    "REPLY_TYPES",
+    # requests
+    "CreateSession",
+    "StepRequest",
+    "RunToRequest",
+    "AdvanceRequest",
+    "SnapshotRequest",
+    "CheckpointRequest",
+    "DetachRequest",
+    "ResumeRequest",
+    "DeleteRequest",
+    "ListSessionsRequest",
+    "ListModelsRequest",
+    "ShutdownRequest",
+    # replies
+    "SessionCreated",
+    "StepReply",
+    "StateSnapshot",
+    "CheckpointReply",
+    "Ack",
+    "SessionList",
+    "ModelList",
+    "SessionError",
+]
+
+#: Schema version; bumped on any incompatible message change.
+PROTO_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire schema (bad JSON, unknown type,
+    missing/unexpected/mistyped field, version mismatch)."""
+
+
+# --------------------------------------------------------------------- #
+# Requests
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class CreateSession:
+    """Create a session from a registered benchmark simulation.
+
+    ``params`` maps :class:`~repro.core.param.Param` field names to
+    JSON-typed override values; the server applies them over the model's
+    ``default_param()``.  ``execution_backend`` may only be ``"serial"``
+    — sessions live inside daemonic pool workers, which cannot fork.
+    """
+
+    model: str
+    agents: int
+    seed: int = 0
+    params: dict = field(default_factory=dict)
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class StepRequest:
+    """Advance a session by ``steps`` iterations (blocking).
+
+    ``checksum=True`` returns the post-step state checksum
+    (:func:`repro.verify.snapshot.state_checksum`) — the bitwise
+    equivalence hook used by ``verify.replay.serve_equivalence``.
+    """
+
+    session: str
+    steps: int = 1
+    checksum: bool = False
+
+
+@dataclass(frozen=True)
+class RunToRequest:
+    """Advance a session until its iteration counter reaches ``tick``
+    (no-op if already there; never steps backwards)."""
+
+    session: str
+    tick: int
+    checksum: bool = False
+
+
+@dataclass(frozen=True)
+class AdvanceRequest:
+    """Start a background advance of ``steps`` iterations.
+
+    Returns an :class:`Ack` immediately; the session steps on a server
+    thread, one iteration per lock acquisition, so snapshots interleave.
+    A second advance on an already-advancing session is rejected.
+    """
+
+    session: str
+    steps: int
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Read session state without stepping: iteration/time/population,
+    merged metrics (per-session engine counters + ``serve:*``), and —
+    with ``include_timeseries`` — the session's collected time series."""
+
+    session: str
+    include_timeseries: bool = False
+
+
+@dataclass(frozen=True)
+class CheckpointRequest:
+    """Checkpoint the session to the server's spool directory.  The
+    session stays resident; the reply carries the checkpoint path."""
+
+    session: str
+
+
+@dataclass(frozen=True)
+class DetachRequest:
+    """Checkpoint the session and release its worker memory.  The
+    session id stays valid; the next touch resumes it transparently."""
+
+    session: str
+
+
+@dataclass(frozen=True)
+class ResumeRequest:
+    """Explicitly resume a detached/evicted session (touching it with
+    any stepping request does the same implicitly)."""
+
+    session: str
+
+
+@dataclass(frozen=True)
+class DeleteRequest:
+    """Destroy the session: worker state, spooled checkpoint, id."""
+
+    session: str
+
+
+@dataclass(frozen=True)
+class ListSessionsRequest:
+    """Enumerate sessions (resident and detached)."""
+
+
+@dataclass(frozen=True)
+class ListModelsRequest:
+    """Enumerate creatable models (the simulation registry)."""
+
+
+@dataclass(frozen=True)
+class ShutdownRequest:
+    """Stop the server after acknowledging (socket transport only)."""
+
+
+# --------------------------------------------------------------------- #
+# Replies
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class SessionCreated:
+    """Reply to :class:`CreateSession`."""
+
+    session: str
+    model: str
+    agents: int
+    seed: int
+    iteration: int
+    n_agents: int
+
+
+@dataclass(frozen=True)
+class StepReply:
+    """Reply to :class:`StepRequest`/:class:`RunToRequest`.
+
+    ``resumed`` flags that the touch transparently resumed an evicted
+    session (the anti-vacuity signal serve_equivalence asserts on).
+    """
+
+    session: str
+    steps_done: int
+    iteration: int
+    time: float
+    n_agents: int
+    checksum: str = ""
+    resumed: bool = False
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """Reply to :class:`SnapshotRequest`."""
+
+    session: str
+    iteration: int
+    time: float
+    n_agents: int
+    resident: bool
+    advancing: bool
+    metrics: dict = field(default_factory=dict)
+    timeseries: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CheckpointReply:
+    """Reply to :class:`CheckpointRequest`/:class:`DetachRequest`."""
+
+    session: str
+    path: str
+    iteration: int
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Generic success reply (advance started, delete done, ...)."""
+
+    session: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class SessionList:
+    """Reply to :class:`ListSessionsRequest`; one summary dict per
+    session (``id/model/agents/iteration/resident/advancing``)."""
+
+    sessions: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ModelList:
+    """Reply to :class:`ListModelsRequest`."""
+
+    models: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SessionError:
+    """Error reply.  ``code`` is machine-matchable: ``protocol``,
+    ``unknown_session``, ``unknown_model``, ``unsupported_param``,
+    ``invalid_request``, ``busy``, ``internal``."""
+
+    code: str
+    message: str
+    session: str = ""
+
+
+# --------------------------------------------------------------------- #
+# Wire codec
+# --------------------------------------------------------------------- #
+
+REQUEST_TYPES: dict[str, type] = {
+    "create_session": CreateSession,
+    "step": StepRequest,
+    "run_to": RunToRequest,
+    "advance": AdvanceRequest,
+    "snapshot": SnapshotRequest,
+    "checkpoint": CheckpointRequest,
+    "detach": DetachRequest,
+    "resume": ResumeRequest,
+    "delete": DeleteRequest,
+    "list_sessions": ListSessionsRequest,
+    "list_models": ListModelsRequest,
+    "shutdown": ShutdownRequest,
+}
+
+REPLY_TYPES: dict[str, type] = {
+    "session_created": SessionCreated,
+    "step_reply": StepReply,
+    "state_snapshot": StateSnapshot,
+    "checkpoint_reply": CheckpointReply,
+    "ack": Ack,
+    "session_list": SessionList,
+    "model_list": ModelList,
+    "session_error": SessionError,
+}
+
+#: Every message type, by wire tag.
+MESSAGE_TYPES: dict[str, type] = {**REQUEST_TYPES, **REPLY_TYPES}
+
+_TAG_BY_CLASS = {cls: tag for tag, cls in MESSAGE_TYPES.items()}
+
+#: JSON type(s) each annotation admits.  ``float`` accepts ints (JSON
+#: has one number type); ``dict``/``list`` container *contents* are
+#: free-form JSON, as declared.
+_WIRE_TYPES = {
+    "str": str,
+    "int": int,
+    "float": (int, float),
+    "bool": bool,
+    "dict": dict,
+    "list": list,
+}
+
+
+def to_wire(msg) -> dict:
+    """Message → plain JSON-ready dict with the envelope fields."""
+    cls = type(msg)
+    tag = _TAG_BY_CLASS.get(cls)
+    if tag is None:
+        raise ProtocolError(f"not a protocol message: {cls.__name__}")
+    body = dataclasses.asdict(msg)
+    return {"type": tag, "proto_version": PROTO_VERSION, **body}
+
+
+def from_wire(obj) -> object:
+    """Validated message from a decoded JSON object.
+
+    Rejects (``ProtocolError``): non-objects, missing/unsupported
+    ``proto_version``, unknown ``type``, unknown fields, missing
+    required fields, and JSON values whose type does not match the
+    dataclass annotation.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(obj).__name__}")
+    version = obj.get("proto_version")
+    if version != PROTO_VERSION:
+        raise ProtocolError(
+            f"unsupported proto_version {version!r} (want {PROTO_VERSION})"
+        )
+    tag = obj.get("type")
+    # tag may be any JSON value (fuzzed frames send lists/objects); only
+    # strings can possibly be registered tags.
+    cls = MESSAGE_TYPES.get(tag) if isinstance(tag, str) else None
+    if cls is None:
+        raise ProtocolError(f"unknown message type {tag!r}")
+    body = {k: v for k, v in obj.items() if k not in ("type", "proto_version")}
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(body) - set(fields)
+    if unknown:
+        raise ProtocolError(f"{tag}: unexpected fields {sorted(unknown)}")
+    for name, f in fields.items():
+        if name not in body:
+            if (f.default is dataclasses.MISSING
+                    and f.default_factory is dataclasses.MISSING):
+                raise ProtocolError(f"{tag}: missing required field {name!r}")
+            continue
+        want = _WIRE_TYPES.get(f.type)
+        value = body[name]
+        # bool is an int subclass in Python but a distinct JSON type.
+        bad = isinstance(value, bool) and f.type in ("int", "float")
+        if want is not None and (bad or not isinstance(value, want)):
+            raise ProtocolError(
+                f"{tag}.{name}: expected {f.type}, got {type(value).__name__}"
+            )
+    return cls(**body)
+
+
+def encode(msg) -> bytes:
+    """Message → one ndjson frame (newline-terminated UTF-8 bytes)."""
+    return (json.dumps(to_wire(msg), separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes | str) -> object:
+    """One ndjson frame → validated message."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from None
+    return from_wire(obj)

@@ -10,7 +10,13 @@ from repro.simulations.epidemiology import Epidemiology
 from repro.simulations.neuroscience import Neuroscience
 from repro.simulations.oncology import Oncology
 
-__all__ = ["TABLE1_ORDER", "get_simulation", "all_simulations", "table1_rows"]
+__all__ = [
+    "TABLE1_ORDER",
+    "available_simulations",
+    "get_simulation",
+    "all_simulations",
+    "table1_rows",
+]
 
 #: Column order of the paper's Table 1.
 TABLE1_ORDER = (
@@ -32,6 +38,11 @@ _REGISTRY: dict[str, type[BenchmarkSimulation]] = {
         CellSorting,
     )
 }
+
+
+def available_simulations() -> list[str]:
+    """Sorted names of every registered benchmark simulation."""
+    return sorted(_REGISTRY)
 
 
 def get_simulation(name: str) -> BenchmarkSimulation:

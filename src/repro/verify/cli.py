@@ -96,6 +96,10 @@ def add_verify_parser(sub):
     p.add_argument("--kernels", action="store_true",
                    help="run the kernel-backend equivalence section "
                         "(bitwise numpy, toleranced numba/cupy)")
+    p.add_argument("--serve", action="store_true",
+                   help="run the session-server equivalence section "
+                        "(served sessions, incl. a forced evict/resume "
+                        "cycle, bitwise vs direct runs)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--configs", type=_positive_int, default=50,
                    help="oracle configurations (default 50)")
@@ -169,6 +173,16 @@ def _run_replay(args, model: str) -> bool:
     return report.ok and traced.ok and cached.ok
 
 
+def _run_serve_equivalence(args) -> bool:
+    from repro.verify.replay import serve_equivalence
+
+    t0 = time.perf_counter()
+    report = serve_equivalence(steps=args.steps)
+    dt = time.perf_counter() - t0
+    print(report.render() + f" ({dt:.1f}s)")
+    return report.ok
+
+
 def _run_kernel_equivalence(args) -> bool:
     from repro.verify.replay import kernel_equivalence
 
@@ -208,7 +222,8 @@ def _run_arena(args) -> bool:
 def run_verify(args) -> int:
     """Execute the selected (or, with no flags, all) verification sections."""
     selected = ((args.fuzz is not None) or args.oracle
-                or (args.replay is not None) or args.kernels)
+                or (args.replay is not None) or args.kernels
+                or args.serve)
     ok = True
     if not selected or args.oracle:
         _section("differential oracle")
@@ -229,5 +244,8 @@ def run_verify(args) -> int:
     if not selected or args.kernels:
         _section("kernel equivalence")
         ok &= _run_kernel_equivalence(args)
+    if not selected or args.serve:
+        _section("served-session equivalence")
+        ok &= _run_serve_equivalence(args)
     print("verify: " + ("PASS" if ok else "FAIL"))
     return 0 if ok else 1

@@ -39,6 +39,14 @@ bitwise identity with the legacy dict-of-lists queue-merge path — so
 per-step checksums with ``Param(batched_agent_ops=...)`` on and off must
 be equal at every step, for every seed, on both backends, under models
 that actually churn the population (divisions and deaths).
+
+:func:`serve_equivalence` applies it to the whole session-server stack
+(:mod:`repro.serve`): a session created over the socket protocol,
+stepped one request at a time, **evicted to a checkpoint mid-run and
+transparently resumed (possibly on a different worker)**, must produce
+per-step checksums bitwise identical to a direct in-process
+``Simulation`` run — the hosting layer (shm arenas, forked workers,
+spool round trips, the wire protocol) must be invisible to the physics.
 """
 
 from __future__ import annotations
@@ -63,6 +71,8 @@ __all__ = [
     "arena_equivalence",
     "KernelEquivalenceReport",
     "kernel_equivalence",
+    "ServeEquivalenceReport",
+    "serve_equivalence",
 ]
 
 
@@ -859,3 +869,137 @@ def tracing_equivalence(name: str, num_agents: int = 300, steps: int = 8,
         checksums_a=plain, checksums_b=traced,
         first_divergence=first_divergence,
     )
+
+
+# --------------------------------------------------------------------- #
+# Session-server (repro.serve) equivalence
+# --------------------------------------------------------------------- #
+
+@dataclass
+class ServeEquivalenceReport:
+    """Served-session vs direct-run checksum comparison."""
+
+    models: tuple
+    steps: int
+    seeds: tuple
+    #: ``{(model, seed): first diverging step or None}`` — step 0 is the
+    #: initial state, step k the state after iteration k.
+    divergences: dict = field(default_factory=dict)
+    #: LRU evictions the pool performed (``serve:evictions``); zero would
+    #: mean no session ever round-tripped through a checkpoint and the
+    #: resume path went untested.
+    evictions: int = 0
+    #: Transparent resumes (``serve:resume_count``).
+    resumes: int = 0
+    #: Sessions whose step replies flagged ``resumed=True`` at least once.
+    resumed_sessions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(d is None for d in self.divergences.values())
+            and self.evictions >= 1
+            and self.resumes >= 1
+            and self.resumed_sessions == len(self.divergences)
+        )
+
+    def render(self) -> str:
+        """One line per (model, seed): byte-identical or divergence."""
+        lines = [
+            f"serve equivalence: served session vs direct run, "
+            f"{self.steps} steps, {self.evictions} evictions, "
+            f"{self.resumes} resumes"
+        ]
+        if self.evictions == 0 or self.resumes == 0:
+            lines.append(
+                "  VACUOUS: no session was ever evicted and resumed"
+            )
+        if self.resumed_sessions != len(self.divergences):
+            lines.append(
+                f"  VACUOUS: only {self.resumed_sessions}/"
+                f"{len(self.divergences)} sessions observed a transparent "
+                "resume"
+            )
+        for (model, seed), div in sorted(self.divergences.items()):
+            if div is None:
+                lines.append(f"  {model} seed {seed}: byte-identical")
+            else:
+                lines.append(
+                    f"  {model} seed {seed}: DIVERGES at step {div}"
+                )
+        return "\n".join(lines)
+
+
+def serve_equivalence(
+    models=("cell_proliferation", "cell_clustering"),
+    num_agents: int = 120,
+    steps: int = 6,
+    seeds=(1, 2, 3),
+    evict_at: int = 3,
+    workers: int = 2,
+) -> ServeEquivalenceReport:
+    """Assert the whole serve stack reproduces direct runs bitwise.
+
+    For every (model, seed), a direct ``Simulation`` run records per-step
+    checksums; the same model/seed is then created as a session over a
+    real socket server backed by a ``max_resident=1`` pool and stepped
+    one request at a time with ``checksum=True``.  At ``evict_at`` a
+    decoy session is created — with a one-slot cap, that *forces* the
+    session under test out through checkpoint eviction, and the next
+    step transparently resumes it (on whichever worker is least loaded,
+    so cross-worker resume is exercised too).  The report counts pool
+    evictions/resumes and per-session ``resumed`` flags, so the check
+    cannot pass without the evict→spool→rebuild→restore cycle actually
+    happening.
+    """
+    from repro.serve import ServerThread, SessionClient
+    from repro.serve.pool import SessionPool
+    from repro.simulations import get_simulation
+
+    report = ServeEquivalenceReport(
+        models=tuple(models), steps=steps, seeds=tuple(seeds)
+    )
+    pool = SessionPool(workers=workers, max_resident=1)
+    try:
+        with ServerThread(pool) as server:
+            with SessionClient.connect(port=server.port) as client:
+                for model in models:
+                    bench = get_simulation(model)
+                    for seed in seeds:
+                        with bench.build(num_agents, seed=seed) as sim:
+                            direct = [state_checksum(sim)]
+                            for _ in range(steps):
+                                sim.simulate(1)
+                                direct.append(state_checksum(sim))
+                        handle = client.create_session(
+                            model, agents=num_agents, seed=seed
+                        )
+                        served = [handle.step(0, checksum=True).checksum]
+                        resumed_any = False
+                        decoy = None
+                        for k in range(steps):
+                            if k == evict_at:
+                                # One-slot pool: creating the decoy evicts
+                                # the session under test; its next step
+                                # must resume bitwise-continuously.
+                                decoy = client.create_session(
+                                    model, agents=32, seed=9999
+                                )
+                            reply = handle.step(1, checksum=True)
+                            resumed_any |= reply.resumed
+                            served.append(reply.checksum)
+                        if decoy is not None:
+                            decoy.delete()
+                        handle.delete()
+                        report.resumed_sessions += int(resumed_any)
+                        report.divergences[(model, seed)] = next(
+                            (i for i, (a, b) in enumerate(zip(direct, served))
+                             if a != b),
+                            None,
+                        )
+        metrics = pool.obs.registry.snapshot()
+        report.evictions = int(metrics.get("serve:evictions", 0))
+        report.resumes = int(metrics.get("serve:resume_count", 0))
+    finally:
+        pool.shutdown()
+    return report

@@ -1,0 +1,235 @@
+"""SessionPool behavior: lifecycle, eviction/resume, errors, state views.
+
+One module-scoped pool (forked workers are the expensive part) hosts the
+happy-path tests; eviction tests fork their own tiny pool with
+``max_resident=1`` so the LRU math is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import protocol as P
+from repro.serve.pool import SessionPool
+
+MODEL = "cell_proliferation"
+AGENTS = 64
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with SessionPool(workers=2, max_resident=8) as p:
+        yield p
+
+
+def _create(pool, name="", agents=AGENTS, seed=3, **params):
+    reply = pool.handle(P.CreateSession(
+        model=MODEL, agents=agents, seed=seed, params=params, name=name))
+    assert isinstance(reply, P.SessionCreated), reply
+    return reply.session
+
+
+def test_create_step_snapshot_delete(pool):
+    sid = _create(pool)
+    reply = pool.handle(P.StepRequest(session=sid, steps=3, checksum=True))
+    assert isinstance(reply, P.StepReply)
+    assert reply.steps_done == 3 and reply.iteration == 3
+    assert reply.checksum and not reply.resumed
+
+    snap = pool.handle(P.SnapshotRequest(session=sid))
+    assert isinstance(snap, P.StateSnapshot)
+    assert snap.iteration == 3 and snap.resident and not snap.advancing
+    assert snap.metrics.get("serve:steps_total", 0) >= 3
+    assert "serve:sessions_active" in snap.metrics
+
+    assert isinstance(pool.handle(P.DeleteRequest(session=sid)), P.Ack)
+    err = pool.handle(P.StepRequest(session=sid))
+    assert isinstance(err, P.SessionError) and err.code == "unknown_session"
+
+
+def test_same_seed_same_checksum(pool):
+    a = _create(pool, seed=11)
+    b = _create(pool, seed=11)
+    ra = pool.handle(P.StepRequest(session=a, steps=4, checksum=True))
+    rb = pool.handle(P.StepRequest(session=b, steps=4, checksum=True))
+    assert ra.checksum == rb.checksum
+    for sid in (a, b):
+        pool.handle(P.DeleteRequest(session=sid))
+
+
+def test_run_to_is_idempotent(pool):
+    sid = _create(pool)
+    r1 = pool.handle(P.RunToRequest(session=sid, tick=5))
+    assert r1.iteration == 5 and r1.steps_done == 5
+    r2 = pool.handle(P.RunToRequest(session=sid, tick=5))
+    assert r2.iteration == 5 and r2.steps_done == 0
+    r3 = pool.handle(P.RunToRequest(session=sid, tick=2))  # never backwards
+    assert r3.iteration == 5 and r3.steps_done == 0
+    pool.handle(P.DeleteRequest(session=sid))
+
+
+def test_named_sessions(pool):
+    sid = _create(pool, name="my-exp.1")
+    assert sid == "my-exp.1"
+    dup = pool.handle(P.CreateSession(model=MODEL, agents=8, name="my-exp.1"))
+    assert isinstance(dup, P.SessionError) and dup.code == "invalid_request"
+    bad = pool.handle(P.CreateSession(model=MODEL, agents=8, name="no spaces"))
+    assert isinstance(bad, P.SessionError) and bad.code == "invalid_request"
+    pool.handle(P.DeleteRequest(session=sid))
+
+
+def test_unknown_model_and_bad_params(pool):
+    err = pool.handle(P.CreateSession(model="no_such_model", agents=8))
+    assert isinstance(err, P.SessionError) and err.code == "unknown_model"
+
+    err = pool.handle(P.CreateSession(
+        model=MODEL, agents=8, params={"no_such_param": 1}))
+    assert isinstance(err, P.SessionError) and err.code == "unsupported_param"
+
+    # Daemonic pool workers cannot fork: process backend is rejected at
+    # create time, not discovered as a crash mid-step.
+    err = pool.handle(P.CreateSession(
+        model=MODEL, agents=8, params={"execution_backend": "process"}))
+    assert isinstance(err, P.SessionError) and err.code == "unsupported_param"
+
+    err = pool.handle(P.CreateSession(model=MODEL, agents=0))
+    assert isinstance(err, P.SessionError) and err.code == "invalid_request"
+
+
+def test_list_sessions_and_models(pool):
+    sid = _create(pool)
+    listing = pool.handle(P.ListSessionsRequest())
+    assert isinstance(listing, P.SessionList)
+    row = next(r for r in listing.sessions if r["id"] == sid)
+    assert row["model"] == MODEL and row["resident"]
+
+    models = pool.handle(P.ListModelsRequest())
+    assert isinstance(models, P.ModelList)
+    assert MODEL in models.models
+    pool.handle(P.DeleteRequest(session=sid))
+
+
+def test_busy_session_rejects_stepping(pool):
+    sid = _create(pool)
+    rec = pool._sessions[sid]
+    rec.advancing = True  # pin: as if a background advance held the session
+    try:
+        err = pool.handle(P.StepRequest(session=sid))
+        assert isinstance(err, P.SessionError) and err.code == "busy"
+        err = pool.handle(P.AdvanceRequest(session=sid, steps=5))
+        assert isinstance(err, P.SessionError) and err.code == "busy"
+        err = pool.handle(P.CheckpointRequest(session=sid))
+        assert isinstance(err, P.SessionError) and err.code == "busy"
+        # Snapshots still answer, from the cached status.
+        snap = pool.handle(P.SnapshotRequest(session=sid))
+        assert isinstance(snap, P.StateSnapshot) and snap.advancing
+    finally:
+        rec.advancing = False
+    pool.handle(P.DeleteRequest(session=sid))
+
+
+def test_advance_completes_in_background(pool):
+    import time
+
+    sid = _create(pool)
+    ack = pool.handle(P.AdvanceRequest(session=sid, steps=4))
+    assert isinstance(ack, P.Ack)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        snap = pool.handle(P.SnapshotRequest(session=sid))
+        if not snap.advancing and snap.iteration >= 4:
+            break
+        time.sleep(0.02)
+    assert snap.iteration == 4 and not snap.advancing
+    pool.handle(P.DeleteRequest(session=sid))
+
+
+def test_detach_and_explicit_resume(pool):
+    sid = _create(pool)
+    pool.handle(P.StepRequest(session=sid, steps=2))
+    ck = pool.handle(P.DetachRequest(session=sid))
+    assert isinstance(ck, P.CheckpointReply) and ck.iteration == 2
+
+    snap = pool.handle(P.SnapshotRequest(session=sid))
+    assert not snap.resident and snap.iteration == 2
+
+    res = pool.handle(P.ResumeRequest(session=sid))
+    assert isinstance(res, P.StepReply)
+    assert res.resumed and res.steps_done == 0 and res.iteration == 2
+    # Second resume is a no-op.
+    res2 = pool.handle(P.ResumeRequest(session=sid))
+    assert not res2.resumed
+    pool.handle(P.DeleteRequest(session=sid))
+
+
+def test_attach_state_zero_copy_view(pool):
+    import numpy as np
+
+    reply = pool.handle(P.CreateSession(model=MODEL, agents=40, seed=3))
+    sid = reply.session
+    view = pool.attach_state(sid)
+    try:
+        assert view.n == reply.n_agents > 0
+        assert "position" in view.columns
+        assert view["position"].shape == (reply.n_agents, 3)
+        assert np.isfinite(view["position"]).all()
+    finally:
+        view.close()
+    pool.handle(P.DeleteRequest(session=sid))
+
+
+def test_lru_eviction_and_transparent_resume():
+    with SessionPool(workers=1, max_resident=1) as p:
+        a = _create(p, name="a", agents=24)
+        p.handle(P.StepRequest(session=a, steps=1))
+        b = _create(p, name="b", agents=24)  # evicts a (LRU, cap 1)
+
+        reg = p.obs.registry.snapshot()
+        assert reg["serve:evictions"] == 1
+        assert not p._sessions[a].resident
+        assert p._sessions[b].resident
+
+        # Touching a resumes it transparently — and evicts b.
+        r = p.handle(P.StepRequest(session=a, steps=1))
+        assert isinstance(r, P.StepReply) and r.resumed and r.iteration == 2
+        reg = p.obs.registry.snapshot()
+        assert reg["serve:evictions"] == 2
+        assert reg["serve:resume_count"] == 1
+        assert not p._sessions[b].resident
+
+        # Deleting an evicted session removes its spooled checkpoint.
+        ckpt = p._sessions[b].ckpt_path
+        assert ckpt
+        p.handle(P.DeleteRequest(session=b))
+        from pathlib import Path
+
+        assert not Path(ckpt).exists()
+
+
+def test_evicted_continuation_matches_uninterrupted_run():
+    """The headline guarantee: evict → restore → step produces the same
+    checksum as never having been evicted (one seed; the full matrix
+    lives in verify.replay.serve_equivalence)."""
+    with SessionPool(workers=1, max_resident=8) as p:
+        ref = _create(p, agents=32, seed=5)
+        direct = p.handle(P.StepRequest(session=ref, steps=6, checksum=True))
+
+    with SessionPool(workers=1, max_resident=1) as p:
+        sid = _create(p, name="victim", agents=32, seed=5)
+        p.handle(P.StepRequest(session=sid, steps=3))
+        _create(p, name="decoy", agents=8, seed=0)  # evicts victim
+        assert not p._sessions[sid].resident
+        resumed = p.handle(P.StepRequest(session=sid, steps=3, checksum=True))
+        assert resumed.resumed
+        assert resumed.checksum == direct.checksum
+
+
+def test_pool_shutdown_is_idempotent_and_final():
+    p = SessionPool(workers=1, max_resident=2)
+    sid = _create(p, agents=8)
+    spool = p.spool_dir
+    p.shutdown()
+    p.shutdown()  # no-op
+    assert not spool.exists()
+    err = p.handle(P.StepRequest(session=sid))
+    assert isinstance(err, P.SessionError) and err.code == "internal"

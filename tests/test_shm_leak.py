@@ -1,0 +1,97 @@
+"""Shared-memory segment lifetime: no /dev/shm leaks from dead sessions.
+
+The session server parks many short-lived simulations in shm-backed
+arenas.  A session that dies mid-step (exception inside ``simulate``, or
+simply abandoned without ``close()``) must not strand its named segments
+until interpreter exit: ``SharedMemoryResourceManager`` registers a
+``weakref.finalize`` on itself that closes the arena it created.
+"""
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.core.operation import StandaloneOperation
+
+SHM_DIR = "/dev/shm"
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(SHM_DIR), reason="no /dev/shm on this platform"
+)
+
+
+def _shm_entries() -> set:
+    return set(os.listdir(SHM_DIR))
+
+
+def _build(n=48, **overrides):
+    param = Param.optimized(
+        execution_backend="serial", shared_storage=True, **overrides
+    )
+    sim = Simulation("leak-probe", param)
+    rng = np.random.default_rng(3)
+    sim.add_cells(rng.uniform(0.0, 120.0, size=(n, 3)))
+    return sim
+
+
+def _run_and_abandon_mid_step():
+    # Scoped in a function so no frame (e.g. pytest.raises ExceptionInfo
+    # tracebacks) keeps the Simulation alive after we return.
+    sim = _build()
+
+    def boom(_sim):
+        raise RuntimeError("session died mid-step")
+
+    sim.add_operation(StandaloneOperation(boom, name="boom"))
+    with pytest.raises(RuntimeError, match="mid-step"):
+        sim.simulate(1)
+    # No close(): the session is simply dropped, as when a serve worker's
+    # handler aborts.
+
+
+def test_mid_step_death_does_not_leak_segments():
+    before = _shm_entries()
+    _run_and_abandon_mid_step()
+    gc.collect()
+    leaked = _shm_entries() - before
+    assert not leaked, f"leaked shm segments: {sorted(leaked)}"
+
+
+def test_abandoned_simulation_does_not_leak_segments():
+    before = _shm_entries()
+
+    def scope():
+        sim = _build()
+        sim.simulate(1)
+
+    scope()
+    gc.collect()
+    leaked = _shm_entries() - before
+    assert not leaked, f"leaked shm segments: {sorted(leaked)}"
+
+
+def test_orderly_close_unlinks_segments_immediately():
+    before = _shm_entries()
+    sim = _build()
+    sim.simulate(1)
+    during = _shm_entries() - before
+    assert during, "shared_storage=True should create /dev/shm segments"
+    sim.close()
+    assert not (_shm_entries() - before)
+    # finalize() after an orderly close is a no-op, not a double-close.
+    sim.rm._arena_finalizer()
+
+
+def test_externally_owned_arena_is_not_finalized():
+    from repro.parallel.shm import HostArena, SharedMemoryResourceManager
+
+    arena = HostArena()
+    rm = SharedMemoryResourceManager(1, arena=arena)
+    assert rm._arena_finalizer is None
+    del rm
+    gc.collect()
+    assert not arena.closed
+    arena.close()
