@@ -270,6 +270,8 @@ def _cmd_trace(args) -> int:
         overrides["execution_backend"] = args.backend
     if args.workers:
         overrides["backend_workers"] = args.workers
+    if args.shards:
+        overrides["backend_shards"] = args.shards
     param = param.with_(**overrides)
 
     with bench.build(args.agents, param=param, seed=args.seed) as sim:
@@ -301,6 +303,14 @@ def _cmd_trace(args) -> int:
                   f"{soa.reallocations} reallocations, "
                   f"{soa.adopts} adopts, "
                   f"attach {soa.attach_seconds * 1e3:.2f} ms")
+        dist = {k[len("dist:"):]: v for k, v in reg.snapshot().items()
+                if k.startswith("dist:")}
+        if any(dist.values()):
+            print("  distributed: "
+                  + ", ".join(
+                      f"{k} {v:.3f}" if isinstance(v, float)
+                      and not float(v).is_integer() else f"{k} {int(v)}"
+                      for k, v in sorted(dist.items())))
         stats = sim.backend.stats() if sim.backend is not None else {}
         if "auto_decisions" in stats:
             model = sim.backend.model
@@ -328,6 +338,10 @@ def _cmd_bench(args) -> int:
         forwarded += ["--iterations", str(args.iterations)]
     if args.workers:
         forwarded += ["--workers", *map(str, args.workers)]
+    if args.backend:
+        forwarded += ["--backend", args.backend]
+    if args.shards:
+        forwarded += ["--shards", *map(str, args.shards)]
     if args.backends:
         forwarded += ["--backends", *args.backends]
     if args.tenants is not None:
@@ -401,12 +415,17 @@ SUBCOMMANDS: tuple[Subcommand, ...] = (
         shared=("model", "seed", "param"),
         args=(
             arg("--iterations", type=int, default=20),
-            arg("--backend", choices=["serial", "process", "auto"],
+            arg("--backend",
+                choices=["serial", "process", "distributed", "auto"],
                 help="override the execution backend (process-pool runs "
-                     "add per-worker phase spans and steal markers; auto "
-                     "picks serial/process from the measured cost model)"),
+                     "add per-worker phase spans and steal markers; "
+                     "distributed runs spatial shards with halo exchange "
+                     "and print dist:* counters; auto picks from the "
+                     "measured cost model)"),
             arg("--workers", type=int,
                 help="worker count for --backend process"),
+            arg("--shards", type=int,
+                help="shard count for --backend distributed (default 2)"),
             arg("--out", default="trace.json",
                 help="Chrome trace JSON output path (default trace.json)"),
             arg("--metrics",
@@ -425,6 +444,11 @@ SUBCOMMANDS: tuple[Subcommand, ...] = (
             arg("--iterations", type=int),
             arg("--workers", type=int, nargs="+",
                 help="worker counts for the `scaling` experiment"),
+            arg("--backend", choices=["process", "distributed"],
+                help="execution-backend leg for `scaling` (distributed "
+                     "= serial vs spatial shards with halo exchange)"),
+            arg("--shards", type=int, nargs="+",
+                help="shard counts for `scaling --backend distributed`"),
             arg("--backends", nargs="+", metavar="NAME",
                 help="kernel backends for the `kernels` experiment"),
             arg("--tenants", type=int,

@@ -33,6 +33,16 @@ def main(argv=None) -> int:
         help="process-pool worker counts for `scaling` "
              "(default: 1 2 cpu_count)")
     wall_opts.add_argument(
+        "--backend", default=None, choices=["process", "distributed"],
+        help="`scaling` execution-backend leg: the default serial/"
+             "process/auto comparison, or `distributed` (serial vs the "
+             "spatially-sharded halo-exchange backend, merged into the "
+             "artifact under the 'distributed' key)")
+    wall_opts.add_argument(
+        "--shards", type=int, nargs="+", default=None,
+        help="shard counts for `scaling --backend distributed` "
+             "(default: 2)")
+    wall_opts.add_argument(
         "--backends", nargs="+", default=None, metavar="NAME",
         help="kernel backends for `kernels` (e.g. numpy numba; default: "
              "numpy plus every available compiled backend)")
@@ -61,7 +71,8 @@ def main(argv=None) -> int:
         kwargs = {}
         if name == "scaling":
             kwargs = dict(agents=args.agents, iterations=args.iterations,
-                          workers=args.workers,
+                          workers=args.workers, backend=args.backend,
+                          shards=args.shards,
                           out=args.out or "BENCH_scaling.json")
         elif name in ("neighbor_cache", "agent_ops", "arena"):
             kwargs = dict(agents=args.agents, iterations=args.iterations,

@@ -22,6 +22,14 @@ the speedup is naturally ~1x or below (process orchestration overhead
 with nothing to parallelize over); the artifact still demonstrates the
 checksum identity and records ``cpu_count`` so readers can interpret the
 numbers.
+
+``--backend distributed --shards N [M ...]`` runs the *distributed* leg
+instead: serial vs the spatially-sharded halo-exchange backend per
+shard count, recording agents/second, halo traffic (``dist:halo_bytes``),
+migration counts, and the exchange-time share of the wall clock.  The
+leg is **merged** into an existing ``BENCH_scaling.json`` under the
+``"distributed"`` key — the default serial/process artifact keys are
+left untouched, so CI assertions on both coexist in one file.
 """
 
 from __future__ import annotations
@@ -34,7 +42,8 @@ from pathlib import Path
 from repro.bench.tables import ExperimentReport
 from repro.verify.snapshot import state_checksum
 
-__all__ = ["run", "main", "run_scaling", "DEFAULT_MODEL"]
+__all__ = ["run", "main", "run_scaling", "run_scaling_distributed",
+           "DEFAULT_MODEL"]
 
 DEFAULT_MODEL = "cell_proliferation"
 
@@ -45,13 +54,14 @@ SCALES = {
 
 
 def _measure(model: str, agents: int, iterations: int, seed: int,
-             backend: str, workers: int) -> dict:
+             backend: str, workers: int, shards: int = 0) -> dict:
     """One timed run; returns the JSON record for the ``runs`` array."""
     from repro.core.param import Param
     from repro.simulations import get_simulation
 
     bench = get_simulation(model)
-    param = Param(execution_backend=backend, backend_workers=workers)
+    param = Param(execution_backend=backend, backend_workers=workers,
+                  backend_shards=shards)
     sim = bench.build(agents, param=param, seed=seed)
     try:
         agent_steps = 0
@@ -71,6 +81,8 @@ def _measure(model: str, agents: int, iterations: int, seed: int,
                               sim.obs.stage_seconds().items() if v > 0},
             "final_checksum": state_checksum(sim),
         }
+        if shards:
+            record["shards"] = shards
         stats = sim.backend.stats()
         if stats:
             record["backend_stats"] = stats
@@ -153,8 +165,150 @@ def run_scaling(scale: str = "small", model: str = DEFAULT_MODEL,
     return artifact
 
 
-def run(scale: str = "small", **overrides) -> ExperimentReport:
-    """Execute the experiment at the given scale; returns its report."""
+def run_scaling_distributed(scale: str = "small", model: str = DEFAULT_MODEL,
+                            agents: int | None = None,
+                            iterations: int | None = None,
+                            shards=(2,), seed: int = 0,
+                            out: str | os.PathLike | None =
+                            "BENCH_scaling.json") -> dict:
+    """Serial vs the spatially-sharded backend, one run per shard count.
+
+    Returns the full (merged) artifact dict; the distributed leg lives
+    under its ``"distributed"`` key.  An existing artifact at ``out`` is
+    read first and only that key is replaced, so the default
+    serial/process keys CI asserts on survive.
+
+    Per shard count the leg records agents/second, the final-state
+    checksum (which must equal serial's — the bitwise contract), the
+    rolled per-shard global digest, halo traffic and migration counters
+    (anti-vacuous: a decomposition nothing ever crosses proves nothing),
+    ``digest_checks`` (every one a host-side replica-consistency
+    equality that passed), and the exchange share of wall time.
+    """
+    cfg = SCALES[scale]
+    agents = agents if agents is not None else cfg["agents"]
+    iterations = iterations if iterations is not None else cfg["iterations"]
+    shards = sorted({int(s) for s in shards})
+    if any(s < 2 for s in shards):
+        raise ValueError(f"distributed shard counts must be >= 2: {shards}")
+
+    runs = [_measure(model, agents, iterations, seed, "serial", 1)]
+    for s in shards:
+        runs.append(
+            _measure(model, agents, iterations, seed, "distributed", 1,
+                     shards=s)
+        )
+    serial, dist_runs = runs[0], runs[1:]
+    checksums_match = all(r["final_checksum"] == serial["final_checksum"]
+                          for r in dist_runs)
+    per_shards = {}
+    for r in dist_runs:
+        stats = r.get("backend_stats", {})
+        per_shards[str(r["shards"])] = {
+            "wall_seconds": r["wall_seconds"],
+            "agents_per_second": r["agents_per_second"],
+            "speedup_vs_serial": serial["wall_seconds"] / r["wall_seconds"],
+            "global_digest": stats.get("last_global_digest"),
+            "migrations": int(stats.get("migrations", 0)),
+            "halo_agents": int(stats.get("halo_agents", 0)),
+            "halo_bytes": int(stats.get("halo_bytes", 0)),
+            "sync_full": int(stats.get("sync_full", 0)),
+            "sync_delta": int(stats.get("sync_delta", 0)),
+            "digest_checks": int(stats.get("digest_checks", 0)),
+            "exchange_share": (
+                stats.get("exchange_seconds", 0.0) / r["wall_seconds"]
+                if r["wall_seconds"] > 0 else 0.0
+            ),
+        }
+    best = min(dist_runs, key=lambda r: r["wall_seconds"])
+    leg = {
+        "model": model,
+        "agents": agents,
+        "iterations": iterations,
+        "seed": seed,
+        "cpu_count": os.cpu_count() or 1,
+        "runs": runs,
+        "checksums_match": checksums_match,
+        "per_shards": per_shards,
+        "best_shards": best["shards"],
+        "best_speedup": serial["wall_seconds"] / best["wall_seconds"],
+        "total_migrations": sum(
+            v["migrations"] for v in per_shards.values()),
+        "total_halo_agents": sum(
+            v["halo_agents"] for v in per_shards.values()),
+    }
+    artifact = {"experiment": "scaling"}
+    if out is not None and Path(out).exists():
+        try:
+            artifact = json.loads(Path(out).read_text())
+        except ValueError:
+            pass  # corrupt artifact: rewrite from scratch
+    artifact["distributed"] = leg
+    if out is not None:
+        Path(out).write_text(json.dumps(artifact, indent=2) + "\n")
+        artifact["path"] = str(out)
+    return artifact
+
+
+def _run_distributed_report(scale, shards, **overrides) -> ExperimentReport:
+    """Distributed-leg variant of :func:`run` (``--backend distributed``)."""
+    artifact = run_scaling_distributed(
+        scale=scale, shards=shards or (2,), **overrides)
+    leg = artifact["distributed"]
+    serial_wall = leg["runs"][0]["wall_seconds"]
+    rows = []
+    for r in leg["runs"]:
+        key = str(r.get("shards", ""))
+        per = leg["per_shards"].get(key, {})
+        rows.append([
+            r["backend"], r.get("shards", "-"),
+            round(r["wall_seconds"], 3),
+            round(r["agents_per_second"]),
+            round(serial_wall / r["wall_seconds"], 2),
+            per.get("migrations", "-"),
+            per.get("halo_bytes", "-"),
+            r["final_checksum"][:12],
+        ])
+    notes = [
+        f"model {leg['model']}, {leg['agents']} agents, "
+        f"{leg['iterations']} iterations, cpu_count={leg['cpu_count']}",
+        "checksums "
+        + ("all bitwise-identical to serial"
+           if leg["checksums_match"] else "DIVERGE — backend bug"),
+        f"activity: {leg['total_migrations']} migrations, "
+        f"{leg['total_halo_agents']} halo agents across shard counts"
+        + ("" if leg["total_migrations"] and leg["total_halo_agents"]
+           else " — VACUOUS (no boundary traffic)"),
+        f"best: {leg['best_speedup']:.2f}x serial at "
+        f"{leg['best_shards']} shards",
+    ]
+    if "path" in artifact:
+        notes.append(
+            f"distributed leg merged into {artifact['path']}")
+    return ExperimentReport(
+        experiment="Scaling",
+        title="Serial vs spatially-sharded halo-exchange backend "
+              "(wall clock)",
+        headers=["backend", "shards", "wall_s", "agents_per_s",
+                 "speedup_vs_serial", "migrations", "halo_bytes",
+                 "checksum"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run(scale: str = "small", backend: str | None = None, shards=None,
+        **overrides) -> ExperimentReport:
+    """Execute the experiment at the given scale; returns its report.
+
+    ``backend="distributed"`` switches to the sharded leg (serial vs
+    halo-exchange per ``shards`` count, merged into the artifact under
+    the ``"distributed"`` key); any other value runs the default
+    serial/process/auto comparison.
+    """
+    if backend == "distributed":
+        overrides.pop("workers", None)
+        return _run_distributed_report(scale, shards, **overrides)
     artifact = run_scaling(scale=scale, **overrides)
     serial_wall = artifact["runs"][0]["wall_seconds"]
     rows = []

@@ -67,6 +67,9 @@ class Param:
     #: fed by population, churn, and the measured process-overhead /
     #: arena-attach counters re-decides at environment-rebuild
     #: boundaries; decisions surface as ``backend:auto_decisions``.
+    #: "distributed" spatially shards the domain across OS processes
+    #: with halo exchange (:mod:`repro.distributed.shard_backend`); see
+    #: ``backend_shards`` / ``distributed_transport``.
     execution_backend: str = "serial"
     #: Force the agent storage into shared memory even when the execution
     #: backend is serial: columns (and, with ``soa_arena``, the whole
@@ -79,6 +82,20 @@ class Param:
     shared_storage: bool = False
     backend_workers: int = 0               # 0 = os.cpu_count()
     backend_chunk_size: int = 4096         # agent rows per process-kernel chunk
+    #: Shard count for ``execution_backend="distributed"``: space is
+    #: partitioned along the space-filling curve
+    #: (:class:`repro.distributed.partition.SpatialPartition`) into this
+    #: many OS-process shards, each owning a shard-local uniform grid +
+    #: CSR plus a halo ring of ghost agents; results are bitwise
+    #: identical to serial (``verify.replay.distributed_equivalence``).
+    #: 0 means "not configured": the auto cost model never selects the
+    #: distributed backend, and selecting it explicitly defaults to 2.
+    backend_shards: int = 0
+    #: Inter-shard transport for the distributed backend: "pipe"
+    #: (multiprocessing pipe, default), "shm" (control pipe + payloads
+    #: through reusable shared-memory segments), or "socket"
+    #: (length-prefixed stream framing — the multi-node wire stub).
+    distributed_transport: str = "pipe"
     #: Array-kernel implementation for the three hot kernels (CSR force,
     #: displacement integration, diffusion stencil): "numpy" (the bitwise
     #: reference and default), "numba" (JIT-compiled CPU), "cupy" (GPU),
@@ -226,7 +243,14 @@ class Param:
 
     @classmethod
     def optimized(cls, **overrides) -> "Param":
-        """All six optimizations on (the paper's 'BioDynaMo optimized')."""
+        """All six optimizations on (the paper's 'BioDynaMo optimized').
+
+        Also selects ``kernel_backend="auto"``: the best available array
+        kernel (numba/cupy when importable, probed once at Simulation
+        construction) with a warning-only fallback to the NumPy
+        reference on wheel-less boxes — never an ImportError.
+        """
+        overrides.setdefault("kernel_backend", "auto")
         cls._reject_unknown(overrides)
         return cls(**overrides)
 
@@ -306,7 +330,8 @@ class Param:
             raise ParamError("check_invariants_frequency must be >= 0")
         if self.block_size < 1:
             raise ParamError("block_size must be >= 1")
-        if self.execution_backend not in ("serial", "process", "auto"):
+        if self.execution_backend not in ("serial", "process", "auto",
+                                          "distributed"):
             raise ParamError(
                 f"unknown execution backend {self.execution_backend!r}"
             )
@@ -314,6 +339,14 @@ class Param:
             raise ParamError("backend_workers must be >= 0 (0 = cpu count)")
         if self.backend_chunk_size < 1:
             raise ParamError("backend_chunk_size must be >= 1")
+        if self.backend_shards < 0:
+            raise ParamError("backend_shards must be >= 0 (0 = unset)")
+        if self.distributed_transport not in ("pipe", "shm", "socket"):
+            raise ParamError(
+                f"unknown distributed transport "
+                f"{self.distributed_transport!r}; choose pipe, shm, or "
+                f"socket"
+            )
         kernel_backends = ("numpy", "numba", "cupy", "auto")
         if self.kernel_backend not in kernel_backends:
             close = difflib.get_close_matches(

@@ -700,6 +700,11 @@ class Scheduler:
         if need_neighbors:
             indptr, indices = sim.neighbors()
             counts_arr, qi_all = self._expand_csr(indptr, indices)
+            # Backends that re-derive neighbor lists elsewhere (the
+            # distributed shards) need the positions this CSR was
+            # materialized from: behaviors below may move agents, and
+            # mechanics pairs are defined by *these* coordinates.
+            sim.backend.stash_csr_positions(rm)
             if charge:
                 nbr_mem, nbr_dom = self._neighbor_memory_profile(qi_all, indices, n)
                 self._charge_transient_buffers(len(indices) * 16)

@@ -71,6 +71,7 @@ class DistributedEngine:
         force: InteractionForce | None = None,
         motility=None,
         decomposition=None,
+        registry=None,
     ):
         self.positions = np.array(positions, dtype=np.float64)
         n = len(self.positions)
@@ -94,9 +95,23 @@ class DistributedEngine:
         else:
             self.decomposition = SlabDecomposition(cluster.num_nodes, self.positions)
         self.iteration = 0
-        self.total_virtual_seconds = 0.0
-        self.total_comm_seconds = 0.0
-        self.total_compute_seconds = 0.0
+        # Step timings live in a MetricsRegistry (the same ``dist:*``
+        # namespace the real distributed backend uses) rather than
+        # ad-hoc engine attributes, so ``python -m repro trace`` and any
+        # obs consumer can read them; the ``total_*`` properties below
+        # keep the historical attribute API.
+        if registry is None:
+            from repro.obs.core import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._virtual_s = registry.counter("dist:virtual_seconds")
+        self._comm_s = registry.counter("dist:comm_seconds")
+        self._compute_s = registry.counter("dist:compute_seconds")
+        self._ghosts = registry.counter("dist:halo_agents")
+        self._halo_bytes = registry.counter("dist:halo_bytes")
+        self._migrations = registry.counter("dist:migrations")
+        registry.gauge("dist:shards").set(cluster.num_nodes)
         self.reports: list[StepReport] = []
         self._machines = [
             Machine(cluster.node_spec, num_threads=cluster.threads_per_node)
@@ -109,6 +124,22 @@ class DistributedEngine:
     @property
     def num_agents(self) -> int:
         return len(self.positions)
+
+    @property
+    def total_virtual_seconds(self) -> float:
+        """Accumulated slowest-node step seconds (``dist:virtual_seconds``)."""
+        return float(self._virtual_s.value)
+
+    @property
+    def total_comm_seconds(self) -> float:
+        """Accumulated slowest-node comm seconds (``dist:comm_seconds``)."""
+        return float(self._comm_s.value)
+
+    @property
+    def total_compute_seconds(self) -> float:
+        """Accumulated slowest-node compute seconds
+        (``dist:compute_seconds``)."""
+        return float(self._compute_s.value)
 
     def interaction_radius(self) -> float:
         """Fixed radius override or the largest agent diameter."""
@@ -220,7 +251,10 @@ class DistributedEngine:
 
         report = StepReport(compute_s, comm_s, ghosts, migrations)
         self.reports.append(report)
-        self.total_virtual_seconds += report.step_seconds
-        self.total_comm_seconds += float(np.max(comm_s))
-        self.total_compute_seconds += float(np.max(compute_s))
+        self._virtual_s.inc(report.step_seconds)
+        self._comm_s.inc(float(np.max(comm_s)))
+        self._compute_s.inc(float(np.max(compute_s)))
+        self._ghosts.inc(int(ghosts.sum()))
+        self._halo_bytes.inc(int(ghosts.sum()) * GHOST_BYTES)
+        self._migrations.inc(migrations)
         return report

@@ -1,0 +1,150 @@
+"""SFC-based spatial partition for the distributed execution backend.
+
+Space is quantized into uniform cells of side ``interaction radius`` on
+a geometry **frozen at build time** (mins/dims captured once), each cell
+is ranked along a space-filling curve (Morton or Hilbert, reusing
+:mod:`repro.sfc` — the same curves agent sorting uses), and the ranked
+key range is cut into equal-population spans: shard ``s`` owns every
+agent whose cell key falls in span ``s``.
+
+Two properties carry the backend's correctness argument:
+
+- **Ownership is a pure function of the cell.**  The cuts partition the
+  key space, and keys depend only on the (clamped) cell coordinate, so
+  two agents in the same cell always share an owner — which is what
+  makes the stencil-based halo computation a sound superset (see
+  :meth:`SpatialPartition.members`).
+- **The geometry is frozen.**  Re-deriving mins/dims from moving
+  positions every step would re-bin *every* agent whenever the bounding
+  box shifts; freezing the geometry makes ownership changes track
+  actual cell crossings, which is what the ``dist:migrations`` counter
+  means.  Positions that drift outside the frozen box clamp to the
+  boundary cells (clamping is non-expansive, so the halo superset bound
+  survives).
+
+The partition is rebuilt (fresh geometry + fresh equal-count cuts) on
+population structure changes; between rebuilds agents migrate between
+shards as they cross cell boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sfc.hilbert import hilbert_encode_nd
+from repro.sfc.morton import morton_encode_3d
+
+__all__ = ["SpatialPartition"]
+
+
+class SpatialPartition:
+    """Equal-population SFC partition of space into ``num_shards`` spans.
+
+    Built from a position snapshot; afterwards :meth:`owner_of` and
+    :meth:`members` are pure queries against the frozen geometry and
+    cuts.
+    """
+
+    def __init__(self, positions, radius: float, num_shards: int,
+                 curve: str = "morton"):
+        positions = np.asarray(positions, dtype=np.float64)
+        self.num_shards = int(num_shards)
+        self.curve = curve
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if radius <= 0:
+            raise ValueError("interaction radius must be positive")
+        self.cell_len = float(radius)
+        if len(positions) == 0:
+            self.mins = np.zeros(3)
+            self.dims = np.ones(3, dtype=np.int64)
+        else:
+            self.mins = positions.min(axis=0) - 1e-9
+            maxs = positions.max(axis=0)
+            self.dims = np.maximum(
+                np.ceil((maxs - self.mins) / self.cell_len).astype(np.int64),
+                1,
+            )
+        #: Hilbert order: enough bits for the largest frozen dimension.
+        self._order_bits = max(int(np.max(self.dims) - 1).bit_length(), 1)
+        keys = self._keys(self.cell_coords(positions))
+        #: Equal-count cuts over the *snapshot's* sorted keys: shard ``s``
+        #: owns keys in ``(cuts[s-1], cuts[s]]``.  searchsorted on the key
+        #: alone keeps ownership a pure function of the cell.
+        if len(keys):
+            ranks = np.sort(keys)
+            cut_idx = (np.arange(1, self.num_shards)
+                       * len(ranks)) // self.num_shards
+            self.cuts = ranks[np.maximum(cut_idx - 1, 0)]
+        else:
+            self.cuts = np.zeros(self.num_shards - 1, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Pure queries
+    # ------------------------------------------------------------------ #
+
+    def cell_coords(self, positions) -> np.ndarray:
+        """Frozen-geometry integer cell coordinates, clamped in-range."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if len(positions) == 0:
+            return np.empty((0, 3), dtype=np.int64)
+        coords = np.floor(
+            (positions - self.mins) / self.cell_len
+        ).astype(np.int64)
+        return np.clip(coords, 0, self.dims - 1)
+
+    def _keys(self, coords: np.ndarray) -> np.ndarray:
+        """SFC rank of each cell coordinate triple."""
+        if len(coords) == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.curve == "hilbert":
+            return hilbert_encode_nd(coords, self._order_bits).astype(
+                np.int64
+            )
+        return morton_encode_3d(
+            coords[:, 0], coords[:, 1], coords[:, 2]
+        ).astype(np.int64)
+
+    def _owner_of_coords(self, coords: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self.cuts, self._keys(coords), side="left")
+
+    def owner_of(self, positions) -> np.ndarray:
+        """Owning shard index per position (``int64``, in ``[0, shards)``)."""
+        return self._owner_of_coords(self.cell_coords(positions))
+
+    def members(self, positions, halo_width: float):
+        """Per-shard ``(owned_mask, ghost_mask)`` boolean arrays.
+
+        Shard ``s``'s ghosts are every agent it does not own whose cell
+        stencil (Chebyshev radius ``floor(halo_width / cell_len) + 1``)
+        touches a cell owned by ``s``.  Two agents within ``halo_width``
+        have cell coordinates within that stencil radius per axis (floor
+        and clamp are both non-expansive), so every true interaction
+        partner of an owned agent is either owned or ghosted — the halo
+        is a superset of the exact ``interaction_radius + skin`` ring.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        n = len(positions)
+        coords = self.cell_coords(positions)
+        owner = self._owner_of_coords(coords)
+        owned = [owner == s for s in range(self.num_shards)]
+        ghost = [np.zeros(n, dtype=bool) for _ in range(self.num_shards)]
+        if n == 0 or self.num_shards == 1:
+            return owned, ghost
+        reach = int(halo_width // self.cell_len) + 1
+        span = np.arange(-reach, reach + 1, dtype=np.int64)
+        offsets = np.stack(
+            np.meshgrid(span, span, span, indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        for off in offsets:
+            if not off.any():
+                continue
+            shifted = np.clip(coords + off, 0, self.dims - 1)
+            neighbor_owner = self._owner_of_coords(shifted)
+            differs = neighbor_owner != owner
+            if not differs.any():
+                continue
+            idx = np.flatnonzero(differs)
+            for s in np.unique(neighbor_owner[idx]):
+                ghost[s][idx[neighbor_owner[idx] == s]] = True
+        return owned, ghost

@@ -1,0 +1,278 @@
+"""Pluggable inter-shard transports for the distributed backend.
+
+A transport is a duplex message channel between the host and one shard
+process.  Messages are ``(header, payload)`` pairs: the header is a
+small picklable tuple (phase name, epoch, scalars, tiny arrays as
+bytes), the payload is one opaque ``bytes`` blob — the delta-encoded
+agent rows of :mod:`repro.distributed.delta` or a packed arena slice
+(:meth:`repro.core.arena.SoAArena.pack_rows`).  Keeping the bulk data
+out of the header means every transport moves agent state as one
+contiguous buffer.
+
+Three implementations:
+
+- :class:`PipeTransport` (default): a ``multiprocessing.Pipe`` — the
+  same primitive the process backend's ack channel uses; header and
+  payload ride the connection together.
+- :class:`ShmTransport`: control messages over a pipe, payloads through
+  a persistent per-direction ``multiprocessing.shared_memory`` segment
+  (grown amortized-doubling, reused across epochs).  The strict
+  request/reply alternation of the two-phase step protocol guarantees a
+  segment is consumed before the sender reuses it.
+- :class:`SocketTransport`: a length-prefixed ``socketpair`` — the
+  byte-level framing a real multi-node deployment would speak over TCP;
+  here both ends live on one box (the documented multi-node stub).
+
+``make_transport(kind)`` returns a connected ``(host_end, shard_end)``
+pair; with the fork start method the shard end is inherited by the
+worker process as-is.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+import multiprocessing as mp
+
+__all__ = [
+    "TransportError",
+    "TransportEndpoint",
+    "PipeTransport",
+    "ShmTransport",
+    "SocketTransport",
+    "TRANSPORTS",
+    "make_transport",
+]
+
+#: Seconds an endpoint waits for a peer message before declaring the
+#: link dead (mirrors the process backend's ``ACK_TIMEOUT_S``).
+RECV_TIMEOUT_S = 120.0
+
+_LEN = struct.Struct("<QQ")
+
+
+class TransportError(RuntimeError):
+    """The peer went away, timed out, or sent a malformed frame."""
+
+
+class TransportEndpoint:
+    """One side of a duplex shard link."""
+
+    kind = "base"
+
+    def send(self, header, payload: bytes = b"") -> None:
+        """Ship ``(header, payload)`` to the peer; raise
+        :class:`TransportError` on a dead link."""
+        raise NotImplementedError
+
+    def recv(self, timeout: float = RECV_TIMEOUT_S):
+        """Return ``(header, payload)`` or raise :class:`TransportError`."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release OS resources; idempotent."""
+
+
+class PipeTransport(TransportEndpoint):
+    """``multiprocessing.Pipe`` endpoint (header + payload in one send)."""
+
+    kind = "pipe"
+
+    def __init__(self, conn):
+        self._conn = conn
+
+    def send(self, header, payload: bytes = b"") -> None:
+        """Pickle the header and payload through the duplex pipe."""
+        try:
+            self._conn.send((header, bytes(payload)))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise TransportError(f"pipe send failed: {exc}") from exc
+
+    def recv(self, timeout: float = RECV_TIMEOUT_S):
+        try:
+            if not self._conn.poll(timeout):
+                raise TransportError(
+                    f"pipe recv timed out after {timeout:.0f}s"
+                )
+            return self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise TransportError(f"pipe recv failed: {exc}") from exc
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+
+class ShmTransport(PipeTransport):
+    """Pipe control channel + shared-memory payload segment.
+
+    The payload bytes never traverse the pipe: the sender copies them
+    into its direction's segment (reallocated with a fresh name when too
+    small) and ships ``(segment_name, nbytes)`` in the control frame;
+    the receiver attaches the segment once and copies out.  For
+    process-local shards this turns the payload hop into two memcpys
+    regardless of transport buffering.
+    """
+
+    kind = "shm"
+
+    def __init__(self, conn):
+        super().__init__(conn)
+        self._seg = None          # this end's send segment
+        self._attached = {}       # name -> attached segment (recv side)
+
+    def _ensure_segment(self, nbytes: int):
+        from multiprocessing import shared_memory
+
+        if self._seg is None or self._seg.size < nbytes:
+            if self._seg is not None:
+                old = self._seg
+                old.close()
+                old.unlink()
+            size = max(int(nbytes), 1 << 16)
+            self._seg = shared_memory.SharedMemory(create=True, size=size)
+        return self._seg
+
+    def send(self, header, payload: bytes = b"") -> None:
+        """Place the payload in a shared-memory segment and doorbell the
+        peer with its name (header travels over the control pipe)."""
+        payload = bytes(payload)
+        ref = None
+        if payload:
+            seg = self._ensure_segment(len(payload))
+            seg.buf[: len(payload)] = payload
+            ref = (seg.name, len(payload))
+        try:
+            self._conn.send((header, ref))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise TransportError(f"shm send failed: {exc}") from exc
+
+    def recv(self, timeout: float = RECV_TIMEOUT_S):
+        header, ref = super().recv(timeout)
+        if ref is None:
+            return header, b""
+        from multiprocessing import shared_memory
+
+        name, nbytes = ref
+        seg = self._attached.get(name)
+        if seg is None:
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError as exc:
+                raise TransportError(
+                    f"payload segment {name!r} vanished"
+                ) from exc
+            self._attached[name] = seg
+        return header, bytes(seg.buf[:nbytes])
+
+    def close(self) -> None:
+        super().close()
+        for seg in self._attached.values():
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._attached = {}
+        if self._seg is not None:
+            try:
+                self._seg.close()
+                self._seg.unlink()
+            except OSError:  # pragma: no cover - already unlinked
+                pass
+            self._seg = None
+
+
+class SocketTransport(TransportEndpoint):
+    """Length-prefixed frames over a stream socket (multi-node framing).
+
+    One frame is ``<header_len u64><payload_len u64><pickled header>
+    <payload bytes>`` — nothing host-specific, so the same codec would
+    speak across machines; the in-tree constructor pairs both ends with
+    ``socket.socketpair()``.
+    """
+
+    kind = "socket"
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+
+    def send(self, header, payload: bytes = b"") -> None:
+        """Write two length-prefixed frames (header blob, payload) to the
+        TCP socket."""
+        blob = pickle.dumps(header)
+        payload = bytes(payload)
+        try:
+            self._sock.sendall(
+                _LEN.pack(len(blob), len(payload)) + blob + payload
+            )
+        except OSError as exc:
+            raise TransportError(f"socket send failed: {exc}") from exc
+
+    def _recv_exact(self, nbytes: int) -> bytes:
+        chunks = []
+        remaining = nbytes
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                raise TransportError("socket peer closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self, timeout: float = RECV_TIMEOUT_S):
+        self._sock.settimeout(timeout)
+        try:
+            header_len, payload_len = _LEN.unpack(
+                self._recv_exact(_LEN.size)
+            )
+            header = pickle.loads(self._recv_exact(header_len))
+            payload = self._recv_exact(payload_len) if payload_len else b""
+        except socket.timeout as exc:
+            raise TransportError(
+                f"socket recv timed out after {timeout:.0f}s"
+            ) from exc
+        except OSError as exc:
+            raise TransportError(f"socket recv failed: {exc}") from exc
+        return header, payload
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+
+def _pipe_pair(cls):
+    ctx = mp.get_context(
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    )
+    a, b = ctx.Pipe(duplex=True)
+    return cls(a), cls(b)
+
+
+def _socket_pair():
+    a, b = socket.socketpair()
+    return SocketTransport(a), SocketTransport(b)
+
+
+TRANSPORTS = {
+    "pipe": lambda: _pipe_pair(PipeTransport),
+    "shm": lambda: _pipe_pair(ShmTransport),
+    "socket": _socket_pair,
+}
+
+
+def make_transport(kind: str):
+    """Connected ``(host_end, shard_end)`` pair of the requested kind."""
+    try:
+        factory = TRANSPORTS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown distributed transport {kind!r}; choose one of "
+            f"{', '.join(sorted(TRANSPORTS))}"
+        ) from None
+    return factory()

@@ -236,6 +236,17 @@ class KernelBackend:
 
     # -- lifecycle ------------------------------------------------------- #
 
+    def bind_arena(self, soa, live_rows: int) -> None:
+        """Offer the consolidated SoA arena block before a kernel call.
+
+        The execution backends call this next to refreshing
+        :attr:`structure_version`, handing device-resident backends the
+        single-arena block (:class:`repro.core.arena.SoAArena`) the live
+        columns are views of — which lets the CuPy backend upload one
+        host-to-device copy per *domain* instead of one per column.
+        No-op for host backends; ``soa`` may be ``None`` (per-column
+        layout)."""
+
     def warm_up(self) -> None:
         """Pre-compile every kernel on tiny inputs (no-op when nothing
         needs compiling).  JIT time lands in :attr:`compile_seconds`."""

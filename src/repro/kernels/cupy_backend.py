@@ -84,6 +84,9 @@ class DeviceBufferCache:
     - :meth:`upload` — a named buffer whose *allocation* survives across
       calls; the data is re-copied each call (host columns mutate every
       step) but steady-state steps never touch the device allocator;
+    - :meth:`upload_block` — one upload of a contiguous SoA-arena span
+      covering several columns at once (one H2D per domain instead of
+      one per column), returning zero-copy device views per column;
     - :meth:`upload_stable` — additionally skips the H2D copy while the
       host array is the *same object* as last time (the CSR neighbor
       lists, which the scheduler reuses between environment rebuilds);
@@ -175,6 +178,39 @@ class DeviceBufferCache:
             self.reuses += 1
         self._copy_in(buf, host)
         return buf
+
+    def upload_block(self, name: str, block, columns: dict) -> dict:
+        """Single upload of one contiguous block span covering every
+        requested column; returns ``{column: device view}``.
+
+        ``block`` is a host SoA arena's 1-D ``uint8`` backing buffer
+        (:attr:`repro.core.arena.SoAArena.block`) and ``columns`` maps
+        each column name to ``(byte_offset, dtype, shape)`` — the live
+        prefix of that column inside the block.  The minimal span
+        containing every column travels with **one** allocation and
+        **one** copy, and each returned view reinterprets the device
+        bytes in place, so a whole domain reaches the device as a
+        single transfer instead of a per-column loop.  (Arena columns
+        are 64-byte aligned, so the per-column view offsets stay
+        itemsize-aligned for any dtype.)
+        """
+        if not columns:
+            return {}
+        spans = {}
+        lo, hi = None, 0
+        for col, (off, dtype, shape) in columns.items():
+            nbytes = int(np.dtype(dtype).itemsize
+                         * np.prod(shape, dtype=np.int64))
+            spans[col] = (int(off), nbytes)
+            lo = int(off) if lo is None else min(lo, int(off))
+            hi = max(hi, int(off) + nbytes)
+        buf = self.upload(name, block[lo:hi])
+        views = {}
+        for col, (off, dtype, shape) in columns.items():
+            start = spans[col][0] - lo
+            flat = buf[start:start + spans[col][1]].view(np.dtype(dtype))
+            views[col] = flat.reshape(tuple(int(s) for s in shape))
+        return views
 
     def upload_stable(self, name: str, host) -> object:
         """Like :meth:`upload`, but skip the copy entirely while ``host``
@@ -272,6 +308,16 @@ class CupyKernelBackend(KernelBackend):
         super().__init__()
         self._kernel = None
         self.buffers = DeviceBufferCache()
+        self._soa = None
+        self._live_rows = 0
+
+    def bind_arena(self, soa, live_rows) -> None:
+        """Remember the engine's SoA arena so :meth:`force` can ship the
+        mechanics columns as one whole-domain block upload
+        (:meth:`DeviceBufferCache.upload_block`) instead of a per-column
+        transfer loop."""
+        self._soa = soa
+        self._live_rows = int(live_rows)
 
     def warm_up(self) -> None:  # pragma: no cover - requires a GPU
         """Compile the raw CSR force kernel; time goes to
@@ -303,8 +349,22 @@ class CupyKernelBackend(KernelBackend):
         try:
             cache = self.buffers
             cache.sync(self.structure_version)
-            d_pos = cache.upload("position", positions)
-            d_dia = cache.upload("diameter", diameters)
+            soa = self._soa
+            if (soa is not None and soa.owns("position", positions)
+                    and soa.owns("diameter", diameters)):
+                # Whole-domain path: both mechanics columns live in the
+                # SoA arena block, so one contiguous span covers them —
+                # a single H2D transfer instead of one per column.
+                d_cols = cache.upload_block("arena:block", soa.block, {
+                    "position": (soa.offsets["position"],
+                                 positions.dtype, positions.shape),
+                    "diameter": (soa.offsets["diameter"],
+                                 diameters.dtype, diameters.shape),
+                })
+                d_pos, d_dia = d_cols["position"], d_cols["diameter"]
+            else:
+                d_pos = cache.upload("position", positions)
+                d_dia = cache.upload("diameter", diameters)
             d_ip = cache.upload_stable("csr:indptr", indptr)
             d_ix = cache.upload_stable("csr:indices", indices)
             d_act = cache.upload(

@@ -10,12 +10,18 @@ Algorithm 1 — mechanical forces + displacement, and vectorizable
   a pool of persistent worker processes operating on shared-memory
   columns (:mod:`repro.parallel.shm`) with the paper's two-level work
   stealing — real multicore parallelism, outside the GIL.
+- ``"distributed"``
+  (:class:`~repro.distributed.shard_backend.DistributedBackend`): spatial
+  decomposition across OS-process shards with halo exchange and
+  delta-encoded migration — the TeraAgent-style scale-out path.
 - ``"auto"`` (:class:`AutoBackend`): measures and picks.  Starts serial,
   feeds every mechanics timing to a
   :class:`~repro.parallel.costmodel.BackendCostModel`, and re-decides at
   every environment-rebuild boundary (the scheduler calls
   :meth:`ExecutionBackend.on_environment_rebuild`), so small populations
   never pay the pool's orchestration tax and large ones get the cores.
+  With ``backend_shards > 0`` the distributed backend joins the
+  candidate set as a third option.
 
 All backends are *bitwise equivalent*: chunked reductions accumulate in
 the same per-row order as the serial ``np.bincount``, so per-step
@@ -76,6 +82,12 @@ class ExecutionBackend:
         and the operation support it; serial fallback otherwise)."""
         op.run(sim)
 
+    def stash_csr_positions(self, rm) -> None:
+        """Hook called by the scheduler right after the neighbor CSR is
+        materialized, before behaviors may move agents.  Backends that
+        rebuild neighbor lists from positions (the distributed shards)
+        snapshot ``rm.positions`` here; everyone else ignores it."""
+
     def shutdown(self) -> None:
         """Release pools/queues; idempotent."""
 
@@ -109,6 +121,7 @@ class SerialBackend(ExecutionBackend):
         # Device-resident backends (CuPy) key persistent buffers on this:
         # a changed structure version invalidates cached device columns.
         kb.structure_version = rm.structure_version
+        kb.bind_arena(getattr(rm, "soa", None), rm.n)
         net, nonzero, pairs = kb.force(
             sim.force, rm.positions, rm.data["diameter"], indptr, indices,
             active,
@@ -145,9 +158,11 @@ class AutoBackend(ExecutionBackend):
         self.sim = sim
         self._serial = SerialBackend()
         self._process = None  # built lazily on first switch
+        self._distributed = None  # built lazily on first switch
         workers = int(sim.param.backend_workers) or (os.cpu_count() or 1)
         self.model = BackendCostModel(
-            workers, min_agents=int(sim.param.backend_chunk_size))
+            workers, min_agents=int(sim.param.backend_chunk_size),
+            shards=int(sim.param.backend_shards))
         self.active: ExecutionBackend = self._serial
         self.last_decision = None
         self._last_n = 0
@@ -169,12 +184,17 @@ class AutoBackend(ExecutionBackend):
         seconds = time.perf_counter() - t0
         if self.active is self._serial:
             self.model.observe_serial(sim.rm.n, seconds)
+        elif self.active is self._distributed:
+            self.model.observe_distributed(sim.rm.n, seconds)
         else:
             self.model.observe_process(sim.rm.n, seconds)
         return result
 
     def run_agent_operation(self, sim, op) -> None:
         self.active.run_agent_operation(sim, op)
+
+    def stash_csr_positions(self, rm) -> None:
+        self.active.stash_csr_positions(rm)
 
     def on_environment_rebuild(self, sim) -> None:
         n = sim.rm.n
@@ -191,12 +211,22 @@ class AutoBackend(ExecutionBackend):
             from repro.parallel.process_backend import ProcessBackend
 
             self._process = ProcessBackend(self.sim)
-        self.active = self._serial if backend_name == "serial" else self._process
+        if backend_name == "distributed" and self._distributed is None:
+            from repro.distributed.shard_backend import DistributedBackend
+
+            self._distributed = DistributedBackend(self.sim)
+        self.active = {
+            "serial": self._serial,
+            "process": self._process,
+            "distributed": self._distributed,
+        }[backend_name]
         self._switches.inc()
 
     def shutdown(self) -> None:
         if self._process is not None:
             self._process.shutdown()
+        if self._distributed is not None:
+            self._distributed.shutdown()
 
     def stats(self) -> dict:
         out = {
@@ -208,6 +238,8 @@ class AutoBackend(ExecutionBackend):
             out["last_decision"] = self.last_decision.as_dict()
         if self._process is not None:
             out["process"] = self._process.stats()
+        if self._distributed is not None:
+            out["distributed"] = self._distributed.stats()
         return out
 
 
@@ -218,6 +250,13 @@ def make_backend(sim) -> ExecutionBackend:
         from repro.parallel.process_backend import ProcessBackend
 
         return ProcessBackend(sim)
+    if choice == "distributed":
+        if sim.machine is not None:
+            # Virtual-machine cost-model runs stay serial (see "auto").
+            return SerialBackend()
+        from repro.distributed.shard_backend import DistributedBackend
+
+        return DistributedBackend(sim)
     if choice == "auto":
         if sim.machine is not None:
             # Virtual-machine cost-model runs are always serial: wall

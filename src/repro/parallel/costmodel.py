@@ -159,25 +159,32 @@ class CacheSim:
 class BackendDecision:
     """One auto-mode backend choice and the estimates that produced it."""
 
-    backend: str                 #: "serial" or "process"
+    backend: str                 #: "serial", "process", or "distributed"
     num_agents: int
     serial_seconds: float        #: estimated serial mechanics seconds/step
     process_seconds: float       #: estimated process mechanics seconds/step
     reason: str
+    #: Estimated distributed (halo-exchange) seconds/step; ``None`` when
+    #: the distributed backend was not a candidate (``shards == 0``).
+    distributed_seconds: float | None = None
 
     def as_dict(self) -> dict:
         """JSON-serializable form (bench artifacts, backend stats)."""
-        return {
+        out = {
             "backend": self.backend,
             "num_agents": self.num_agents,
             "serial_seconds": self.serial_seconds,
             "process_seconds": self.process_seconds,
             "reason": self.reason,
         }
+        if self.distributed_seconds is not None:
+            out["distributed_seconds"] = self.distributed_seconds
+        return out
 
 
 class BackendCostModel:
-    """Measured cost model deciding serial vs process execution per run.
+    """Measured cost model deciding serial / process / distributed
+    execution per run.
 
     BENCH_scaling.json shows the process pool *losing* to serial at small
     populations (``process_overhead_ratio`` > 1): per-step orchestration
@@ -213,17 +220,35 @@ class BackendCostModel:
     #: Extra process cost per unit churn rate, as a fraction of the
     #: serial estimate (commit copies are host-side and serialized).
     CHURN_PENALTY = 0.25
+    #: Optimistic per-step halo-exchange overhead prior (seconds):
+    #: replica sync + two ack barriers over a local transport.  Larger
+    #: than the process pool's shm-attach prior — the distributed path
+    #: moves payload copies through a transport instead of attaching a
+    #: shared block — and corrected by measurement once the shards run.
+    DIST_OVERHEAD_PRIOR_S = 5e-3
+    #: Extra distributed cost per unit churn rate, as a fraction of the
+    #: serial estimate.  Structure churn is worse for shards than for
+    #: the pool: every rebuild invalidates the per-shard delta baselines
+    #: and forces full membership resyncs.
+    DIST_CHURN_PENALTY = 0.5
 
-    def __init__(self, workers: int, min_agents: int = 4096):
+    def __init__(self, workers: int, min_agents: int = 4096,
+                 shards: int = 0):
         self.workers = max(1, int(workers))
         #: Populations below this never use the pool (one chunk or less).
         self.min_agents = int(min_agents)
+        #: Shard count the distributed candidate would run with; 0 keeps
+        #: the distributed backend out of the candidate set entirely.
+        self.shards = max(0, int(shards))
         #: EMA of measured serial seconds per agent-step (None = unmeasured).
         self.serial_per_agent: float | None = None
         #: EMA of measured process overhead seconds per step.
         self.overhead_seconds = self.OVERHEAD_PRIOR_S
+        #: EMA of measured distributed (halo-exchange) overhead per step.
+        self.dist_overhead_seconds = self.DIST_OVERHEAD_PRIOR_S
         self.serial_samples = 0
         self.process_samples = 0
+        self.distributed_samples = 0
 
     # -- measurement ---------------------------------------------------- #
 
@@ -249,6 +274,20 @@ class BackendCostModel:
         self.overhead_seconds = (1 - a) * self.overhead_seconds + a * overhead
         self.process_samples += 1
 
+    def observe_distributed(self, num_agents: int, seconds: float) -> None:
+        """Feed one measured distributed mechanics step; isolates the
+        halo-exchange overhead (sync encode + transport + barriers)."""
+        if num_agents <= 0 or seconds <= 0:
+            return
+        shards = max(1, self.shards)
+        parallel_part = self.serial_estimate(num_agents) / shards
+        overhead = max(0.0, seconds - parallel_part)
+        a = self.EMA_ALPHA
+        self.dist_overhead_seconds = (
+            (1 - a) * self.dist_overhead_seconds + a * overhead
+        )
+        self.distributed_samples += 1
+
     # -- estimates ------------------------------------------------------ #
 
     def serial_estimate(self, num_agents: int) -> float:
@@ -263,6 +302,20 @@ class BackendCostModel:
         return (serial / self.workers + self.overhead_seconds
                 + self.CHURN_PENALTY * churn_rate * serial)
 
+    def distributed_estimate(self, num_agents: int,
+                             churn_rate: float = 0.0) -> float:
+        """Estimated halo-exchange mechanics seconds for one step.
+
+        Compute scales with the per-shard owned population; the exchange
+        tax (delta sync, transport copies, two ack barriers) is the
+        measured/prior overhead, and churn is penalized harder than for
+        the process pool because structural changes force full resyncs.
+        """
+        serial = self.serial_estimate(num_agents)
+        shards = max(1, self.shards)
+        return (serial / shards + self.dist_overhead_seconds
+                + self.DIST_CHURN_PENALTY * churn_rate * serial)
+
     def process_overhead_ratio(self, num_agents: int) -> float:
         """Estimated process/serial wall ratio (the bench-scaling metric);
         0.0 while serial is still unmeasured."""
@@ -275,30 +328,48 @@ class BackendCostModel:
 
     def decide(self, num_agents: int, current: str,
                churn_rate: float = 0.0) -> BackendDecision:
-        """Pick the backend for the coming stretch of steps."""
+        """Pick the backend for the coming stretch of steps.
+
+        The candidate set is serial vs process, plus distributed when
+        shards are configured (``shards >= 2``); the cheapest challenger
+        must beat the incumbent by ``HYSTERESIS`` to force a switch.
+        """
         serial = self.serial_estimate(num_agents)
         process = self.process_estimate(num_agents, churn_rate)
+        distributed = (
+            self.distributed_estimate(num_agents, churn_rate)
+            if self.shards >= 2 else None
+        )
         if num_agents < self.min_agents:
             return BackendDecision(
                 "serial", num_agents, serial, process,
                 f"population {num_agents} below one chunk "
                 f"({self.min_agents}); nothing to parallelize",
+                distributed_seconds=distributed,
             )
         if self.serial_per_agent is None:
             return BackendDecision(
                 "serial", num_agents, serial, process,
                 "serial cost unmeasured; measure before paying pool startup",
+                distributed_seconds=distributed,
             )
         estimates = {"serial": serial, "process": process}
+        if distributed is not None:
+            estimates["distributed"] = distributed
         incumbent = current if current in estimates else "serial"
-        challenger = "process" if incumbent == "serial" else "serial"
+        challenger = min(
+            (name for name in estimates if name != incumbent),
+            key=lambda name: estimates[name],
+        )
         if estimates[challenger] < (1 - self.HYSTERESIS) * estimates[incumbent]:
             gain = 1 - estimates[challenger] / max(estimates[incumbent], 1e-12)
             return BackendDecision(
                 challenger, num_agents, serial, process,
                 f"{challenger} estimated {gain:.0%} faster than {incumbent}",
+                distributed_seconds=distributed,
             )
         return BackendDecision(
             incumbent, num_agents, serial, process,
             f"keeping {incumbent} (challenger within hysteresis)",
+            distributed_seconds=distributed,
         )

@@ -32,14 +32,21 @@ Runs, in order and as selected by flags:
   ``KERNEL_TOLERANCES``, with anti-vacuous proof that compiled kernels
   actually executed.
 
+- **distributed equivalence**: the spatial-sharding check — the
+  halo-exchange backend (``Param(execution_backend="distributed")``)
+  must leave per-step checksums bitwise identical to serial execution
+  over {models} × {seeds} × {shard counts}, with anti-vacuous proof
+  that agents actually migrated between shards and halo ghosts existed.
+
 With no flags everything runs at smoke-test sizes.  ``--fuzz N``,
-``--oracle``, ``--replay MODEL`` and ``--kernels`` select individual
-sections (and scale them), which is what CI uses::
+``--oracle``, ``--replay MODEL``, ``--kernels`` and ``--distributed``
+select individual sections (and scale them), which is what CI uses::
 
     python -m repro verify --fuzz 200
     python -m repro verify --oracle --configs 100
     python -m repro verify --replay oncology --steps 10
     python -m repro verify --kernels
+    python -m repro verify --distributed
 
 Exit status is 0 only when every selected check passes.
 """
@@ -67,6 +74,12 @@ ARENA_MODELS = ("cell_proliferation", "oncology")
 #: Models the kernel-equivalence check runs (same pair as the commit
 #: pipeline: population churn + mechanics + diffusion coverage).
 KERNEL_EQUIVALENCE_MODELS = ("cell_proliferation", "oncology")
+
+#: Models × shard counts the distributed-equivalence check runs: one
+#: growth-only model, one with deaths and random motility (migration
+#: churn across shard boundaries).
+DISTRIBUTED_MODELS = ("cell_proliferation", "oncology")
+DISTRIBUTED_SHARD_COUNTS = (2, 4)
 
 
 def _positive_int(text: str) -> int:
@@ -96,6 +109,14 @@ def add_verify_parser(sub):
     p.add_argument("--kernels", action="store_true",
                    help="run the kernel-backend equivalence section "
                         "(bitwise numpy, toleranced numba/cupy)")
+    p.add_argument("--distributed", action="store_true",
+                   help="run the distributed-backend equivalence section "
+                        "(spatial sharding + halo exchange, bitwise vs "
+                        "serial over models x seeds x shard counts)")
+    p.add_argument("--shards", type=_positive_int, default=None,
+                   metavar="N",
+                   help="restrict the distributed section to one shard "
+                        "count (default: 2 and 4)")
     p.add_argument("--serve", action="store_true",
                    help="run the session-server equivalence section "
                         "(served sessions, incl. a forced evict/resume "
@@ -193,6 +214,27 @@ def _run_kernel_equivalence(args) -> bool:
     return report.ok
 
 
+def _run_distributed(args) -> bool:
+    from repro.verify.replay import distributed_equivalence
+
+    shard_counts = (
+        (args.shards,) if args.shards is not None
+        else DISTRIBUTED_SHARD_COUNTS
+    )
+    t0 = time.perf_counter()
+    report = distributed_equivalence(
+        models=DISTRIBUTED_MODELS, shard_counts=shard_counts)
+    dt = time.perf_counter() - t0
+    print(report.render() + f" ({dt:.1f}s)")
+    if report.ok:
+        # Surface the rolled per-shard digests for artifact comparison.
+        for key, digest in sorted(report.digests.items()):
+            model, shards, seed = key
+            print(f"  digest {model} shards={shards} seed {seed}: "
+                  f"{str(digest)[:16]}...")
+    return report.ok
+
+
 def _run_commit_pipeline(args) -> bool:
     from repro.verify.replay import commit_pipeline_equivalence
 
@@ -223,7 +265,7 @@ def run_verify(args) -> int:
     """Execute the selected (or, with no flags, all) verification sections."""
     selected = ((args.fuzz is not None) or args.oracle
                 or (args.replay is not None) or args.kernels
-                or args.serve)
+                or args.serve or args.distributed)
     ok = True
     if not selected or args.oracle:
         _section("differential oracle")
@@ -244,6 +286,9 @@ def run_verify(args) -> int:
     if not selected or args.kernels:
         _section("kernel equivalence")
         ok &= _run_kernel_equivalence(args)
+    if not selected or args.distributed:
+        _section("distributed equivalence")
+        ok &= _run_distributed(args)
     if not selected or args.serve:
         _section("served-session equivalence")
         ok &= _run_serve_equivalence(args)

@@ -307,3 +307,39 @@ class TestGridDecomposition:
 
 def eng_positions_seed(n, seed):
     return random_ball(n, seed=seed)
+
+
+class TestEngineMetricsRegistry:
+    """StepReport timings must land in an obs MetricsRegistry under the
+    same ``dist:*`` namespace the real sharded backend uses, so
+    ``python -m repro trace`` and bench consumers read one schema."""
+
+    def _engine(self, registry=None, nodes=2, n=80):
+        pos = random_ball(n, seed=4)
+        return DistributedEngine(pos, 10.0, ClusterSpec(nodes),
+                                 interaction_radius=12.0,
+                                 registry=registry)
+
+    def test_counters_accumulate_in_registry(self):
+        from repro.obs.core import MetricsRegistry
+
+        reg = MetricsRegistry()
+        eng = self._engine(registry=reg)
+        eng.step(3)
+        snap = reg.snapshot()
+        assert snap["dist:shards"] == 2
+        assert snap["dist:virtual_seconds"] > 0
+        assert snap["dist:virtual_seconds"] == pytest.approx(
+            eng.total_virtual_seconds)
+        assert snap["dist:comm_seconds"] == pytest.approx(
+            eng.total_comm_seconds)
+        assert snap["dist:compute_seconds"] == pytest.approx(
+            eng.total_compute_seconds)
+        assert snap["dist:halo_agents"] >= 0
+        assert "dist:migrations" in snap
+
+    def test_default_registry_is_private(self):
+        eng = self._engine()
+        eng.step(1)
+        assert eng.registry.snapshot()["dist:virtual_seconds"] \
+            == pytest.approx(eng.total_virtual_seconds)

@@ -1,0 +1,191 @@
+"""Tests for the delta-encoded agent serialization (RDL1 wire format).
+
+The contract under test: for *any* baseline and any current state,
+``apply_delta(encode_delta(new, baseline), baseline)`` must equal a full
+copy of the current state — membership changes, per-column dirty rows,
+dtype mixes, and empty deltas included.  Hypothesis drives the state
+pairs; direct tests pin down the malformed-payload errors.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed.delta import (
+    DeltaFormatError,
+    apply_delta,
+    dirty_rows,
+    encode_delta,
+)
+
+#: Column menu: (name, dtype, row_shape) covering the SoA mix the
+#: backend actually ships (3-vectors, scalars, flags) plus a 2-D row.
+COLUMN_MENU = (
+    ("position", np.float64, (3,)),
+    ("diameter", np.float64, ()),
+    ("age", np.int32, ()),
+    ("static", np.bool_, ()),
+    ("tensor", np.float32, (2, 2)),
+)
+
+
+def _make_columns(rng, names, n):
+    cols = {}
+    for name, dtype, row_shape in COLUMN_MENU:
+        if name not in names:
+            continue
+        vals = rng.uniform(-50, 50, (n, *row_shape))
+        if np.dtype(dtype) == np.bool_:
+            cols[name] = (vals > 0).reshape(n, *row_shape)
+        else:
+            cols[name] = vals.astype(dtype)
+    return cols
+
+
+def _derive_new_state(rng, old_ids, old_cols, new_ids, dirty_frac):
+    """Current state: carry over surviving baseline rows, randomize the
+    fresh ones, then dirty a random subset of the carried rows."""
+    n = len(new_ids)
+    names = list(old_cols)
+    new_cols = _make_columns(rng, names, n)
+    _, pos_new, pos_old = np.intersect1d(
+        new_ids, old_ids, assume_unique=True, return_indices=True)
+    for name in names:
+        new_cols[name][pos_new] = old_cols[name][pos_old]
+    # Dirty some carried rows (per-column independent masks).
+    for name in names:
+        dirty = pos_new[rng.random(len(pos_new)) < dirty_frac]
+        if not len(dirty):
+            continue
+        col = new_cols[name]
+        if col.dtype == np.bool_:
+            col[dirty] = ~col[dirty]
+        else:
+            col[dirty] = col[dirty] + 1
+    return new_cols
+
+
+def _assert_state_equal(ids_a, cols_a, ids_b, cols_b):
+    assert np.array_equal(ids_a, ids_b)
+    assert set(cols_a) == set(cols_b)
+    for name in cols_a:
+        assert cols_a[name].dtype == cols_b[name].dtype, name
+        assert cols_a[name].shape == cols_b[name].shape, name
+        assert np.array_equal(cols_a[name], cols_b[name]), name
+
+
+class TestRoundTripHypothesis:
+    @settings(max_examples=60)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_old=st.integers(0, 40),
+        n_new=st.integers(0, 40),
+        dirty_frac=st.sampled_from([0.0, 0.2, 1.0]),
+        names=st.sets(
+            st.sampled_from([c[0] for c in COLUMN_MENU]),
+            min_size=1, max_size=len(COLUMN_MENU),
+        ),
+    )
+    def test_delta_equals_full_copy(self, seed, n_old, n_new, dirty_frac,
+                                    names):
+        rng = np.random.default_rng(seed)
+        universe = np.arange(120, dtype=np.int64)
+        old_ids = np.sort(rng.choice(universe, n_old, replace=False))
+        new_ids = np.sort(rng.choice(universe, n_new, replace=False))
+        old_cols = _make_columns(rng, names, n_old)
+        new_cols = _derive_new_state(rng, old_ids, old_cols, new_ids,
+                                     dirty_frac)
+
+        blob = encode_delta(new_ids, new_cols, old_ids, old_cols)
+        got_ids, got_cols = apply_delta(blob, old_ids, old_cols)
+        _assert_state_equal(got_ids, got_cols, new_ids, new_cols)
+
+    @settings(max_examples=30)
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(0, 40))
+    def test_full_sync_round_trip(self, seed, n):
+        rng = np.random.default_rng(seed)
+        ids = np.sort(rng.choice(np.arange(200, dtype=np.int64), n,
+                                 replace=False))
+        cols = _make_columns(rng, [c[0] for c in COLUMN_MENU], n)
+        blob = encode_delta(ids, cols)  # no baseline: full payload
+        got_ids, got_cols = apply_delta(blob)
+        _assert_state_equal(got_ids, got_cols, ids, cols)
+
+
+class TestDeltaProperties:
+    def test_unchanged_state_ships_no_rows(self):
+        rng = np.random.default_rng(0)
+        ids = np.arange(20, dtype=np.int64)
+        cols = _make_columns(rng, ["position", "diameter"], 20)
+        blob = encode_delta(ids, cols, ids, cols)
+        full = encode_delta(ids, cols)
+        # Same membership, zero dirty rows: the delta carries headers and
+        # membership only, far below the full payload.
+        assert len(blob) < len(full)
+        got_ids, got_cols = apply_delta(blob, ids, cols)
+        _assert_state_equal(got_ids, got_cols, ids, cols)
+
+    def test_empty_membership(self):
+        ids = np.empty(0, dtype=np.int64)
+        cols = {"position": np.empty((0, 3))}
+        blob = encode_delta(ids, cols)
+        got_ids, got_cols = apply_delta(blob)
+        assert len(got_ids) == 0
+        assert got_cols["position"].shape == (0, 3)
+
+    def test_nan_rows_always_reship(self):
+        a = np.array([[1.0, np.nan], [2.0, 3.0]])
+        assert dirty_rows(a, a.copy()).tolist() == [True, False]
+
+    def test_dirty_rows_scalar_column(self):
+        assert dirty_rows(np.array([1.0, 2.0]),
+                          np.array([1.0, 9.0])).tolist() == [False, True]
+
+
+class TestMalformedPayloads:
+    def test_unsorted_ids_rejected(self):
+        with pytest.raises(DeltaFormatError, match="sorted"):
+            encode_delta(np.array([3, 1], dtype=np.int64),
+                         {"x": np.zeros(2)})
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(DeltaFormatError, match="rows"):
+            encode_delta(np.arange(3, dtype=np.int64), {"x": np.zeros(2)})
+
+    def test_truncated_header(self):
+        with pytest.raises(DeltaFormatError, match="truncated"):
+            apply_delta(b"RD")
+
+    def test_bad_magic(self):
+        ids = np.arange(2, dtype=np.int64)
+        blob = bytearray(encode_delta(ids, {"x": np.zeros(2)}))
+        blob[:4] = b"XXXX"
+        with pytest.raises(DeltaFormatError, match="magic"):
+            apply_delta(bytes(blob))
+
+    def test_truncated_payload(self):
+        ids = np.arange(4, dtype=np.int64)
+        blob = encode_delta(ids, {"x": np.ones((4, 3))})
+        with pytest.raises(DeltaFormatError, match="truncated"):
+            apply_delta(blob[:-8])
+
+    def test_delta_without_baseline_leaves_gaps(self):
+        # A non-full delta applied with no baseline cannot cover the
+        # carried rows; this must be a loud error, not garbage state.
+        ids = np.arange(6, dtype=np.int64)
+        cols = {"x": np.arange(6.0)}
+        new = {"x": cols["x"].copy()}
+        new["x"][0] += 1.0
+        blob = encode_delta(ids, new, ids, cols)
+        with pytest.raises(DeltaFormatError, match="uncovered"):
+            apply_delta(blob)
+
+    def test_baseline_missing_column(self):
+        ids = np.arange(3, dtype=np.int64)
+        cols = {"x": np.arange(3.0)}
+        new = {"x": cols["x"] + 1}
+        blob = encode_delta(ids, new, ids, cols)
+        with pytest.raises(DeltaFormatError, match="missing column"):
+            apply_delta(blob, ids, {"y": np.arange(3.0)})

@@ -302,3 +302,73 @@ class TestDeviceBufferCache:
             snap = sim.obs.registry.snapshot()
             assert "kernel:oom_fallbacks" in snap
             assert snap["kernel:oom_fallbacks"] == 0
+
+
+class TestUploadBlock:
+    """Single-upload H2D path for arena-resident columns: one allocation
+    and one copy per domain, with per-column device views carved out of
+    the uploaded block (satellite of the distributed-backend PR)."""
+
+    def _cache(self, xp=None):
+        from repro.kernels.cupy_backend import DeviceBufferCache
+
+        return DeviceBufferCache(xp=xp if xp is not None else np,
+                                 oom_errors=(_FakeOOM,))
+
+    def _arena_columns(self, n=16):
+        from repro.core.arena import SoAArena
+
+        soa = SoAArena()
+        soa.add_column("position", np.float64, (3,))
+        soa.add_column("diameter", np.float64)
+        soa.reserve(n, live_rows=0)
+        pos = soa.view("position", n)
+        dia = soa.view("diameter", n)
+        pos[...] = np.arange(n * 3, dtype=np.float64).reshape(n, 3)
+        dia[...] = np.linspace(1.0, 2.0, n)
+        columns = {
+            "position": (soa.offsets["position"], pos.dtype, pos.shape),
+            "diameter": (soa.offsets["diameter"], dia.dtype, dia.shape),
+        }
+        return soa, pos, dia, columns
+
+    def test_multi_column_upload_is_one_allocation(self):
+        cache = self._cache()
+        soa, pos, dia, columns = self._arena_columns()
+        views = cache.upload_block("arena:block", soa.block, columns)
+        assert cache.allocations == 1
+        assert set(views) == {"position", "diameter"}
+        assert np.array_equal(views["position"], pos)
+        assert np.array_equal(views["diameter"], dia)
+        assert views["position"].dtype == np.float64
+        assert views["position"].shape == pos.shape
+
+    def test_block_reupload_reuses_allocation(self):
+        cache = self._cache()
+        soa, pos, dia, columns = self._arena_columns()
+        cache.upload_block("arena:block", soa.block, columns)
+        pos[...] += 1.0
+        views = cache.upload_block("arena:block", soa.block, columns)
+        assert cache.allocations == 1
+        assert cache.reuses == 1
+        assert np.array_equal(views["position"], pos)
+
+    def test_upload_spans_minimal_byte_range(self):
+        cache = self._cache()
+        soa, pos, dia, columns = self._arena_columns()
+        cache.upload_block("arena:block", soa.block, columns)
+        lo = min(off for off, _, _ in columns.values())
+        hi = max(off + np.dtype(dt).itemsize * int(np.prod(shape))
+                 for off, dt, shape in columns.values())
+        assert cache._buffers["arena:block"].nbytes == hi - lo
+
+    def test_empty_columns_is_noop(self):
+        cache = self._cache()
+        assert cache.upload_block("arena:block", np.zeros(64, np.uint8),
+                                  {}) == {}
+        assert cache.allocations == 0
+
+    def test_bind_arena_is_noop_on_base_backend(self):
+        from repro.kernels.api import KernelBackend
+
+        KernelBackend().bind_arena(None, 0)  # must not raise

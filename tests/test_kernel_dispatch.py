@@ -163,3 +163,42 @@ class TestSimulationWiring:
                              "backend_workers": 2,
                              "backend_chunk_size": 32})
         assert serial.tobytes() == process.tobytes()
+
+
+class TestOptimizedParamSelectsAuto:
+    """Regression for ``Param.optimized()`` flipping to kernel
+    auto-detection: optimized configs must pick the best available
+    backend, and on a wheel-less box must degrade to numpy with exactly
+    one visible warning — never an ImportError."""
+
+    def test_optimized_defaults_to_auto(self):
+        p = Param.optimized()
+        assert p.kernel_backend == "auto"
+        p.validate()
+
+    def test_optimized_override_wins(self):
+        assert Param.optimized(kernel_backend="numpy").kernel_backend \
+            == "numpy"
+
+    def test_plain_param_still_defaults_to_numpy(self):
+        # The reference default stays pinned: only optimized() opts into
+        # auto-detection.
+        assert Param().kernel_backend == "numpy"
+
+    def test_optimized_on_wheelless_box_warns_once_and_runs_numpy(
+            self, monkeypatch):
+        monkeypatch.setattr(dispatch_mod, "_probe",
+                            lambda name: name == "numpy")
+        with pytest.warns(KernelBackendWarning, match="auto") as record:
+            sim = Simulation("opt", Param.optimized(), seed=9)
+        try:
+            kb = [w for w in record
+                  if issubclass(w.category, KernelBackendWarning)]
+            assert len(kb) == 1
+            assert sim.kernels.name == "numpy"
+            rng = np.random.default_rng(9)
+            sim.add_cells(rng.uniform(0, 30, (60, 3)), diameters=10.0)
+            sim.simulate(2)  # degraded mode must stay functional
+            assert sim.kernels.calls > 0
+        finally:
+            sim.close()
