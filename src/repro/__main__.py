@@ -303,6 +303,14 @@ def _cmd_trace(args) -> int:
                   f"{soa.reallocations} reallocations, "
                   f"{soa.adopts} adopts, "
                   f"attach {soa.attach_seconds * 1e3:.2f} ms")
+        if reg.gauge("events:enabled").value:
+            print("  events: "
+                  f"{int(reg.counter('events:jumps').value)} jumps, "
+                  f"{int(reg.counter('events:skipped_steps').value)} "
+                  "skipped steps, "
+                  f"{int(reg.counter('events:deferred_dispatches').value)} "
+                  "deferred dispatches, "
+                  f"max jump {int(reg.gauge('events:max_jump').value)}")
         dist = {k[len("dist:"):]: v for k, v in reg.snapshot().items()
                 if k.startswith("dist:")}
         if any(dist.values()):

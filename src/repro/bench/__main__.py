@@ -77,6 +77,9 @@ def main(argv=None) -> int:
         elif name in ("neighbor_cache", "agent_ops", "arena"):
             kwargs = dict(agents=args.agents, iterations=args.iterations,
                           out=args.out or f"BENCH_{name}.json")
+        elif name == "event_scheduling":
+            kwargs = dict(agents=args.agents, iterations=args.iterations,
+                          out=args.out or "BENCH_events.json")
         elif name == "kernels":
             kwargs = dict(agents=args.agents, iterations=args.iterations,
                           backends=args.backends,

@@ -183,7 +183,9 @@ def run_scaling_distributed(scale: str = "small", model: str = DEFAULT_MODEL,
     rolled per-shard global digest, halo traffic and migration counters
     (anti-vacuous: a decomposition nothing ever crosses proves nothing),
     ``digest_checks`` (every one a host-side replica-consistency
-    equality that passed), and the exchange share of wall time.
+    equality that passed), the exchange share of wall time, and the
+    host-side agent-ops share of wall time (the serialized fraction
+    that bounds distributed speedup while behaviors run on the host).
     """
     cfg = SCALES[scale]
     agents = agents if agents is not None else cfg["agents"]
@@ -217,6 +219,15 @@ def run_scaling_distributed(scale: str = "small", model: str = DEFAULT_MODEL,
             "digest_checks": int(stats.get("digest_checks", 0)),
             "exchange_share": (
                 stats.get("exchange_seconds", 0.0) / r["wall_seconds"]
+                if r["wall_seconds"] > 0 else 0.0
+            ),
+            # Behaviors/divisions still run on the host while shards
+            # only cover mechanics — this share is the Amdahl bound on
+            # distributed speedup (PR 9); tracked so the trajectory of
+            # moving agent ops into the shards is visible.
+            "host_agent_ops_share": (
+                r["stage_seconds"].get("agent_ops", 0.0)
+                / r["wall_seconds"]
                 if r["wall_seconds"] > 0 else 0.0
             ),
         }

@@ -34,6 +34,10 @@ class Behavior:
     - ``moves_agents`` / ``grows_agents`` / ``creates_agents`` /
       ``removes_agents`` — effects relevant to static detection (§5) and
       to iteration setup/teardown.
+
+    Behaviors may additionally override :meth:`next_fire` to participate
+    in event-driven scheduling (``Param.event_scheduling``); the default
+    keeps today's every-tick semantics bit for bit.
     """
 
     name: str = "behavior"
@@ -47,6 +51,28 @@ class Behavior:
     def run(self, sim, idx: np.ndarray) -> None:  # pragma: no cover - abstract
         """Execute the behavior for the agents at storage indices ``idx``."""
         raise NotImplementedError
+
+    def next_fire(self, sim, idx: np.ndarray):
+        """Earliest iteration at which the agents in ``idx`` need to run.
+
+        The wake-time contract of :mod:`repro.core.events`.  Return:
+
+        - ``None`` — due every tick (the default: today's semantics);
+        - a scalar — one absolute iteration index for the whole cohort;
+        - an array aligned with ``idx`` — per-agent absolute iteration
+          indices (``np.inf`` = asleep until the state that produced this
+          answer changes; re-evaluated whenever anything mutates).
+
+        A behavior that declares wake times promises two things, which
+        together make event-driven dispatch bitwise identical to running
+        every tick: (1) for any agent before its wake iteration,
+        :meth:`run` is a pure no-op — no column writes, no RNG draws
+        (zero-size generator draws do not advance numpy bit-generator
+        state, so vectorized early-outs qualify); (2) :meth:`run` produces
+        identical results when called with any superset of the currently
+        due agents (non-due rows are ignored by its own masking).
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

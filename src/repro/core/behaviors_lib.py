@@ -19,7 +19,12 @@ __all__ = [
     "Secretion",
     "Infection",
     "Recovery",
+    "Confinement",
     "StochasticDeath",
+    "ScheduledIntervention",
+    "ImportCases",
+    "Vaccination",
+    "Lockdown",
 ]
 
 
@@ -179,6 +184,19 @@ class Infection(Behavior):
         roll = sim.random.rng.random(len(susceptible)) < self.probability
         state[susceptible[roll]] = self.INFECTED
 
+    def next_fire(self, sim, idx: np.ndarray):
+        """Asleep while no attached agent is infected.
+
+        With zero infected, :meth:`run` early-returns before any RNG
+        draw or column write — the pure-no-op contract — so the event
+        scheduler may skip the dispatch (and whole quiescent stretches)
+        bit for bit.  Any state mutation re-evaluates this answer.
+        """
+        state = sim.rm.data["state"]
+        if np.any(state[idx] == self.INFECTED):
+            return None
+        return np.inf
+
 
 class Recovery(Behavior):
     """Infected agents recover with a per-iteration probability."""
@@ -195,6 +213,15 @@ class Recovery(Behavior):
         infected = idx[state[idx] == Infection.INFECTED]
         roll = sim.random.rng.random(len(infected)) < self.probability
         state[infected[roll]] = Infection.RECOVERED
+
+    def next_fire(self, sim, idx: np.ndarray):
+        """Asleep while no attached agent is infected (zero-size RNG
+        draws do not advance generator state, so the skipped dispatch is
+        a bitwise no-op)."""
+        state = sim.rm.data["state"]
+        if np.any(state[idx] == Infection.INFECTED):
+            return None
+        return np.inf
 
 
 class Confinement(Behavior):
@@ -227,6 +254,119 @@ class Confinement(Behavior):
         direction = delta[outside] / dist[outside, None]
         rm.positions[sel] -= direction * pull[:, None]
         rm.data["moved"][sel] = True
+
+
+class ScheduledIntervention(Behavior):
+    """Base for behaviors that fire only at scheduled iterations.
+
+    :meth:`run` is a pure no-op (no RNG draws, no column writes) on
+    every non-scheduled tick, and :meth:`next_fire` announces the next
+    scheduled iteration — the pair of guarantees that lets the event
+    scheduler defer the dispatch and jump the stretches in between while
+    staying bitwise identical to running every tick.  Subclasses
+    implement :meth:`apply`.
+    """
+
+    name = "scheduled_intervention"
+    compute_ops_per_agent = 4.0
+
+    def __init__(self, at_iterations):
+        self.at_iterations = tuple(sorted(int(t) for t in at_iterations))
+        if any(t < 0 for t in self.at_iterations):
+            raise ValueError("scheduled iterations must be >= 0")
+        self._schedule = frozenset(self.at_iterations)
+
+    def run(self, sim, idx: np.ndarray) -> None:
+        """Invoke :meth:`apply` on scheduled ticks; no-op otherwise."""
+        if sim.scheduler.iteration in self._schedule:
+            self.apply(sim, idx)
+
+    def apply(self, sim, idx: np.ndarray) -> None:  # pragma: no cover
+        """The intervention itself, executed at each scheduled tick."""
+        raise NotImplementedError
+
+    def next_fire(self, sim, idx: np.ndarray):
+        """The next scheduled iteration ≥ now (``inf`` when exhausted)."""
+        now = sim.scheduler.iteration
+        for t in self.at_iterations:
+            if t >= now:
+                return float(t)
+        return np.inf
+
+
+class ImportCases(ScheduledIntervention):
+    """Scheduled case importation (epidemiology): at each scheduled
+    iteration, up to ``cases`` susceptible agents — chosen uniformly —
+    become infected (travel-seeded outbreak waves)."""
+
+    name = "import_cases"
+
+    def __init__(self, at_iterations, cases: int = 1):
+        super().__init__(at_iterations)
+        if cases < 1:
+            raise ValueError("cases must be >= 1")
+        self.cases = int(cases)
+
+    def apply(self, sim, idx: np.ndarray) -> None:
+        state = sim.rm.data["state"]
+        susceptible = idx[state[idx] == Infection.SUSCEPTIBLE]
+        if len(susceptible) == 0:
+            return
+        k = min(self.cases, len(susceptible))
+        pick = sim.random.rng.choice(len(susceptible), size=k, replace=False)
+        state[susceptible[pick]] = Infection.INFECTED
+
+
+class Vaccination(ScheduledIntervention):
+    """Scheduled vaccination campaign: at each scheduled iteration, each
+    susceptible agent is immunized (→ recovered) with probability
+    ``fraction``."""
+
+    name = "vaccination"
+
+    def __init__(self, at_iterations, fraction: float = 0.2):
+        super().__init__(at_iterations)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        self.fraction = float(fraction)
+
+    def apply(self, sim, idx: np.ndarray) -> None:
+        state = sim.rm.data["state"]
+        susceptible = idx[state[idx] == Infection.SUSCEPTIBLE]
+        roll = sim.random.rng.random(len(susceptible)) < self.fraction
+        state[susceptible[roll]] = Infection.RECOVERED
+
+
+class Lockdown(ScheduledIntervention):
+    """Scheduled lockdown window: at ``start``, each susceptible agent
+    enters quarantine (state ``QUARANTINED``, invisible to
+    :class:`Infection`'s susceptible test) with probability ``fraction``;
+    at ``end``, quarantined agents return to susceptible.  All effect
+    state lives in the ``state`` column, so checkpoints and the state
+    checksum capture it."""
+
+    name = "lockdown"
+
+    QUARANTINED = 3
+
+    def __init__(self, start: int, end: int, fraction: float = 0.5):
+        if end <= start:
+            raise ValueError("lockdown end must be after start")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        super().__init__((start, end))
+        self.start, self.end = int(start), int(end)
+        self.fraction = float(fraction)
+
+    def apply(self, sim, idx: np.ndarray) -> None:
+        state = sim.rm.data["state"]
+        if sim.scheduler.iteration == self.start:
+            susceptible = idx[state[idx] == Infection.SUSCEPTIBLE]
+            roll = sim.random.rng.random(len(susceptible)) < self.fraction
+            state[susceptible[roll]] = self.QUARANTINED
+        else:
+            quarantined = idx[state[idx] == self.QUARANTINED]
+            state[quarantined] = Infection.SUSCEPTIBLE
 
 
 class StochasticDeath(Behavior):

@@ -1,0 +1,318 @@
+"""Event-driven quiescence scheduling (discrete events over the stepper).
+
+BioDynaMo's §5 optimizations — static-agent detection and per-operation
+frequencies — both exploit the observation that on most steps, most
+agents do nothing that changes state.  This module generalizes that into
+operation *scheduling*: instead of visiting every agent every tick and
+discovering there is nothing to do, the scheduler asks each behavior
+when it next needs to run (:meth:`repro.core.behavior.Behavior.next_fire`)
+and keeps a columnar wake-time array per behavior, merged with the
+cached dispatch index lists.  Two mechanisms fall out:
+
+1. **Deferred dispatch** — on a normal tick, a behavior is dispatched
+   only to agents whose wake time is ≤ the current iteration.  By the
+   ``next_fire`` contract (non-due runs are pure no-ops, supersets are
+   masked internally) this is bitwise identical to full dispatch, it
+   just skips the no-op work.  Deferrals surface as
+   ``events:deferred_dispatches``.
+
+2. **Quiescent-stretch jumps** — when the *global* next-event horizon
+   (earliest behavior wake, earliest due non-read-only operation, next
+   sort/invariant tick) lies beyond the current step and the scene is
+   mechanically inert (mechanics disabled, or every agent static under
+   §5 detection, with no stale neighbor state), the stepper advances
+   simulated time to the horizon in one jump: per skipped tick it
+   replays only the time-dependent state — read-only samplers
+   (``Operation.read_only``, e.g. timeseries) at exactly their due
+   ticks, diffusion via per-tick sub-stepping unless the grids are at a
+   bitwise fixed point (then skipped entirely), and the float time
+   accumulator tick by tick (``time += dt`` k times is *not*
+   ``time += k*dt`` in IEEE arithmetic) — without touching any per-agent
+   hot loop.  Jumps surface as ``events:jumps`` / ``events:skipped_steps``
+   / ``events:max_jump``.
+
+Correctness is anchored on facts the test-suite and ``verify --events``
+pin down:
+
+- zero-size numpy ``Generator`` draws do not advance bit-generator
+  state, so vectorized early-outs satisfy the no-op contract;
+- an all-static scene is a fixed point of ``update_static_flags`` and
+  the force/displace kernels write nothing, so skipping the mechanics
+  stage is bitwise exact;
+- the state checksum covers columns, grids, time, iteration, and RNG
+  state — derived caches (environment, CSR) are rebuilt on demand and
+  legally ignored by jumps.
+
+The layer is **off by default** (``Param.event_scheduling``) and
+enabled by ``Param.optimized()``; it never engages under a virtual
+machine (cost accounting must see every tick) or the distributed
+backend (shards assume every epoch passes through them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operation import AgentOperation, OpKind
+
+__all__ = ["EventScheduler", "next_due_tick", "DIFFUSION_SUBSTEP_CAP"]
+
+#: Upper bound on diffusion sub-steps replayed inside one jump when the
+#: grids are *not* at a fixed point ("capped sub-stepping"): a jump never
+#: buys more than this much grid work in one go; longer stretches are
+#: covered by chaining jumps, which re-amortizes the horizon check.
+DIFFUSION_SUBSTEP_CAP = 1024
+
+
+def next_due_tick(frequency: int, iteration: int) -> int:
+    """Smallest ``t >= iteration`` with ``(t + 1) % frequency == 0``.
+
+    The inverse of :meth:`repro.core.operation.Operation.due` — where an
+    operation on this frequency next fires, counting from ``iteration``.
+    """
+    return -(-(iteration + 1) // frequency) * frequency - 1
+
+
+class EventScheduler:
+    """Wake-time bookkeeping + jump execution for one :class:`Scheduler`.
+
+    Owned by the scheduler when ``Param.event_scheduling`` is on; all
+    state is derived (caches keyed on the ResourceManager's version
+    counters plus a local *quiet epoch*), so checkpoints need not know
+    this object exists.
+    """
+
+    def __init__(self, scheduler):
+        self._sched = scheduler
+        reg = scheduler.sim.obs.registry
+        reg.gauge("events:enabled").set(1)
+        self._jumps = reg.counter("events:jumps")
+        self._skipped = reg.counter("events:skipped_steps")
+        self._deferred = reg.counter("events:deferred_dispatches")
+        self._max_jump = reg.gauge("events:max_jump")
+        #: Bumps whenever simulation state may have changed: after every
+        #: executed tick and after every mutating behavior/operation
+        #: *within* a tick (so a wake array computed before an earlier
+        #: behavior ran is never reused after it mutated state).
+        self._epoch = 0
+        #: ``{behavior_bit: (key, wake_array_or_None)}`` — the columnar
+        #: wake-time arrays, aligned with the cached dispatch index lists
+        #: and invalidated by the same version counters (plus the epoch).
+        self._wake_cache: dict[int, tuple] = {}
+        #: ``(epoch, bool)`` — whether every diffusion grid was at a
+        #: bitwise fixed point of one tick's sub-step sequence when last
+        #: probed; valid only while the epoch is unchanged.
+        self._grids_fixed: tuple | None = None
+
+    # -- invalidation hooks (called by the scheduler) -------------------- #
+
+    def note_state_change(self) -> None:
+        """Invalidate wake/fixed-point caches: state may have mutated."""
+        self._epoch += 1
+
+    # -- per-dispatch filtering ------------------------------------------ #
+
+    def _wake_values(self, behavior, bit, idx):
+        """Cached wake-time column for ``behavior`` over ``idx``.
+
+        ``None`` means "due every tick".  Scalars broadcast to the
+        cohort; arrays must align with ``idx``.
+        """
+        rm = self._sched.sim.rm
+        key = (rm.structure_version, rm.mask_version, rm.n, self._epoch)
+        hit = self._wake_cache.get(bit)
+        if hit is not None and hit[0] == key:
+            return hit[1]
+        wake = behavior.next_fire(self._sched.sim, idx)
+        if wake is not None:
+            wake = np.asarray(wake, dtype=np.float64)
+            if wake.ndim == 0:
+                wake = np.full(idx.shape, float(wake))
+            elif wake.shape != idx.shape:
+                raise ValueError(
+                    f"{behavior!r}.next_fire returned shape {wake.shape}, "
+                    f"expected a scalar or shape {idx.shape}"
+                )
+        self._wake_cache[bit] = (key, wake)
+        return wake
+
+    def filter_due(self, behavior, bit, idx):
+        """Subset of ``idx`` whose wake time is ≤ the current iteration."""
+        wake = self._wake_values(behavior, bit, idx)
+        if wake is None:
+            return idx
+        due = wake <= self._sched.iteration
+        n_due = int(due.sum())
+        if n_due == len(idx):
+            return idx
+        self._deferred.inc(len(idx) - n_due)
+        return idx[due] if n_due else idx[:0]
+
+    # -- horizon --------------------------------------------------------- #
+
+    def _mechanics_quiescent(self) -> bool:
+        """Whether skipping the mechanics stage is bitwise exact.
+
+        True when mechanics is off or §5 detection proves every agent
+        static: zero forces → the displace kernel writes nothing and
+        ``update_static_flags`` returns all-static again (a fixed point),
+        so neither positions, flags, nor any counter in the checksum can
+        change.
+        """
+        sim = self._sched.sim
+        if not sim.mechanics_enabled or sim.rm.n == 0:
+            return True
+        p = sim.param
+        if not (p.detect_static_agents and sim.force.supports_static_detection):
+            return False
+        return bool(sim.rm.data["static"].all())
+
+    def _horizon(self, limit: int) -> float:
+        """First iteration ≥ now at which a normal tick must run.
+
+        Returns ``now`` (no jump) unless every per-tick stage is provably
+        inert until the returned iteration; ``limit`` caps the search so
+        callers never jump past their step budget.
+        """
+        sched = self._sched
+        sim = sched.sim
+        rm = sim.rm
+        p = sim.param
+        now = sched.iteration
+        if sim.visualize_callback is not None:
+            return now
+        if rm.pending_additions or rm.pending_removals:
+            return now
+        # Stale derived neighbor state: a normal tick would rebuild the
+        # environment before anything reads it; a jump would not, so any
+        # read-only sampler calling sim.neighbors() mid-jump could see
+        # pre-move pairs.  Cheap and conservative: no jump until rebuilt.
+        if sched._moved_since_build and sched._needs_neighbors():
+            return now
+        if not self._mechanics_quiescent():
+            return now
+        h = float(limit)
+        for behavior, bit in sim.behaviors:
+            idx = sched._behavior_indices(rm, bit)
+            if len(idx) == 0:
+                continue
+            wake = self._wake_values(behavior, bit, idx)
+            if wake is None:
+                return now
+            w = float(wake.min())
+            if w <= now:
+                return now
+            h = min(h, w)
+        for op in sim.operations:
+            # getattr: operations are duck-typed (read_only is optional).
+            if getattr(op, "read_only", False) \
+                    and not isinstance(op, AgentOperation):
+                continue  # replayed at its due ticks inside the jump
+            nd = next_due_tick(op.frequency, now)
+            if nd <= now:
+                return now
+            h = min(h, float(nd))
+        for freq in (p.agent_sort_frequency, p.check_invariants_frequency):
+            if freq > 0:
+                nd = next_due_tick(freq, now)
+                if nd <= now:
+                    return now
+                h = min(h, float(nd))
+        return h
+
+    # -- jump execution --------------------------------------------------- #
+
+    def _run_read_only_ops(self, kind: OpKind) -> None:
+        """Replay due read-only standalone operations for this tick."""
+        sched = self._sched
+        sim = sched.sim
+        for op in sim.operations:
+            if op.kind is not kind or isinstance(op, AgentOperation):
+                continue
+            if not getattr(op, "read_only", False) \
+                    or not op.due(sched.iteration):
+                continue
+            with sim.obs.stage(op.name):
+                op.run(sim)
+
+    def _step_grids_one_tick(self, grids) -> None:
+        """Exactly the scheduler's per-tick diffusion sub-step sequence."""
+        sim = self._sched.sim
+        dt = sim.param.simulation_time_step
+        kernels = getattr(sim, "kernels", None)
+        for grid in grids:
+            steps = max(1, int(np.ceil(dt / grid.stable_time_step())))
+            sub_dt = dt / steps
+            for _ in range(steps):
+                grid.step(sub_dt, kernels=kernels)
+
+    def _jump_diffusion(self, grids) -> None:
+        """One skipped tick's diffusion: replay, or skip at a fixed point.
+
+        The first replayed tick after any state change doubles as the
+        fixed-point probe — if one full tick leaves every grid bitwise
+        unchanged, ``f(c) == c`` and all later skipped ticks need no grid
+        work at all (the closed form of the multi-step).
+        """
+        cached = self._grids_fixed
+        probe = cached is None or cached[0] != self._epoch
+        if not probe and cached[1]:
+            return
+        before = [g.concentration.tobytes() for g in grids] if probe else None
+        self._step_grids_one_tick(grids)
+        if probe:
+            fixed = all(
+                g.concentration.tobytes() == b
+                for g, b in zip(grids, before)
+            )
+            self._grids_fixed = (self._epoch, fixed)
+
+    def try_jump(self, max_ticks: int) -> int:
+        """Jump over a provably-inert stretch; return ticks consumed (0 =
+        not quiescent, run a normal tick instead)."""
+        sched = self._sched
+        sim = sched.sim
+        now = sched.iteration
+        limit = now + int(max_ticks)
+        h = self._horizon(limit)
+        k = int(min(h, float(limit))) - now
+        if k < 1:
+            return 0
+        grids = list(sim.diffusion_grids.values())
+        if grids:
+            cached = self._grids_fixed
+            if cached is None or cached[0] != self._epoch or not cached[1]:
+                # Capped sub-stepping: bound the grid work bought by one
+                # jump; chained jumps cover longer stretches.
+                per_tick = sum(
+                    max(1, int(np.ceil(
+                        sim.param.simulation_time_step / g.stable_time_step()
+                    )))
+                    for g in grids
+                )
+                k = max(1, min(k, DIFFUSION_SUBSTEP_CAP // max(per_tick, 1)))
+        dt = sim.param.simulation_time_step
+        with sim.obs.tracer.span(
+            "events_jump", cat="scheduler", iteration=now, ticks=k
+        ):
+            for _ in range(k):
+                # Mirrors one _iterate_stages pass over everything a
+                # quiescent tick still does, in stage order; the float
+                # time accumulator must advance tick by tick for bitwise
+                # identity.
+                self._run_read_only_ops(OpKind.PRE)
+                if grids:
+                    self._jump_diffusion(grids)
+                self._run_read_only_ops(OpKind.STANDALONE)
+                sim.time += dt
+                self._run_read_only_ops(OpKind.POST)
+                sched.iteration += 1
+        sched._iterations_done.inc(k)
+        sched.peak_memory_bytes = max(
+            sched.peak_memory_bytes, sim.memory_bytes()
+        )
+        self._jumps.inc()
+        self._skipped.inc(k)
+        if k > self._max_jump.value:
+            self._max_jump.set(k)
+        return k

@@ -53,6 +53,12 @@ class Operation:
     frequency: int = 1
     compute_ops: float = 1000.0
     parallelizable: bool = False
+    #: Declares that :meth:`run` only *observes* the simulation (samplers,
+    #: exporters): no column writes, no RNG draws, no structural changes.
+    #: Read-only operations are replayed at their due ticks inside an
+    #: event-scheduling horizon jump (:mod:`repro.core.events`); any
+    #: operation without this flag caps the jump at its next due tick.
+    read_only: bool = False
 
     def __init__(self, frequency: int | None = None):
         if frequency is not None:

@@ -96,6 +96,14 @@ class Param:
     #: through reusable shared-memory segments), or "socket"
     #: (length-prefixed stream framing — the multi-node wire stub).
     distributed_transport: str = "pipe"
+    #: Bind endpoint (``"host:port"``) for the socket transport's
+    #: listener.  Empty (the default) keeps today's in-process
+    #: ``socketpair`` — the localhost stub.  A non-empty endpoint makes
+    #: the host side bind a real listening socket (shard ``s`` uses
+    #: ``port + s`` when ``port`` is non-zero; ``port`` 0 picks an
+    #: ephemeral port per shard) — the first step toward shards on other
+    #: hosts.  Ignored by the pipe/shm transports.
+    distributed_endpoint: str = ""
     #: Array-kernel implementation for the three hot kernels (CSR force,
     #: displacement integration, diffusion stencil): "numpy" (the bitwise
     #: reference and default), "numba" (JIT-compiled CPU), "cupy" (GPU),
@@ -143,6 +151,16 @@ class Param:
     #: ``verify.replay.arena_equivalence``); turning it off selects that
     #: per-column path as the A/B baseline.
     soa_arena: bool = True
+    #: Event-driven quiescence scheduling (:mod:`repro.core.events`):
+    #: behaviors declare per-agent wake times (``Behavior.next_fire``),
+    #: the scheduler dispatches only due agents, and provably-inert
+    #: stretches are consumed as one horizon jump that replays only
+    #: time-dependent state (read-only samplers, diffusion, the time
+    #: accumulator).  Bitwise identical to tick-stepping (enforced by
+    #: ``verify.replay.events_equivalence``); off by default, enabled by
+    #: :meth:`optimized`.  Never engages under a virtual machine or the
+    #: distributed backend.
+    event_scheduling: bool = False
 
     # --- Memory layout (O4, O5) --------------------------------------------
     agent_sort_frequency: int = 10         # 0 disables sorting; 1 = every iter
@@ -251,6 +269,7 @@ class Param:
         reference on wheel-less boxes — never an ImportError.
         """
         overrides.setdefault("kernel_backend", "auto")
+        overrides.setdefault("event_scheduling", True)
         cls._reject_unknown(overrides)
         return cls(**overrides)
 
@@ -347,6 +366,14 @@ class Param:
                 f"{self.distributed_transport!r}; choose pipe, shm, or "
                 f"socket"
             )
+        if self.distributed_endpoint:
+            host, sep, port = self.distributed_endpoint.rpartition(":")
+            if not sep or not host or not port.isdigit() \
+                    or not 0 <= int(port) <= 65535:
+                raise ParamError(
+                    f"distributed_endpoint must be 'host:port' (port "
+                    f"0-65535), got {self.distributed_endpoint!r}"
+                )
         kernel_backends = ("numpy", "numba", "cupy", "auto")
         if self.kernel_backend not in kernel_backends:
             close = difflib.get_close_matches(

@@ -137,6 +137,20 @@ class Scheduler:
         #: dispatched exactly like the uncached per-behavior scan.
         self._mask_cache: dict[int, np.ndarray] = {}
         self._mask_cache_key = None
+        # --- Event-driven quiescence scheduling (repro.core.events).
+        #: Wake-time bookkeeping + jump executor, or None when disabled.
+        #: Never engages under a virtual machine (every tick must be
+        #: charged) or the distributed backend (shards assume every epoch
+        #: passes through them).
+        self.events = None
+        if (
+            sim.param.event_scheduling
+            and sim.machine is None
+            and sim.param.execution_backend in ("serial", "process")
+        ):
+            from repro.core.events import EventScheduler
+
+            self.events = EventScheduler(self)
 
     # Registry-backed views of the scheduler's former bespoke tallies. -- #
 
@@ -162,8 +176,27 @@ class Scheduler:
 
     def simulate(self, iterations: int) -> None:
         """Run Algorithm 1 for ``iterations`` time steps."""
-        for _ in range(iterations):
-            self._iterate()
+        remaining = int(iterations)
+        while remaining > 0:
+            remaining -= self.advance(remaining)
+
+    def advance(self, max_ticks: int = 1) -> int:
+        """Advance by one scheduling quantum; return ticks consumed.
+
+        With event scheduling enabled, a provably-inert stretch is
+        consumed as one horizon jump (up to ``max_ticks`` ticks, O(1)
+        per-agent work); otherwise exactly one normal tick runs.  This is
+        the primitive the serve layer's background advance loops on, so
+        idle sessions cost one jump per lock hold instead of one tick.
+        """
+        if max_ticks <= 0:
+            return 0
+        if self.events is not None:
+            jumped = self.events.try_jump(max_ticks)
+            if jumped:
+                return jumped
+        self._iterate()
+        return 1
 
     # ------------------------------------------------------------------ #
     # Cost-charging helpers
@@ -287,6 +320,10 @@ class Scheduler:
         self._iterations_done.inc()
         self.iteration += 1
         self.peak_memory_bytes = max(self.peak_memory_bytes, sim.memory_bytes())
+        if self.events is not None:
+            # Anything may have mutated this tick: drop wake-time and
+            # diffusion fixed-point caches (recomputed lazily).
+            self.events.note_state_change()
 
     def _iterate_stages(self) -> None:
         sim = self.sim
@@ -715,7 +752,17 @@ class Scheduler:
                 idx = self._behavior_indices(rm, bit)
                 if len(idx) == 0:
                     continue
+                if self.events is not None:
+                    # Event-driven dispatch: only agents whose wake time
+                    # is due (bitwise identical by the next_fire
+                    # contract).  Evaluated here — not at tick start — so
+                    # mutations by earlier behaviors this tick are seen.
+                    idx = self.events.filter_due(behavior, bit, idx)
+                    if len(idx) == 0:
+                        continue
                 behavior.run(sim, idx)
+                if self.events is not None:
+                    self.events.note_state_change()
                 if charge:
                     cycles[idx] += cm.compute_cycles(behavior.compute_ops_per_agent) + own_stream
                     mem[idx] += own_stream
@@ -822,6 +869,9 @@ class Scheduler:
                 continue
             with self._obs.stage(op.name):
                 op.run(sim)
+            # getattr: operations are duck-typed (read_only is optional).
+            if self.events is not None and not getattr(op, "read_only", False):
+                self.events.note_state_change()
             if m is None:
                 continue
             cm = m.cost_model
@@ -843,6 +893,8 @@ class Scheduler:
             if not isinstance(op, AgentOperation) or not op.due(self.iteration):
                 continue
             sim.backend.run_agent_operation(sim, op)
+            if self.events is not None:
+                self.events.note_state_change()
             if cm is not None and cycles is not None:
                 own = cm.stream_cycles(sim.rm.agent_size_bytes)
                 cycles += cm.compute_cycles(op.compute_ops_per_agent) + own

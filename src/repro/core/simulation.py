@@ -369,6 +369,31 @@ class Simulation:
         finally:
             self._state = SimulationState.PAUSED
 
+    def advance(self, max_ticks: int) -> int:
+        """Advance by one scheduling quantum (≤ ``max_ticks`` ticks).
+
+        With ``Param.event_scheduling`` a quiescent stretch is consumed
+        as a single horizon jump; otherwise exactly one tick runs.
+        Returns the number of ticks consumed (0 if ``max_ticks <= 0``).
+        Same lifecycle rules as :meth:`simulate`.
+        """
+        if max_ticks <= 0:
+            return 0
+        if self._state is SimulationState.CLOSED:
+            raise LifecycleError(
+                f"cannot step simulation {self.name!r}: it is closed"
+            )
+        if self._state is SimulationState.RUNNING:
+            raise LifecycleError(
+                f"cannot step simulation {self.name!r}: a simulate() call "
+                "is already in progress (re-entrant stepping is forbidden)"
+            )
+        self._state = SimulationState.RUNNING
+        try:
+            return self.scheduler.advance(int(max_ticks))
+        finally:
+            self._state = SimulationState.PAUSED
+
     def close(self) -> None:
         """Release execution-backend resources (worker processes, shared
         memory) and transition to ``CLOSED``.  Idempotent — closing twice

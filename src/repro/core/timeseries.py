@@ -33,6 +33,10 @@ class TimeSeriesOperation(Operation):
     name = "time_series"
     kind = OpKind.POST
     compute_ops = 200.0
+    # Collectors must be pure observers (the documented contract); the
+    # event scheduler then samples them at exactly their due ticks while
+    # jumping over quiescent stretches.
+    read_only = True
 
     def __init__(self, frequency: int = 1):
         super().__init__(frequency)

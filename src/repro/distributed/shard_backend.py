@@ -303,6 +303,22 @@ class DistributedBackend(ExecutionBackend):
 
     # -- pool lifecycle ------------------------------------------------- #
 
+    def _shard_endpoint(self, shard: int) -> str:
+        """Bind address for one shard's socket transport link.
+
+        ``Param.distributed_endpoint`` names the base ``host:port``;
+        each shard listens one port higher than the last so the links
+        stay distinguishable (port 0 stays 0 — the OS hands every shard
+        its own ephemeral port).  Empty endpoint or a non-socket
+        transport → empty string (the socketpair stub / ignored).
+        """
+        endpoint = self.sim.param.distributed_endpoint
+        if not endpoint or self.transport_kind != "socket":
+            return ""
+        host, _, port_text = endpoint.rpartition(":")
+        port = int(port_text)
+        return f"{host}:{port + shard if port else 0}"
+
     def _start(self) -> None:
         if mp.current_process().daemon:
             raise BackendError(
@@ -322,7 +338,9 @@ class DistributedBackend(ExecutionBackend):
             resource_tracker.ensure_running()
         box_factor = getattr(self.sim.env, "box_length_factor", 1.0)
         for s in range(self.num_shards):
-            host_end, shard_end = make_transport(self.transport_kind)
+            host_end, shard_end = make_transport(
+                self.transport_kind, self._shard_endpoint(s)
+            )
             proc = self._ctx.Process(
                 target=shard_main,
                 args=(s, shard_end, box_factor),

@@ -19,13 +19,18 @@ Three implementations:
   (grown amortized-doubling, reused across epochs).  The strict
   request/reply alternation of the two-phase step protocol guarantees a
   segment is consumed before the sender reuses it.
-- :class:`SocketTransport`: a length-prefixed ``socketpair`` — the
-  byte-level framing a real multi-node deployment would speak over TCP;
-  here both ends live on one box (the documented multi-node stub).
+- :class:`SocketTransport`: length-prefixed frames over a stream
+  socket — the byte-level framing a real multi-node deployment would
+  speak over TCP.  By default both ends are paired with
+  ``socket.socketpair()`` (the single-box stub); with
+  ``Param.distributed_endpoint`` set to ``"host:port"`` the pair is
+  established through a real TCP listener bound at that address, so
+  the bind host is configurable (first step toward multi-node, where
+  the connect side would run on another machine).
 
-``make_transport(kind)`` returns a connected ``(host_end, shard_end)``
-pair; with the fork start method the shard end is inherited by the
-worker process as-is.
+``make_transport(kind, endpoint="")`` returns a connected
+``(host_end, shard_end)`` pair; with the fork start method the shard
+end is inherited by the worker process as-is.
 """
 
 from __future__ import annotations
@@ -254,20 +259,48 @@ def _pipe_pair(cls):
     return cls(a), cls(b)
 
 
-def _socket_pair():
-    a, b = socket.socketpair()
+def _socket_pair(endpoint: str = ""):
+    if not endpoint:
+        a, b = socket.socketpair()
+        return SocketTransport(a), SocketTransport(b)
+    host, _, port_text = endpoint.rpartition(":")
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((host, int(port_text)))
+        except OSError as exc:
+            raise TransportError(
+                f"cannot bind socket transport at {endpoint!r}: {exc}"
+            ) from exc
+        listener.listen(1)
+        # Connect-then-accept against our own listener: both ends live
+        # in this process (the shard end is inherited across fork), but
+        # the link is a real TCP connection at a configurable bind
+        # address — the multi-node shape, minus the remote connect.
+        b = socket.create_connection(listener.getsockname(), timeout=10.0)
+        a, _peer = listener.accept()
+    finally:
+        listener.close()
+    a.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    b.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     return SocketTransport(a), SocketTransport(b)
 
 
 TRANSPORTS = {
-    "pipe": lambda: _pipe_pair(PipeTransport),
-    "shm": lambda: _pipe_pair(ShmTransport),
+    "pipe": lambda endpoint="": _pipe_pair(PipeTransport),
+    "shm": lambda endpoint="": _pipe_pair(ShmTransport),
     "socket": _socket_pair,
 }
 
 
-def make_transport(kind: str):
-    """Connected ``(host_end, shard_end)`` pair of the requested kind."""
+def make_transport(kind: str, endpoint: str = ""):
+    """Connected ``(host_end, shard_end)`` pair of the requested kind.
+
+    ``endpoint`` (``"host:port"``) only affects the socket transport:
+    it selects the TCP bind address (port 0 = ephemeral); the pipe and
+    shm transports are process-local and ignore it.
+    """
     try:
         factory = TRANSPORTS[kind]
     except KeyError:
@@ -275,4 +308,4 @@ def make_transport(kind: str):
             f"unknown distributed transport {kind!r}; choose one of "
             f"{', '.join(sorted(TRANSPORTS))}"
         ) from None
-    return factory()
+    return factory(endpoint)

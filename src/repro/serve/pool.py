@@ -153,6 +153,11 @@ class SessionPool:
         self._active = reg.gauge("serve:sessions_active")
         self._created = reg.counter("serve:sessions_created")
         self._steps = reg.counter("serve:steps_total")
+        #: Ticks consumed by background advance beyond one per RPC — the
+        #: idle-session steps that event-scheduling horizon jumps made
+        #: O(1) (see HostedSession.step_chunk).
+        self._jumped_steps = reg.counter("serve:advance_jumped_steps")
+        self._advance_chunks = reg.counter("serve:advance_chunks")
         self._evictions = reg.counter("serve:evictions")
         self._resumes = reg.counter("serve:resume_count")
         self._owns_spool = spool_dir is None
@@ -440,22 +445,31 @@ class SessionPool:
                      detail=f"advancing {int(req.steps)} steps")
 
     def _advance_loop(self, rec: _Session, steps: int) -> None:
-        # One iteration per lock acquisition: snapshots (and the delete/
-        # detach paths, which clear ``advancing``) interleave freely.
+        # One scheduling quantum per lock acquisition: snapshots (and the
+        # delete/detach paths, which clear ``advancing``) interleave
+        # freely.  A quantum is a single tick — or one event-scheduling
+        # horizon jump covering many ticks when the session is quiescent,
+        # so idle tenants cost one RPC per jump instead of per tick.
+        remaining = int(steps)
         try:
-            for _ in range(steps):
+            while remaining > 0:
                 with rec.lock:
                     if rec.deleted or not rec.advancing or not rec.resident:
                         break
                     payload = self._call(
-                        rec.worker, ("step", rec.sid, 1, False)
+                        rec.worker, ("step_chunk", rec.sid, remaining)
                     )
                     rec.status = {
                         k: payload[k]
                         for k in ("iteration", "time", "n_agents")
                     }
                     self._touch(rec)
-                self._steps.inc()
+                done = max(1, int(payload["steps_done"]))
+                remaining -= done
+                self._steps.inc(done)
+                self._advance_chunks.inc()
+                if done > 1:
+                    self._jumped_steps.inc(done - 1)
         except _WorkerError:
             pass
         finally:

@@ -21,6 +21,7 @@ Worker command set (host → inbox)::
     ("create",     sid, spec)                 build from the registry
     ("restore",    sid, spec, ckpt_path)      rebuild + restore_checkpoint
     ("step",       sid, steps, want_checksum)
+    ("step_chunk", sid, max_steps)            one scheduling quantum
     ("run_to",     sid, tick, want_checksum)
     ("snapshot",   sid, include_timeseries)
     ("checkpoint", sid, path, extra_meta)
@@ -160,6 +161,21 @@ class HostedSession:
         out["checksum"] = self.checksum() if want_checksum else ""
         return out
 
+    def step_chunk(self, max_steps: int) -> dict:
+        """Advance by one scheduling quantum (≤ ``max_steps`` ticks).
+
+        One normal tick — or, when the session's parameters enable
+        ``event_scheduling`` and the scene is quiescent, one horizon jump
+        covering up to ``max_steps`` ticks at O(1) cost.  The pool's
+        background advance loops on this so idle sessions cost one RPC
+        per jump instead of one per tick.
+        """
+        done = self.sim.advance(int(max_steps))
+        out = self.status()
+        out["steps_done"] = int(done)
+        out["checksum"] = ""
+        return out
+
     def run_to(self, tick: int, want_checksum: bool) -> dict:
         """Step forward until ``tick`` (never backwards)."""
         steps = max(0, int(tick) - int(self.sim.scheduler.iteration))
@@ -244,6 +260,8 @@ def serve_worker_main(worker_id: int, inbox, replies) -> None:
                 replies.put(("ok", sid, sessions[sid].status()))
             elif op == "step":
                 replies.put(("ok", sid, sessions[sid].step(msg[2], msg[3])))
+            elif op == "step_chunk":
+                replies.put(("ok", sid, sessions[sid].step_chunk(msg[2])))
             elif op == "run_to":
                 replies.put(("ok", sid, sessions[sid].run_to(msg[2], msg[3])))
             elif op == "snapshot":

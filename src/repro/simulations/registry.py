@@ -7,6 +7,9 @@ from repro.simulations.cell_clustering import CellClustering
 from repro.simulations.cell_proliferation import CellProliferation
 from repro.simulations.cell_sorting import CellSorting
 from repro.simulations.epidemiology import Epidemiology
+from repro.simulations.epidemiology_interventions import (
+    EpidemiologyInterventions,
+)
 from repro.simulations.neuroscience import Neuroscience
 from repro.simulations.oncology import Oncology
 
@@ -36,6 +39,9 @@ _REGISTRY: dict[str, type[BenchmarkSimulation]] = {
         Neuroscience,
         Oncology,
         CellSorting,
+        # Scenario pack (not part of the paper's Table 1): event-driven
+        # workloads reachable by name via bench/verify/serve.
+        EpidemiologyInterventions,
     )
 }
 

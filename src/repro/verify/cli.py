@@ -38,6 +38,13 @@ Runs, in order and as selected by flags:
   over {models} × {seeds} × {shard counts}, with anti-vacuous proof
   that agents actually migrated between shards and halo ghosts existed.
 
+- **event-scheduling equivalence**: the quiescence-scheduling check —
+  deferred behavior dispatch and horizon jumps
+  (``Param(event_scheduling=True)``) must leave per-step checksums
+  bitwise identical to tick-by-tick stepping, on both backends, with
+  anti-vacuous proof that a multi-step jump actually happened and at
+  least one dispatch was deferred.
+
 With no flags everything runs at smoke-test sizes.  ``--fuzz N``,
 ``--oracle``, ``--replay MODEL``, ``--kernels`` and ``--distributed``
 select individual sections (and scale them), which is what CI uses::
@@ -47,6 +54,7 @@ select individual sections (and scale them), which is what CI uses::
     python -m repro verify --replay oncology --steps 10
     python -m repro verify --kernels
     python -m repro verify --distributed
+    python -m repro verify --events
 
 Exit status is 0 only when every selected check passes.
 """
@@ -80,6 +88,13 @@ KERNEL_EQUIVALENCE_MODELS = ("cell_proliferation", "oncology")
 #: churn across shard boundaries).
 DISTRIBUTED_MODELS = ("cell_proliferation", "oncology")
 DISTRIBUTED_SHARD_COUNTS = (2, 4)
+
+#: Models the event-scheduling equivalence check runs: one
+#: burst-quiescent scenario (interventions fire, the epidemic burns out
+#: between them → multi-step jumps + deferred dispatch) and one
+#: always-dynamic control (growth every tick → the layer must stay
+#: provably inert).
+EVENTS_MODELS = ("epidemiology_interventions", "oncology")
 
 
 def _positive_int(text: str) -> int:
@@ -121,6 +136,10 @@ def add_verify_parser(sub):
                    help="run the session-server equivalence section "
                         "(served sessions, incl. a forced evict/resume "
                         "cycle, bitwise vs direct runs)")
+    p.add_argument("--events", action="store_true",
+                   help="run the event-scheduling equivalence section "
+                        "(deferred dispatch + horizon jumps, bitwise vs "
+                        "tick-by-tick stepping, anti-vacuous jump proof)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--configs", type=_positive_int, default=50,
                    help="oracle configurations (default 50)")
@@ -194,6 +213,16 @@ def _run_replay(args, model: str) -> bool:
     return report.ok and traced.ok and cached.ok
 
 
+def _run_events(args) -> bool:
+    from repro.verify.replay import events_equivalence
+
+    t0 = time.perf_counter()
+    report = events_equivalence(models=EVENTS_MODELS)
+    dt = time.perf_counter() - t0
+    print(report.render() + f" ({dt:.1f}s)")
+    return report.ok
+
+
 def _run_serve_equivalence(args) -> bool:
     from repro.verify.replay import serve_equivalence
 
@@ -265,7 +294,7 @@ def run_verify(args) -> int:
     """Execute the selected (or, with no flags, all) verification sections."""
     selected = ((args.fuzz is not None) or args.oracle
                 or (args.replay is not None) or args.kernels
-                or args.serve or args.distributed)
+                or args.serve or args.distributed or args.events)
     ok = True
     if not selected or args.oracle:
         _section("differential oracle")
@@ -289,6 +318,9 @@ def run_verify(args) -> int:
     if not selected or args.distributed:
         _section("distributed equivalence")
         ok &= _run_distributed(args)
+    if not selected or args.events:
+        _section("event-scheduling equivalence")
+        ok &= _run_events(args)
     if not selected or args.serve:
         _section("served-session equivalence")
         ok &= _run_serve_equivalence(args)

@@ -56,6 +56,16 @@ transparently resumed (possibly on a different worker)**, must produce
 per-step checksums bitwise identical to a direct in-process
 ``Simulation`` run — the hosting layer (shm arenas, forked workers,
 spool round trips, the wire protocol) must be invisible to the physics.
+
+:func:`events_equivalence` applies it to event-driven quiescence
+scheduling (:mod:`repro.core.events`): deferring behavior dispatch by
+``next_fire`` wake times and jumping simulated time over provably-inert
+stretches both promise bitwise identity with tick-by-tick stepping — so
+per-step checksums with ``Param(event_scheduling=...)`` on and off must
+be equal at every step, for every seed, on both backends, and a chunked
+events-on run (where multi-step jumps actually engage) must land on the
+same final checksum — with anti-vacuous proof that at least one
+multi-step jump happened and at least one dispatch was deferred.
 """
 
 from __future__ import annotations
@@ -84,6 +94,8 @@ __all__ = [
     "kernel_equivalence",
     "ServeEquivalenceReport",
     "serve_equivalence",
+    "EventsEquivalenceReport",
+    "events_equivalence",
 ]
 
 
@@ -1144,4 +1156,140 @@ def serve_equivalence(
         report.resumes = int(metrics.get("serve:resume_count", 0))
     finally:
         pool.shutdown()
+    return report
+
+
+# --------------------------------------------------------------------- #
+# Event-driven quiescence scheduling equivalence
+# --------------------------------------------------------------------- #
+
+@dataclass
+class EventsEquivalenceReport:
+    """Events-on vs events-off checksum comparison across backends/seeds.
+
+    Three legs per cell: an events-off per-step trace (the baseline), an
+    events-on per-step trace (full elementwise comparison — single-tick
+    jumps and deferred dispatch must be invisible), and an events-on
+    *chunked* leg (``simulate(steps)`` in one call, so multi-step horizon
+    jumps can engage) compared at the final state.
+    """
+
+    models: tuple
+    steps: int
+    workers: int
+    #: ``{(model, backend, seed): first diverging step or None}`` for the
+    #: per-step legs; the chunked leg records divergence as ``steps``.
+    divergences: dict[tuple[str, str, int], int | None] = field(
+        default_factory=dict
+    )
+    #: Horizon jumps taken across the chunked events-on runs; zero would
+    #: make a green comparison vacuous (the fast path never engaged).
+    jumps: int = 0
+    #: Largest single jump observed — must exceed 1 tick, or the layer
+    #: never actually skipped a stretch.
+    max_jump: int = 0
+    #: Per-agent behavior dispatches skipped via wake times; zero means
+    #: the ``next_fire`` machinery never deferred anything.
+    deferred_dispatches: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(d is None for d in self.divergences.values())
+            and self.jumps > 0
+            and self.max_jump >= 2
+            and self.deferred_dispatches > 0
+        )
+
+    def render(self) -> str:
+        """One line per (model, backend, seed): identical or divergence."""
+        lines = [
+            f"event scheduling equivalence {', '.join(self.models)}: "
+            f"events on vs off, {self.steps} steps, {self.jumps} jumps, "
+            f"max jump {self.max_jump}, "
+            f"{self.deferred_dispatches} deferred dispatches"
+        ]
+        if self.jumps == 0 or self.max_jump < 2:
+            lines.append("  VACUOUS: no multi-step horizon jump engaged")
+        if self.deferred_dispatches == 0:
+            lines.append("  VACUOUS: no behavior dispatch was deferred")
+        for (model, backend, seed), div in sorted(self.divergences.items()):
+            if div is None:
+                lines.append(
+                    f"  {model} {backend} seed {seed}: byte-identical"
+                )
+            else:
+                lines.append(
+                    f"  {model} {backend} seed {seed}: "
+                    f"DIVERGES at step {div}"
+                )
+        return "\n".join(lines)
+
+
+def events_equivalence(models=("epidemiology_interventions", "oncology"),
+                       num_agents: int = 200, steps: int = 60,
+                       seeds=(1, 2, 3), workers: int = 2,
+                       ) -> EventsEquivalenceReport:
+    """Assert event scheduling reproduces tick-by-tick stepping bitwise.
+
+    For every model, seed, and both execution backends, runs the model
+    events-off and events-on from the same seed and diffs the full
+    per-step :func:`~repro.verify.snapshot.state_checksum` trace (per-step
+    stepping exercises deferred dispatch and single-tick jump plumbing),
+    then replays the events-on run *chunked* — ``simulate(steps)`` in one
+    call — so quiescent stretches collapse into multi-step horizon jumps,
+    and compares the final checksum.  The report accumulates the engine's
+    own counters so a configuration where no jump or deferral ever
+    happens cannot pass vacuously: the default model mix pairs a
+    burst-quiescent scenario (``epidemiology_interventions`` burns out
+    between scheduled imports) with an always-dynamic control
+    (``oncology`` grows every tick, proving the layer stays inert when
+    there is nothing to skip).
+    """
+    from repro.simulations import get_simulation
+
+    report = EventsEquivalenceReport(
+        models=tuple(models), steps=steps, workers=workers
+    )
+
+    def trace(bench, backend, seed, events, chunked=False):
+        p = bench.default_param().with_(
+            execution_backend=backend, backend_workers=workers,
+            event_scheduling=events,
+        )
+        with bench.build(num_agents, param=p, seed=seed) as sim:
+            out = [state_checksum(sim)]
+            if chunked:
+                sim.simulate(steps)
+                out.append(state_checksum(sim))
+            else:
+                for _ in range(steps):
+                    sim.simulate(1)
+                    out.append(state_checksum(sim))
+            metrics = sim.obs.registry.snapshot()
+        return out, metrics
+
+    for model in models:
+        bench = get_simulation(model)
+        for backend in ("serial", "process"):
+            for seed in seeds:
+                off, _ = trace(bench, backend, seed, False)
+                on, m = trace(bench, backend, seed, True)
+                report.deferred_dispatches += int(
+                    m.get("events:deferred_dispatches", 0)
+                )
+                div = next(
+                    (i for i, (a, b) in enumerate(zip(off, on)) if a != b),
+                    None,
+                )
+                if div is None:
+                    chunk, cm = trace(bench, backend, seed, True,
+                                      chunked=True)
+                    report.jumps += int(cm.get("events:jumps", 0))
+                    report.max_jump = max(
+                        report.max_jump, int(cm.get("events:max_jump", 0))
+                    )
+                    if chunk[-1] != off[-1]:
+                        div = steps
+                report.divergences[(model, backend, seed)] = div
     return report

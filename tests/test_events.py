@@ -1,0 +1,265 @@
+"""Event-driven quiescence scheduling (``repro.core.events``).
+
+Covers the ISSUE 10 contract: all-static scenes fully skip the force
+kernels (flat ``kernel:calls``), horizon jumps are bitwise identical to
+tick-stepping, mid-run behavior attachment invalidates the wake-time
+columns, the timed-interventions scenario is golden-deterministic, the
+``distributed_endpoint`` plumbing works end to end, and served sessions
+advance idle stretches in O(1) RPCs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Param, Simulation
+from repro.core.behavior import Behavior
+from repro.core.behaviors_lib import Infection, Lockdown
+from repro.core.events import next_due_tick
+from repro.simulations import get_simulation
+from repro.verify.snapshot import state_checksum
+
+
+def _lattice_sim(events: bool, side: int = 4) -> Simulation:
+    """Contact-free lattice: zero forces, so §5 detection goes all-static
+    after the settle tick and the event horizon is open-ended."""
+    param = Param(event_scheduling=events, detect_static_agents=True,
+                  agent_sort_frequency=0)
+    sim = Simulation("lattice", param, seed=7)
+    g = np.arange(side) * 10.5
+    pos = np.stack(np.meshgrid(g, g, g, indexing="ij"), -1).reshape(-1, 3)
+    sim.add_cells(positions=pos, diameters=np.full(len(pos), 10.0))
+    return sim
+
+
+class AlwaysDue(Behavior):
+    """Default ``next_fire`` (every tick); counts its dispatches."""
+
+    name = "always_due"
+
+    def __init__(self):
+        self.calls = 0
+        self.agents_seen = 0
+
+    def run(self, sim, idx):
+        self.calls += 1
+        self.agents_seen += len(idx)
+
+
+class NeverDue(Behavior):
+    """Wakes at +inf — must never be dispatched under event scheduling."""
+
+    name = "never_due"
+
+    def __init__(self):
+        self.calls = 0
+
+    def run(self, sim, idx):
+        self.calls += 1
+
+    def next_fire(self, sim, idx):
+        return np.inf
+
+
+class TestNextDueTick:
+    def test_frequency_one_is_every_tick(self):
+        assert [next_due_tick(1, t) for t in range(4)] == [0, 1, 2, 3]
+
+    def test_matches_operation_due(self):
+        from repro.core.operation import Operation
+
+        op = Operation(frequency=7)
+        for now in range(30):
+            t = next_due_tick(7, now)
+            assert t >= now
+            assert op.due(t)
+            assert not any(op.due(u) for u in range(now, t))
+
+
+class TestAllStaticFullSkip:
+    def test_flat_kernel_calls_and_checksum(self):
+        with _lattice_sim(events=True) as sim:
+            kernel_calls = sim.obs.registry.snapshot
+            sim.simulate(3)  # settle: detection proves every agent static
+            before = kernel_calls()["kernel:calls"]
+            sim.simulate(25)
+            after = kernel_calls()
+            # The skipped stretch executed zero force-kernel calls and
+            # was covered by at least one multi-step jump.
+            assert after["kernel:calls"] == before
+            assert after["events:jumps"] >= 1
+            assert after["events:max_jump"] >= 2
+            on = state_checksum(sim)
+        with _lattice_sim(events=False) as sim:
+            sim.simulate(28)
+            assert state_checksum(sim) == on
+
+    def test_never_due_behavior_keeps_horizon_open(self):
+        with _lattice_sim(events=True) as sim:
+            never = NeverDue()
+            sim.attach_behavior(np.arange(sim.num_agents), never)
+            sim.simulate(20)
+            snap = sim.obs.registry.snapshot()
+            assert never.calls == 0
+            assert snap["events:jumps"] >= 1
+            assert snap["events:deferred_dispatches"] > 0
+
+
+class TestWakeColumnInvalidation:
+    def test_attach_mid_run_invalidates_wake_columns(self):
+        with _lattice_sim(events=True) as sim:
+            sim.attach_behavior(np.arange(sim.num_agents), NeverDue())
+            sim.simulate(10)
+            assert sim.obs.registry.snapshot()["events:jumps"] >= 1
+            # Attaching an every-tick behavior must invalidate the cached
+            # wake columns: it runs on the very next tick, and jumps stop.
+            counter = AlwaysDue()
+            sim.attach_behavior(np.arange(sim.num_agents), counter)
+            jumps_before = sim.obs.registry.snapshot()["events:jumps"]
+            sim.simulate(5)
+            assert counter.calls == 5
+            assert counter.agents_seen == 5 * sim.num_agents
+            assert (sim.obs.registry.snapshot()["events:jumps"]
+                    == jumps_before)
+            # Detaching it reopens the horizon: jumps resume.
+            sim.detach_behavior(np.arange(sim.num_agents), counter)
+            sim.simulate(10)
+            assert counter.calls == 5
+            assert (sim.obs.registry.snapshot()["events:jumps"]
+                    > jumps_before)
+
+    def test_advance_returns_ticks_consumed(self):
+        with _lattice_sim(events=True) as sim:
+            sim.simulate(3)
+            done = sim.advance(20)
+            assert done == 20  # one jump covers the whole budget
+            assert sim.scheduler.iteration == 23
+            assert sim.advance(0) == 0
+        with _lattice_sim(events=False) as sim:
+            assert sim.advance(20) == 1  # tick-stepping consumes one
+
+
+class TestInterventionsGolden:
+    STEPS = 220
+    AGENTS = 240
+
+    def _run(self, events: bool, seed: int = 5):
+        bench = get_simulation("epidemiology_interventions")
+        p = bench.default_param().with_(event_scheduling=events)
+        with bench.build(self.AGENTS, param=p, seed=seed) as sim:
+            sim.simulate(self.STEPS)
+            series = {k: list(v) for k, v in sim.timeseries.as_dict().items()}
+            return state_checksum(sim), series, sim.obs.registry.snapshot()
+
+    def test_golden_determinism_and_events_equivalence(self):
+        a, series_a, _ = self._run(events=False)
+        b, series_b, _ = self._run(events=False)
+        assert a == b  # same seed → bitwise-identical rerun
+        c, series_c, snap = self._run(events=True)
+        assert c == a  # events layer is invisible to the state
+        assert series_c == series_a  # ...and to the sampled time series
+        assert snap["events:jumps"] >= 1
+        assert snap["events:deferred_dispatches"] > 0
+
+    def test_timeline_follows_the_schedule(self):
+        bench = get_simulation("epidemiology_interventions")
+        first_import = bench.IMPORT_AT[0]
+        lock_start, lock_end = bench.LOCKDOWN
+        p = bench.default_param().with_(event_scheduling=True)
+        with bench.build(self.AGENTS, param=p, seed=5) as sim:
+            state = sim.rm.data["state"]
+            sim.simulate(first_import)
+            assert not np.any(state[:sim.num_agents] == Infection.INFECTED)
+            sim.simulate(1)  # the scheduled import fires on this tick
+            assert np.any(state[:sim.num_agents] == Infection.INFECTED)
+            sim.simulate(lock_start + 1 - sim.scheduler.iteration)
+            assert np.any(
+                state[:sim.num_agents] == Lockdown.QUARANTINED
+            )
+            sim.simulate(lock_end + 1 - sim.scheduler.iteration)
+            assert not np.any(
+                state[:sim.num_agents] == Lockdown.QUARANTINED
+            )
+
+    def test_registered_in_registry(self):
+        from repro.simulations.registry import available_simulations
+
+        assert "epidemiology_interventions" in available_simulations()
+
+
+class TestDistributedEndpoint:
+    def test_param_validation(self):
+        Param(distributed_endpoint="0.0.0.0:5600")
+        Param(distributed_endpoint="127.0.0.1:0")
+        for bad in ("nonsense", ":", "host:", ":123", "host:notaport",
+                    "host:70000"):
+            with pytest.raises(Exception):
+                Param(distributed_endpoint=bad)
+
+    def test_socket_transport_binds_configurable_endpoint(self):
+        from repro.distributed.transport import make_transport
+
+        a, b = make_transport("socket", "127.0.0.1:0")
+        try:
+            a.send(("header", 1), b"x" * 4096)
+            header, payload = b.recv(5.0)
+            assert header == ("header", 1)
+            assert payload == b"x" * 4096
+        finally:
+            a.close()
+            b.close()
+
+    def test_socket_transport_bad_bind_raises(self):
+        from repro.distributed.transport import (
+            TransportError,
+            make_transport,
+        )
+
+        # 203.0.113.1 is TEST-NET-3 (RFC 5737): never a local address,
+        # so binding it fails without touching the network.
+        with pytest.raises(TransportError):
+            make_transport("socket", "203.0.113.1:0")
+
+    def test_pipe_ignores_endpoint(self):
+        from repro.distributed.transport import make_transport
+
+        a, b = make_transport("pipe", "127.0.0.1:0")
+        try:
+            a.send("ping")
+            assert b.recv(5.0) == ("ping", b"")
+        finally:
+            a.close()
+            b.close()
+
+
+class TestServeIdleSessions:
+    def test_background_advance_jumps_idle_stretches(self):
+        import time
+
+        from repro.serve import protocol as P
+        from repro.serve.pool import SessionPool
+
+        pool = SessionPool(workers=1)
+        try:
+            created = pool.handle(P.CreateSession(
+                model="epidemiology_interventions", agents=120, seed=3,
+                params={"event_scheduling": True}, name="idle",
+            ))
+            pool.handle(P.AdvanceRequest(session=created.session, steps=80))
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                snap = pool.handle(P.SnapshotRequest(session=created.session))
+                if not snap.advancing:
+                    break
+                time.sleep(0.02)
+            assert snap.iteration == 80
+            metrics = pool.obs.registry.snapshot()
+            assert metrics["serve:steps_total"] == 80
+            # Horizon jumps let the advance loop consume multi-tick
+            # chunks: strictly fewer RPCs than ticks, and the surplus is
+            # accounted as jumped steps.
+            chunks = metrics["serve:advance_chunks"]
+            jumped = metrics["serve:advance_jumped_steps"]
+            assert chunks < 80
+            assert jumped == 80 - chunks
+        finally:
+            pool.shutdown()
